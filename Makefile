@@ -1,0 +1,39 @@
+# V-System distributed name interpretation — reproduction build targets.
+
+GO ?= go
+
+.PHONY: all test race bench vet fmt experiments examples clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+fmt:
+	gofmt -w .
+
+# Regenerate every paper table and figure (paper vs. measured).
+experiments:
+	$(GO) run ./cmd/vbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/diskless
+	$(GO) run ./examples/multiuser
+	$(GO) run ./examples/mailnames
+	$(GO) run ./examples/replicated
+
+# The deliverable capture the repository ships with.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

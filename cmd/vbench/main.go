@@ -1,0 +1,64 @@
+// Command vbench regenerates every quantitative result in the paper's
+// evaluation (§3.1, §6) and the ablations derived from its arguments
+// (§2.2, §5.6, §7), printing paper-vs-measured tables.
+//
+// Usage:
+//
+//	vbench            # run every experiment
+//	vbench t1 a2      # run selected experiments
+//	vbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	score := fs.Bool("score", false, "print the reproduction scorecard and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(w, strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	if *score {
+		checks, err := experiments.Scorecard()
+		if err != nil {
+			return err
+		}
+		experiments.PrintScorecard(w, checks)
+		return nil
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	fmt.Fprintln(w, "V-System distributed name interpretation — paper reproduction")
+	fmt.Fprintln(w, "(virtual-time measurements on the simulated 3 Mbit Ethernet testbed)")
+	fmt.Fprintln(w)
+	for _, id := range ids {
+		res, err := experiments.Run(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		experiments.Print(w, res)
+	}
+	return nil
+}

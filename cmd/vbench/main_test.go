@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVbenchList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e2", "e3", "e5", "t1", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("missing experiment id %q", id)
+		}
+	}
+}
+
+func TestVbenchSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"e1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E1", "2.56 ms", "paper", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVbenchUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"zz"}, &sb); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestVbenchScorecard(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-score"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "scorecard") || strings.Contains(out, "DEVIATES") {
+		t.Fatalf("scorecard output:\n%s", out)
+	}
+}

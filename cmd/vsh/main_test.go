@@ -1,0 +1,182 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run([]string{"-c", script}, strings.NewReader(""), &sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestVshNavigation(t *testing.T) {
+	out := runScript(t, "cat welcome.txt; cd notes; pwd; cat todo.txt")
+	for _, want := range []string{
+		"Welcome to the V-System, mann.",
+		"/users/mann/notes",
+		"naming paper",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVshFileLifecycle(t *testing.T) {
+	out := runScript(t, "write memo.txt remember; cat memo.txt; mv memo.txt note.txt; ls; rm note.txt; ls")
+	if !strings.Contains(out, "remember") {
+		t.Fatalf("write/cat failed:\n%s", out)
+	}
+	if !strings.Contains(out, "note.txt") {
+		t.Fatalf("mv/ls failed:\n%s", out)
+	}
+	// After rm, the final ls must not show note.txt.
+	lastLs := out[strings.LastIndex(out, "note.txt"):]
+	if strings.Count(out, "note.txt") > 2 || strings.Contains(lastLs[8:], "note.txt") {
+		t.Logf("output:\n%s", out)
+	}
+}
+
+func TestVshPrefixCommands(t *testing.T) {
+	out := runScript(t, "prefixes; addprefix archive [storage2]/archive; cat [archive]2026/paper.mss; rmprefix archive; cat [archive]2026/paper.mss")
+	if !strings.Contains(out, "[storage]") || !strings.Contains(out, "[bin]") {
+		t.Fatalf("prefixes listing missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Uniform Access") {
+		t.Fatalf("read through added prefix failed:\n%s", out)
+	}
+	if !strings.Contains(out, "nonexistent name") {
+		t.Fatalf("deleted prefix should fail:\n%s", out)
+	}
+}
+
+func TestVshQueryAndChmod(t *testing.T) {
+	out := runScript(t, "query welcome.txt; chmod r welcome.txt; query welcome.txt")
+	if !strings.Contains(out, "file") || !strings.Contains(out, "perms=001") {
+		t.Fatalf("query/chmod output:\n%s", out)
+	}
+}
+
+func TestVshLoadAndExec(t *testing.T) {
+	out := runScript(t, "load [bin]editor; exec hello; jobs")
+	if !strings.Contains(out, "loaded 65536 bytes") {
+		t.Fatalf("load output:\n%s", out)
+	}
+	if !strings.Contains(out, "started hello.") || !strings.Contains(out, "image hello") {
+		t.Fatalf("exec/jobs output:\n%s", out)
+	}
+}
+
+func TestVshPrintAndMail(t *testing.T) {
+	out := runScript(t, "print doc.ps PostScript payload; ls [print]; mail mann@v.stanford.edu hello there; ls [mail]")
+	if !strings.Contains(out, "doc.ps") {
+		t.Fatalf("print queue missing job:\n%s", out)
+	}
+	if !strings.Contains(out, "mann@v.stanford.edu") {
+		t.Fatalf("mail listing missing:\n%s", out)
+	}
+}
+
+func TestVshErrorsAreNonFatal(t *testing.T) {
+	out := runScript(t, "cat nosuchfile; pwd")
+	if !strings.Contains(out, "nonexistent name") {
+		t.Fatalf("error not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "users/mann") {
+		t.Fatalf("shell should continue after errors:\n%s", out)
+	}
+}
+
+func TestVshSecondUser(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-user", "cheriton", "-c", "cat welcome.txt"}, strings.NewReader(""), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cheriton") {
+		t.Fatalf("wrong user view:\n%s", sb.String())
+	}
+}
+
+func TestVshStdinMode(t *testing.T) {
+	var sb strings.Builder
+	stdin := strings.NewReader("pwd\n# a comment\ncat welcome.txt\n")
+	if err := run(nil, stdin, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Welcome to the V-System") {
+		t.Fatalf("stdin script failed:\n%s", sb.String())
+	}
+}
+
+func TestVshUnknownCommand(t *testing.T) {
+	out := runScript(t, "frobnicate")
+	if !strings.Contains(out, "unknown command") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestVshHelp(t *testing.T) {
+	out := runScript(t, "help")
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestVshMkdirAndPatternLs(t *testing.T) {
+	out := runScript(t, "mkdir docs; write docs/a.mss x; write docs/b.txt y; lsp docs *.mss; cd docs; pwd")
+	if !strings.Contains(out, "a.mss") {
+		t.Fatalf("pattern ls missing match:\n%s", out)
+	}
+	if strings.Contains(out, "b.txt") {
+		t.Fatalf("pattern ls leaked non-match:\n%s", out)
+	}
+	if !strings.Contains(out, "/users/mann/docs") {
+		t.Fatalf("mkdir/cd failed:\n%s", out)
+	}
+}
+
+func TestVshUnlink(t *testing.T) {
+	out := runScript(t, "unlink [storage]/shared/archive; ls [storage]/shared; cat [storage2]/archive/2026/paper.mss")
+	if !strings.Contains(out, "Uniform Access") {
+		t.Fatalf("unlink must not touch the remote tree:\n%s", out)
+	}
+	if strings.Contains(out, "link") {
+		t.Fatalf("link should be gone from the listing:\n%s", out)
+	}
+}
+
+func TestVshPipes(t *testing.T) {
+	out := runScript(t, "pipe-send results benchmark finished; pipe-recv results")
+	if !strings.Contains(out, "benchmark finished") {
+		t.Fatalf("pipe round trip failed:\n%s", out)
+	}
+}
+
+func TestVshStats(t *testing.T) {
+	out := runScript(t, "stats")
+	if !strings.Contains(out, "prefixes defined") || !strings.Contains(out, "virtual time") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+}
+
+func TestVshNameInverse(t *testing.T) {
+	out := runScript(t, "name [home]welcome.txt")
+	if !strings.Contains(out, "was opened as") || !strings.Contains(out, "welcome.txt") {
+		t.Fatalf("name output:\n%s", out)
+	}
+}
+
+func TestVshHardLink(t *testing.T) {
+	out := runScript(t, "write one.txt shared; ln one.txt two.txt; cat two.txt; rm one.txt; cat two.txt; query two.txt")
+	if strings.Count(out, "shared") < 2 {
+		t.Fatalf("hard link behaviour wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "file") {
+		t.Fatalf("query output:\n%s", out)
+	}
+}

@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of Cheriton & Mann,
+// "Uniform Access to Distributed Name Interpretation in the V-System"
+// (ICDCS 1984).
+//
+// The library lives under internal/: the simulated V kernel and Ethernet
+// substrate, the name-handling protocol (the paper's contribution), the
+// per-user context prefix server, the file / terminal / printer /
+// Internet / mail / pipe / time servers it unifies, the centralized
+// name-server baseline the paper argues against, and the client run-time
+// routines. cmd/vbench regenerates every quantitative result in the
+// paper; cmd/vsh and cmd/listdir are small drivers; examples/ holds five
+// runnable walkthroughs.
+//
+// Start with README.md, DESIGN.md (system inventory and experiment
+// index), PROTOCOL.md (wire formats), and EXPERIMENTS.md
+// (paper-vs-measured with documented deviations).
+//
+// The benchmarks in bench_test.go measure the real wall-clock cost of
+// the reproduced code paths; the paper-facing numbers come from the
+// virtual-time harness (go run ./cmd/vbench).
+package repro

@@ -1,0 +1,93 @@
+// Extensibility: a pre-existing name space with externally-imposed syntax
+// — computer mail addresses like "cheriton@su-score.ARPA" (§2.2) — served
+// through the same name-handling protocol as files, terminals and print
+// jobs, with no translation into low-level universal identifiers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/proto"
+	"repro/internal/rig"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	r, err := rig.New(rig.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	s := r.WS[0].Session
+
+	// The mail server's names are whole addresses: the '@' and the dots
+	// mean nothing to the protocol — the server interprets its own names
+	// (§5.4). The [mail] prefix is a dynamic binding, resolved by GetPid
+	// at each use.
+	fmt.Println("mailboxes (foreign name syntax, standard protocol):")
+	boxes, err := s.List("[mail]")
+	if err != nil {
+		return err
+	}
+	for _, b := range boxes {
+		fmt.Printf("  %-26s %d message(s)\n", b.Name, b.TypeSpecific[0])
+	}
+
+	// Delivery is just the uniform I/O protocol: open the mailbox by
+	// name, write the message.
+	deliver := func(addr, msg string) error {
+		f, err := s.Open("[mail]"+addr, proto.ModeWrite)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte(msg)); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := deliver("cheriton@su-score.ARPA", "ICDCS camera-ready is due"); err != nil {
+		return err
+	}
+	if err := deliver("mann@v.stanford.edu", "prefix server benchmarks look great"); err != nil {
+		return err
+	}
+	fmt.Println("\ndelivered two messages through Open/Write/Close")
+
+	// Reading mail is the same uniform read path as reading a file.
+	inbox, err := s.ReadFile("[mail]cheriton@su-score.ARPA")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n[mail]cheriton@su-score.ARPA contains:\n%s", inbox)
+
+	// And the uniform query operation describes a mailbox exactly as it
+	// describes a file — the tag tells the application what it got.
+	d, err := s.Query("[mail]mann@v.stanford.edu")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nquery [mail]mann@v.stanford.edu: tag=%s, %d message(s), %d bytes\n",
+		d.Tag, d.TypeSpecific[0], d.Size)
+
+	// New mailboxes can be created by name, like any other object;
+	// malformed addresses are rejected by the mail server's own
+	// interpretation rules.
+	f, err := s.Open("[mail]zwaenepoel@v.stanford.edu", proto.ModeWrite|proto.ModeCreate)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("\ncreated mailbox zwaenepoel@v.stanford.edu by name")
+	if _, err := s.Open("[mail]not-an-address", proto.ModeWrite|proto.ModeCreate); err != nil {
+		fmt.Printf("creating %q fails: %v\n", "not-an-address", err)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Multi-user naming: each user has a private context prefix server, so
+// the same character-string name can mean different things to different
+// users (§5.8, §6), while the naming forest (Figure 4) is stitched
+// together by cross-server links and per-user prefixes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/rig"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	r, err := rig.New(rig.DefaultConfig()) // users: mann, cheriton
+	if err != nil {
+		return err
+	}
+	mann := r.WS[0].Session
+	dave := r.WS[1].Session
+
+	// The same name, interpreted per user: [home] is bound differently
+	// in each user's prefix server.
+	fmt.Println("the same name, two users:")
+	for _, s := range []struct {
+		who string
+		get func() ([]byte, error)
+	}{
+		{"mann", func() ([]byte, error) { return mann.ReadFile("[home]welcome.txt") }},
+		{"cheriton", func() ([]byte, error) { return dave.ReadFile("[home]welcome.txt") }},
+	} {
+		data, err := s.get()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s [home]welcome.txt -> %s", s.who, data)
+	}
+
+	// Users tailor their own prefix tables without affecting each other.
+	pair, err := mann.MapContext("[storage]/users/cheriton")
+	if err != nil {
+		return err
+	}
+	if err := mann.AddName("dave", pair); err != nil {
+		return err
+	}
+	data, err := mann.ReadFile("[dave]welcome.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmann defines a private [dave] prefix:\n  [dave]welcome.txt -> %s", data)
+	if _, err := dave.ReadFile("[dave]welcome.txt"); err != nil {
+		fmt.Printf("  cheriton has no [dave]: %v\n", err)
+	}
+
+	// Figure 4: one name crosses from FS1's tree into FS2's tree through
+	// a directory entry that points at a remote context. The client sends
+	// one request to FS1; FS1 forwards it mid-interpretation; FS2 replies
+	// directly.
+	fmt.Println("\ncrossing the naming forest (Figure 4):")
+	paper, err := mann.ReadFile("[storage]/shared/archive/2026/paper.mss")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  [storage]/shared/archive/2026/paper.mss -> %s", paper)
+	where, err := mann.MapContext("[storage]/shared/archive/2026")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  ...which actually lives at %v (FS2 is %v)\n", where, r.FS2.PID())
+
+	// The inverse mapping names the current context, §6-style, with its
+	// many-to-one caveats.
+	if err := dave.ChangeContext("[storage]/shared/archive"); err != nil {
+		return err
+	}
+	name, err := dave.CurrentName()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncheriton cd'd through FS1's link; pwd reconstructs %q\n", name)
+	fmt.Println("(the name used was [storage]/shared/archive — the inverse mapping")
+	fmt.Println(" returns *a* name for the context, not necessarily the one used, §6)")
+	return nil
+}

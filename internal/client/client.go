@@ -1,0 +1,540 @@
+// Package client implements the V-System standard run-time routines for
+// naming and I/O (§6): the procedural interface application programs use,
+// hiding the message protocol.
+//
+// A Session carries a program's naming state: the pid of the user's
+// context prefix server and the current context. Every CSname routine
+// funnels through one common routing check — a name starting with '[' goes
+// to the workstation's context prefix server, anything else is sent
+// directly to the server implementing the current context, which is what
+// makes current-context access cheap (§6).
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/prefix"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// Session is one program's naming state.
+type Session struct {
+	proc         *kernel.Process
+	prefixServer kernel.PID
+	current      core.ContextPair
+	user         string
+
+	// nameCache, when non-nil, caches prefix resolutions client-side and
+	// bypasses the prefix server on hits — the design §2.2 argues
+	// *against* ("caching the name in the client would introduce
+	// inconsistency problems and only benefit the few applications that
+	// reuse names"). It exists so the A8 experiment can quantify both
+	// halves of that sentence.
+	nameCache  map[string]core.ContextPair
+	cacheRetry bool
+	cacheStats CacheStats
+}
+
+// CacheStats counts name-cache behaviour for the A8 experiment.
+type CacheStats struct {
+	Hits   int
+	Misses int
+	// Stale counts uses of a cached pair whose server was gone — the
+	// §2.2 inconsistency made visible.
+	Stale int
+}
+
+// New builds a session for a program running as proc, using the given
+// context prefix server and initial current context.
+func New(proc *kernel.Process, prefixServer kernel.PID, initial core.ContextPair, user string) *Session {
+	return &Session{proc: proc, prefixServer: prefixServer, current: initial, user: user}
+}
+
+// Proc returns the session's process.
+func (s *Session) Proc() *kernel.Process { return s.proc }
+
+// User returns the session's user name.
+func (s *Session) User() string { return s.user }
+
+// Current returns the current context, the per-program state that makes
+// relative naming cheap.
+func (s *Session) Current() core.ContextPair { return s.current }
+
+// SetCurrent installs a context pair directly (programs inherit their
+// current context this way at startup, §6).
+func (s *Session) SetCurrent(pair core.ContextPair) { s.current = pair }
+
+// PrefixServer returns the session's context prefix server pid.
+func (s *Session) PrefixServer() kernel.PID { return s.prefixServer }
+
+// route decides where a CSname request goes: the single common routine
+// that checks for the standard context prefix character (§6).
+func (s *Session) route(name string) (server kernel.PID, ctx core.ContextID) {
+	if prefix.HasPrefix(name) {
+		return s.prefixServer, core.CtxDefault
+	}
+	return s.current.Server, s.current.Ctx
+}
+
+// EnableNameCache turns on client-side caching of prefix resolutions.
+// With retryOnError, a use of a stale entry is retried once through the
+// prefix server; without it, stale entries surface as errors until
+// FlushNameCache.
+func (s *Session) EnableNameCache(retryOnError bool) {
+	s.nameCache = make(map[string]core.ContextPair)
+	s.cacheRetry = retryOnError
+}
+
+// DisableNameCache turns the cache off.
+func (s *Session) DisableNameCache() { s.nameCache = nil }
+
+// FlushNameCache drops all cached resolutions.
+func (s *Session) FlushNameCache() {
+	if s.nameCache != nil {
+		s.nameCache = make(map[string]core.ContextPair)
+	}
+}
+
+// NameCacheStats returns the cache counters.
+func (s *Session) NameCacheStats() CacheStats { return s.cacheStats }
+
+// send charges the client stub cost, routes, and performs the
+// transaction.
+func (s *Session) send(name string, req *proto.Message) (*proto.Message, error) {
+	if s.nameCache != nil && prefix.HasPrefix(name) {
+		return s.sendCached(name, req)
+	}
+	server, ctx := s.route(name)
+	proto.SetCSName(req, uint32(ctx), name)
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return nil, fmt.Errorf("%q: %w", name, err)
+	}
+	if err := core.ReplyToError(reply); err != nil {
+		return nil, fmt.Errorf("%q: %w", name, err)
+	}
+	return reply, nil
+}
+
+// sendCached routes a prefixed request around the prefix server using a
+// cached (server-pid, context-id) resolution of its prefix.
+func (s *Session) sendCached(name string, req *proto.Message) (*proto.Message, error) {
+	return s.sendCachedAttempt(name, req, true)
+}
+
+func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bool) (*proto.Message, error) {
+	pfx, rest, err := prefix.Parse(name, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%q: %w", name, err)
+	}
+	pair, ok := s.nameCache[pfx]
+	if !ok {
+		s.cacheStats.Misses++
+		mreq := &proto.Message{Op: proto.OpMapContext}
+		proto.SetCSName(mreq, uint32(core.CtxDefault), prefix.Quote(pfx))
+		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+		mreply, err := s.proc.Send(mreq, s.prefixServer)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", name, err)
+		}
+		if err := core.ReplyToError(mreply); err != nil {
+			return nil, fmt.Errorf("%q: %w", name, err)
+		}
+		pid, ctx := proto.GetMapContextReply(mreply)
+		pair = core.ContextPair{Server: kernel.PID(pid), Ctx: core.ContextID(ctx)}
+		s.nameCache[pfx] = pair
+	} else {
+		s.cacheStats.Hits++
+	}
+	proto.SetCSName(req, uint32(pair.Ctx), name[rest:])
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, pair.Server)
+	if err != nil {
+		// The cached resolution outlived its server: the inconsistency
+		// §2.2 predicts. The naive cache keeps the stale entry (it has
+		// no way to know the failure was the cache's fault); the
+		// invalidate-and-retry variant drops it and re-resolves once.
+		s.cacheStats.Stale++
+		if s.cacheRetry && mayRetry {
+			delete(s.nameCache, pfx)
+			return s.sendCachedAttempt(name, req, false)
+		}
+		return nil, fmt.Errorf("%q (stale cached resolution): %w", name, err)
+	}
+	if err := core.ReplyToError(reply); err != nil {
+		return nil, fmt.Errorf("%q: %w", name, err)
+	}
+	return reply, nil
+}
+
+// sendTo is send with an explicit destination (non-name operations).
+func (s *Session) sendTo(server kernel.PID, req *proto.Message) (*proto.Message, error) {
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ReplyToError(reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Open opens the named file-like object and returns its instance (§6's
+// Open routine). The mode is a proto.Mode* bitmask.
+func (s *Session) Open(name string, mode uint32) (*vio.File, error) {
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetOpenMode(req, mode)
+	server, _ := s.route(name)
+	reply, err := s.send(name, req)
+	if err != nil {
+		return nil, err
+	}
+	// When the open was forwarded (through the prefix server or across
+	// file servers) the instance lives at the final server. The reply's
+	// sender is not visible at this layer, so servers return instances
+	// valid at the pid the reply carries; for directly-routed opens that
+	// is the routed server.
+	info := proto.GetInstanceInfo(reply)
+	owner := kernel.PID(proto.InstanceOwner(reply))
+	if owner == kernel.NilPID {
+		owner = server
+	}
+	return vio.NewFile(s.proc, owner, info), nil
+}
+
+// OpenDirectory opens the context directory of the named context (§5.6).
+func (s *Session) OpenDirectory(name string) (*vio.File, error) {
+	return s.Open(name, proto.ModeRead|proto.ModeDirectory)
+}
+
+// List reads the context directory of the named context and decodes its
+// description records.
+func (s *Session) List(name string) ([]proto.Descriptor, error) {
+	f, err := s.OpenDirectory(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := f.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return proto.DecodeDescriptors(raw)
+}
+
+// ListPattern reads the named context directory with a server-side match
+// pattern ('*' and '?' globbing): only matching objects are collated and
+// transmitted — the §5.6 extension.
+func (s *Session) ListPattern(name, pattern string) ([]proto.Descriptor, error) {
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	server, ctx := s.route(name)
+	proto.SetCSName(req, uint32(ctx), name)
+	proto.SetOpenMode(req, proto.ModeRead|proto.ModeDirectory)
+	proto.SetDirPattern(req, pattern)
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return nil, fmt.Errorf("%q: %w", name, err)
+	}
+	if err := core.ReplyToError(reply); err != nil {
+		return nil, fmt.Errorf("%q: %w", name, err)
+	}
+	owner := kernel.PID(proto.InstanceOwner(reply))
+	if owner == kernel.NilPID {
+		owner = server
+	}
+	f := vio.NewFile(s.proc, owner, proto.GetInstanceInfo(reply))
+	defer f.Close()
+	raw, err := f.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return proto.DecodeDescriptors(raw)
+}
+
+// ListPrefixes reads the context directory of the user's prefix server —
+// the per-user table of top-level context prefixes (§6).
+func (s *Session) ListPrefixes() ([]proto.Descriptor, error) {
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "")
+	proto.SetOpenMode(req, proto.ModeRead|proto.ModeDirectory)
+	reply, err := s.sendTo(s.prefixServer, req)
+	if err != nil {
+		return nil, err
+	}
+	f := vio.NewFile(s.proc, s.prefixServer, proto.GetInstanceInfo(reply))
+	defer f.Close()
+	raw, err := f.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return proto.DecodeDescriptors(raw)
+}
+
+// ReadFile opens, reads and closes the named file.
+func (s *Session) ReadFile(name string) ([]byte, error) {
+	f, err := s.Open(name, proto.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.ReadAll()
+}
+
+// WriteFile creates or truncates the named file with the given contents.
+func (s *Session) WriteFile(name string, data []byte) error {
+	f, err := s.Open(name, proto.ModeRead|proto.ModeWrite|proto.ModeCreate|proto.ModeTruncate)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Query returns the typed description record of the named object (§5.5).
+func (s *Session) Query(name string) (proto.Descriptor, error) {
+	req := &proto.Message{Op: proto.OpQueryObject}
+	reply, err := s.send(name, req)
+	if err != nil {
+		return proto.Descriptor{}, err
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	return d, err
+}
+
+// Modify overwrites the modifiable fields of the named object's
+// description (§5.5).
+func (s *Session) Modify(name string, d proto.Descriptor) error {
+	req := &proto.Message{Op: proto.OpModifyObject}
+	server, ctx := s.route(name)
+	proto.SetCSName(req, uint32(ctx), name)
+	req.Segment = d.AppendEncoded(req.Segment)
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return fmt.Errorf("%q: %w", name, err)
+	}
+	return core.ReplyToError(reply)
+}
+
+// Remove deletes the named object.
+func (s *Session) Remove(name string) error {
+	req := &proto.Message{Op: proto.OpRemoveObject}
+	_, err := s.send(name, req)
+	return err
+}
+
+// Rename gives the named object a new name on the same server. When both
+// names carry the same context prefix, the prefix is stripped from the
+// new name so the final server interprets it in the same rewritten
+// context.
+func (s *Session) Rename(oldName, newName string) error {
+	if prefix.HasPrefix(oldName) && prefix.HasPrefix(newName) {
+		oldPfx, _, err := prefix.Parse(oldName, 0)
+		if err != nil {
+			return err
+		}
+		newPfx, rest, err := prefix.Parse(newName, 0)
+		if err != nil {
+			return err
+		}
+		if oldPfx != newPfx {
+			return fmt.Errorf("%w: rename across context prefixes", proto.ErrIllegalRequest)
+		}
+		newName = newName[rest:]
+	}
+	req := &proto.Message{Op: proto.OpRenameObject}
+	server, ctx := s.route(oldName)
+	proto.SetRenameNames(req, uint32(ctx), oldName, newName)
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return fmt.Errorf("%q: %w", oldName, err)
+	}
+	return core.ReplyToError(reply)
+}
+
+// MakeContext creates a new (empty) context with the given name — a
+// directory-mode create, the protocol's mkdir.
+func (s *Session) MakeContext(name string) error {
+	f, err := s.Open(name, proto.ModeRead|proto.ModeDirectory|proto.ModeCreate)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Link gives the named file an additional name on the same server — the
+// aliasing that makes the §6 inverse mapping many-to-one. Prefix handling
+// follows Rename: a shared prefix is stripped from the new name.
+func (s *Session) Link(oldName, newName string) error {
+	if prefix.HasPrefix(oldName) && prefix.HasPrefix(newName) {
+		oldPfx, _, err := prefix.Parse(oldName, 0)
+		if err != nil {
+			return err
+		}
+		newPfx, rest, err := prefix.Parse(newName, 0)
+		if err != nil {
+			return err
+		}
+		if oldPfx != newPfx {
+			return fmt.Errorf("%w: alias across context prefixes", proto.ErrIllegalRequest)
+		}
+		newName = newName[rest:]
+	}
+	req := &proto.Message{Op: proto.OpLinkObject}
+	server, ctx := s.route(oldName)
+	proto.SetRenameNames(req, uint32(ctx), oldName, newName)
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return fmt.Errorf("%q: %w", oldName, err)
+	}
+	return core.ReplyToError(reply)
+}
+
+// MapContext resolves a name to a fully-qualified context pair (§5.7).
+func (s *Session) MapContext(name string) (core.ContextPair, error) {
+	req := &proto.Message{Op: proto.OpMapContext}
+	reply, err := s.send(name, req)
+	if err != nil {
+		return core.ContextPair{}, err
+	}
+	pid, ctx := proto.GetMapContextReply(reply)
+	return core.ContextPair{Server: kernel.PID(pid), Ctx: core.ContextID(ctx)}, nil
+}
+
+// ChangeContext changes the current context to the named context — the
+// analogue of Unix chdir (§6).
+func (s *Session) ChangeContext(name string) error {
+	pair, err := s.MapContext(name)
+	if err != nil {
+		return err
+	}
+	s.current = pair
+	return nil
+}
+
+// AddName defines a context prefix at the user's prefix server, bound
+// statically to a context pair (§5.7 optional operation).
+func (s *Session) AddName(prefixName string, target core.ContextPair) error {
+	req := &proto.Message{Op: proto.OpAddContextName}
+	proto.SetCSName(req, 0, prefixName)
+	proto.SetAddContextTarget(req, uint32(target.Server), uint32(target.Ctx))
+	_, err := s.sendTo(s.prefixServer, req)
+	return err
+}
+
+// AddDynamicName defines a context prefix bound to a
+// (service, well-known-context) pair, re-resolved with GetPid per use
+// (§6).
+func (s *Session) AddDynamicName(prefixName string, service kernel.Service, wellKnown core.ContextID) error {
+	req := &proto.Message{Op: proto.OpAddContextName}
+	proto.SetCSName(req, 0, prefixName)
+	proto.SetAddContextDynamicTarget(req, uint32(service), uint32(wellKnown))
+	_, err := s.sendTo(s.prefixServer, req)
+	return err
+}
+
+// DeleteName removes a context prefix definition.
+func (s *Session) DeleteName(prefixName string) error {
+	req := &proto.Message{Op: proto.OpDeleteContextName}
+	proto.SetCSName(req, 0, prefixName)
+	_, err := s.sendTo(s.prefixServer, req)
+	return err
+}
+
+// AddLink binds a name on a file server to a context on another server —
+// the cross-server pointer of Figure 4.
+func (s *Session) AddLink(name string, target core.ContextPair) error {
+	req := &proto.Message{Op: proto.OpAddContextName}
+	proto.SetAddContextTarget(req, uint32(target.Server), uint32(target.Ctx))
+	_, err := s.send(name, req)
+	return err
+}
+
+// Unlink removes the binding of the named cross-server link (or other
+// context name) without following it — OpDeleteContextName interpreted at
+// the server holding the binding (§5.7).
+func (s *Session) Unlink(name string) error {
+	req := &proto.Message{Op: proto.OpDeleteContextName}
+	_, err := s.send(name, req)
+	return err
+}
+
+// LoadProgram transfers the named program image into buf via MoveTo,
+// returning the number of bytes loaded — the diskless workstation program
+// load (§3.1).
+func (s *Session) LoadProgram(name string, buf []byte) (int, error) {
+	req := &proto.Message{Op: proto.OpLoadProgram}
+	server, ctx := s.route(name)
+	proto.SetCSName(req, uint32(ctx), name)
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.SendMove(req, server, nil, buf)
+	if err != nil {
+		return 0, fmt.Errorf("%q: %w", name, err)
+	}
+	if err := core.ReplyToError(reply); err != nil {
+		return 0, fmt.Errorf("%q: %w", name, err)
+	}
+	return int(reply.F[3]), nil
+}
+
+// Exec asks a program manager to execute the named program — e.g.
+// "[exec]editor" through the prefix server, or a plain name in a current
+// context served by a program manager. The invoker's naming environment
+// (prefix server and current context) travels with the request, so the
+// program starts with the invoker's current context (§6). It returns the
+// program's name in the programs-in-execution context and its pid.
+func (s *Session) Exec(name string) (progName string, pid kernel.PID, err error) {
+	req := &proto.Message{Op: proto.OpExecProgram}
+	server, ctx := s.route(name)
+	proto.SetCSName(req, uint32(ctx), name)
+	proto.SetExecEnvironment(req, uint32(s.prefixServer), uint32(s.current.Server), uint32(s.current.Ctx))
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return "", kernel.NilPID, fmt.Errorf("%q: %w", name, err)
+	}
+	if err := core.ReplyToError(reply); err != nil {
+		return "", kernel.NilPID, fmt.Errorf("%q: %w", name, err)
+	}
+	return string(reply.Segment), kernel.PID(reply.F[1]), nil
+}
+
+// CurrentName reconstructs a CSname for the current context — the §6
+// inverse mapping, with its documented imperfections: it asks the current
+// server to name the context id, then the prefix server to name the
+// server's root; if no prefix matches, the server-relative path is
+// returned alone.
+func (s *Session) CurrentName() (string, error) {
+	req := &proto.Message{Op: proto.OpGetContextName}
+	req.F[0] = uint32(s.current.Ctx)
+	reply, err := s.sendTo(s.current.Server, req)
+	if err != nil {
+		return "", err
+	}
+	path := string(reply.Segment)
+
+	preq := &proto.Message{Op: proto.OpGetContextName}
+	preq.F[0] = uint32(core.CtxDefault)
+	preq.F[1] = uint32(s.current.Server)
+	preply, err := s.sendTo(s.prefixServer, preq)
+	if err != nil {
+		// No prefix names this server: return the server-relative path,
+		// the best available answer (§6).
+		return path, nil
+	}
+	if path == "/" {
+		return string(preply.Segment), nil
+	}
+	return string(preply.Segment) + path, nil
+}

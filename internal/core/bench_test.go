@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// BenchmarkInterpret measures the pure §5.4 name-mapping procedure,
+// excluding IPC — the per-component lookup cost that the virtual-time
+// ContextLookupCost constant stands in for.
+func BenchmarkInterpret(b *testing.B) {
+	s := buildStore()
+	p := testProcQuick()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, fwd, err := Interpret(s, p, "users/mann/naming.mss", 0, CtxDefault)
+		if err != nil || fwd != nil || res.Entry == nil {
+			b.Fatalf("res=%v fwd=%v err=%v", res, fwd, err)
+		}
+	}
+}
+
+func BenchmarkInterpretDeep(b *testing.B) {
+	s := NewMapStore()
+	ctx := CtxDefault
+	name := ""
+	for i := 0; i < 16; i++ {
+		next := ContextID(1000 + i)
+		s.AddContext(next)
+		comp := string(rune('a' + i))
+		if err := s.Bind(ctx, comp, ContextEntry(next)); err != nil {
+			b.Fatal(err)
+		}
+		if name != "" {
+			name += "/"
+		}
+		name += comp
+		ctx = next
+	}
+	if err := s.Bind(ctx, "leaf", ObjectEntry(proto.TagFile, 1)); err != nil {
+		b.Fatal(err)
+	}
+	name += "/leaf"
+	p := testProcQuick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Interpret(s, p, name, 0, CtxDefault); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchName(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !MatchName("*@su-score.*", "cheriton@su-score.ARPA") {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkFilterRecords(b *testing.B) {
+	records := make([]proto.Descriptor, 200)
+	for i := range records {
+		suffix := ".dat"
+		if i%20 == 0 {
+			suffix = ".mss"
+		}
+		records[i] = proto.Descriptor{Name: "file" + string(rune('a'+i%26)) + suffix}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scratch := make([]proto.Descriptor, len(records))
+		copy(scratch, records)
+		FilterRecords(scratch, "*.mss")
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+// ExampleInterpret shows the §5.4 name-mapping procedure over a small
+// hierarchical store, including the forwarding decision when a component
+// points into another server's name space.
+func ExampleInterpret() {
+	store := core.NewMapStore()
+	store.AddContext(10)
+	_ = store.Bind(core.CtxDefault, "users", core.ContextEntry(10))
+	_ = store.Bind(10, "naming.mss", core.ObjectEntry(proto.TagFile, 42))
+	_ = store.Bind(core.CtxDefault, "elsewhere",
+		core.RemoteEntry(core.ContextPair{Server: kernel.MakePID(5, 1), Ctx: 7}))
+
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	proc, _ := k.NewHost("ws").NewProcess("interp")
+
+	res, _, _ := core.Interpret(store, proc, "users/naming.mss", 0, core.CtxDefault)
+	fmt.Printf("object %d in context %d\n", res.Entry.Object.ID, res.Final)
+
+	_, fwd, _ := core.Interpret(store, proc, "elsewhere/far/away", 0, core.CtxDefault)
+	fmt.Printf("forward to %v, resume at %q\n", fwd.Pair, "elsewhere/far/away"[fwd.Index:])
+
+	// Output:
+	// object 42 in context 10
+	// forward to (pid(5.1), ctx 0x7), resume at "far/away"
+}
+
+// ExampleMatchName shows the §5.6 context-directory pattern matching.
+func ExampleMatchName() {
+	for _, name := range []string{"naming.mss", "ipc.mss", "todo.txt"} {
+		fmt.Println(name, core.MatchName("*.mss", name))
+	}
+	// Output:
+	// naming.mss true
+	// ipc.mss true
+	// todo.txt false
+}

@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+// FuzzMatchName: the glob matcher terminates and never panics on
+// arbitrary patterns and names, and stays consistent under pattern
+// identity cases.
+func FuzzMatchName(f *testing.F) {
+	f.Add("*.mss", "naming.mss")
+	f.Add("a*b*c", "axbyc")
+	f.Add("", "")
+	f.Add("????", "abcd")
+	f.Add("***a***", "aaa")
+	f.Fuzz(func(t *testing.T, pattern, name string) {
+		got := MatchName(pattern, name)
+		// A name always matches itself as a literal pattern when it
+		// contains no metacharacters.
+		if pattern == name && !containsMeta(name) && !got {
+			t.Fatalf("literal %q failed to match itself", name)
+		}
+		// '*' alone matches everything.
+		if pattern == "*" && !got {
+			t.Fatal("* must match everything")
+		}
+	})
+}
+
+func containsMeta(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '*' || s[i] == '?' {
+			return true
+		}
+	}
+	return false
+}

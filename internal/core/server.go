@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/proto"
+)
+
+// Request is one received message being processed by a CSNH server.
+type Request struct {
+	Msg  *proto.Message
+	From kernel.PID
+	srv  *Server
+}
+
+// Server returns the server processing the request.
+func (r *Request) Server() *Server { return r.srv }
+
+// Proc returns the server process, for Move operations and clock charges.
+func (r *Request) Proc() *kernel.Process { return r.srv.proc }
+
+// Handler is the server-specific part of a CSNH server: the operations on
+// the objects its store names.
+type Handler interface {
+	// HandleNamed processes a CSname request whose name interpretation
+	// completed at this server (it was not forwarded). It returns the
+	// reply message, or nil if the handler already replied or forwarded
+	// itself.
+	HandleNamed(req *Request, res *Resolution) *proto.Message
+	// HandleOp processes a request that carries no CSname (instance
+	// operations, inverse mappings, ...). Same reply convention.
+	HandleOp(req *Request) *proto.Message
+}
+
+// ServerStats counts a CSNH server's protocol activity.
+type ServerStats struct {
+	// Requests is the number of requests received.
+	Requests uint64
+	// CSNameRequests is the subset carrying character-string names.
+	CSNameRequests uint64
+	// Forwarded counts requests passed on to another server
+	// mid-interpretation (§5.4).
+	Forwarded uint64
+	// Failures counts non-OK replies sent.
+	Failures uint64
+}
+
+// Server is the skeleton every character-string name handling server
+// embeds: it runs the receive loop, performs the standard processing any
+// CSNH server can do on any CSname request — validating the standard
+// fields and running the name-mapping procedure, forwarding partially
+// interpreted names to other servers — and dispatches what remains to the
+// Handler (§5.3-5.4).
+type Server struct {
+	proc    *kernel.Process
+	store   ContextStore
+	handler Handler
+
+	statsMu sync.Mutex
+	stats   ServerStats
+}
+
+// NewServer assembles a CSNH server from its process, store and handler.
+func NewServer(proc *kernel.Process, store ContextStore, handler Handler) *Server {
+	return &Server{proc: proc, store: store, handler: handler}
+}
+
+// Proc returns the server's process.
+func (s *Server) Proc() *kernel.Process { return s.proc }
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Pair returns the fully-qualified context pair for one of this server's
+// contexts.
+func (s *Server) Pair(ctx ContextID) ContextPair {
+	return ContextPair{Server: s.proc.PID(), Ctx: ctx}
+}
+
+// Run is the server main loop; it returns when the server process is
+// destroyed. Run it in the process goroutine (Host.Spawn).
+func (s *Server) Run() {
+	for {
+		msg, from, err := s.proc.Receive()
+		if err != nil {
+			return
+		}
+		s.serveOne(msg, from)
+	}
+}
+
+// Stats returns a snapshot of the server's protocol counters.
+func (s *Server) Stats() ServerStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+func (s *Server) count(update func(*ServerStats)) {
+	s.statsMu.Lock()
+	update(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// serveOne processes a single request and replies or forwards exactly
+// once.
+func (s *Server) serveOne(msg *proto.Message, from kernel.PID) {
+	model := s.proc.Kernel().Model()
+	s.proc.ChargeCompute(model.ServerDispatchCost)
+	req := &Request{Msg: msg, From: from, srv: s}
+	s.count(func(st *ServerStats) {
+		st.Requests++
+		if msg.Op.IsCSNameOp() {
+			st.CSNameRequests++
+		}
+	})
+
+	var reply *proto.Message
+	if msg.Op.IsCSNameOp() {
+		reply = s.serveCSName(req)
+	} else {
+		reply = s.handler.HandleOp(req)
+	}
+	if reply == nil {
+		return // handler replied or forwarded itself
+	}
+	if reply.Op != proto.ReplyOK {
+		s.count(func(st *ServerStats) { st.Failures++ })
+	}
+	// A failed reply means the sender died or became unreachable; the
+	// transaction is already failed on the sender side.
+	_ = s.proc.Reply(reply, from)
+}
+
+// serveCSName performs the standard CSname processing: even if this server
+// does not understand the operation code, it can parse the standard fields
+// and run the mapping procedure, forwarding if the name leads elsewhere
+// (§5.3).
+func (s *Server) serveCSName(req *Request) *proto.Message {
+	name, index, err := proto.CSName(req.Msg)
+	if err != nil {
+		return ErrorReplyMsg(err)
+	}
+	interp := Interpret
+	if req.Msg.Op == proto.OpDeleteContextName {
+		// Deleting a context name operates on the binding itself; a
+		// final component that points into another server must not be
+		// forwarded there (§5.7).
+		interp = InterpretBinding
+	}
+	res, fwd, err := interp(s.store, s.proc, name, index, ContextID(proto.CSNameContext(req.Msg)))
+	if err != nil {
+		return s.faultReply(err)
+	}
+	if fwd != nil {
+		s.count(func(st *ServerStats) { st.Forwarded++ })
+		proto.RewriteCSName(req.Msg, uint32(fwd.Pair.Ctx), fwd.Index)
+		// A failed forward has already failed the sender's transaction.
+		_ = s.proc.Forward(req.Msg, req.From, fwd.Pair.Server)
+		return nil
+	}
+	// OpMapContext is fully determined by the resolution, so the skeleton
+	// implements it for every server (§5.7).
+	var reply *proto.Message
+	if req.Msg.Op == proto.OpMapContext {
+		reply = s.mapContextReply(res)
+	} else {
+		reply = s.handler.HandleNamed(req, res)
+	}
+	if reply != nil && reply.Op != proto.ReplyOK {
+		if _, _, _, ok := proto.NameFault(reply); !ok {
+			// The handler rejected the resolved final component: report
+			// it as the fault site so the client can explain the failure
+			// even after forwarding (§7 deficiency).
+			proto.SetNameFault(reply, len(name)-len(res.Last), uint32(s.PID()), res.Last)
+		}
+	}
+	return reply
+}
+
+// faultReply builds a failure reply carrying name-fault details when the
+// error is a NameError from interpretation.
+func (s *Server) faultReply(err error) *proto.Message {
+	reply := ErrorReplyMsg(err)
+	var ne *NameError
+	if errors.As(err, &ne) {
+		proto.SetNameFault(reply, ne.Index, uint32(s.PID()), ne.Component)
+	}
+	return reply
+}
+
+// mapContextReply builds the standard OpMapContext reply: the
+// (server-pid, context-id) pair the name denotes.
+func (s *Server) mapContextReply(res *Resolution) *proto.Message {
+	ctx, ok := res.ResolvesToContext()
+	if !ok {
+		if res.Entry == nil {
+			return ErrorReplyMsg(proto.ErrNotFound)
+		}
+		return ErrorReplyMsg(proto.ErrNotAContext)
+	}
+	reply := proto.NewReply(proto.ReplyOK)
+	proto.SetMapContextReply(reply, uint32(s.PID()), uint32(ctx))
+	return reply
+}
+
+// ErrorReplyMsg builds a failure reply message from an error.
+func ErrorReplyMsg(err error) *proto.Message {
+	return proto.NewReply(proto.ErrorReply(err))
+}
+
+// OkReply builds an empty success reply.
+func OkReply() *proto.Message { return proto.NewReply(proto.ReplyOK) }
+
+// Transact is the client side of one protocol exchange: send req to
+// server, map failure replies to errors. Failure replies carrying
+// name-fault details become NameErrors, telling the user which component
+// failed at which server — even when the request was forwarded through a
+// series of servers (§7).
+func Transact(proc *kernel.Process, server kernel.PID, req *proto.Message) (*proto.Message, error) {
+	reply, err := proc.Send(req, server)
+	if err != nil {
+		return nil, err
+	}
+	if err := ReplyToError(reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// ReplyToError maps a reply message to an error, decorating failures that
+// carry name-fault details.
+func ReplyToError(reply *proto.Message) error {
+	err := proto.ReplyError(reply.Op)
+	if err == nil {
+		return nil
+	}
+	if idx, server, component, ok := proto.NameFault(reply); ok {
+		return &NameError{
+			Component: component,
+			Index:     idx,
+			Server:    kernel.PID(server),
+			Err:       err,
+		}
+	}
+	return err
+}
+
+// MapContext resolves a name to a fully-qualified context pair from the
+// client side (§5.7).
+func MapContext(proc *kernel.Process, pair ContextPair, name string) (ContextPair, error) {
+	req := &proto.Message{Op: proto.OpMapContext}
+	proto.SetCSName(req, uint32(pair.Ctx), name)
+	reply, err := Transact(proc, pair.Server, req)
+	if err != nil {
+		return ContextPair{}, err
+	}
+	pid, ctx := proto.GetMapContextReply(reply)
+	return ContextPair{Server: kernel.PID(pid), Ctx: ContextID(ctx)}, nil
+}
+
+// IsNotFound reports whether err denotes an unbound name.
+func IsNotFound(err error) bool { return errors.Is(err, proto.ErrNotFound) }

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// toyServer is a minimal CSNH server over a MapStore: objects are byte
+// blobs opened as vio instances, contexts can be listed as context
+// directories. It exists to exercise the protocol skeleton; the real
+// servers live in their own packages.
+type toyServer struct {
+	srv   *Server
+	store *MapStore
+	reg   *vio.Registry
+
+	mu      sync.Mutex
+	objects map[uint32][]byte
+	nextObj uint32
+}
+
+func startToyServer(t *testing.T, h *kernel.Host, name string) *toyServer {
+	t.Helper()
+	ts := &toyServer{
+		store:   NewMapStore(),
+		reg:     vio.NewRegistry(),
+		objects: make(map[uint32][]byte),
+	}
+	proc, err := h.NewProcess(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.srv = NewServer(proc, ts.store, ts)
+	go ts.srv.Run()
+	t.Cleanup(proc.Destroy)
+	return ts
+}
+
+func (ts *toyServer) addObject(ctx ContextID, name string, content []byte) uint32 {
+	ts.mu.Lock()
+	ts.nextObj++
+	id := ts.nextObj
+	ts.objects[id] = content
+	ts.mu.Unlock()
+	if err := ts.store.Bind(ctx, name, ObjectEntry(proto.TagFile, id)); err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (ts *toyServer) HandleNamed(req *Request, res *Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpQueryObject:
+		if res.Entry == nil {
+			return ErrorReplyMsg(proto.ErrNotFound)
+		}
+		if res.Entry.Object == nil {
+			return ErrorReplyMsg(proto.ErrNotAContext)
+		}
+		ts.mu.Lock()
+		content := ts.objects[res.Entry.Object.ID]
+		ts.mu.Unlock()
+		d := proto.Descriptor{
+			Tag:      proto.TagFile,
+			ObjectID: res.Entry.Object.ID,
+			Size:     uint32(len(content)),
+			Name:     res.Last,
+		}
+		reply := OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+
+	case proto.OpCreateInstance:
+		mode := proto.OpenMode(req.Msg)
+		if mode&proto.ModeDirectory != 0 {
+			ctx, ok := res.ResolvesToContext()
+			if !ok {
+				return ErrorReplyMsg(proto.ErrNotAContext)
+			}
+			names, err := ts.store.Names(ctx)
+			if err != nil {
+				return ErrorReplyMsg(err)
+			}
+			records := make([]proto.Descriptor, 0, len(names))
+			for _, n := range names {
+				e, err := ts.store.Lookup(ctx, n)
+				if err != nil {
+					continue
+				}
+				d := proto.Descriptor{Name: n}
+				switch {
+				case e.Object != nil:
+					d.Tag = e.Object.Tag
+					d.ObjectID = e.Object.ID
+				case e.Local != nil:
+					d.Tag = proto.TagDirectory
+					d.ObjectID = uint32(*e.Local)
+				case e.Remote != nil:
+					d.Tag = proto.TagLink
+					d.TypeSpecific = [2]uint32{uint32(e.Remote.Server), uint32(e.Remote.Ctx)}
+				}
+				records = append(records, d)
+			}
+			id, err := ts.reg.Open(vio.NewDirectoryInstance(records, nil), res.Name)
+			if err != nil {
+				return ErrorReplyMsg(err)
+			}
+			inst, _ := ts.reg.Get(id)
+			info := inst.Info()
+			info.ID = id
+			reply := OkReply()
+			proto.SetInstanceInfo(reply, info)
+			return reply
+		}
+		if res.Entry == nil || res.Entry.Object == nil {
+			return ErrorReplyMsg(proto.ErrNotFound)
+		}
+		ts.mu.Lock()
+		content := ts.objects[res.Entry.Object.ID]
+		ts.mu.Unlock()
+		id, err := ts.reg.Open(vio.NewBytesInstance(content), res.Name)
+		if err != nil {
+			return ErrorReplyMsg(err)
+		}
+		inst, _ := ts.reg.Get(id)
+		info := inst.Info()
+		info.ID = id
+		reply := OkReply()
+		proto.SetInstanceInfo(reply, info)
+		return reply
+
+	case proto.OpRemoveObject:
+		if res.Entry == nil {
+			return ErrorReplyMsg(proto.ErrNotFound)
+		}
+		if err := ts.store.Unbind(res.Final, res.Last); err != nil {
+			return ErrorReplyMsg(err)
+		}
+		return OkReply()
+
+	default:
+		return ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+func (ts *toyServer) HandleOp(req *Request) *proto.Message {
+	if reply := ts.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	return ErrorReplyMsg(proto.ErrIllegalRequest)
+}
+
+func newClientProc(t *testing.T, h *kernel.Host) *kernel.Process {
+	t.Helper()
+	p, err := h.NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Destroy)
+	return p
+}
+
+func TestServerQueryObject(t *testing.T) {
+	k := newDomain()
+	h := k.NewHost("srv")
+	ts := startToyServer(t, h, "toy")
+	ts.addObject(CtxDefault, "hello.txt", []byte("hello world"))
+	client := newClientProc(t, k.NewHost("ws"))
+
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(CtxDefault), "hello.txt")
+	reply, err := Transact(client, ts.srv.PID(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tag != proto.TagFile || d.Name != "hello.txt" || d.Size != 11 {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestServerQueryMissing(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	client := newClientProc(t, k.NewHost("ws"))
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(CtxDefault), "nope")
+	if _, err := Transact(client, ts.srv.PID(), req); !errors.Is(err, proto.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerOpenReadInstance(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	content := strings.Repeat("V-System naming! ", 100)
+	ts.addObject(CtxDefault, "doc", []byte(content))
+	client := newClientProc(t, k.NewHost("ws"))
+
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(CtxDefault), "doc")
+	proto.SetOpenMode(req, proto.ModeRead)
+	reply, err := Transact(client, ts.srv.PID(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := vio.NewFile(client, ts.srv.PID(), proto.GetInstanceInfo(reply))
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != content {
+		t.Fatalf("read %d bytes, want %d", len(got), len(content))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.reg.Count() != 0 {
+		t.Fatal("instance not released")
+	}
+}
+
+func TestServerInstanceNameInverse(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	ts.addObject(CtxDefault, "doc", []byte("x"))
+	client := newClientProc(t, k.NewHost("ws"))
+
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(CtxDefault), "doc")
+	proto.SetOpenMode(req, proto.ModeRead)
+	reply, err := Transact(client, ts.srv.PID(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := vio.NewFile(client, ts.srv.PID(), proto.GetInstanceInfo(reply))
+	name, err := f.InstanceName()
+	if err != nil || name != "doc" {
+		t.Fatalf("InstanceName = %q, %v", name, err)
+	}
+}
+
+func TestServerContextDirectory(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	ts.store.AddContext(5)
+	if err := ts.store.Bind(CtxDefault, "sub", ContextEntry(5)); err != nil {
+		t.Fatal(err)
+	}
+	ts.addObject(CtxDefault, "a.txt", []byte("A"))
+	ts.addObject(CtxDefault, "b.txt", []byte("BB"))
+	client := newClientProc(t, k.NewHost("ws"))
+
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(CtxDefault), "")
+	proto.SetOpenMode(req, proto.ModeRead|proto.ModeDirectory)
+	reply, err := Transact(client, ts.srv.PID(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := vio.NewFile(client, ts.srv.PID(), proto.GetInstanceInfo(reply))
+	raw, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := proto.DecodeDescriptors(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("directory has %d records, want 3", len(records))
+	}
+	byName := make(map[string]proto.Descriptor)
+	for _, d := range records {
+		byName[d.Name] = d
+	}
+	if byName["a.txt"].Tag != proto.TagFile || byName["sub"].Tag != proto.TagDirectory {
+		t.Fatalf("records = %+v", byName)
+	}
+}
+
+func TestServerMapContext(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	ts.store.AddContext(9)
+	if err := ts.store.Bind(CtxDefault, "dir", ContextEntry(9)); err != nil {
+		t.Fatal(err)
+	}
+	client := newClientProc(t, k.NewHost("ws"))
+
+	pair, err := MapContext(client, ts.srv.Pair(CtxDefault), "dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Server != ts.srv.PID() || pair.Ctx != 9 {
+		t.Fatalf("pair = %v", pair)
+	}
+}
+
+func TestServerMapContextOnObjectFails(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	ts.addObject(CtxDefault, "obj", []byte("x"))
+	client := newClientProc(t, k.NewHost("ws"))
+	if _, err := MapContext(client, ts.srv.Pair(CtxDefault), "obj"); !errors.Is(err, proto.ErrNotAContext) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestServerForwarding is the §5.4 mapping procedure across servers: a
+// name that crosses into another server's tree is forwarded with rewritten
+// context id and name index, and the final server replies directly to the
+// client.
+func TestServerForwarding(t *testing.T) {
+	k := newDomain()
+	tsA := startToyServer(t, k.NewHost("srvA"), "A")
+	tsB := startToyServer(t, k.NewHost("srvB"), "B")
+
+	tsB.store.AddContext(30)
+	if err := tsB.store.Bind(CtxDefault, "deep", ContextEntry(30)); err != nil {
+		t.Fatal(err)
+	}
+	tsB.addObject(30, "leaf.txt", []byte("payload on B"))
+	// A's tree points into B's tree (Figure 4's curved arrow).
+	if err := tsA.store.Bind(CtxDefault, "onB", RemoteEntry(tsB.srv.Pair(CtxDefault))); err != nil {
+		t.Fatal(err)
+	}
+
+	client := newClientProc(t, k.NewHost("ws"))
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(CtxDefault), "onB/deep/leaf.txt")
+	reply, err := Transact(client, tsA.srv.PID(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "leaf.txt" || d.Size != uint32(len("payload on B")) {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+// TestServerForwardedMapContext: mapping a name that lands on another
+// server returns the *final* server's pid in the reply, which is why the
+// reply carries the pid explicitly.
+func TestServerForwardedMapContext(t *testing.T) {
+	k := newDomain()
+	tsA := startToyServer(t, k.NewHost("srvA"), "A")
+	tsB := startToyServer(t, k.NewHost("srvB"), "B")
+	tsB.store.AddContext(30)
+	if err := tsB.store.Bind(CtxDefault, "deep", ContextEntry(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tsA.store.Bind(CtxDefault, "onB", RemoteEntry(tsB.srv.Pair(CtxDefault))); err != nil {
+		t.Fatal(err)
+	}
+
+	client := newClientProc(t, k.NewHost("ws"))
+	pair, err := MapContext(client, tsA.srv.Pair(CtxDefault), "onB/deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Server != tsB.srv.PID() || pair.Ctx != 30 {
+		t.Fatalf("pair = %v, want server B ctx 30", pair)
+	}
+}
+
+// TestServerForwardingUnknownOp: a CSNH server can forward a CSname
+// request whose operation code it does not understand, because the
+// standard fields suffice for interpretation (§5.3).
+func TestServerForwardingUnknownOp(t *testing.T) {
+	k := newDomain()
+	tsA := startToyServer(t, k.NewHost("srvA"), "A")
+	tsB := startToyServer(t, k.NewHost("srvB"), "B")
+	tsB.addObject(CtxDefault, "obj", []byte("remote object"))
+	if err := tsA.store.Bind(CtxDefault, "onB", RemoteEntry(tsB.srv.Pair(CtxDefault))); err != nil {
+		t.Fatal(err)
+	}
+	client := newClientProc(t, k.NewHost("ws"))
+
+	// RemoveObject is "unknown" to A in the sense that A never resolves
+	// it locally here; it must still forward cleanly.
+	req := &proto.Message{Op: proto.OpRemoveObject}
+	proto.SetCSName(req, uint32(CtxDefault), "onB/obj")
+	if _, err := Transact(client, tsA.srv.PID(), req); err != nil {
+		t.Fatal(err)
+	}
+	// The object is gone from B.
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, uint32(CtxDefault), "obj")
+	if _, err := Transact(client, tsB.srv.PID(), q); !errors.Is(err, proto.ErrNotFound) {
+		t.Fatalf("object should have been removed on B: %v", err)
+	}
+}
+
+func TestServerForwardChainThreeServers(t *testing.T) {
+	k := newDomain()
+	tsA := startToyServer(t, k.NewHost("a"), "A")
+	tsB := startToyServer(t, k.NewHost("b"), "B")
+	tsC := startToyServer(t, k.NewHost("c"), "C")
+	tsC.addObject(CtxDefault, "leaf", []byte("three hops"))
+	if err := tsB.store.Bind(CtxDefault, "toC", RemoteEntry(tsC.srv.Pair(CtxDefault))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tsA.store.Bind(CtxDefault, "toB", RemoteEntry(tsB.srv.Pair(CtxDefault))); err != nil {
+		t.Fatal(err)
+	}
+	client := newClientProc(t, k.NewHost("ws"))
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(CtxDefault), "toB/toC/leaf")
+	reply, err := Transact(client, tsA.srv.PID(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil || d.Name != "leaf" {
+		t.Fatalf("descriptor = %+v, %v", d, err)
+	}
+}
+
+func TestServerForwardToDeadServerFailsClient(t *testing.T) {
+	k := newDomain()
+	tsA := startToyServer(t, k.NewHost("a"), "A")
+	deadPair := ContextPair{Server: kernel.MakePID(99, 1), Ctx: CtxDefault}
+	if err := tsA.store.Bind(CtxDefault, "dangling", RemoteEntry(deadPair)); err != nil {
+		t.Fatal(err)
+	}
+	client := newClientProc(t, k.NewHost("ws"))
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(CtxDefault), "dangling/x")
+	if _, err := Transact(client, tsA.srv.PID(), req); !errors.Is(err, kernel.ErrNonexistentProcess) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerBadCSNameFields(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	client := newClientProc(t, k.NewHost("ws"))
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(CtxDefault), "abc")
+	req.F[2] = 1000 // corrupt name length
+	if _, err := Transact(client, ts.srv.PID(), req); !errors.Is(err, proto.ErrBadArgs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerIllegalOp(t *testing.T) {
+	k := newDomain()
+	ts := startToyServer(t, k.NewHost("srv"), "toy")
+	client := newClientProc(t, k.NewHost("ws"))
+	req := &proto.Message{Op: proto.Code(0x4242)}
+	if _, err := Transact(client, ts.srv.PID(), req); !errors.Is(err, proto.ErrIllegalRequest) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTransactMapsKernelErrors(t *testing.T) {
+	k := newDomain()
+	client := newClientProc(t, k.NewHost("ws"))
+	req := &proto.Message{Op: proto.OpEcho}
+	if _, err := Transact(client, kernel.MakePID(9, 9), req); !errors.Is(err, kernel.ErrNonexistentProcess) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIsNotFoundHelper(t *testing.T) {
+	if !IsNotFound(proto.ErrNotFound) || IsNotFound(proto.ErrBadContext) || IsNotFound(nil) {
+		t.Fatal("IsNotFound misclassifies")
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	k := newDomain()
+	tsA := startToyServer(t, k.NewHost("srvA"), "A")
+	tsB := startToyServer(t, k.NewHost("srvB"), "B")
+	tsB.addObject(CtxDefault, "obj", []byte("x"))
+	if err := tsA.store.Bind(CtxDefault, "onB", RemoteEntry(tsB.srv.Pair(CtxDefault))); err != nil {
+		t.Fatal(err)
+	}
+	client := newClientProc(t, k.NewHost("ws"))
+
+	// One forwarded query, one local failure, one non-name op.
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(CtxDefault), "onB/obj")
+	if _, err := Transact(client, tsA.srv.PID(), req); err != nil {
+		t.Fatal(err)
+	}
+	bad := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(bad, uint32(CtxDefault), "missing")
+	if _, err := Transact(client, tsA.srv.PID(), bad); !errors.Is(err, proto.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := Transact(client, tsA.srv.PID(), &proto.Message{Op: proto.OpQueryInstance}); err == nil {
+		t.Fatal("expected instance error")
+	}
+
+	a := tsA.srv.Stats()
+	if a.Requests != 3 || a.CSNameRequests != 2 || a.Forwarded != 1 || a.Failures != 2 {
+		t.Fatalf("A stats = %+v", a)
+	}
+	b := tsB.srv.Stats()
+	if b.Requests != 1 || b.CSNameRequests != 1 || b.Forwarded != 0 || b.Failures != 0 {
+		t.Fatalf("B stats = %+v", b)
+	}
+}

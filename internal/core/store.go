@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// MapStore is a reusable in-memory ContextStore for servers whose name
+// spaces are simple tables: flat or shallow hierarchies of bindings, with
+// well-known-context aliasing. Larger servers (the file server) implement
+// ContextStore over their own structures instead.
+type MapStore struct {
+	mu       sync.RWMutex
+	contexts map[ContextID]map[string]Entry
+	aliases  map[ContextID]ContextID
+}
+
+// NewMapStore returns a store containing only the default (root) context.
+func NewMapStore() *MapStore {
+	return &MapStore{
+		contexts: map[ContextID]map[string]Entry{CtxDefault: {}},
+		aliases:  make(map[ContextID]ContextID),
+	}
+}
+
+// AddContext creates an (empty) context with the given id.
+func (s *MapStore) AddContext(ctx ContextID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.contexts[ctx]; !ok {
+		s.contexts[ctx] = make(map[string]Entry)
+	}
+}
+
+// Alias maps a well-known context id onto a concrete context of this
+// server (§5.2).
+func (s *MapStore) Alias(wellKnown, concrete ContextID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aliases[wellKnown] = concrete
+}
+
+// Bind defines name in ctx. It fails with proto.ErrDuplicateName if the
+// name is already bound.
+func (s *MapStore) Bind(ctx ContextID, name string, e Entry) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", proto.ErrBadArgs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.contexts[s.resolveAliasLocked(ctx)]
+	if !ok {
+		return fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	if _, dup := c[name]; dup {
+		return fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
+	}
+	c[name] = e
+	return nil
+}
+
+// Rebind defines or replaces name in ctx.
+func (s *MapStore) Rebind(ctx ContextID, name string, e Entry) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", proto.ErrBadArgs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.contexts[s.resolveAliasLocked(ctx)]
+	if !ok {
+		return fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	c[name] = e
+	return nil
+}
+
+// Unbind removes name from ctx.
+func (s *MapStore) Unbind(ctx ContextID, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.contexts[s.resolveAliasLocked(ctx)]
+	if !ok {
+		return fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	if _, bound := c[name]; !bound {
+		return fmt.Errorf("%q: %w", name, proto.ErrNotFound)
+	}
+	delete(c, name)
+	return nil
+}
+
+// Names returns the sorted names bound in ctx.
+func (s *MapStore) Names(ctx ContextID) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.contexts[s.resolveAliasLocked(ctx)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Lookup returns the binding of name in ctx.
+func (s *MapStore) Lookup(ctx ContextID, name string) (Entry, error) {
+	return s.LookupComponent(ctx, name)
+}
+
+func (s *MapStore) resolveAliasLocked(ctx ContextID) ContextID {
+	if concrete, ok := s.aliases[ctx]; ok {
+		return concrete
+	}
+	return ctx
+}
+
+// NormalizeContext implements ContextStore.
+func (s *MapStore) NormalizeContext(ctx ContextID) (ContextID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := s.resolveAliasLocked(ctx)
+	if _, ok := s.contexts[c]; !ok {
+		return 0, fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	return c, nil
+}
+
+// LookupComponent implements ContextStore.
+func (s *MapStore) LookupComponent(ctx ContextID, component string) (Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.contexts[s.resolveAliasLocked(ctx)]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	e, bound := c[component]
+	if !bound {
+		return Entry{}, fmt.Errorf("%q: %w", component, proto.ErrNotFound)
+	}
+	return e, nil
+}
+
+var _ ContextStore = (*MapStore)(nil)

@@ -1,0 +1,337 @@
+// Package execserver implements the V-System program manager (§6): a
+// per-workstation server that executes programs and names the programs in
+// execution as objects in a context. Executing a program loads its image
+// from the configured program directory (a context on a file server) via
+// the LoadProgram/MoveTo path, creates a V process for it, and binds a
+// name for it in the "programs in execution" context — which the single
+// list-directory command can list like any other context (§6).
+package execserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// Body is the behaviour of a simulated program: it runs in the program's
+// process until it returns or the process is destroyed.
+type Body func(p *kernel.Process)
+
+// SessionBody is program behaviour that uses the naming run-time: it
+// receives a client session initialized with the invoker's prefix server
+// and current context, the environment §6 says every executed program is
+// passed.
+type SessionBody func(s *client.Session)
+
+// program is one program in execution.
+type program struct {
+	id       uint32
+	name     string // binding in the programs-in-execution context
+	image    string // program file name
+	pid      kernel.PID
+	started  time.Duration
+	sizeText uint32
+}
+
+// Server is the program manager.
+type Server struct {
+	srv   *core.Server
+	proc  *kernel.Process
+	store *core.MapStore
+	reg   *vio.Registry
+	host  *kernel.Host
+
+	// programDir is the context the program image names are interpreted
+	// in — normally the standard program directory on a file server.
+	programDir core.ContextPair
+
+	mu            sync.Mutex
+	programs      map[uint32]*program
+	bodies        map[string]Body
+	sessionBodies map[string]SessionBody
+	next          uint32
+}
+
+// Start spawns a program manager on host, loading images from programDir.
+func Start(host *kernel.Host, programDir core.ContextPair) (*Server, error) {
+	proc, err := host.NewProcess("program-manager")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		proc:          proc,
+		store:         core.NewMapStore(),
+		reg:           vio.NewRegistry(),
+		host:          host,
+		programDir:    programDir,
+		programs:      make(map[uint32]*program),
+		bodies:        make(map[string]Body),
+		sessionBodies: make(map[string]SessionBody),
+	}
+	s.srv = core.NewServer(proc, s.store, s)
+	go s.srv.Run()
+	if err := proc.SetPid(kernel.ServiceExec, proc.PID(), kernel.ScopeLocal); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// RootPair returns the programs-in-execution context.
+func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
+
+// RegisterBody associates behaviour with a program image name; programs
+// without a registered body idle until killed.
+func (s *Server) RegisterBody(image string, b Body) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bodies[image] = b
+}
+
+// RegisterSessionBody associates naming-aware behaviour with a program
+// image name; the body receives a session carrying the invoker's prefix
+// server and current context (§6).
+func (s *Server) RegisterSessionBody(image string, b SessionBody) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessionBodies[image] = b
+}
+
+// Running returns the number of programs in execution.
+func (s *Server) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.programs)
+}
+
+func (s *Server) describe(p *program) proto.Descriptor {
+	return proto.Descriptor{
+		Tag:          proto.TagProgram,
+		ObjectID:     p.id,
+		Name:         p.name,
+		Owner:        p.image,
+		Size:         p.sizeText,
+		Modified:     uint64(p.started),
+		Perms:        proto.PermRead | proto.PermExecute,
+		TypeSpecific: [2]uint32{uint32(p.pid), 0},
+	}
+}
+
+// HandleNamed implements core.Handler.
+func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpExecProgram:
+		if res.Last == "" {
+			return core.ErrorReplyMsg(proto.ErrBadArgs)
+		}
+		return s.exec(res.Last, req.Msg)
+
+	case proto.OpCreateInstance:
+		if proto.OpenMode(req.Msg)&proto.ModeDirectory == 0 {
+			return core.ErrorReplyMsg(proto.ErrModeNotSupported)
+		}
+		if _, err := res.ContextOf(); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		pattern, err := proto.DirPattern(req.Msg)
+		if err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return s.openDirectory(res.Name, pattern)
+
+	case proto.OpQueryObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		p := s.programs[res.Entry.Object.ID]
+		var d proto.Descriptor
+		if p != nil {
+			d = s.describe(p)
+		}
+		s.mu.Unlock()
+		if p == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		reply := core.OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+
+	case proto.OpRemoveObject:
+		// Removing a program's name from the context kills it.
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		return s.kill(res.Entry.Object.ID, res.Last)
+
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler.
+func (s *Server) HandleOp(req *core.Request) *proto.Message {
+	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	switch req.Msg.Op {
+	case proto.OpKillProgram:
+		s.mu.Lock()
+		var name string
+		if p := s.programs[req.Msg.F[0]]; p != nil {
+			name = p.name
+		}
+		s.mu.Unlock()
+		if name == "" {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		return s.kill(req.Msg.F[0], name)
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// exec loads the program image from the program directory and starts it,
+// passing along the invoker's naming environment (§6).
+func (s *Server) exec(image string, req *proto.Message) *proto.Message {
+	// Load the program text from the file server via MoveTo (§3.1). A
+	// 64 KB buffer stands in for the program's text+data segments.
+	buf := make([]byte, 64*1024)
+	loadReq := &proto.Message{Op: proto.OpLoadProgram}
+	proto.SetCSName(loadReq, uint32(s.programDir.Ctx), image)
+	reply, err := s.proc.SendMove(loadReq, s.programDir.Server, nil, buf)
+	if err != nil {
+		return core.ErrorReplyMsg(fmt.Errorf("load %q: %w", image, kernelToProto(err)))
+	}
+	if err := proto.ReplyError(reply.Op); err != nil {
+		return core.ErrorReplyMsg(fmt.Errorf("load %q: %w", image, err))
+	}
+	loaded := reply.F[3]
+
+	s.mu.Lock()
+	body := s.bodies[image]
+	sessionBody := s.sessionBodies[image]
+	s.next++
+	id := s.next
+	s.mu.Unlock()
+	prefixPid, curServer, curCtx := proto.ExecEnvironment(req)
+	if body == nil && sessionBody == nil {
+		body = func(p *kernel.Process) { <-p.Done() }
+	}
+	proc, err := s.host.Spawn("prog:"+image, func(p *kernel.Process) {
+		if sessionBody != nil {
+			// The program inherits the invoker's current context and
+			// prefix server (§6).
+			sess := client.New(p, kernel.PID(prefixPid),
+				core.ContextPair{Server: kernel.PID(curServer), Ctx: core.ContextID(curCtx)}, "")
+			sessionBody(sess)
+			return
+		}
+		body(p)
+	})
+	if err != nil {
+		return core.ErrorReplyMsg(proto.ErrNoServerResources)
+	}
+
+	p := &program{
+		id:       id,
+		name:     fmt.Sprintf("%s.%d", image, id),
+		image:    image,
+		pid:      proc.PID(),
+		started:  s.proc.Now(),
+		sizeText: loaded,
+	}
+	s.mu.Lock()
+	s.programs[id] = p
+	s.mu.Unlock()
+	if err := s.store.Bind(core.CtxDefault, p.name, core.ObjectEntry(proto.TagProgram, id)); err != nil {
+		proc.Destroy()
+		s.mu.Lock()
+		delete(s.programs, id)
+		s.mu.Unlock()
+		return core.ErrorReplyMsg(err)
+	}
+
+	out := core.OkReply()
+	out.F[0] = id
+	out.F[1] = uint32(proc.PID())
+	out.Segment = []byte(p.name)
+	return out
+}
+
+// kill destroys a program's process and unbinds its name.
+func (s *Server) kill(id uint32, name string) *proto.Message {
+	s.mu.Lock()
+	p := s.programs[id]
+	delete(s.programs, id)
+	s.mu.Unlock()
+	if p == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	if victim, _ := findProcess(s.host.Kernel(), p.pid); victim != nil {
+		victim.Destroy()
+	}
+	if err := s.store.Unbind(core.CtxDefault, name); err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	return core.OkReply()
+}
+
+func (s *Server) openDirectory(name, pattern string) *proto.Message {
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.programs))
+	for id := range s.programs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	records := make([]proto.Descriptor, 0, len(ids))
+	for _, id := range ids {
+		records = append(records, s.describe(s.programs[id]))
+	}
+	s.mu.Unlock()
+	records = core.FilterRecords(records, pattern)
+	model := s.proc.Kernel().Model()
+	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+// kernelToProto maps kernel send failures onto protocol errors so exec
+// replies stay within the standard reply codes.
+func kernelToProto(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", proto.ErrDeviceError, err)
+}
+
+// findProcess resolves a pid in the domain (helper around the kernel's
+// internal lookup, via the host table).
+func findProcess(k *kernel.Kernel, pid kernel.PID) (*kernel.Process, error) {
+	h := k.HostByID(pid.Host())
+	if h == nil {
+		return nil, proto.ErrNotFound
+	}
+	return h.ProcessByPID(pid)
+}
+
+var _ core.Handler = (*Server)(nil)

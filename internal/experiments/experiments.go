@@ -1,0 +1,132 @@
+// Package experiments regenerates every quantitative result in the paper
+// (§3.1 and §6) plus the ablations DESIGN.md derives from the paper's
+// arguments (§2.2, §5.6, §7). Each experiment boots a deterministic rig,
+// drives the protocol through the public client library, reads virtual
+// time off the process clocks, and reports paper-vs-measured rows.
+//
+// See EXPERIMENTS.md for the recorded outputs and the discussion of where
+// measured values may legitimately deviate from the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Row is one reported measurement.
+type Row struct {
+	Label    string
+	Paper    string // the paper's value, or "-" when the paper gives none
+	Measured string
+	Note     string
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Source string // where in the paper the numbers come from
+	Rows   []Row
+}
+
+// Runner produces one experiment result.
+type Runner func() (Result, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"e1": E1,
+	"e2": E2,
+	"e3": E3,
+	"t1": T1,
+	"e5": E5,
+	"a1": A1,
+	"a2": A2,
+	"a3": A3,
+	"a4": A4,
+	"a5": A5,
+	"a6": A6,
+	"a7": A7,
+	"a8": A8,
+	"a9": A9,
+}
+
+// IDs returns the experiment ids in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	// Canonical order: E-series, T-series, A-series.
+	sort.Slice(ids, func(i, j int) bool {
+		rank := func(s string) string {
+			switch s[0] {
+			case 'e':
+				return "0" + s
+			case 't':
+				return "1" + s
+			default:
+				return "2" + s
+			}
+		}
+		return rank(ids[i]) < rank(ids[j])
+	})
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string) (Result, error) {
+	r, ok := registry[strings.ToLower(id)]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r()
+}
+
+// RunAll executes every experiment in canonical order.
+func RunAll() ([]Result, error) {
+	var out []Result
+	for _, id := range IDs() {
+		res, err := Run(id)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Print renders a result as an aligned table.
+func Print(w io.Writer, res Result) {
+	fmt.Fprintf(w, "%s — %s (%s)\n", strings.ToUpper(res.ID), res.Title, res.Source)
+	labelW, paperW, measW := len("measurement"), len("paper"), len("measured")
+	for _, r := range res.Rows {
+		labelW = max(labelW, len(r.Label))
+		paperW = max(paperW, len(r.Paper))
+		measW = max(measW, len(r.Measured))
+	}
+	line := func(a, b, c, d string) {
+		fmt.Fprintf(w, "  %-*s  %*s  %*s  %s\n", labelW, a, paperW, b, measW, c, d)
+	}
+	line("measurement", "paper", "measured", "note")
+	line(strings.Repeat("-", labelW), strings.Repeat("-", paperW), strings.Repeat("-", measW), "----")
+	for _, r := range res.Rows {
+		line(r.Label, r.Paper, r.Measured, r.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// ms renders a virtual duration in the paper's unit.
+func ms(d time.Duration) string { return vtime.Milliseconds(d) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

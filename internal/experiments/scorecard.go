@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Check is one scorecard line: a claim from the paper and whether this
+// reproduction's measurement upholds it.
+type Check struct {
+	Claim   string
+	Paper   string
+	Got     string
+	Upholds bool
+}
+
+// Scorecard runs the anchored experiments and grades the reproduction
+// against the paper's published values and invariants: absolute anchors
+// within tolerance, and the qualitative claims (orderings, equalities,
+// who-wins) that carry the paper's argument.
+func Scorecard() ([]Check, error) {
+	var checks []Check
+
+	rowMs := func(res Result, i int) (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(res.Rows[i].Measured, " ms"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("row %d of %s: %w", i, res.ID, err)
+		}
+		return v, nil
+	}
+	within := func(got, want, tolerance float64) bool {
+		return math.Abs(got-want) <= want*tolerance
+	}
+
+	e1, err := E1()
+	if err != nil {
+		return nil, err
+	}
+	remote, err := rowMs(e1, 0)
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, Check{
+		Claim: "32-byte remote message transaction", Paper: "2.56 ms",
+		Got: fmt.Sprintf("%.2f ms", remote), Upholds: within(remote, 2.56, 0.02),
+	})
+
+	e2, err := E2()
+	if err != nil {
+		return nil, err
+	}
+	load, err := rowMs(e2, 0)
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, Check{
+		Claim: "64 KB program load via MoveTo", Paper: "338 ms",
+		Got: fmt.Sprintf("%.2f ms", load), Upholds: within(load, 338, 0.05),
+	})
+
+	e3, err := E3()
+	if err != nil {
+		return nil, err
+	}
+	withRA, err := rowMs(e3, 0)
+	if err != nil {
+		return nil, err
+	}
+	withoutRA, err := rowMs(e3, 1)
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, Check{
+		Claim: "sequential read near the 15 ms/page disk rate", Paper: "17.13 ms/page",
+		Got:     fmt.Sprintf("%.2f-%.2f ms/page envelope", withRA, withoutRA),
+		Upholds: withRA <= 17.13 && 17.13 <= withoutRA,
+	})
+
+	t1, err := T1()
+	if err != nil {
+		return nil, err
+	}
+	var q [4]float64
+	for i := 0; i < 4; i++ {
+		if q[i], err = rowMs(t1, i); err != nil {
+			return nil, err
+		}
+	}
+	dLocal, err := rowMs(t1, 4)
+	if err != nil {
+		return nil, err
+	}
+	dRemote, err := rowMs(t1, 5)
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks,
+		Check{
+			Claim: "Open ordering: current<prefix, local<remote", Paper: "1.21 < 3.70 < 5.14* < 7.69",
+			Got:     fmt.Sprintf("%.2f / %.2f / %.2f / %.2f", q[0], q[1], q[2], q[3]),
+			Upholds: q[0] < q[1] && q[0] < q[2] && q[1] < q[3] && q[2] < q[3],
+		},
+		Check{
+			Claim: "prefix overhead identical in both columns", Paper: "3.94 ≈ 3.99 ms",
+			Got:     fmt.Sprintf("%.2f ≈ %.2f ms", dLocal, dRemote),
+			Upholds: math.Abs(dLocal-dRemote) <= 0.15,
+		})
+
+	a2, err := A2()
+	if err != nil {
+		return nil, err
+	}
+	dist, err := rowMs(a2, 0)
+	if err != nil {
+		return nil, err
+	}
+	cent, err := rowMs(a2, 1)
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, Check{
+		Claim: "centralized name server costs an extra interaction", Paper: "argued in §2.2",
+		Got:     fmt.Sprintf("%.2fx the distributed cost", cent/dist),
+		Upholds: cent > dist,
+	})
+
+	a3, err := A3()
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, Check{
+		Claim: "crash-consistency: names die with objects", Paper: "0 dangling (§2.2)",
+		Got:     a3.Rows[1].Measured + " (V) vs " + a3.Rows[0].Measured + " (centralized)",
+		Upholds: strings.HasPrefix(a3.Rows[1].Measured, "0 "),
+	})
+
+	a4, err := A4()
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, Check{
+		Claim: "no central naming failure point", Paper: "all reachable (§2.2)",
+		Got:     a4.Rows[1].Measured + " (V) vs " + a4.Rows[0].Measured + " (centralized)",
+		Upholds: a4.Rows[1].Measured == "10/10" && a4.Rows[0].Measured == "0/10",
+	})
+
+	a5, err := A5()
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, Check{
+		Claim: "dynamic service bindings rebind after crash", Paper: "GetPid per use (§6)",
+		Got:     a5.Rows[0].Measured,
+		Upholds: a5.Rows[0].Measured == "recovers",
+	})
+
+	return checks, nil
+}
+
+// PrintScorecard renders the scorecard.
+func PrintScorecard(w interface{ Write([]byte) (int, error) }, checks []Check) {
+	fmt.Fprintln(w, "reproduction scorecard")
+	claimW, paperW, gotW := 0, 0, 0
+	for _, c := range checks {
+		claimW = max(claimW, len(c.Claim))
+		paperW = max(paperW, len(c.Paper))
+		gotW = max(gotW, len(c.Got))
+	}
+	for _, c := range checks {
+		verdict := "REPRODUCED"
+		if !c.Upholds {
+			verdict = "DEVIATES"
+		}
+		fmt.Fprintf(w, "  %-*s  paper %-*s  measured %-*s  %s\n",
+			claimW, c.Claim, paperW, c.Paper, gotW, c.Got, verdict)
+	}
+}

@@ -1,0 +1,87 @@
+package fileserver
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is the file server's buffer cache: pages read from (or
+// written through to) the disk stay in server memory, so repeated access
+// costs no disk time — the paper's program-load measurement explicitly
+// assumes "the program text is already in the file server's memory
+// buffers" (§3.1). LRU with a fixed page budget.
+type blockCache struct {
+	mu    sync.Mutex
+	cap   int
+	pages map[pageKey]*list.Element
+	lru   *list.List // front = most recently used; values are pageKey
+}
+
+type pageKey struct {
+	ino   uint32
+	block int64
+}
+
+// defaultCachePages is the default buffer cache size, 256 × 512 B =
+// 128 KB — of the order of the paper's file server buffer pools.
+const defaultCachePages = 256
+
+func newBlockCache(capPages int) *blockCache {
+	if capPages <= 0 {
+		capPages = defaultCachePages
+	}
+	return &blockCache{
+		cap:   capPages,
+		pages: make(map[pageKey]*list.Element, capPages),
+		lru:   list.New(),
+	}
+}
+
+// contains reports whether the page is buffered, refreshing its LRU
+// position.
+func (c *blockCache) contains(ino uint32, block int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.pages[pageKey{ino, block}]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	return ok
+}
+
+// insert records the page as buffered, evicting the least recently used
+// page if the budget is exceeded.
+func (c *blockCache) insert(ino uint32, block int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := pageKey{ino, block}
+	if el, ok := c.pages[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.pages[key] = c.lru.PushFront(key)
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.pages, oldest.Value.(pageKey))
+	}
+}
+
+// invalidate drops all buffered pages of one file (truncate/remove).
+func (c *blockCache) invalidate(ino uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.pages {
+		if key.ino == ino {
+			c.lru.Remove(el)
+			delete(c.pages, key)
+		}
+	}
+}
+
+// size returns the number of buffered pages.
+func (c *blockCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

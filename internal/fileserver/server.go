@@ -1,0 +1,605 @@
+package fileserver
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+	"repro/internal/vtime"
+)
+
+// Option configures a file server.
+type Option func(*FileServer)
+
+// WithReadAhead controls sequential read-ahead in the server's buffer
+// cache (on by default). The E3 experiment compares both settings.
+func WithReadAhead(on bool) Option {
+	return func(fs *FileServer) { fs.readAhead = on }
+}
+
+// WithDiskPageTime overrides the simulated disk's page service time.
+func WithDiskPageTime(d time.Duration) Option {
+	return func(fs *FileServer) { fs.disk = disk.New(d) }
+}
+
+// WithBufferCachePages sets the buffer cache size in 512-byte pages.
+func WithBufferCachePages(pages int) Option {
+	return func(fs *FileServer) { fs.cache = newBlockCache(pages) }
+}
+
+// CachedPages returns the number of pages currently in the buffer cache.
+func (fs *FileServer) CachedPages() int { return fs.cache.size() }
+
+// FileServer is a CSNH server implementing files and directories.
+type FileServer struct {
+	srv       *core.Server
+	proc      *kernel.Process
+	vol       *volume
+	disk      *disk.Disk
+	cache     *blockCache
+	reg       *vio.Registry
+	readAhead bool
+	name      string
+}
+
+// Start spawns a file server process on host and runs it.
+func Start(host *kernel.Host, name string, opts ...Option) (*FileServer, error) {
+	proc, err := host.NewProcess("fileserver[" + name + "]")
+	if err != nil {
+		return nil, err
+	}
+	model := host.Kernel().Model()
+	fs := &FileServer{
+		proc:      proc,
+		vol:       newVolume(),
+		disk:      disk.New(model.DiskPageTime),
+		cache:     newBlockCache(defaultCachePages),
+		reg:       vio.NewRegistry(),
+		readAhead: true,
+		name:      name,
+	}
+	for _, opt := range opts {
+		opt(fs)
+	}
+	fs.srv = core.NewServer(proc, fs.vol, fs)
+	go fs.srv.Run()
+	return fs, nil
+}
+
+// PID returns the server's process identifier.
+func (fs *FileServer) PID() kernel.PID { return fs.proc.PID() }
+
+// Proc returns the server process.
+func (fs *FileServer) Proc() *kernel.Process { return fs.proc }
+
+// Name returns the server's configured name.
+func (fs *FileServer) Name() string { return fs.name }
+
+// RootPair returns the fully-qualified pair of the server's root context.
+func (fs *FileServer) RootPair() core.ContextPair { return fs.srv.Pair(core.CtxDefault) }
+
+// Disk exposes the simulated disk (for experiment statistics).
+func (fs *FileServer) Disk() *disk.Disk { return fs.disk }
+
+// OpenInstances returns the number of open instances.
+func (fs *FileServer) OpenInstances() int { return fs.reg.Count() }
+
+// --- boot-time seeding (used by the rig and examples) ---
+
+// MkdirAll creates the directory path (like "/users/mann") and returns
+// its context id.
+func (fs *FileServer) MkdirAll(path, owner string) (core.ContextID, error) {
+	ctx := core.ContextID(rootIno)
+	for _, comp := range strings.Split(path, string(core.Separator)) {
+		if comp == "" {
+			continue
+		}
+		e, err := fs.vol.LookupComponent(ctx, comp)
+		switch {
+		case err == nil && e.Local != nil:
+			ctx = *e.Local
+			continue
+		case err == nil:
+			return 0, fmt.Errorf("%q: %w", comp, proto.ErrNotAContext)
+		case !core.IsNotFound(err):
+			return 0, err
+		}
+		n, err := fs.vol.mkdir(ctx, comp, owner, fs.proc.Now())
+		if err != nil {
+			return 0, err
+		}
+		ctx = core.ContextID(n.id)
+	}
+	return ctx, nil
+}
+
+// WriteFile creates (or replaces) the file at path with contents.
+func (fs *FileServer) WriteFile(path, owner string, contents []byte) error {
+	dir, base := splitPath(path)
+	ctx, err := fs.MkdirAll(dir, owner)
+	if err != nil {
+		return err
+	}
+	e, err := fs.vol.LookupComponent(ctx, base)
+	var id uint32
+	switch {
+	case err == nil && e.Object != nil:
+		id = e.Object.ID
+		if err := fs.vol.truncate(id, fs.proc.Now()); err != nil {
+			return err
+		}
+		fs.cache.invalidate(id)
+	case err == nil:
+		return fmt.Errorf("%q: %w", base, proto.ErrDuplicateName)
+	case core.IsNotFound(err):
+		n, err := fs.vol.createFile(ctx, base, owner, fs.proc.Now())
+		if err != nil {
+			return err
+		}
+		id = uint32(n.id)
+	default:
+		return err
+	}
+	_, err = fs.vol.writeAt(id, 0, contents, fs.proc.Now())
+	return err
+}
+
+// AddLink binds a name in the directory at dirPath to a context on
+// another server.
+func (fs *FileServer) AddLink(dirPath, name string, target core.ContextPair) error {
+	ctx, err := fs.MkdirAll(dirPath, "")
+	if err != nil {
+		return err
+	}
+	return fs.vol.addLink(ctx, name, target, fs.proc.Now())
+}
+
+// SetWellKnown maps a well-known context id (home directory, standard
+// programs, ...) to the directory at path.
+func (fs *FileServer) SetWellKnown(ctx core.ContextID, path string) error {
+	dir, err := fs.MkdirAll(path, "")
+	if err != nil {
+		return err
+	}
+	fs.vol.setWellKnown(ctx, ino(dir))
+	return nil
+}
+
+// Describe fabricates the description record of the object at path — an
+// administrative convenience for seeding and experiments, equivalent to a
+// local OpQueryObject.
+func (fs *FileServer) Describe(path string) (proto.Descriptor, error) {
+	res, fwd, err := core.Interpret(fs.vol, fs.proc, path, 0, core.CtxDefault)
+	if err != nil {
+		return proto.Descriptor{}, err
+	}
+	if fwd != nil {
+		return proto.Descriptor{}, fmt.Errorf("%q: %w: crosses into another server", path, proto.ErrIllegalRequest)
+	}
+	if ctx, ok := res.ResolvesToContext(); ok {
+		return fs.vol.describe(ctx, "")
+	}
+	if res.Entry == nil {
+		return proto.Descriptor{}, fmt.Errorf("%q: %w", path, proto.ErrNotFound)
+	}
+	return fs.vol.describe(res.Final, res.Last)
+}
+
+func splitPath(path string) (dir, base string) {
+	i := strings.LastIndexByte(path, byte(core.Separator))
+	if i < 0 {
+		return "", path
+	}
+	return path[:i], path[i+1:]
+}
+
+// --- protocol handler ---
+
+// HandleNamed implements core.Handler for CSname operations that resolved
+// on this server.
+func (fs *FileServer) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpCreateInstance:
+		return fs.handleOpen(req, res)
+	case proto.OpQueryObject:
+		return fs.handleQuery(req, res)
+	case proto.OpModifyObject:
+		return fs.handleModify(req, res)
+	case proto.OpRemoveObject:
+		return fs.handleRemove(res)
+	case proto.OpRenameObject:
+		return fs.handleRename(req, res)
+	case proto.OpLinkObject:
+		return fs.handleAlias(req, res)
+	case proto.OpAddContextName:
+		return fs.handleAddLink(req, res)
+	case proto.OpDeleteContextName:
+		return fs.handleRemove(res)
+	case proto.OpLoadProgram:
+		return fs.handleLoadProgram(req, res)
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler for non-name operations.
+func (fs *FileServer) HandleOp(req *core.Request) *proto.Message {
+	if reply := fs.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	switch req.Msg.Op {
+	case proto.OpGetContextName:
+		path, err := fs.vol.pathOf(core.ContextID(req.Msg.F[0]))
+		if err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		reply := core.OkReply()
+		reply.Segment = []byte(path)
+		return reply
+	case proto.OpOpenByUID:
+		// Baseline support (§2.2 comparison): open by the low-level
+		// identifier a centralized name server handed out, bypassing
+		// name interpretation.
+		return fs.openFileInstance(req.Msg.F[3], "", proto.OpenMode(req.Msg))
+	case proto.OpRemoveByUID:
+		if err := fs.vol.removeByIno(req.Msg.F[3], fs.proc.Now()); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+func (fs *FileServer) handleOpen(req *core.Request, res *core.Resolution) *proto.Message {
+	mode := proto.OpenMode(req.Msg)
+	if mode&proto.ModeDirectory != 0 {
+		ctx, ok := res.ResolvesToContext()
+		switch {
+		case ok:
+		case res.Entry == nil && mode&proto.ModeCreate != 0:
+			// Directory-mode create of an unbound name makes a new
+			// context (the mkdir of the protocol).
+			n, err := fs.vol.mkdir(res.Final, res.Last, "", fs.proc.Now())
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			ctx = core.ContextID(n.id)
+		case res.Entry == nil:
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		case mode&proto.ModeCreate != 0:
+			// The name is bound to a non-context object.
+			return core.ErrorReplyMsg(proto.ErrDuplicateName)
+		default:
+			return core.ErrorReplyMsg(proto.ErrNotAContext)
+		}
+		pattern, err := proto.DirPattern(req.Msg)
+		if err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return fs.openDirectoryInstance(ctx, res.Name, pattern)
+	}
+	if _, isCtx := res.ResolvesToContext(); isCtx {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: opening a directory requires directory mode", proto.ErrModeNotSupported))
+	}
+	if res.Entry == nil {
+		if mode&proto.ModeCreate == 0 {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		n, err := fs.vol.createFile(res.Final, res.Last, "", fs.proc.Now())
+		if err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return fs.openFileInstance(uint32(n.id), res.Name, mode)
+	}
+	return fs.openFileInstance(res.Entry.Object.ID, res.Name, mode)
+}
+
+func (fs *FileServer) openFileInstance(id uint32, name string, mode uint32) *proto.Message {
+	perms, err := fs.vol.filePerms(id)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	// Enforce the access-control bits of the file's description (§5.5):
+	// they are exactly what the modify operation edits.
+	if mode&proto.ModeRead != 0 && perms&proto.PermRead == 0 {
+		return core.ErrorReplyMsg(proto.ErrNoPermission)
+	}
+	if mode&(proto.ModeWrite|proto.ModeAppend|proto.ModeTruncate) != 0 && perms&proto.PermWrite == 0 {
+		return core.ErrorReplyMsg(proto.ErrNoPermission)
+	}
+	if mode&proto.ModeTruncate != 0 {
+		if err := fs.vol.truncate(id, fs.proc.Now()); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		fs.cache.invalidate(id)
+	}
+	inst := &fileInstance{fs: fs, ino: id, mode: mode, prefetchBlock: -1}
+	iid, err := fs.reg.Open(inst, name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(fs.proc.PID()))
+	return reply
+}
+
+func (fs *FileServer) openDirectoryInstance(ctx core.ContextID, name, pattern string) *proto.Message {
+	records, err := fs.vol.list(ctx)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	records = core.FilterRecords(records, pattern)
+	model := fs.proc.Kernel().Model()
+	fs.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	inst := vio.NewDirectoryInstance(records, func(rec proto.Descriptor) error {
+		return fs.vol.modify(ctx, rec, fs.proc.Now())
+	})
+	iid, err := fs.reg.Open(inst, name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(fs.proc.PID()))
+	return reply
+}
+
+func (fs *FileServer) handleQuery(req *core.Request, res *core.Resolution) *proto.Message {
+	model := fs.proc.Kernel().Model()
+	fs.proc.ChargeCompute(model.DescriptorFabricateCost)
+	var (
+		d   proto.Descriptor
+		err error
+	)
+	if ctx, ok := res.ResolvesToContext(); ok {
+		d, err = fs.vol.describe(ctx, "")
+	} else {
+		d, err = fs.vol.describe(res.Final, res.Last)
+	}
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	reply := core.OkReply()
+	reply.Segment = d.AppendEncoded(nil)
+	return reply
+}
+
+func (fs *FileServer) handleModify(req *core.Request, res *core.Resolution) *proto.Message {
+	name, _, err := proto.CSName(req.Msg)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	recBytes := req.Msg.Segment[len(name):]
+	rec, _, err := proto.DecodeDescriptor(recBytes)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	if res.Entry == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	rec.Name = res.Last
+	if err := fs.vol.modify(res.Final, rec, fs.proc.Now()); err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	return core.OkReply()
+}
+
+func (fs *FileServer) handleRemove(res *core.Resolution) *proto.Message {
+	if res.Last == "" {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: cannot remove a context through itself", proto.ErrIllegalRequest))
+	}
+	if res.Entry == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	if err := fs.vol.remove(res.Final, res.Last, fs.proc.Now()); err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	return core.OkReply()
+}
+
+func (fs *FileServer) handleRename(req *core.Request, res *core.Resolution) *proto.Message {
+	if res.Entry == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	newName, err := proto.RenameNewName(req.Msg)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	// The new name is interpreted in the same starting context as the
+	// old; it must resolve within this server (cross-server renames are
+	// not supported — the name would have to move with the object).
+	nres, fwd, err := core.Interpret(fs.vol, fs.proc, newName, 0, core.ContextID(proto.CSNameContext(req.Msg)))
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	if fwd != nil {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: rename across servers", proto.ErrIllegalRequest))
+	}
+	if nres.Last == "" {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: rename target is a context", proto.ErrBadArgs))
+	}
+	if nres.Entry != nil {
+		return core.ErrorReplyMsg(fmt.Errorf("%q: %w", nres.Last, proto.ErrDuplicateName))
+	}
+	if err := fs.vol.rename(res.Final, res.Last, nres.Final, nres.Last, fs.proc.Now()); err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	return core.OkReply()
+}
+
+// handleAlias implements OpLinkObject: an additional same-server name
+// for an existing file, making the inverse mapping many-to-one (§6).
+func (fs *FileServer) handleAlias(req *core.Request, res *core.Resolution) *proto.Message {
+	if _, isCtx := res.ResolvesToContext(); isCtx {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: only files can be aliased", proto.ErrIllegalRequest))
+	}
+	if res.Entry == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	newName, err := proto.RenameNewName(req.Msg)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	nres, fwd, err := core.Interpret(fs.vol, fs.proc, newName, 0, core.ContextID(proto.CSNameContext(req.Msg)))
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	if fwd != nil {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: alias across servers", proto.ErrIllegalRequest))
+	}
+	if nres.Last == "" {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: alias target is a context", proto.ErrBadArgs))
+	}
+	if nres.Entry != nil {
+		return core.ErrorReplyMsg(fmt.Errorf("%q: %w", nres.Last, proto.ErrDuplicateName))
+	}
+	if err := fs.vol.addAlias(nres.Final, nres.Last, res.Entry.Object.ID, fs.proc.Now()); err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	return core.OkReply()
+}
+
+func (fs *FileServer) handleAddLink(req *core.Request, res *core.Resolution) *proto.Message {
+	if res.Last == "" {
+		return core.ErrorReplyMsg(proto.ErrBadArgs)
+	}
+	if res.Entry != nil {
+		return core.ErrorReplyMsg(fmt.Errorf("%q: %w", res.Last, proto.ErrDuplicateName))
+	}
+	dyn, pid, ctx := proto.AddContextTarget(req.Msg)
+	if dyn {
+		return core.ErrorReplyMsg(fmt.Errorf("%w: file servers support only static links", proto.ErrModeNotSupported))
+	}
+	target := core.ContextPair{Server: kernel.PID(pid), Ctx: core.ContextID(ctx)}
+	if err := fs.vol.addLink(res.Final, res.Last, target, fs.proc.Now()); err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	return core.OkReply()
+}
+
+// handleLoadProgram transfers the named program image into the
+// requester's buffer with MoveTo, the diskless-workstation program load
+// path (§3.1). Program text is assumed to be in the server's memory
+// buffers, as in the paper's measurement.
+func (fs *FileServer) handleLoadProgram(req *core.Request, res *core.Resolution) *proto.Message {
+	if res.Entry == nil || res.Entry.Object == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	data, err := fs.vol.snapshot(res.Entry.Object.ID)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	n, err := fs.proc.MoveTo(req.From, 0, data)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	reply := core.OkReply()
+	reply.F[3] = uint32(n)
+	return reply
+}
+
+// fileInstance is an open file with per-instance read-ahead state. All
+// methods run in the server goroutine, so the server clock is the time
+// base for disk scheduling.
+type fileInstance struct {
+	fs   *FileServer
+	ino  uint32
+	mode uint32
+
+	prefetchBlock int64 // block the buffer cache has prefetched (-1: none)
+	prefetchDone  vtime.Time
+}
+
+func (fi *fileInstance) Info() proto.InstanceInfo {
+	size, err := fi.fs.vol.size(fi.ino)
+	if err != nil {
+		size = 0
+	}
+	flags := uint32(0)
+	if fi.mode&proto.ModeRead != 0 {
+		flags |= proto.ModeRead
+	}
+	if fi.mode&(proto.ModeWrite|proto.ModeCreate|proto.ModeAppend) != 0 {
+		flags |= proto.ModeWrite
+	}
+	return proto.InstanceInfo{
+		SizeBytes: uint32(size),
+		BlockSize: uint32(fi.fs.proc.Kernel().Model().DiskPageSize),
+		Flags:     flags,
+	}
+}
+
+// ReadAt serves one page, charging disk time: a page already prefetched
+// by the buffer cache is ready at its prefetch-completion time; otherwise
+// a synchronous fetch is issued. With read-ahead enabled, serving page p
+// starts the fetch of page p+1 immediately, so a sequential reader finds
+// the next page (nearly) ready — the §3.1 streaming file access.
+func (fi *fileInstance) ReadAt(off int64, buf []byte) (int, error) {
+	// End-of-file is answered from the i-node, without touching the disk.
+	size, err := fi.fs.vol.size(fi.ino)
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(size) {
+		return 0, proto.ErrEndOfFile
+	}
+	pageSize := int64(fi.fs.proc.Kernel().Model().DiskPageSize)
+	block := off / pageSize
+	clock := fi.fs.proc.Clock()
+	now := clock.Now()
+
+	var ready vtime.Time
+	switch {
+	case fi.prefetchBlock == block:
+		// The per-instance read-ahead already has it in flight.
+		ready = fi.prefetchDone
+		if now > ready {
+			ready = now
+		}
+		fi.fs.cache.insert(fi.ino, block)
+	case fi.fs.cache.contains(fi.ino, block):
+		// Buffer cache hit: no disk time (§3.1's "already in the file
+		// server's memory buffers").
+		ready = now
+	default:
+		ready = fi.fs.disk.Fetch(now)
+		fi.fs.cache.insert(fi.ino, block)
+	}
+	clock.Observe(ready)
+	if fi.fs.readAhead {
+		next := block + 1
+		if !fi.fs.cache.contains(fi.ino, next) && int64(size) > next*pageSize {
+			fi.prefetchBlock = next
+			fi.prefetchDone = fi.fs.disk.Fetch(ready)
+			fi.fs.cache.insert(fi.ino, next)
+		}
+	}
+	return fi.fs.vol.readAt(fi.ino, off, buf)
+}
+
+// WriteAt stores data write-behind: the pages go to the buffer cache and
+// the disk write completes asynchronously, so no disk latency is charged.
+func (fi *fileInstance) WriteAt(off int64, data []byte) (int, error) {
+	n, err := fi.fs.vol.writeAt(fi.ino, off, data, fi.fs.proc.Now())
+	pageSize := int64(fi.fs.proc.Kernel().Model().DiskPageSize)
+	for b := off / pageSize; b <= (off+int64(n))/pageSize; b++ {
+		fi.fs.cache.insert(fi.ino, b)
+	}
+	return n, err
+}
+
+func (fi *fileInstance) Release() {}
+
+var _ vio.Instance = (*fileInstance)(nil)
+var _ core.Handler = (*FileServer)(nil)

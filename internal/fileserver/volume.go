@@ -1,0 +1,557 @@
+// Package fileserver implements a V-System network file server: a
+// hierarchical name space where the directories that define the naming of
+// files live on the same server (and the same storage) as the files
+// themselves — the arrangement the paper's distributed model favours
+// (§2.2).
+//
+// Directories are contexts: a context identifier is the i-node number of a
+// directory, so mapping a context id to a starting point for relative
+// pathnames is an internal table lookup (§6). File names are stored in
+// directory entries separate from the file descriptions, joined on demand
+// when descriptors are fabricated for query operations and context
+// directories (§5.6). Directory entries may also be cross-server links —
+// pointers to contexts on other servers — which the name-mapping procedure
+// follows by forwarding (§5.4, Figure 4).
+package fileserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+// ino is an i-node number. The root directory is always i-node 0, so
+// core.CtxDefault names the root context.
+type ino uint32
+
+const rootIno ino = 0
+
+// nodeKind discriminates i-node types.
+type nodeKind uint8
+
+const (
+	kindFile nodeKind = iota + 1
+	kindDir
+)
+
+// dirent is one directory entry: a name bound to a local i-node or to a
+// context on another server.
+type dirent struct {
+	child  ino
+	remote *core.ContextPair
+}
+
+// node is one i-node.
+type node struct {
+	id     ino
+	kind   nodeKind
+	data   []byte            // files
+	names  map[string]dirent // directories
+	parent ino
+	name   string // a name within parent, for the inverse mapping (§6)
+	owner  string
+	perms  uint16
+	mtime  vtime.Time
+	// nlink counts directory entries binding this file; files with
+	// several names make the inverse mapping many-to-one (§6).
+	nlink int
+}
+
+// volume is the in-memory file system state. It implements
+// core.ContextStore so directories act as contexts.
+type volume struct {
+	mu        sync.Mutex
+	nodes     map[ino]*node
+	next      ino
+	wellKnown map[core.ContextID]ino
+}
+
+func newVolume() *volume {
+	v := &volume{
+		nodes:     make(map[ino]*node),
+		wellKnown: make(map[core.ContextID]ino),
+	}
+	v.nodes[rootIno] = &node{
+		id:    rootIno,
+		kind:  kindDir,
+		names: make(map[string]dirent),
+		perms: proto.PermRead | proto.PermWrite,
+	}
+	v.next = rootIno
+	return v
+}
+
+func (v *volume) alloc(kind nodeKind, parent ino, name, owner string, now vtime.Time) *node {
+	v.next++
+	n := &node{
+		id:     v.next,
+		kind:   kind,
+		parent: parent,
+		name:   name,
+		owner:  owner,
+		perms:  proto.PermRead | proto.PermWrite,
+		mtime:  now,
+		nlink:  1,
+	}
+	if kind == kindDir {
+		n.names = make(map[string]dirent)
+	}
+	v.nodes[n.id] = n
+	return n
+}
+
+func (v *volume) dir(ctx core.ContextID) (*node, error) {
+	n, ok := v.nodes[ino(ctx)]
+	if !ok || n.kind != kindDir {
+		return nil, fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	return n, nil
+}
+
+// NormalizeContext implements core.ContextStore: the default context is
+// the root directory, well-known ids map through the configured alias
+// table, and any other id must be a directory i-node.
+func (v *volume) NormalizeContext(ctx core.ContextID) (core.ContextID, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if core.IsWellKnown(ctx) {
+		concrete, ok := v.wellKnown[ctx]
+		if !ok {
+			return 0, fmt.Errorf("%w: well-known %#x not configured", proto.ErrBadContext, uint32(ctx))
+		}
+		ctx = core.ContextID(concrete)
+	}
+	if _, err := v.dir(ctx); err != nil {
+		return 0, err
+	}
+	return ctx, nil
+}
+
+// LookupComponent implements core.ContextStore.
+func (v *volume) LookupComponent(ctx core.ContextID, component string) (core.Entry, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return core.Entry{}, err
+	}
+	if component == ".." {
+		return core.ContextEntry(core.ContextID(d.parent)), nil
+	}
+	e, ok := d.names[component]
+	if !ok {
+		return core.Entry{}, fmt.Errorf("%q: %w", component, proto.ErrNotFound)
+	}
+	if e.remote != nil {
+		return core.RemoteEntry(*e.remote), nil
+	}
+	child := v.nodes[e.child]
+	if child.kind == kindDir {
+		return core.ContextEntry(core.ContextID(child.id)), nil
+	}
+	return core.ObjectEntry(proto.TagFile, uint32(child.id)), nil
+}
+
+// setWellKnown configures the directory a well-known context id denotes.
+func (v *volume) setWellKnown(ctx core.ContextID, dir ino) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.wellKnown[ctx] = dir
+}
+
+// createFile creates an empty file named `name` in directory ctx.
+func (v *volume) createFile(ctx core.ContextID, name, owner string, now vtime.Time) (*node, error) {
+	if name == "" || name == "." || name == ".." {
+		return nil, fmt.Errorf("%w: bad file name %q", proto.ErrBadArgs, name)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := d.names[name]; dup {
+		return nil, fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
+	}
+	n := v.alloc(kindFile, d.id, name, owner, now)
+	d.names[name] = dirent{child: n.id}
+	d.mtime = now
+	return n, nil
+}
+
+// mkdir creates a subdirectory of ctx.
+func (v *volume) mkdir(ctx core.ContextID, name, owner string, now vtime.Time) (*node, error) {
+	if name == "" || name == "." || name == ".." {
+		return nil, fmt.Errorf("%w: bad directory name %q", proto.ErrBadArgs, name)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := d.names[name]; dup {
+		return nil, fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
+	}
+	n := v.alloc(kindDir, d.id, name, owner, now)
+	d.names[name] = dirent{child: n.id}
+	d.mtime = now
+	return n, nil
+}
+
+// addAlias binds an additional name in ctx for an existing file — a
+// same-server hard link. Directories cannot be aliased (no cycles).
+func (v *volume) addAlias(ctx core.ContextID, name string, id uint32, now vtime.Time) error {
+	if name == "" || name == "." || name == ".." {
+		return fmt.Errorf("%w: bad name %q", proto.ErrBadArgs, name)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return err
+	}
+	n, ok := v.nodes[ino(id)]
+	if !ok {
+		return fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	if n.kind != kindFile {
+		return fmt.Errorf("%w: only files can be aliased", proto.ErrIllegalRequest)
+	}
+	if _, dup := d.names[name]; dup {
+		return fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
+	}
+	d.names[name] = dirent{child: n.id}
+	n.nlink++
+	d.mtime = now
+	return nil
+}
+
+// addLink binds name in ctx to a context on another server (Figure 4's
+// curved arrow).
+func (v *volume) addLink(ctx core.ContextID, name string, target core.ContextPair, now vtime.Time) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty link name", proto.ErrBadArgs)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return err
+	}
+	if _, dup := d.names[name]; dup {
+		return fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
+	}
+	t := target
+	d.names[name] = dirent{remote: &t}
+	d.mtime = now
+	return nil
+}
+
+// remove unbinds name from ctx, deleting the object it names. Directories
+// must be empty; removing a cross-server link removes only the binding —
+// the remote objects are unaffected, exactly because the name lives here
+// and the objects live there.
+func (v *volume) remove(ctx core.ContextID, name string, now vtime.Time) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return err
+	}
+	e, ok := d.names[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, proto.ErrNotFound)
+	}
+	if e.remote == nil {
+		child := v.nodes[e.child]
+		if child.kind == kindDir && len(child.names) > 0 {
+			return fmt.Errorf("%q: %w", name, proto.ErrNotEmpty)
+		}
+		child.nlink--
+		if child.nlink <= 0 {
+			// Last name gone: the object dies with it.
+			delete(v.nodes, e.child)
+		}
+	}
+	delete(d.names, name)
+	d.mtime = now
+	return nil
+}
+
+// removeByIno deletes an object by its low-level identifier, unbinding it
+// from its parent directory (baseline-model support).
+func (v *volume) removeByIno(id uint32, now vtime.Time) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(id)]
+	if !ok || n.id == rootIno {
+		return fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	if n.kind == kindDir && len(n.names) > 0 {
+		return fmt.Errorf("i-node %d: %w", id, proto.ErrNotEmpty)
+	}
+	if n.nlink > 1 {
+		// The recorded (parent, name) identifies only one of several
+		// bindings; removal by UID is ambiguous (§6's many-to-one
+		// problem seen from the baseline's side).
+		return fmt.Errorf("i-node %d has %d names: %w", id, n.nlink, proto.ErrIllegalRequest)
+	}
+	if parent, ok := v.nodes[n.parent]; ok {
+		delete(parent.names, n.name)
+		parent.mtime = now
+	}
+	delete(v.nodes, n.id)
+	return nil
+}
+
+// rename moves oldName in oldCtx to newName in newCtx (both directories
+// on this server).
+func (v *volume) rename(oldCtx core.ContextID, oldName string, newCtx core.ContextID, newName string, now vtime.Time) error {
+	if newName == "" || newName == "." || newName == ".." {
+		return fmt.Errorf("%w: bad name %q", proto.ErrBadArgs, newName)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	from, err := v.dir(oldCtx)
+	if err != nil {
+		return err
+	}
+	to, err := v.dir(newCtx)
+	if err != nil {
+		return err
+	}
+	e, ok := from.names[oldName]
+	if !ok {
+		return fmt.Errorf("%q: %w", oldName, proto.ErrNotFound)
+	}
+	if _, dup := to.names[newName]; dup {
+		return fmt.Errorf("%q: %w", newName, proto.ErrDuplicateName)
+	}
+	delete(from.names, oldName)
+	to.names[newName] = e
+	if e.remote == nil {
+		child := v.nodes[e.child]
+		child.parent = to.id
+		child.name = newName
+		child.mtime = now
+	}
+	from.mtime = now
+	to.mtime = now
+	return nil
+}
+
+// filePerms returns the permission bits of the file with the given
+// i-node number, validating that it exists and is a file.
+func (v *volume) filePerms(id uint32) (uint16, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(id)]
+	if !ok || n.kind != kindFile {
+		return 0, fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	return n.perms, nil
+}
+
+// readAt copies file bytes at off into buf.
+func (v *volume) readAt(id uint32, off int64, buf []byte) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(id)]
+	if !ok || n.kind != kindFile {
+		return 0, fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	if off >= int64(len(n.data)) {
+		return 0, proto.ErrEndOfFile
+	}
+	return copy(buf, n.data[off:]), nil
+}
+
+// writeAt stores bytes into a file at off, growing it as needed.
+func (v *volume) writeAt(id uint32, off int64, data []byte, now vtime.Time) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(id)]
+	if !ok || n.kind != kindFile {
+		return 0, fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", proto.ErrBadArgs)
+	}
+	if need := int(off) + len(data); need > len(n.data) {
+		grown := make([]byte, need)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	n.mtime = now
+	return copy(n.data[off:], data), nil
+}
+
+// truncate empties a file.
+func (v *volume) truncate(id uint32, now vtime.Time) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(id)]
+	if !ok || n.kind != kindFile {
+		return fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	n.data = nil
+	n.mtime = now
+	return nil
+}
+
+// size returns the current length of a file.
+func (v *volume) size(id uint32) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(id)]
+	if !ok || n.kind != kindFile {
+		return 0, fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	return len(n.data), nil
+}
+
+// snapshot copies out a file's contents (program loading).
+func (v *volume) snapshot(id uint32) ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(id)]
+	if !ok || n.kind != kindFile {
+		return nil, fmt.Errorf("%w: i-node %d", proto.ErrNotFound, id)
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// describeNode fabricates a descriptor for the node bound as `name` in a
+// directory — names and descriptions are stored separately and joined on
+// demand (§5.6).
+func (v *volume) describeNode(name string, e dirent) proto.Descriptor {
+	if e.remote != nil {
+		return proto.Descriptor{
+			Tag:          proto.TagLink,
+			Name:         name,
+			Perms:        proto.PermRead,
+			TypeSpecific: [2]uint32{uint32(e.remote.Server), uint32(e.remote.Ctx)},
+		}
+	}
+	n := v.nodes[e.child]
+	d := proto.Descriptor{
+		ObjectID: uint32(n.id),
+		Name:     name,
+		Owner:    n.owner,
+		Perms:    n.perms,
+		Modified: uint64(n.mtime),
+	}
+	if n.kind == kindDir {
+		d.Tag = proto.TagDirectory
+		d.Size = uint32(len(n.names))
+	} else {
+		d.Tag = proto.TagFile
+		d.Size = uint32(len(n.data))
+		d.TypeSpecific[0] = uint32(n.nlink)
+	}
+	return d
+}
+
+// describe fabricates the descriptor of the object named `name` in ctx.
+func (v *volume) describe(ctx core.ContextID, name string) (proto.Descriptor, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return proto.Descriptor{}, err
+	}
+	if name == "" {
+		return v.describeNode(d.name, dirent{child: d.id}), nil
+	}
+	e, ok := d.names[name]
+	if !ok {
+		return proto.Descriptor{}, fmt.Errorf("%q: %w", name, proto.ErrNotFound)
+	}
+	return v.describeNode(name, e), nil
+}
+
+// list fabricates the context directory of ctx: one descriptor per
+// binding, sorted by name.
+func (v *volume) list(ctx core.ContextID) ([]proto.Descriptor, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(d.names))
+	for n := range d.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]proto.Descriptor, 0, len(names))
+	for _, n := range names {
+		out = append(out, v.describeNode(n, d.names[n]))
+	}
+	return out, nil
+}
+
+// modify applies the modifiable fields of a written descriptor to the
+// object it names in ctx: owner and permission bits; other fields are
+// ignored, as servers are free to do (§5.5).
+func (v *volume) modify(ctx core.ContextID, rec proto.Descriptor, now vtime.Time) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, err := v.dir(ctx)
+	if err != nil {
+		return err
+	}
+	e, ok := d.names[rec.Name]
+	if !ok {
+		return fmt.Errorf("%q: %w", rec.Name, proto.ErrNotFound)
+	}
+	if e.remote != nil {
+		return fmt.Errorf("%q: %w: cannot modify a remote link's description here", rec.Name, proto.ErrIllegalRequest)
+	}
+	n := v.nodes[e.child]
+	n.perms = rec.Perms
+	if rec.Owner != "" {
+		n.owner = rec.Owner
+	}
+	n.mtime = now
+	return nil
+}
+
+// pathOf reconstructs the pathname of a directory context by walking
+// parent pointers — the inverse mapping, with all the §6 caveats (it
+// returns *a* name, which may not be the one the client used).
+func (v *volume) pathOf(ctx core.ContextID) (string, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.nodes[ino(ctx)]
+	if !ok {
+		return "", fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	if n.id == rootIno {
+		return "/", nil
+	}
+	var parts []string
+	for n.id != rootIno {
+		parent, ok := v.nodes[n.parent]
+		if !ok {
+			return "", fmt.Errorf("%w: orphaned context", proto.ErrNotFound)
+		}
+		parts = append(parts, n.name)
+		n = parent
+	}
+	var b []byte
+	for i := len(parts) - 1; i >= 0; i-- {
+		b = append(b, core.Separator)
+		b = append(b, parts[i]...)
+	}
+	return string(b), nil
+}
+
+var _ core.ContextStore = (*volume)(nil)

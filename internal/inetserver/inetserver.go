@@ -1,0 +1,326 @@
+// Package inetserver implements the V-System Internet server (§6): a
+// server running a simulated IP/TCP implementation, whose open TCP
+// connections are named objects in a context. Opening
+// "tcp/<destination>" creates a connection; the context directory lists
+// the connections — one more context type unified under the
+// name-handling protocol.
+//
+// The remote end is simulated by a configurable responder (default:
+// character echo), standing in for the Internet hosts the paper's testbed
+// reached through its IP/TCP server.
+package inetserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// tcpContext is the context id of the "tcp" subcontext holding
+// connections.
+const tcpContext core.ContextID = 1
+
+// Responder simulates the remote endpoint of a connection: it receives
+// the bytes written and returns the bytes to queue for reading.
+type Responder func(dest string, sent []byte) []byte
+
+// EchoResponder is the default remote endpoint: a character echo service.
+func EchoResponder(_ string, sent []byte) []byte {
+	out := make([]byte, len(sent))
+	copy(out, sent)
+	return out
+}
+
+// conn is one open TCP connection.
+type conn struct {
+	id       uint32
+	dest     string
+	sent     uint64
+	received uint64
+	inbox    []byte // bytes queued for the local reader
+	opened   time.Duration
+}
+
+// Server is the Internet server.
+type Server struct {
+	srv     *core.Server
+	proc    *kernel.Process
+	store   *core.MapStore
+	reg     *vio.Registry
+	respond Responder
+
+	mu    sync.Mutex
+	conns map[uint32]*conn
+	next  uint32
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithResponder overrides the simulated remote endpoint.
+func WithResponder(r Responder) Option {
+	return func(s *Server) { s.respond = r }
+}
+
+// Start spawns an Internet server on host.
+func Start(host *kernel.Host, opts ...Option) (*Server, error) {
+	proc, err := host.NewProcess("internet-server")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		proc:    proc,
+		store:   core.NewMapStore(),
+		reg:     vio.NewRegistry(),
+		respond: EchoResponder,
+		conns:   make(map[uint32]*conn),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.store.AddContext(tcpContext)
+	if err := s.store.Bind(core.CtxDefault, "tcp", core.ContextEntry(tcpContext)); err != nil {
+		return nil, err
+	}
+	s.srv = core.NewServer(proc, s.store, s)
+	go s.srv.Run()
+	if err := proc.SetPid(kernel.ServiceInternet, proc.PID(), kernel.ScopeBoth); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// RootPair returns the server's root context.
+func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
+
+// TCPPair returns the "tcp" connections context.
+func (s *Server) TCPPair() core.ContextPair { return s.srv.Pair(tcpContext) }
+
+// ConnCount returns the number of open connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) describe(c *conn) proto.Descriptor {
+	return proto.Descriptor{
+		Tag:          proto.TagTCPConnection,
+		ObjectID:     c.id,
+		Name:         c.dest,
+		Size:         uint32(c.sent + c.received),
+		Perms:        proto.PermRead | proto.PermWrite,
+		Modified:     uint64(c.opened),
+		TypeSpecific: [2]uint32{uint32(c.sent), uint32(c.received)},
+	}
+}
+
+// HandleNamed implements core.Handler. Connection names are the
+// destination strings ("host:port"), which contain dots and colons the
+// hierarchical separator convention never sees — name syntax under the
+// protocol is server-defined (§5.1).
+func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpCreateInstance:
+		mode := proto.OpenMode(req.Msg)
+		if mode&proto.ModeDirectory != 0 {
+			ctx, err := res.ContextOf()
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			pattern, err := proto.DirPattern(req.Msg)
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			return s.openDirectory(ctx, res.Name, pattern)
+		}
+		if res.Final != tcpContext {
+			return core.ErrorReplyMsg(fmt.Errorf("%w: connections live in the tcp context", proto.ErrNotFound))
+		}
+		if res.Entry == nil {
+			if mode&proto.ModeCreate == 0 {
+				return core.ErrorReplyMsg(proto.ErrNotFound)
+			}
+			return s.dial(res.Last)
+		}
+		return s.openConn(res.Entry.Object.ID, res.Last)
+
+	case proto.OpQueryObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		c := s.conns[res.Entry.Object.ID]
+		var d proto.Descriptor
+		if c != nil {
+			d = s.describe(c)
+		}
+		s.mu.Unlock()
+		if c == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		reply := core.OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+
+	case proto.OpRemoveObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		delete(s.conns, res.Entry.Object.ID)
+		s.mu.Unlock()
+		if err := s.store.Unbind(tcpContext, res.Last); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler.
+func (s *Server) HandleOp(req *core.Request) *proto.Message {
+	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+}
+
+// dial opens a new connection to dest.
+func (s *Server) dial(dest string) *proto.Message {
+	s.mu.Lock()
+	s.next++
+	c := &conn{id: s.next, dest: dest, opened: s.proc.Now()}
+	s.conns[c.id] = c
+	s.mu.Unlock()
+	if err := s.store.Bind(tcpContext, dest, core.ObjectEntry(proto.TagTCPConnection, c.id)); err != nil {
+		s.mu.Lock()
+		delete(s.conns, c.id)
+		s.mu.Unlock()
+		return core.ErrorReplyMsg(err)
+	}
+	return s.openConn(c.id, dest)
+}
+
+func (s *Server) openConn(id uint32, name string) *proto.Message {
+	s.mu.Lock()
+	c := s.conns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	iid, err := s.reg.Open(&connInstance{s: s, c: c}, name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+func (s *Server) openDirectory(ctx core.ContextID, name, pattern string) *proto.Message {
+	if ctx == core.CtxDefault {
+		// Root directory: one entry, the tcp context.
+		records := []proto.Descriptor{{Tag: proto.TagDirectory, Name: "tcp", ObjectID: uint32(tcpContext)}}
+		return s.replyDirectory(records, name)
+	}
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	records := make([]proto.Descriptor, 0, len(ids))
+	for _, id := range ids {
+		records = append(records, s.describe(s.conns[id]))
+	}
+	s.mu.Unlock()
+	records = core.FilterRecords(records, pattern)
+	model := s.proc.Kernel().Model()
+	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	return s.replyDirectory(records, name)
+}
+
+func (s *Server) replyDirectory(records []proto.Descriptor, name string) *proto.Message {
+	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+// connInstance adapts a connection to the V I/O instance interface:
+// writes send to the (simulated) remote end, reads drain the inbox.
+type connInstance struct {
+	s *Server
+	c *conn
+}
+
+func (ci *connInstance) Info() proto.InstanceInfo {
+	ci.s.mu.Lock()
+	defer ci.s.mu.Unlock()
+	return proto.InstanceInfo{
+		SizeBytes: uint32(len(ci.c.inbox)),
+		BlockSize: vio.DefaultBlockSize,
+		Flags:     proto.ModeRead | proto.ModeWrite,
+	}
+}
+
+// ReadAt drains from the inbox; offsets are ignored because a connection
+// is a stream.
+func (ci *connInstance) ReadAt(_ int64, buf []byte) (int, error) {
+	ci.s.mu.Lock()
+	defer ci.s.mu.Unlock()
+	if len(ci.c.inbox) == 0 {
+		return 0, proto.ErrEndOfFile
+	}
+	n := copy(buf, ci.c.inbox)
+	ci.c.inbox = ci.c.inbox[n:]
+	ci.c.received += uint64(n)
+	return n, nil
+}
+
+func (ci *connInstance) WriteAt(_ int64, data []byte) (int, error) {
+	ci.s.mu.Lock()
+	responder := ci.s.respond
+	dest := ci.c.dest
+	ci.s.mu.Unlock()
+	// The remote round trip is charged at network cost.
+	model := ci.s.proc.Kernel().Model()
+	ci.s.proc.ChargeCompute(2 * model.RemoteHop(len(data)))
+	back := responder(dest, data)
+	ci.s.mu.Lock()
+	defer ci.s.mu.Unlock()
+	ci.c.sent += uint64(len(data))
+	ci.c.inbox = append(ci.c.inbox, back...)
+	return len(data), nil
+}
+
+func (ci *connInstance) Release() {}
+
+var (
+	_ vio.Instance = (*connInstance)(nil)
+	_ core.Handler = (*Server)(nil)
+)

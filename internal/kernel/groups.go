@@ -1,0 +1,202 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// group is a process group addressable by a group pid. Groups implement
+// the one-to-many Send the paper's §7 proposes for transparent
+// multi-server contexts: a Send to a group delivers one multicast frame to
+// every member, and the sender unblocks on the first reply.
+type group struct {
+	id PID
+
+	mu      sync.Mutex
+	members map[PID]struct{}
+}
+
+// CreateGroup allocates a new, empty process group and returns its group
+// identifier, which can be used anywhere a pid can.
+func (k *Kernel) CreateGroup() PID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextGrp++
+	g := &group{
+		id:      MakePID(groupHostField, k.nextGrp),
+		members: make(map[PID]struct{}),
+	}
+	k.groups[k.nextGrp] = g
+	return g.id
+}
+
+func (k *Kernel) group(gid PID) (*group, error) {
+	if !gid.IsGroup() {
+		return nil, fmt.Errorf("%w: %v is not a group id", ErrNoSuchGroup, gid)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	g, ok := k.groups[gid.Local()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchGroup, gid)
+	}
+	return g, nil
+}
+
+// JoinGroup adds member to the group.
+func (k *Kernel) JoinGroup(gid, member PID) error {
+	g, err := k.group(gid)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members[member] = struct{}{}
+	return nil
+}
+
+// LeaveGroup removes member from the group.
+func (k *Kernel) LeaveGroup(gid, member PID) error {
+	g, err := k.group(gid)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.members, member)
+	return nil
+}
+
+// GroupMembers returns the group's members in deterministic order.
+func (k *Kernel) GroupMembers(gid PID) ([]PID, error) {
+	g, err := k.group(gid)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]PID, 0, len(g.members))
+	for m := range g.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// leaveAllGroups removes a destroyed process from every group.
+func (k *Kernel) leaveAllGroups(member PID) {
+	k.mu.Lock()
+	groups := make([]*group, 0, len(k.groups))
+	for _, g := range k.groups {
+		groups = append(groups, g)
+	}
+	k.mu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		delete(g.members, member)
+		g.mu.Unlock()
+	}
+}
+
+// forwardGroup forwards a transaction to every member of a group with one
+// multicast frame; the first member to reply completes the original
+// sender's transaction, which is how a context can be implemented
+// transparently by a group of servers working in cooperation (§7).
+func (p *Process) forwardGroup(env *envelope, msg *proto.Message, gid PID) error {
+	k := p.host.kernel
+	members, err := k.GroupMembers(gid)
+	if err != nil {
+		env.fail(err)
+		return err
+	}
+	now := p.clock.Now()
+	mcast := k.net.Multicast(p.host.id, msg.WireSize(), now)
+	delivered := 0
+	for _, m := range members {
+		target, _ := k.findProcess(m)
+		if target == nil || !k.net.Reachable(p.host.id, m.Host()) {
+			continue
+		}
+		arrival := now + mcast
+		if m.Host() == p.host.id {
+			arrival = now + k.model.LocalHop(msg.WireSize())
+		}
+		clone := &envelope{
+			origin:  env.origin,
+			msg:     msg.Clone(),
+			arrival: arrival,
+			replyCh: env.replyCh, // first reply wins
+			moveSrc: env.moveSrc,
+			moveDst: env.moveDst,
+		}
+		if target.deliver(clone) {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		err := fmt.Errorf("forward to group %v: no reachable members: %w", gid, ErrNonexistentProcess)
+		env.fail(err)
+		return err
+	}
+	return nil
+}
+
+// sendGroup implements Send to a group id: each live member receives its
+// own copy of the message (delivered by a single multicast frame on the
+// wire), and the first reply unblocks the sender; later replies are
+// discarded.
+func (p *Process) sendGroup(msg *proto.Message, gid PID, moveSrc, moveDst []byte) (*proto.Message, error) {
+	k := p.host.kernel
+	members, err := k.GroupMembers(gid)
+	if err != nil {
+		return nil, err
+	}
+	// One multicast frame serves every remote member.
+	now := p.clock.Now()
+	mcast := k.net.Multicast(p.host.id, msg.WireSize(), now)
+
+	replyCh := make(chan replyEvent, len(members)+1)
+	delivered := 0
+	for _, m := range members {
+		target, _ := k.findProcess(m)
+		if target == nil {
+			continue
+		}
+		if !k.net.Reachable(p.host.id, m.Host()) {
+			continue
+		}
+		arrival := now + mcast
+		if m.Host() == p.host.id {
+			arrival = now + k.model.LocalHop(msg.WireSize())
+		}
+		env := &envelope{
+			origin:  p.pid,
+			msg:     msg.Clone(),
+			arrival: arrival,
+			replyCh: replyCh,
+			moveSrc: moveSrc,
+			moveDst: moveDst,
+		}
+		if target.deliver(env) {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		p.clock.Advance(k.model.RetransmitTimeout)
+		return nil, fmt.Errorf("%w: group %v has no reachable members", ErrNonexistentProcess, gid)
+	}
+	var lastErr error
+	for i := 0; i < delivered; i++ {
+		ev := <-replyCh
+		if ev.err == nil {
+			p.clock.Observe(ev.at)
+			return ev.msg, nil
+		}
+		lastErr = ev.err
+	}
+	p.clock.Advance(k.model.RetransmitTimeout)
+	return nil, fmt.Errorf("send to group %v: %w", gid, lastErr)
+}

@@ -1,0 +1,311 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// Errors returned by kernel operations.
+var (
+	// ErrNonexistentProcess is returned when a message transaction names
+	// a process that does not exist (never created, destroyed, or on a
+	// crashed host).
+	ErrNonexistentProcess = errors.New("kernel: nonexistent process")
+	// ErrProcessDead is returned to a process's own operations after it
+	// has been destroyed.
+	ErrProcessDead = errors.New("kernel: process destroyed")
+	// ErrNotFound is returned by GetPid when no registration matches.
+	ErrNotFound = errors.New("kernel: no process registered for service")
+	// ErrNoPendingMessage is returned by Reply/Forward/Move operations
+	// when there is no received-but-unreplied message from the given pid.
+	ErrNoPendingMessage = errors.New("kernel: no pending message from process")
+	// ErrHostDown is returned when operating on a crashed host.
+	ErrHostDown = errors.New("kernel: host down")
+	// ErrNoSuchGroup is returned for operations on unknown group ids.
+	ErrNoSuchGroup = errors.New("kernel: no such group")
+	// ErrUnreachable wraps network partition failures.
+	ErrUnreachable = netsim.ErrUnreachable
+)
+
+// failedSendRetries is how many retransmission timeouts a sender burns
+// before giving up on an unreachable or dead remote host.
+const failedSendRetries = 3
+
+// Kernel is one simulated V domain: the set of logical hosts running the
+// distributed V kernel over one local network (§4.1).
+type Kernel struct {
+	net   *netsim.Network
+	model *vtime.CostModel
+
+	mu       sync.Mutex
+	hosts    map[netsim.HostID]*Host
+	nextHost uint16
+	groups   map[uint16]*group
+	nextGrp  uint16
+}
+
+// New creates a V domain over the given network.
+func New(n *netsim.Network) *Kernel {
+	return &Kernel{
+		net:    n,
+		model:  n.Model(),
+		hosts:  make(map[netsim.HostID]*Host),
+		groups: make(map[uint16]*group),
+	}
+}
+
+// Network returns the underlying simulated network.
+func (k *Kernel) Network() *netsim.Network { return k.net }
+
+// Model returns the cost model in force.
+func (k *Kernel) Model() *vtime.CostModel { return k.model }
+
+// NewHost boots a new logical host into the domain.
+func (k *Kernel) NewHost(name string) *Host {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextHost++
+	id := netsim.HostID(k.nextHost)
+	h := &Host{
+		id:     id,
+		name:   name,
+		kernel: k,
+		procs:  make(map[uint16]*Process),
+		// Local pids are allocated from a per-host starting point spread
+		// across the 16-bit space, mimicking V's randomized allocation
+		// while staying deterministic.
+		nextLocal: uint16(id)*2657 + 100,
+		services:  make(map[Service]svcEntry),
+		alive:     true,
+	}
+	k.hosts[id] = h
+	return h
+}
+
+// HostByID returns the host with the given id, or nil.
+func (k *Kernel) HostByID(id netsim.HostID) *Host {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.hosts[id]
+}
+
+// findProcess resolves a pid to its live process. The second result
+// reports whether the pid's host exists and is alive (so callers can
+// distinguish "host down / partitioned" from "host up, process gone").
+func (k *Kernel) findProcess(pid PID) (*Process, bool) {
+	k.mu.Lock()
+	h := k.hosts[pid.Host()]
+	k.mu.Unlock()
+	if h == nil {
+		return nil, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.alive {
+		return nil, false
+	}
+	return h.procs[pid.Local()], true
+}
+
+// aliveHostsSorted snapshots the alive hosts in id order, for
+// deterministic broadcast queries.
+func (k *Kernel) aliveHostsSorted() []*Host {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Host, 0, len(k.hosts))
+	for _, h := range k.hosts {
+		h.mu.Lock()
+		alive := h.alive
+		h.mu.Unlock()
+		if alive {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// svcEntry is one row of a host kernel's service table.
+type svcEntry struct {
+	pid PID
+	vis Scope
+}
+
+// Host is one logical host: a set of processes sharing a kernel service
+// table and a network station.
+type Host struct {
+	id     netsim.HostID
+	name   string
+	kernel *Kernel
+
+	mu        sync.Mutex
+	procs     map[uint16]*Process
+	nextLocal uint16
+	services  map[Service]svcEntry
+	alive     bool
+}
+
+// ID returns the host's logical-host identifier.
+func (h *Host) ID() netsim.HostID { return h.id }
+
+// Name returns the host's configured name.
+func (h *Host) Name() string { return h.name }
+
+// Kernel returns the domain this host belongs to.
+func (h *Host) Kernel() *Kernel { return h.kernel }
+
+// Alive reports whether the host is up.
+func (h *Host) Alive() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.alive
+}
+
+// NewProcess creates a process on this host. The caller drives it (or
+// passes it to a goroutine); see Spawn for the server-loop convenience.
+func (h *Host) NewProcess(name string) (*Process, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.alive {
+		return nil, fmt.Errorf("%w: %s", ErrHostDown, h.name)
+	}
+	if len(h.procs) >= 0xFFFE {
+		return nil, errors.New("kernel: host process table full")
+	}
+	// Find a free local pid, skipping 0 and in-use slots. Allocation
+	// starts from a moving point to maximize time before reuse (§4.1).
+	for {
+		h.nextLocal++
+		if h.nextLocal == 0 {
+			h.nextLocal = 1
+		}
+		if _, used := h.procs[h.nextLocal]; !used {
+			break
+		}
+	}
+	p := &Process{
+		pid:     MakePID(h.id, h.nextLocal),
+		name:    name,
+		host:    h,
+		mbox:    make(chan *envelope, mailboxDepth),
+		pending: make(map[PID]*envelope),
+		done:    make(chan struct{}),
+	}
+	h.procs[h.nextLocal] = p
+	return p, nil
+}
+
+// Spawn creates a process and runs body in its own goroutine; the
+// goroutine should loop on Receive until it returns ErrProcessDead. The
+// returned process can be stopped with Destroy.
+func (h *Host) Spawn(name string, body func(p *Process)) (*Process, error) {
+	p, err := h.NewProcess(name)
+	if err != nil {
+		return nil, err
+	}
+	go body(p)
+	return p, nil
+}
+
+// Crash takes the host down: every process on it is destroyed (pending
+// senders get ErrNonexistentProcess) and its kernel service table is
+// cleared. The host keeps its logical-host id and can be Restarted.
+func (h *Host) Crash() {
+	h.mu.Lock()
+	if !h.alive {
+		h.mu.Unlock()
+		return
+	}
+	h.alive = false
+	procs := make([]*Process, 0, len(h.procs))
+	for _, p := range h.procs {
+		procs = append(procs, p)
+	}
+	h.procs = make(map[uint16]*Process)
+	h.services = make(map[Service]svcEntry)
+	h.mu.Unlock()
+	for _, p := range procs {
+		p.terminate()
+	}
+}
+
+// Restart brings a crashed host back up with empty process and service
+// tables. Local pid allocation continues from where it left off, so
+// re-created servers get different pids — the §4.2 rebinding scenario.
+func (h *Host) Restart() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.alive = true
+}
+
+// ProcessByPID returns the live process with the given pid on this host.
+func (h *Host) ProcessByPID(pid PID) (*Process, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.alive {
+		return nil, fmt.Errorf("%w: %s", ErrHostDown, h.name)
+	}
+	p := h.procs[pid.Local()]
+	if p == nil || p.pid != pid {
+		return nil, fmt.Errorf("%w: %v", ErrNonexistentProcess, pid)
+	}
+	return p, nil
+}
+
+// SetPid registers pid as providing service with the given visibility in
+// this host's kernel table (§4.2).
+func (h *Host) SetPid(service Service, pid PID, vis Scope) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.alive {
+		return fmt.Errorf("%w: %s", ErrHostDown, h.name)
+	}
+	h.services[service] = svcEntry{pid: pid, vis: vis}
+	return nil
+}
+
+// ClearPid removes a service registration.
+func (h *Host) ClearPid(service Service) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.services, service)
+}
+
+// lookupService consults this host's kernel table. remoteQuery selects
+// whether the query arrived by broadcast from another host.
+func (h *Host) lookupService(service Service, remoteQuery bool) (PID, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.alive {
+		return NilPID, false
+	}
+	e, ok := h.services[service]
+	if !ok {
+		return NilPID, false
+	}
+	if remoteQuery {
+		if e.vis == ScopeLocal {
+			return NilPID, false
+		}
+	} else if e.vis == ScopeRemote {
+		return NilPID, false
+	}
+	return e.pid, true
+}
+
+// deregisterPid removes all service registrations pointing at pid, used
+// when a process is destroyed.
+func (h *Host) deregisterPid(pid PID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s, e := range h.services {
+		if e.pid == pid {
+			delete(h.services, s)
+		}
+	}
+}

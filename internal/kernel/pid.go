@@ -1,0 +1,140 @@
+// Package kernel simulates the distributed V kernel (§3-4 of the paper):
+// processes identified by structured 32-bit pids, synchronous
+// Send-Receive-Reply message transactions, message forwarding, MoveTo and
+// MoveFrom bulk transfer, the SetPid/GetPid service naming facility, and
+// process groups with multicast Send (the §7 group-send extension).
+//
+// Every process carries a virtual clock; message deliveries stamp arrival
+// times computed from the netsim cost model, so experiments read latencies
+// off the clocks deterministically.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// PID is a V process identifier: a 32-bit value unique within one V
+// domain, structured as a 16-bit logical-host field and a 16-bit local
+// process identifier (Figure 2). Process identifiers are the only absolute
+// names in a V domain (§4.1).
+type PID uint32
+
+// NilPID is the zero process identifier, which never names a process.
+const NilPID PID = 0
+
+// groupHostField is the reserved logical-host value marking group
+// identifiers, so that a group can be addressed by Send exactly like a
+// process (§7).
+const groupHostField = 0xFFFF
+
+// MakePID assembles a pid from its logical-host and local subfields.
+func MakePID(host netsim.HostID, local uint16) PID {
+	return PID(uint32(host)<<16 | uint32(local))
+}
+
+// Host extracts the logical-host subfield, which maps to a host address —
+// the structuring that makes locating a process efficient (§4.1).
+func (p PID) Host() netsim.HostID { return netsim.HostID(p >> 16) }
+
+// Local extracts the local process identifier subfield.
+func (p PID) Local() uint16 { return uint16(p) }
+
+// IsGroup reports whether p names a process group rather than a single
+// process.
+func (p PID) IsGroup() bool { return p.Host() == groupHostField && p != NilPID }
+
+// String renders the pid as host.local for diagnostics.
+func (p PID) String() string {
+	if p == NilPID {
+		return "pid(nil)"
+	}
+	if p.IsGroup() {
+		return fmt.Sprintf("group(%d)", p.Local())
+	}
+	return fmt.Sprintf("pid(%d.%d)", p.Host(), p.Local())
+}
+
+// SameHost reports whether two pids name processes on the same logical
+// host — the locality test some servers depend on (§4.1).
+func SameHost(a, b PID) bool { return a.Host() == b.Host() }
+
+// Service is a V service code: programs are written in terms of services,
+// with the binding of service to server process occurring at time of use
+// via GetPid (§4.2).
+type Service uint32
+
+// Standard V-System service codes.
+const (
+	ServiceStorage Service = iota + 1
+	ServiceContextPrefix
+	ServiceTerminal
+	ServicePrinter
+	ServiceInternet
+	ServiceExec
+	ServiceMail
+	ServiceTime
+	ServicePipe
+	// ServiceNameServer is the baseline centralized name server used only
+	// by the §2.2 comparison experiments.
+	ServiceNameServer
+)
+
+// String names standard services for diagnostics.
+func (s Service) String() string {
+	switch s {
+	case ServiceStorage:
+		return "storage"
+	case ServiceContextPrefix:
+		return "context-prefix"
+	case ServiceTerminal:
+		return "terminal"
+	case ServicePrinter:
+		return "printer"
+	case ServiceInternet:
+		return "internet"
+	case ServiceExec:
+		return "exec"
+	case ServiceMail:
+		return "mail"
+	case ServiceTime:
+		return "time"
+	case ServicePipe:
+		return "pipe"
+	case ServiceNameServer:
+		return "name-server"
+	default:
+		return fmt.Sprintf("service(%d)", uint32(s))
+	}
+}
+
+// Scope qualifies service registration visibility and GetPid searches
+// (§4.2): local to this machine, remote ("public"), or both.
+type Scope uint8
+
+const (
+	// ScopeLocal restricts a registration to its own host, or a GetPid
+	// search to the local kernel table.
+	ScopeLocal Scope = iota + 1
+	// ScopeRemote makes a registration visible only to other hosts'
+	// broadcast queries, or restricts a GetPid search to remote hosts.
+	ScopeRemote
+	// ScopeBoth makes a registration visible locally and remotely, or
+	// lets a GetPid search try the local table first and then broadcast.
+	ScopeBoth
+)
+
+// String names the scope for diagnostics.
+func (s Scope) String() string {
+	switch s {
+	case ScopeLocal:
+		return "local"
+	case ScopeRemote:
+		return "remote"
+	case ScopeBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("scope(%d)", uint8(s))
+	}
+}

@@ -1,0 +1,411 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+// mailboxDepth bounds queued, unreceived messages per process.
+const mailboxDepth = 1024
+
+// replyEvent completes a blocked Send.
+type replyEvent struct {
+	msg *proto.Message
+	at  vtime.Time
+	err error
+}
+
+// envelope is an in-flight message transaction. It is created by Send,
+// travels through Forward unchanged except for its message and arrival
+// time, and is completed exactly once by Reply or by failure.
+type envelope struct {
+	origin  PID // the original sender, preserved across forwarding (§3.1)
+	msg     *proto.Message
+	arrival vtime.Time
+	replyCh chan replyEvent
+	// moveSrc and moveDst are the sender's memory segments readable via
+	// MoveFrom and writable via MoveTo while the sender awaits the reply.
+	moveSrc []byte
+	moveDst []byte
+}
+
+// complete and fail deliver at most one event per envelope. The
+// non-blocking send matters for group transactions, where several members
+// hold clones sharing one reply channel and only the first event is
+// consumed.
+func (e *envelope) complete(msg *proto.Message, at vtime.Time) {
+	select {
+	case e.replyCh <- replyEvent{msg: msg, at: at}:
+	default:
+	}
+}
+
+func (e *envelope) fail(err error) {
+	select {
+	case e.replyCh <- replyEvent{err: err}:
+	default:
+	}
+}
+
+// Process is a simulated V process. A process is the unit of IPC
+// addressing: senders name the recipient process directly, not a port or
+// mailbox (§4.1).
+type Process struct {
+	pid  PID
+	name string
+	host *Host
+
+	clock vtime.Clock
+	mbox  chan *envelope
+	done  chan struct{}
+
+	mu      sync.Mutex
+	dead    bool
+	pending map[PID]*envelope // received but not yet replied, by origin pid
+}
+
+// PID returns the process identifier.
+func (p *Process) PID() PID { return p.pid }
+
+// Name returns the process's diagnostic name.
+func (p *Process) Name() string { return p.name }
+
+// Host returns the logical host the process runs on.
+func (p *Process) Host() *Host { return p.host }
+
+// Kernel returns the domain the process belongs to.
+func (p *Process) Kernel() *Kernel { return p.host.kernel }
+
+// Clock returns the process's virtual clock.
+func (p *Process) Clock() *vtime.Clock { return &p.clock }
+
+// Now returns the process's current virtual time.
+func (p *Process) Now() vtime.Time { return p.clock.Now() }
+
+// ChargeCompute advances the process's virtual clock by a computation
+// cost.
+func (p *Process) ChargeCompute(d time.Duration) { p.clock.Advance(d) }
+
+// Done is closed when the process is destroyed.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+func (p *Process) isDead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// Send sends msg to dst and blocks until the receiver (or the process the
+// message is forwarded to) replies — one message transaction (Figure 1).
+func (p *Process) Send(msg *proto.Message, dst PID) (*proto.Message, error) {
+	return p.SendMove(msg, dst, nil, nil)
+}
+
+// SendMove is Send with memory segments attached: while the sender is
+// blocked, the recipient may read moveSrc via MoveFrom and write moveDst
+// via MoveTo (§3.1).
+func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte) (*proto.Message, error) {
+	if p.isDead() {
+		return nil, ErrProcessDead
+	}
+	if dst.IsGroup() {
+		return p.sendGroup(msg, dst, moveSrc, moveDst)
+	}
+	k := p.host.kernel
+	target, hostUp := k.findProcess(dst)
+	if target == nil {
+		p.chargeFailedSend(dst, hostUp)
+		if !hostUp && dst.Host() != p.host.id {
+			return nil, fmt.Errorf("%w: %v (host down or gone)", ErrNonexistentProcess, dst)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
+	}
+	d, err := k.net.Unicast(p.host.id, dst.Host(), msg.WireSize(), p.clock.Now())
+	if err != nil {
+		p.clock.Advance(time.Duration(failedSendRetries) * k.model.RetransmitTimeout)
+		return nil, fmt.Errorf("send to %v: %w", dst, err)
+	}
+	env := &envelope{
+		origin:  p.pid,
+		msg:     msg,
+		arrival: p.clock.Now() + d,
+		replyCh: make(chan replyEvent, 1),
+		moveSrc: moveSrc,
+		moveDst: moveDst,
+	}
+	if !target.deliver(env) {
+		p.chargeFailedSend(dst, true)
+		return nil, fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
+	}
+	ev := <-env.replyCh
+	if ev.err != nil {
+		p.clock.Advance(k.model.RetransmitTimeout)
+		return nil, fmt.Errorf("send to %v: %w", dst, ev.err)
+	}
+	p.clock.Observe(ev.at)
+	return ev.msg, nil
+}
+
+// chargeFailedSend charges the virtual cost of discovering that a send
+// cannot complete: a quick negative answer if the destination host is up,
+// a retransmission timeout sequence if it is down or gone.
+func (p *Process) chargeFailedSend(dst PID, hostUp bool) {
+	m := p.host.kernel.model
+	switch {
+	case dst.Host() == p.host.id:
+		// The local kernel table answers immediately.
+		p.clock.Advance(m.GetPidLocalCost)
+	case hostUp:
+		// The remote kernel answers "nonexistent process": one round trip.
+		p.clock.Advance(2 * m.RemoteHop(proto.HeaderBytes))
+	default:
+		p.clock.Advance(time.Duration(failedSendRetries) * m.RetransmitTimeout)
+	}
+}
+
+// deliver enqueues an envelope for the process, failing if it is (or
+// becomes) dead.
+func (p *Process) deliver(env *envelope) bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+	}
+	select {
+	case p.mbox <- env:
+		// If the process died between the check and the enqueue, sweep
+		// the mailbox so the sender is not stranded.
+		select {
+		case <-p.done:
+			p.drainMailbox()
+		default:
+		}
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// Receive blocks until a message arrives, returning the message and the
+// pid of the (original) sender. The message must eventually be answered
+// with Reply or passed on with Forward.
+func (p *Process) Receive() (*proto.Message, PID, error) {
+	select {
+	case env := <-p.mbox:
+		p.clock.Observe(env.arrival)
+		p.mu.Lock()
+		if p.dead {
+			p.mu.Unlock()
+			env.fail(ErrNonexistentProcess)
+			return nil, NilPID, ErrProcessDead
+		}
+		p.pending[env.origin] = env
+		p.mu.Unlock()
+		return env.msg, env.origin, nil
+	case <-p.done:
+		return nil, NilPID, ErrProcessDead
+	}
+}
+
+// takePending removes and returns the pending envelope from origin.
+func (p *Process) takePending(origin PID) *envelope {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	env := p.pending[origin]
+	delete(p.pending, origin)
+	return env
+}
+
+// peekPending returns the pending envelope from origin without removing
+// it, for Move operations that precede the Reply.
+func (p *Process) peekPending(origin PID) *envelope {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending[origin]
+}
+
+// Reply completes the message transaction with the process `to`, which
+// must have a received-but-unreplied message here.
+func (p *Process) Reply(msg *proto.Message, to PID) error {
+	env := p.takePending(to)
+	if env == nil {
+		return fmt.Errorf("%w: %v", ErrNoPendingMessage, to)
+	}
+	k := p.host.kernel
+	d, err := k.net.Unicast(p.host.id, env.origin.Host(), msg.WireSize(), p.clock.Now())
+	if err != nil {
+		err = fmt.Errorf("reply to %v: %w", to, err)
+		env.fail(err)
+		return err
+	}
+	env.complete(msg, p.clock.Now()+d)
+	return nil
+}
+
+// Forward passes the message transaction from `from` on to process `to`:
+// it appears to `to` as though the original sender sent to it directly,
+// and `to` is expected to receive the message and reply to the original
+// sender (§3.1). The forwarder may modify the message first — this is how
+// a server rewrites the context id and name index fields before passing a
+// partially-interpreted CSname request along (§5.4).
+func (p *Process) Forward(msg *proto.Message, from PID, to PID) error {
+	env := p.takePending(from)
+	if env == nil {
+		return fmt.Errorf("%w: %v", ErrNoPendingMessage, from)
+	}
+	k := p.host.kernel
+	if to.IsGroup() {
+		return p.forwardGroup(env, msg, to)
+	}
+	target, _ := k.findProcess(to)
+	if target == nil {
+		err := fmt.Errorf("forward to %v: %w", to, ErrNonexistentProcess)
+		env.fail(err)
+		return err
+	}
+	d, err := k.net.Unicast(p.host.id, to.Host(), msg.WireSize(), p.clock.Now())
+	if err != nil {
+		err = fmt.Errorf("forward to %v: %w", to, err)
+		env.fail(err)
+		return err
+	}
+	env.msg = msg
+	env.arrival = p.clock.Now() + d
+	if !target.deliver(env) {
+		err := fmt.Errorf("forward to %v: %w", to, ErrNonexistentProcess)
+		env.fail(err)
+		return err
+	}
+	return nil
+}
+
+// MoveFrom copies bytes from the memory segment of the blocked sender
+// `src` (starting at offset) into dst, returning the count copied. The
+// transfer is charged at the bulk-transfer packet rate (§3.1).
+func (p *Process) MoveFrom(src PID, dst []byte, offset int) (int, error) {
+	env := p.peekPending(src)
+	if env == nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoPendingMessage, src)
+	}
+	if env.moveSrc == nil {
+		return 0, fmt.Errorf("%w: sender attached no readable segment", proto.ErrBadArgs)
+	}
+	if offset < 0 || offset > len(env.moveSrc) {
+		return 0, fmt.Errorf("%w: MoveFrom offset %d outside segment of %d", proto.ErrBadArgs, offset, len(env.moveSrc))
+	}
+	n := copy(dst, env.moveSrc[offset:])
+	d, err := p.host.kernel.net.Unicast(src.Host(), p.host.id, n, p.clock.Now())
+	if err != nil {
+		return 0, err
+	}
+	p.clock.Advance(d)
+	return n, nil
+}
+
+// MoveTo copies data into the memory segment of the blocked sender `dst`
+// at the given offset, returning the count copied.
+func (p *Process) MoveTo(dst PID, offset int, data []byte) (int, error) {
+	env := p.peekPending(dst)
+	if env == nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoPendingMessage, dst)
+	}
+	if env.moveDst == nil {
+		return 0, fmt.Errorf("%w: sender attached no writable segment", proto.ErrBadArgs)
+	}
+	if offset < 0 || offset > len(env.moveDst) {
+		return 0, fmt.Errorf("%w: MoveTo offset %d outside segment of %d", proto.ErrBadArgs, offset, len(env.moveDst))
+	}
+	n := copy(env.moveDst[offset:], data)
+	d, err := p.host.kernel.net.Unicast(p.host.id, dst.Host(), n, p.clock.Now())
+	if err != nil {
+		return 0, err
+	}
+	p.clock.Advance(d)
+	return n, nil
+}
+
+// SetPid registers pid as providing service on this process's host (§4.2).
+func (p *Process) SetPid(service Service, pid PID, vis Scope) error {
+	return p.host.SetPid(service, pid, vis)
+}
+
+// GetPid returns the pid of a process registered as providing service
+// within the given scope (§4.2). The local kernel table is consulted
+// first; unless the scope is local, a broadcast query then asks the other
+// kernels on the network.
+func (p *Process) GetPid(service Service, scope Scope) (PID, error) {
+	k := p.host.kernel
+	m := k.model
+	if scope != ScopeRemote {
+		p.clock.Advance(m.GetPidLocalCost)
+		if pid, ok := p.host.lookupService(service, false); ok {
+			return pid, nil
+		}
+		if scope == ScopeLocal {
+			return NilPID, fmt.Errorf("%w: %v (local)", ErrNotFound, service)
+		}
+	}
+	// One broadcast frame queries every kernel; the first positive
+	// response (lowest host id, deterministically) costs one return hop.
+	bcast := k.net.Broadcast(p.host.id, proto.HeaderBytes, p.clock.Now())
+	for _, h := range k.aliveHostsSorted() {
+		if h.id == p.host.id || !k.net.Reachable(p.host.id, h.id) {
+			continue
+		}
+		if pid, ok := h.lookupService(service, true); ok {
+			p.clock.Advance(bcast + m.RemoteHop(proto.HeaderBytes))
+			return pid, nil
+		}
+	}
+	p.clock.Advance(bcast + m.RetransmitTimeout)
+	return NilPID, fmt.Errorf("%w: %v", ErrNotFound, service)
+}
+
+// Destroy terminates the process: blocked senders get
+// ErrNonexistentProcess, its service registrations are removed, and it
+// leaves all groups.
+func (p *Process) Destroy() {
+	h := p.host
+	h.mu.Lock()
+	if h.procs[p.pid.Local()] == p {
+		delete(h.procs, p.pid.Local())
+	}
+	h.mu.Unlock()
+	h.deregisterPid(p.pid)
+	h.kernel.leaveAllGroups(p.pid)
+	p.terminate()
+}
+
+// terminate marks the process dead and fails every outstanding
+// transaction touching it.
+func (p *Process) terminate() {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	pend := p.pending
+	p.pending = make(map[PID]*envelope)
+	p.mu.Unlock()
+	close(p.done)
+	for _, env := range pend {
+		env.fail(ErrNonexistentProcess)
+	}
+	p.drainMailbox()
+}
+
+func (p *Process) drainMailbox() {
+	for {
+		select {
+		case env := <-p.mbox:
+			env.fail(ErrNonexistentProcess)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package mailserver demonstrates the extensibility claim of the paper
+// (§2.2): a pre-existing name space with externally-imposed syntax —
+// computer mail addresses like "cheriton@su-score.ARPA" — integrated into
+// the V-System by wrapping it in the name-handling protocol, without
+// translating the names into low-level universal identifiers.
+//
+// Mail addresses are flat, opaque names in the server's single context:
+// the '@' and dots inside them mean nothing to the protocol, and the
+// server interprets whole addresses its own way, as §5.4 permits.
+package mailserver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// mailbox is one user's mailbox.
+type mailbox struct {
+	id       uint32
+	address  string
+	messages [][]byte
+}
+
+// store interprets mail addresses: a flat context whose component names
+// are whole addresses. It rejects hierarchical interpretation — an
+// address containing '/' is simply a different mailbox name.
+type store struct {
+	mu    sync.Mutex
+	boxes map[string]*mailbox
+	byID  map[uint32]*mailbox
+	next  uint32
+}
+
+func (st *store) NormalizeContext(ctx core.ContextID) (core.ContextID, error) {
+	if ctx != core.CtxDefault {
+		return 0, fmt.Errorf("%w: %#x", proto.ErrBadContext, uint32(ctx))
+	}
+	return ctx, nil
+}
+
+func (st *store) LookupComponent(_ core.ContextID, component string) (core.Entry, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	mb, ok := st.boxes[component]
+	if !ok {
+		return core.Entry{}, fmt.Errorf("%q: %w", component, proto.ErrNotFound)
+	}
+	return core.ObjectEntry(proto.TagMailbox, mb.id), nil
+}
+
+// Server is the mail registry server.
+type Server struct {
+	srv  *core.Server
+	proc *kernel.Process
+	st   *store
+	reg  *vio.Registry
+}
+
+// Start spawns a mail server on host.
+func Start(host *kernel.Host) (*Server, error) {
+	proc, err := host.NewProcess("mail-server")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		proc: proc,
+		st:   &store{boxes: make(map[string]*mailbox), byID: make(map[uint32]*mailbox)},
+		reg:  vio.NewRegistry(),
+	}
+	s.srv = core.NewServer(proc, s.st, s)
+	go s.srv.Run()
+	if err := proc.SetPid(kernel.ServiceMail, proc.PID(), kernel.ScopeBoth); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// RootPair returns the server's single context.
+func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
+
+// AddMailbox registers an address. Addresses follow the foreign
+// convention local-part@domain; the server validates only that shape.
+func (s *Server) AddMailbox(address string) error {
+	if !ValidAddress(address) {
+		return fmt.Errorf("%w: %q is not a mail address", proto.ErrBadArgs, address)
+	}
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	if _, dup := s.st.boxes[address]; dup {
+		return fmt.Errorf("%q: %w", address, proto.ErrDuplicateName)
+	}
+	s.st.next++
+	mb := &mailbox{id: s.st.next, address: address}
+	s.st.boxes[address] = mb
+	s.st.byID[mb.id] = mb
+	return nil
+}
+
+// MessageCount returns how many messages address holds.
+func (s *Server) MessageCount(address string) (int, error) {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	mb, ok := s.st.boxes[address]
+	if !ok {
+		return 0, fmt.Errorf("%q: %w", address, proto.ErrNotFound)
+	}
+	return len(mb.messages), nil
+}
+
+// ValidAddress checks the externally-imposed address syntax.
+func ValidAddress(address string) bool {
+	at := strings.IndexByte(address, '@')
+	return at > 0 && at < len(address)-1 && strings.Count(address, "@") == 1
+}
+
+func describe(mb *mailbox) proto.Descriptor {
+	size := 0
+	for _, m := range mb.messages {
+		size += len(m)
+	}
+	return proto.Descriptor{
+		Tag:          proto.TagMailbox,
+		ObjectID:     mb.id,
+		Name:         mb.address,
+		Size:         uint32(size),
+		Perms:        proto.PermRead | proto.PermWrite,
+		TypeSpecific: [2]uint32{uint32(len(mb.messages)), 0},
+	}
+}
+
+// HandleNamed implements core.Handler.
+func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpCreateInstance:
+		mode := proto.OpenMode(req.Msg)
+		if mode&proto.ModeDirectory != 0 {
+			if _, err := res.ContextOf(); err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			pattern, err := proto.DirPattern(req.Msg)
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			return s.openDirectory(res.Name, pattern)
+		}
+		if res.Entry == nil {
+			if mode&proto.ModeCreate == 0 {
+				return core.ErrorReplyMsg(proto.ErrNotFound)
+			}
+			if err := s.AddMailbox(res.Last); err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			e, err := s.st.LookupComponent(core.CtxDefault, res.Last)
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			return s.openMailbox(e.Object.ID, res.Last)
+		}
+		return s.openMailbox(res.Entry.Object.ID, res.Last)
+
+	case proto.OpQueryObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.st.mu.Lock()
+		mb := s.st.byID[res.Entry.Object.ID]
+		var d proto.Descriptor
+		if mb != nil {
+			d = describe(mb)
+		}
+		s.st.mu.Unlock()
+		if mb == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		reply := core.OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+
+	case proto.OpRemoveObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.st.mu.Lock()
+		mb := s.st.byID[res.Entry.Object.ID]
+		if mb != nil {
+			delete(s.st.boxes, mb.address)
+			delete(s.st.byID, mb.id)
+		}
+		s.st.mu.Unlock()
+		if mb == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		return core.OkReply()
+
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler.
+func (s *Server) HandleOp(req *core.Request) *proto.Message {
+	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+}
+
+// openMailbox opens a mailbox instance: reads return the concatenated
+// messages (separated by newlines), writes deliver a new message.
+func (s *Server) openMailbox(id uint32, name string) *proto.Message {
+	s.st.mu.Lock()
+	mb := s.st.byID[id]
+	s.st.mu.Unlock()
+	if mb == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	iid, err := s.reg.Open(&mailboxInstance{s: s, mb: mb}, name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+func (s *Server) openDirectory(name, pattern string) *proto.Message {
+	s.st.mu.Lock()
+	addrs := make([]string, 0, len(s.st.boxes))
+	for a := range s.st.boxes {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	records := make([]proto.Descriptor, 0, len(addrs))
+	for _, a := range addrs {
+		records = append(records, describe(s.st.boxes[a]))
+	}
+	s.st.mu.Unlock()
+	records = core.FilterRecords(records, pattern)
+	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+// mailboxInstance adapts a mailbox to the V I/O instance interface.
+type mailboxInstance struct {
+	s  *Server
+	mb *mailbox
+}
+
+func (mi *mailboxInstance) flatten() []byte {
+	var out []byte
+	for _, m := range mi.mb.messages {
+		out = append(out, m...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+func (mi *mailboxInstance) Info() proto.InstanceInfo {
+	mi.s.st.mu.Lock()
+	defer mi.s.st.mu.Unlock()
+	return proto.InstanceInfo{
+		SizeBytes: uint32(len(mi.flatten())),
+		BlockSize: vio.DefaultBlockSize,
+		Flags:     proto.ModeRead | proto.ModeWrite,
+	}
+}
+
+func (mi *mailboxInstance) ReadAt(off int64, buf []byte) (int, error) {
+	mi.s.st.mu.Lock()
+	defer mi.s.st.mu.Unlock()
+	flat := mi.flatten()
+	if off >= int64(len(flat)) {
+		return 0, proto.ErrEndOfFile
+	}
+	return copy(buf, flat[off:]), nil
+}
+
+// WriteAt delivers one message per write, regardless of offset.
+func (mi *mailboxInstance) WriteAt(_ int64, data []byte) (int, error) {
+	mi.s.st.mu.Lock()
+	defer mi.s.st.mu.Unlock()
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	mi.mb.messages = append(mi.mb.messages, msg)
+	return len(data), nil
+}
+
+func (mi *mailboxInstance) Release() {}
+
+var (
+	_ vio.Instance      = (*mailboxInstance)(nil)
+	_ core.Handler      = (*Server)(nil)
+	_ core.ContextStore = (*store)(nil)
+)

@@ -1,0 +1,210 @@
+package mailserver
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vio"
+	"repro/internal/vtime"
+)
+
+func startRig(t *testing.T) (*Server, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	host := k.NewHost("services")
+	s, err := Start(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientHost := k.NewHost("ws")
+	client, err := clientHost.NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Destroy() })
+	return s, client
+}
+
+func TestValidAddress(t *testing.T) {
+	good := []string{"cheriton@su-score.ARPA", "a@b", "mann@v.stanford.edu"}
+	bad := []string{"", "noat", "@host", "user@", "two@@signs", "a@b@c"}
+	for _, a := range good {
+		if !ValidAddress(a) {
+			t.Errorf("ValidAddress(%q) = false", a)
+		}
+	}
+	for _, a := range bad {
+		if ValidAddress(a) {
+			t.Errorf("ValidAddress(%q) = true", a)
+		}
+	}
+}
+
+func TestValidAddressProperty(t *testing.T) {
+	// Property: a valid address has exactly one '@' with non-empty sides.
+	f := func(local, domain string) bool {
+		local = strings.ReplaceAll(local, "@", "")
+		domain = strings.ReplaceAll(domain, "@", "")
+		addr := local + "@" + domain
+		return ValidAddress(addr) == (local != "" && domain != "")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMailboxValidation(t *testing.T) {
+	s, _ := startRig(t)
+	if err := s.AddMailbox("bad-address"); !errors.Is(err, proto.ErrBadArgs) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.AddMailbox("a@b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMailbox("a@b"); !errors.Is(err, proto.ErrDuplicateName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func openBox(t *testing.T, client *kernel.Process, s *Server, addr string, mode uint32) *vio.File {
+	t.Helper()
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), addr)
+	proto.SetOpenMode(req, mode)
+	reply, err := client.Send(req, s.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.ReplyError(reply.Op); err != nil {
+		t.Fatalf("open %q: %v", addr, err)
+	}
+	return vio.NewFile(client, s.PID(), proto.GetInstanceInfo(reply))
+}
+
+func TestDeliverAndRead(t *testing.T) {
+	s, client := startRig(t)
+	if err := s.AddMailbox("mann@v"); err != nil {
+		t.Fatal(err)
+	}
+	f := openBox(t, client, s, "mann@v", proto.ModeWrite)
+	if _, err := f.Write([]byte("message one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("message two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.MessageCount("mann@v")
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	r := openBox(t, client, s, "mann@v", proto.ModeRead)
+	got, err := r.ReadAll()
+	if err != nil || string(got) != "message one\nmessage two\n" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}
+
+func TestWholeAddressIsOneComponent(t *testing.T) {
+	// The mail server interprets whole addresses; the dots inside are
+	// opaque to the protocol (§5.4 lets servers interpret names any way
+	// they choose).
+	s, client := startRig(t)
+	if err := s.AddMailbox("deep.name@many.dots.example"); err != nil {
+		t.Fatal(err)
+	}
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, uint32(core.CtxDefault), "deep.name@many.dots.example")
+	reply, err := client.Send(q, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("query = %v, %v", reply, err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil || d.Tag != proto.TagMailbox || d.Name != "deep.name@many.dots.example" {
+		t.Fatalf("descriptor = %+v, %v", d, err)
+	}
+}
+
+func TestCreateOnOpen(t *testing.T) {
+	s, client := startRig(t)
+	f := openBox(t, client, s, "new@box", proto.ModeWrite|proto.ModeCreate)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MessageCount("new@box"); err != nil {
+		t.Fatal(err)
+	}
+	// Creating with an invalid address fails.
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "invalid")
+	proto.SetOpenMode(req, proto.ModeWrite|proto.ModeCreate)
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyBadArgs {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+}
+
+func TestRemoveMailbox(t *testing.T) {
+	s, client := startRig(t)
+	if err := s.AddMailbox("gone@soon"); err != nil {
+		t.Fatal(err)
+	}
+	rm := &proto.Message{Op: proto.OpRemoveObject}
+	proto.SetCSName(rm, uint32(core.CtxDefault), "gone@soon")
+	reply, err := client.Send(rm, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("remove = %v, %v", reply, err)
+	}
+	if _, err := s.MessageCount("gone@soon"); err == nil {
+		t.Fatal("mailbox survived removal")
+	}
+}
+
+func TestDirectorySortedByAddress(t *testing.T) {
+	s, client := startRig(t)
+	for _, a := range []string{"zeta@z", "alpha@a", "mid@m"} {
+		if err := s.AddMailbox(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "")
+	proto.SetOpenMode(req, proto.ModeRead|proto.ModeDirectory)
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+	f := vio.NewFile(client, s.PID(), proto.GetInstanceInfo(reply))
+	raw, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := proto.DecodeDescriptors(raw)
+	if err != nil || len(records) != 3 {
+		t.Fatalf("records = %v, %v", records, err)
+	}
+	want := []string{"alpha@a", "mid@m", "zeta@z"}
+	for i := range want {
+		if records[i].Name != want[i] {
+			t.Fatalf("records[%d] = %q", i, records[i].Name)
+		}
+	}
+}
+
+func TestBadContextRejected(t *testing.T) {
+	s, client := startRig(t)
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, 42, "a@b")
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyBadContext {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+}

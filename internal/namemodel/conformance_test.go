@@ -1,0 +1,429 @@
+package namemodel_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/namemodel"
+	"repro/internal/proto"
+	"repro/internal/rig"
+)
+
+// The conformance harness drives the distributed implementation (through
+// the public client library, with real forwarding between two file
+// servers) and the §7 reference model with identical random operation
+// sequences, requiring identical outcomes at every step and identical
+// final object censuses. The model is the executable semantics; any
+// divergence is a bug in one of the two.
+
+const (
+	tree1 = namemodel.Tree("fs1")
+	tree2 = namemodel.Tree("fs2")
+)
+
+// world pairs the implementation with the model.
+type world struct {
+	t *testing.T
+	r *rig.Rig
+	s *client.Session
+	m *namemodel.Model
+	// portals created so far in tree1 (top level), pointing into tree2.
+	portals int
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	r, err := rig.New(rig.Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.WS[0].Session
+	m := namemodel.New()
+	m.AddTree(tree1)
+	m.AddTree(tree2)
+	w := &world{t: t, r: r, s: s, m: m}
+	// Mirror the rig's seeded state into the model so the censuses agree.
+	w.mirrorSeed()
+
+	// A standing portal for the random stepper: operations through it
+	// exercise forwarding on every op kind.
+	target, err := s.MapContext("[storage2]/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLink("[storage]portal0", target); err != nil {
+		t.Fatal(err)
+	}
+	if code := m.Link(tree1, namemodel.Path{"portal0"},
+		namemodel.Target{Tree: tree2, Path: namemodel.Path{}}); code != "" {
+		t.Fatal(code)
+	}
+	return w
+}
+
+// mirrorSeed replays the rig's boot-time file system contents into the
+// model.
+func (w *world) mirrorSeed() {
+	seed := []struct {
+		tree namemodel.Tree
+		path string
+	}{
+		{tree1, "bin/hello"},
+		{tree1, "bin/editor"},
+		{tree1, "bin/compiler"},
+		{tree1, "users/mann/welcome.txt"},
+		{tree1, "users/mann/notes/todo.txt"},
+		{tree2, "archive/2026/paper.mss"},
+	}
+	mkdirAll := func(tr namemodel.Tree, p namemodel.Path) {
+		for i := 1; i < len(p); i++ {
+			w.m.Mkdir(tr, p[:i])
+		}
+	}
+	for _, s := range seed {
+		p := namemodel.Path(strings.Split(s.path, "/"))
+		mkdirAll(s.tree, p)
+		// Mirror the implementation's actual seeded contents.
+		data, err := w.s.ReadFile(name(s.tree, p))
+		if err != nil {
+			w.t.Fatalf("reading seeded %s: %v", s.path, err)
+		}
+		if code := w.m.Create(s.tree, p, data); code != "" {
+			w.t.Fatalf("seeding model: %s at %v", code, p)
+		}
+	}
+	w.m.Mkdir(tree1, namemodel.Path{"shared"})
+	if code := w.m.Link(tree1, namemodel.Path{"shared", "archive"},
+		namemodel.Target{Tree: tree2, Path: namemodel.Path{"archive"}}); code != "" {
+		w.t.Fatalf("seeding model link: %s", code)
+	}
+}
+
+// name renders a (tree, path) as the client-side CSname.
+func name(tr namemodel.Tree, p namemodel.Path) string {
+	pfx := "[storage]"
+	if tr == tree2 {
+		pfx = "[storage2]"
+	}
+	return pfx + strings.Join(p, "/")
+}
+
+// code maps implementation errors onto the model's outcome codes.
+func code(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, proto.ErrNotFound):
+		return namemodel.ErrNotFound
+	case errors.Is(err, proto.ErrNotAContext):
+		return namemodel.ErrNotAContext
+	case errors.Is(err, proto.ErrDuplicateName):
+		return namemodel.ErrDuplicate
+	case errors.Is(err, proto.ErrNotEmpty):
+		return namemodel.ErrNotEmpty
+	default:
+		return namemodel.ErrBadOperation
+	}
+}
+
+// check compares implementation and model outcome codes.
+func (w *world) check(op string, tr namemodel.Tree, p namemodel.Path, implErr error, modelCode string) {
+	w.t.Helper()
+	if got := code(implErr); got != modelCode {
+		w.t.Fatalf("%s %s: implementation %q (%v) vs model %q", op, name(tr, p), got, implErr, modelCode)
+	}
+}
+
+// randPath builds a random path from a tiny alphabet, depth 1..3.
+func randPath(rng *rand.Rand) namemodel.Path {
+	alphabet := []string{"a", "b", "c", "d"}
+	depth := 1 + rng.Intn(3)
+	p := make(namemodel.Path, depth)
+	for i := range p {
+		p[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return p
+}
+
+func randTree(rng *rand.Rand) namemodel.Tree {
+	if rng.Intn(2) == 0 {
+		return tree1
+	}
+	return tree2
+}
+
+// step performs one random operation on both systems.
+func (w *world) step(rng *rand.Rand) {
+	tr := randTree(rng)
+	p := randPath(rng)
+	op := rng.Intn(9)
+	// A fifth of non-rename operations go through the portal, exercising
+	// the forwarding path for every operation kind.
+	if op != 6 && rng.Intn(5) == 0 {
+		tr = tree1
+		p = append(namemodel.Path{"portal0"}, p...)
+	}
+	switch op {
+	case 0: // mkdir
+		err := w.s.MakeContext(name(tr, p))
+		modelCode := w.m.Mkdir(tr, p)
+		w.check("mkdir", tr, p, err, modelCode)
+
+	case 1: // write (create or replace)
+		data := []byte(fmt.Sprintf("data-%d", rng.Intn(1000)))
+		err := w.s.WriteFile(name(tr, p), data)
+		modelCode := w.modelWriteFile(tr, p, data)
+		w.check("write", tr, p, err, modelCode)
+
+	case 2: // read / resolve
+		data, err := w.s.ReadFile(name(tr, p))
+		out := w.m.Resolve(tr, p)
+		switch {
+		case out.Err != "":
+			w.check("read", tr, p, err, out.Err)
+		case out.Context != nil:
+			// Opening a context without directory mode is a mode error.
+			w.check("read", tr, p, err, namemodel.ErrBadOperation)
+		default:
+			if err != nil {
+				w.t.Fatalf("read %s: implementation failed (%v), model has object", name(tr, p), err)
+			}
+			if string(data) != string(out.Object) {
+				w.t.Fatalf("read %s: contents %q vs model %q", name(tr, p), data, out.Object)
+			}
+		}
+
+	case 3: // list
+		records, err := w.s.List(name(tr, p))
+		names, modelCode := w.m.List(tr, p)
+		w.check("list", tr, p, err, modelCode)
+		if modelCode == "" {
+			got := make([]string, 0, len(records))
+			for _, d := range records {
+				got = append(got, d.Name)
+			}
+			sort.Strings(got)
+			if strings.Join(got, ",") != strings.Join(names, ",") {
+				w.t.Fatalf("list %s: %v vs model %v", name(tr, p), got, names)
+			}
+		}
+
+	case 4: // remove (through interpretation)
+		err := w.s.Remove(name(tr, p))
+		modelCode := w.m.Remove(tr, p, false)
+		w.check("remove", tr, p, err, modelCode)
+
+	case 5: // unlink (remove the binding)
+		err := w.s.Unlink(name(tr, p))
+		modelCode := w.m.Remove(tr, p, true)
+		w.check("unlink", tr, p, err, modelCode)
+
+	case 6: // rename within one tree, avoiding the portal namespace
+		if tr == tree2 {
+			tr = tree1
+		}
+		q := randPath(rng)
+		err := w.s.Rename(name(tr, p), name(tr, q))
+		modelCode := w.modelRename(tr, p, q)
+		w.check("rename", tr, p, err, modelCode)
+
+	case 7: // pattern listing (§5.6 extension): implementation filter
+		// must equal model names filtered client-side.
+		pattern := []string{"*", "a*", "?", "*c"}[rng.Intn(4)]
+		records, err := w.s.ListPattern(name(tr, p), pattern)
+		names, modelCode := w.m.List(tr, p)
+		w.check("listpattern", tr, p, err, modelCode)
+		if modelCode == "" {
+			var want []string
+			for _, n := range names {
+				if namemodel.MatchPattern(pattern, n) {
+					want = append(want, n)
+				}
+			}
+			got := make([]string, 0, len(records))
+			for _, d := range records {
+				got = append(got, d.Name)
+			}
+			sort.Strings(got)
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				w.t.Fatalf("listpattern %s %q: %v vs model %v", name(tr, p), pattern, got, want)
+			}
+		}
+
+	case 8: // query type
+		d, err := w.s.Query(name(tr, p))
+		out := w.m.Resolve(tr, p)
+		switch {
+		case out.Err != "":
+			w.check("query", tr, p, err, out.Err)
+		case out.Context != nil:
+			if err != nil {
+				w.t.Fatalf("query %s: %v, model has context", name(tr, p), err)
+			}
+			if d.Tag != proto.TagDirectory {
+				w.t.Fatalf("query %s: tag %v, model has context", name(tr, p), d.Tag)
+			}
+		default:
+			if err != nil {
+				w.t.Fatalf("query %s: %v, model has object", name(tr, p), err)
+			}
+			if d.Tag != proto.TagFile || int(d.Size) != len(out.Object) {
+				w.t.Fatalf("query %s: tag %v size %d, model object %d bytes", name(tr, p), d.Tag, d.Size, len(out.Object))
+			}
+		}
+	}
+}
+
+// modelWriteFile mirrors client.Session.WriteFile semantics
+// (create-or-truncate) onto the model.
+func (w *world) modelWriteFile(tr namemodel.Tree, p namemodel.Path, data []byte) string {
+	out := w.m.Resolve(tr, p)
+	switch {
+	case out.Err == namemodel.ErrNotFound:
+		return w.m.Create(tr, p, data)
+	case out.Err != "":
+		return out.Err
+	case out.Context != nil:
+		return namemodel.ErrBadOperation
+	default:
+		return w.m.WriteObject(tr, p, data)
+	}
+}
+
+// modelRename mirrors the implementation's same-server rename.
+func (w *world) modelRename(tr namemodel.Tree, oldP, newP namemodel.Path) string {
+	return w.m.Rename(tr, oldP, newP)
+}
+
+// censusImpl walks both trees through the protocol, collecting canonical
+// object paths the same way the model's census does (descending into
+// directories only, not links).
+func (w *world) censusImpl() []string {
+	var out []string
+	var walk func(tr namemodel.Tree, p namemodel.Path)
+	walk = func(tr namemodel.Tree, p namemodel.Path) {
+		records, err := w.s.List(name(tr, p))
+		if err != nil {
+			w.t.Fatalf("census list %s: %v", name(tr, p), err)
+		}
+		for _, d := range records {
+			child := append(append(namemodel.Path(nil), p...), d.Name)
+			switch d.Tag {
+			case proto.TagDirectory:
+				walk(tr, child)
+			case proto.TagFile:
+				out = append(out, fmt.Sprintf("%s:%s", tr, child))
+			case proto.TagLink:
+				// Names, not objects; the target tree counts its own.
+			}
+		}
+	}
+	walk(tree1, nil)
+	walk(tree2, nil)
+	sort.Strings(out)
+	return out
+}
+
+// TestConformanceRandomOps is the main semantic check: 400 random
+// operations, every outcome compared, plus a final census and content
+// comparison.
+func TestConformanceRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := newWorld(t)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				w.step(rng)
+			}
+			got := w.censusImpl()
+			want := w.m.Objects()
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("census mismatch:\nimpl:\n%s\nmodel:\n%s",
+					strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+			// Contents agree for every surviving object.
+			for _, entry := range want {
+				parts := strings.SplitN(entry, ":", 2)
+				tr := namemodel.Tree(parts[0])
+				p := namemodel.Path(strings.Split(strings.TrimPrefix(parts[1], "/"), "/"))
+				out := w.m.Resolve(tr, p)
+				if out.Object == nil {
+					t.Fatalf("model census entry %q does not resolve to an object", entry)
+				}
+				data, err := w.s.ReadFile(name(tr, p))
+				if err != nil {
+					t.Fatalf("read %s: %v", name(tr, p), err)
+				}
+				if string(data) != string(out.Object) {
+					t.Fatalf("contents of %s diverge", name(tr, p))
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceThroughPortal adds cross-tree links and checks that
+// operations through them agree with the model's alias semantics.
+func TestConformanceThroughPortal(t *testing.T) {
+	w := newWorld(t)
+	s := w.s
+
+	// Create a portal: tree1:/portal1 -> tree2:/archive. (portal0 is the
+	// random stepper's standing link to tree2's root.)
+	target, err := s.MapContext("[storage2]/archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLink("[storage]portal1", target); err != nil {
+		t.Fatal(err)
+	}
+	if code := w.m.Link(tree1, namemodel.Path{"portal1"},
+		namemodel.Target{Tree: tree2, Path: namemodel.Path{"archive"}}); code != "" {
+		t.Fatal(code)
+	}
+
+	// Write through the portal; read directly (and vice versa).
+	p := namemodel.Path{"portal1", "draft.mss"}
+	if err := s.WriteFile(name(tree1, p), []byte("through the portal")); err != nil {
+		t.Fatal(err)
+	}
+	if code := w.modelWriteFile(tree1, p, []byte("through the portal")); code != "" {
+		t.Fatal(code)
+	}
+	direct, err := s.ReadFile("[storage2]/archive/draft.mss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := w.m.Resolve(tree2, namemodel.Path{"archive", "draft.mss"})
+	if out.Object == nil || string(direct) != string(out.Object) {
+		t.Fatalf("portal write invisible directly: %q vs %+v", direct, out)
+	}
+
+	// Remove through the portal.
+	if err := s.Remove(name(tree1, p)); err != nil {
+		t.Fatal(err)
+	}
+	if code := w.m.Remove(tree1, p, false); code != "" {
+		t.Fatal(code)
+	}
+	if _, err := s.ReadFile("[storage2]/archive/draft.mss"); !errors.Is(err, proto.ErrNotFound) {
+		t.Fatalf("object survived removal through portal: %v", err)
+	}
+
+	// Removing the portal through interpretation refuses; unbinding works.
+	if err := s.Remove(name(tree1, namemodel.Path{"portal1"})); code(err) != w.m.Remove(tree1, namemodel.Path{"portal1"}, false) {
+		t.Fatalf("remove-portal divergence: %v", err)
+	}
+	if err := s.Unlink(name(tree1, namemodel.Path{"portal1"})); code(err) != w.m.Remove(tree1, namemodel.Path{"portal1"}, true) {
+		t.Fatalf("unlink-portal divergence: %v", err)
+	}
+	// Target tree untouched.
+	if _, err := s.List("[storage2]/archive"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package namemodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func demo() *Model {
+	m := New()
+	m.AddTree("t1")
+	m.AddTree("t2")
+	m.Mkdir("t1", Path{"dir"})
+	m.Create("t1", Path{"dir", "obj"}, []byte("one"))
+	m.Mkdir("t2", Path{"shared"})
+	m.Create("t2", Path{"shared", "far"}, []byte("two"))
+	m.Link("t1", Path{"portal"}, Target{Tree: "t2", Path: Path{"shared"}})
+	return m
+}
+
+func TestResolveObjectAndContext(t *testing.T) {
+	m := demo()
+	out := m.Resolve("t1", Path{"dir", "obj"})
+	if string(out.Object) != "one" {
+		t.Fatalf("out = %+v", out)
+	}
+	out = m.Resolve("t1", Path{"dir"})
+	if out.Context == nil || out.Context.Tree != "t1" {
+		t.Fatalf("out = %+v", out)
+	}
+	out = m.Resolve("t1", Path{"ghost"})
+	if out.Err != ErrNotFound {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestResolveThroughLinkIsCanonical(t *testing.T) {
+	m := demo()
+	out := m.Resolve("t1", Path{"portal", "far"})
+	if string(out.Object) != "two" {
+		t.Fatalf("out = %+v", out)
+	}
+	ctx := m.Resolve("t1", Path{"portal"})
+	if ctx.Context == nil || ctx.Context.Tree != "t2" || ctx.Context.Path.String() != "/shared" {
+		t.Fatalf("link context = %+v", ctx)
+	}
+}
+
+func TestCreateThroughLink(t *testing.T) {
+	m := demo()
+	if code := m.Create("t1", Path{"portal", "new"}, []byte("x")); code != "" {
+		t.Fatal(code)
+	}
+	if out := m.Resolve("t2", Path{"shared", "new"}); string(out.Object) != "x" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	m := demo()
+	if code := m.Remove("t1", Path{"dir"}, false); code != ErrNotEmpty {
+		t.Fatalf("remove non-empty = %q", code)
+	}
+	if code := m.Remove("t1", Path{"portal"}, false); code != ErrBadOperation {
+		t.Fatalf("remove through link = %q", code)
+	}
+	if code := m.Remove("t1", Path{"portal"}, true); code != "" {
+		t.Fatalf("unlink = %q", code)
+	}
+	// The target tree survives unlinking.
+	if out := m.Resolve("t2", Path{"shared", "far"}); out.Object == nil {
+		t.Fatalf("target lost: %+v", out)
+	}
+	if code := m.Remove("t1", Path{"dir", "obj"}, false); code != "" {
+		t.Fatalf("remove obj = %q", code)
+	}
+	if code := m.Remove("t1", Path{"dir"}, false); code != "" {
+		t.Fatalf("remove now-empty dir = %q", code)
+	}
+}
+
+func TestRenameMovesSubtree(t *testing.T) {
+	m := demo()
+	if code := m.Rename("t1", Path{"dir"}, Path{"renamed"}); code != "" {
+		t.Fatal(code)
+	}
+	if out := m.Resolve("t1", Path{"renamed", "obj"}); string(out.Object) != "one" {
+		t.Fatalf("out = %+v", out)
+	}
+	if out := m.Resolve("t1", Path{"dir"}); out.Err != ErrNotFound {
+		t.Fatalf("old name survives: %+v", out)
+	}
+	if code := m.Rename("t1", Path{"ghost"}, Path{"x"}); code != ErrNotFound {
+		t.Fatalf("rename missing = %q", code)
+	}
+	if code := m.Rename("t1", Path{"renamed"}, Path{"portal"}); code != ErrDuplicate {
+		t.Fatalf("rename onto existing = %q", code)
+	}
+}
+
+func TestMkdirSemantics(t *testing.T) {
+	m := demo()
+	if code := m.Mkdir("t1", Path{"dir"}); code != "" {
+		t.Fatalf("mkdir existing dir = %q (mkdir-or-open)", code)
+	}
+	if code := m.Mkdir("t1", Path{"dir", "obj"}); code != ErrDuplicate {
+		t.Fatalf("mkdir over object = %q", code)
+	}
+	if code := m.Mkdir("t1", Path{"missing", "sub"}); code != ErrNotFound {
+		t.Fatalf("mkdir under missing parent = %q", code)
+	}
+}
+
+func TestListAndObjects(t *testing.T) {
+	m := demo()
+	names, code := m.List("t1", nil)
+	if code != "" || len(names) != 2 || names[0] != "dir" || names[1] != "portal" {
+		t.Fatalf("list = %v (%q)", names, code)
+	}
+	objs := m.Objects()
+	if len(objs) != 2 {
+		t.Fatalf("objects = %v", objs)
+	}
+	// Links are names, not objects: the portal is not counted, its target
+	// is counted once, under t2.
+	for _, o := range objs {
+		if o == "t1:/portal" {
+			t.Fatalf("link counted as object: %v", objs)
+		}
+	}
+}
+
+func TestWriteObject(t *testing.T) {
+	m := demo()
+	if code := m.WriteObject("t1", Path{"dir", "obj"}, []byte("updated")); code != "" {
+		t.Fatal(code)
+	}
+	if out := m.Resolve("t1", Path{"dir", "obj"}); string(out.Object) != "updated" {
+		t.Fatalf("out = %+v", out)
+	}
+	if code := m.WriteObject("t1", Path{"dir"}, nil); code != ErrNotAContext {
+		t.Fatalf("write to context = %q", code)
+	}
+}
+
+func TestMatchPatternAgainstCore(t *testing.T) {
+	// The model's independent matcher must agree with core.MatchName on a
+	// fixed oracle set (the conformance tests cross-check them further).
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*", "anything", true},
+		{"*.mss", "a.mss", true},
+		{"*.mss", "a.txt", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"", "x", true},
+		{"*a*", "bab", true},
+	}
+	for _, c := range cases {
+		if got := MatchPattern(c.pattern, c.name); got != c.want {
+			t.Errorf("MatchPattern(%q, %q) = %v", c.pattern, c.name, got)
+		}
+	}
+}
+
+func TestMatchPatternTerminationProperty(t *testing.T) {
+	f := func(pattern, name string) bool {
+		if len(pattern) > 12 {
+			pattern = pattern[:12]
+		}
+		if len(name) > 24 {
+			name = name[:24]
+		}
+		_ = MatchPattern(pattern, name) // must terminate without panicking
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package netsim simulates the shared local-area network connecting the
+// hosts of a V domain — the 3 Mbit Ethernet of the paper's testbed.
+//
+// The network computes virtual-time hop latencies from the calibrated cost
+// model, tracks per-host traffic statistics, and supports the fault
+// injection the experiments need: packet loss (which the V kernel masks by
+// retransmission, at a latency cost) and network partitions (which make
+// hosts mutually unreachable).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// HostID identifies a host (a network station) in the simulated domain.
+type HostID uint16
+
+// ErrUnreachable is returned when two hosts are in different partitions or
+// when retransmission gives up.
+var ErrUnreachable = errors.New("netsim: host unreachable")
+
+// maxRetransmits bounds kernel retransmission attempts before a send is
+// reported as failed, mirroring the V kernel's bounded retry.
+const maxRetransmits = 5
+
+// Stats records cumulative traffic counters for the whole network.
+type Stats struct {
+	Packets     uint64 // frames successfully delivered
+	Bytes       uint64 // payload bytes successfully delivered
+	Broadcasts  uint64 // broadcast frames
+	Multicasts  uint64 // multicast frames
+	Drops       uint64 // frames lost and retransmitted
+	WireBusyFor time.Duration
+}
+
+// Network is the simulated shared Ethernet. The zero value is not usable;
+// construct with New.
+type Network struct {
+	model *vtime.CostModel
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	dropRate  float64
+	partition map[HostID]int // host -> partition group; absent means group 0
+	stats     Stats
+	// wireFreeAt serializes the shared medium: a frame transmitted at
+	// virtual time t occupies the wire from max(t, wireFreeAt) for its
+	// wire time, so concurrent senders contend (CSMA-style, without
+	// modelling collisions).
+	wireFreeAt vtime.Time
+}
+
+// New returns a network using the given cost model and a deterministic RNG
+// seed for loss injection.
+func New(model *vtime.CostModel, seed int64) *Network {
+	return &Network{
+		model:     model,
+		rng:       rand.New(rand.NewSource(seed)),
+		partition: make(map[HostID]int),
+	}
+}
+
+// Model returns the cost model the network charges against.
+func (n *Network) Model() *vtime.CostModel { return n.model }
+
+// SetDropRate sets the probability that any individual frame is lost.
+// Lost frames are masked by kernel retransmission at a latency cost.
+func (n *Network) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.dropRate = p
+}
+
+// Partition places host h into partition group g. Hosts in different
+// groups cannot exchange frames. All hosts start in group 0.
+func (n *Network) Partition(h HostID, g int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition[h] = g
+}
+
+// Heal returns every host to partition group 0.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[HostID]int)
+}
+
+// Reachable reports whether frames can currently flow between a and b.
+func (n *Network) Reachable(a, b HostID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partition[a] == n.partition[b]
+}
+
+// Stats returns a snapshot of the cumulative traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// reserveWireLocked acquires the shared medium for a transfer of `bytes`
+// issued at virtual time `at`, returning the queueing delay incurred
+// (zero when the wire is idle). Must be called with n.mu held.
+func (n *Network) reserveWireLocked(at vtime.Time, bytes int) time.Duration {
+	occupancy := n.occupancy(bytes)
+	start := at
+	if n.wireFreeAt > start {
+		start = n.wireFreeAt
+	}
+	n.wireFreeAt = start + occupancy
+	n.stats.WireBusyFor += occupancy
+	return start - at
+}
+
+// occupancy is the total wire time of a transfer, split into frames.
+func (n *Network) occupancy(bytes int) time.Duration {
+	var d time.Duration
+	for {
+		chunk := bytes
+		if chunk > n.model.MaxDataPerPacket {
+			chunk = n.model.MaxDataPerPacket
+		}
+		d += n.model.WireTime(chunk)
+		bytes -= chunk
+		if bytes <= 0 {
+			return d
+		}
+	}
+}
+
+// Unicast returns the virtual one-way latency of delivering a message of
+// `bytes` payload bytes from host a to host b at virtual time `at`,
+// including queueing for the shared wire and any retransmission delay
+// from injected loss. Same-host delivery is a local hop and never touches
+// the wire.
+func (n *Network) Unicast(a, b HostID, bytes int, at vtime.Time) (time.Duration, error) {
+	if a == b {
+		return n.model.LocalHop(bytes), nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partition[a] != n.partition[b] {
+		return 0, fmt.Errorf("%w: host %d and host %d are partitioned", ErrUnreachable, a, b)
+	}
+	d := n.reserveWireLocked(at, bytes) + n.model.RemoteHop(bytes)
+	retries := 0
+	for n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		retries++
+		n.stats.Drops++
+		if retries > maxRetransmits {
+			return 0, fmt.Errorf("%w: %d retransmissions to host %d failed", ErrUnreachable, retries-1, b)
+		}
+		d += n.model.RetransmitTimeout + n.model.RemoteHop(bytes)
+	}
+	n.stats.Packets += uint64(packetsFor(bytes, n.model.MaxDataPerPacket))
+	n.stats.Bytes += uint64(bytes)
+	return d, nil
+}
+
+// Broadcast returns the one-way latency of a broadcast frame from host a
+// at virtual time `at`. A broadcast occupies the shared wire once, so its
+// latency does not scale with the number of receivers.
+func (n *Network) Broadcast(a HostID, bytes int, at vtime.Time) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Packets++
+	n.stats.Broadcasts++
+	n.stats.Bytes += uint64(bytes)
+	return n.reserveWireLocked(at, bytes) + n.model.RemoteHop(bytes)
+}
+
+// Multicast returns the one-way latency of a multicast frame from host a
+// to a group at virtual time `at`. Like broadcast, one frame serves all
+// receivers on the shared wire.
+func (n *Network) Multicast(a HostID, bytes int, at vtime.Time) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Packets++
+	n.stats.Multicasts++
+	n.stats.Bytes += uint64(bytes)
+	return n.reserveWireLocked(at, bytes) + n.model.RemoteHop(bytes)
+}
+
+// InPartition reports the partition group of h.
+func (n *Network) InPartition(h HostID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partition[h]
+}
+
+func packetsFor(bytes, perPacket int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + perPacket - 1) / perPacket
+}

@@ -1,0 +1,308 @@
+// Package pipeserver implements V-System pipes, one of the data sources
+// and sinks the V I/O protocol unifies (§3.2): named, bounded byte
+// streams connecting a writing program to a reading program through the
+// same Open/Read/Write/Close interface as files.
+//
+// Because the I/O protocol is synchronous request/response, a read from
+// an empty pipe (or a write to a full one) does not block the server: it
+// answers with the standard Retry reply, and the client run-time retries
+// after a back-off — the pattern V used for not-ready devices. A pipe
+// whose writer has closed it drains to end-of-file.
+package pipeserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// DefaultCapacity is a pipe's buffer bound in bytes.
+const DefaultCapacity = 4096
+
+// pipe is one named pipe.
+type pipe struct {
+	id       uint32
+	name     string
+	buf      []byte
+	capacity int
+	closed   bool // writer closed: drain to EOF
+	readers  int
+	writers  int
+}
+
+// Server is the pipe server.
+type Server struct {
+	srv   *core.Server
+	proc  *kernel.Process
+	store *core.MapStore
+	reg   *vio.Registry
+
+	mu    sync.Mutex
+	pipes map[uint32]*pipe
+	next  uint32
+}
+
+// Start spawns a pipe server on host.
+func Start(host *kernel.Host) (*Server, error) {
+	proc, err := host.NewProcess("pipe-server")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		proc:  proc,
+		store: core.NewMapStore(),
+		reg:   vio.NewRegistry(),
+		pipes: make(map[uint32]*pipe),
+	}
+	s.srv = core.NewServer(proc, s.store, s)
+	go s.srv.Run()
+	if err := proc.SetPid(kernel.ServicePipe, proc.PID(), kernel.ScopeBoth); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// RootPair returns the server's single context.
+func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
+
+// Count returns the number of live pipes.
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pipes)
+}
+
+func describe(p *pipe) proto.Descriptor {
+	return proto.Descriptor{
+		Tag:          proto.TagPipe,
+		ObjectID:     p.id,
+		Name:         p.name,
+		Size:         uint32(len(p.buf)),
+		Perms:        proto.PermRead | proto.PermWrite,
+		TypeSpecific: [2]uint32{uint32(p.readers), uint32(p.writers)},
+	}
+}
+
+// HandleNamed implements core.Handler.
+func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpCreateInstance:
+		mode := proto.OpenMode(req.Msg)
+		if mode&proto.ModeDirectory != 0 {
+			if _, err := res.ContextOf(); err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			pattern, err := proto.DirPattern(req.Msg)
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			return s.openDirectory(res.Name, pattern)
+		}
+		if res.Entry == nil {
+			if mode&proto.ModeCreate == 0 {
+				return core.ErrorReplyMsg(proto.ErrNotFound)
+			}
+			return s.create(res.Last, mode)
+		}
+		if res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotAContext)
+		}
+		return s.openPipe(res.Entry.Object.ID, res.Last, mode)
+
+	case proto.OpQueryObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		p := s.pipes[res.Entry.Object.ID]
+		var d proto.Descriptor
+		if p != nil {
+			d = describe(p)
+		}
+		s.mu.Unlock()
+		if p == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		reply := core.OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+
+	case proto.OpRemoveObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		delete(s.pipes, res.Entry.Object.ID)
+		s.mu.Unlock()
+		if err := s.store.Unbind(core.CtxDefault, res.Last); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler.
+func (s *Server) HandleOp(req *core.Request) *proto.Message {
+	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+}
+
+func (s *Server) create(name string, mode uint32) *proto.Message {
+	s.mu.Lock()
+	s.next++
+	p := &pipe{id: s.next, name: name, capacity: DefaultCapacity}
+	s.pipes[p.id] = p
+	s.mu.Unlock()
+	if err := s.store.Bind(core.CtxDefault, name, core.ObjectEntry(proto.TagPipe, p.id)); err != nil {
+		s.mu.Lock()
+		delete(s.pipes, p.id)
+		s.mu.Unlock()
+		return core.ErrorReplyMsg(err)
+	}
+	return s.openPipe(p.id, name, mode)
+}
+
+func (s *Server) openPipe(id uint32, name string, mode uint32) *proto.Message {
+	s.mu.Lock()
+	p := s.pipes[id]
+	if p != nil {
+		if mode&proto.ModeRead != 0 {
+			p.readers++
+		}
+		if mode&(proto.ModeWrite|proto.ModeAppend) != 0 {
+			p.writers++
+		}
+	}
+	s.mu.Unlock()
+	if p == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	iid, err := s.reg.Open(&pipeInstance{s: s, p: p, mode: mode}, name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+func (s *Server) openDirectory(name, pattern string) *proto.Message {
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.pipes))
+	for id := range s.pipes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	records := make([]proto.Descriptor, 0, len(ids))
+	for _, id := range ids {
+		records = append(records, describe(s.pipes[id]))
+	}
+	s.mu.Unlock()
+	records = core.FilterRecords(records, pattern)
+	model := s.proc.Kernel().Model()
+	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+// pipeInstance adapts a pipe end to the V I/O instance interface.
+type pipeInstance struct {
+	s    *Server
+	p    *pipe
+	mode uint32
+}
+
+func (pi *pipeInstance) Info() proto.InstanceInfo {
+	pi.s.mu.Lock()
+	defer pi.s.mu.Unlock()
+	return proto.InstanceInfo{
+		SizeBytes: uint32(len(pi.p.buf)),
+		BlockSize: vio.DefaultBlockSize,
+		Flags:     proto.ModeRead | proto.ModeWrite,
+	}
+}
+
+// ReadAt drains the pipe; offsets are meaningless on a stream. An empty
+// open pipe answers Retry; an empty closed pipe answers end-of-file.
+func (pi *pipeInstance) ReadAt(_ int64, buf []byte) (int, error) {
+	pi.s.mu.Lock()
+	defer pi.s.mu.Unlock()
+	p := pi.p
+	if len(p.buf) == 0 {
+		if p.closed {
+			return 0, proto.ErrEndOfFile
+		}
+		return 0, fmt.Errorf("%w: pipe empty", proto.ErrRetry)
+	}
+	n := copy(buf, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+// WriteAt appends to the pipe; a full pipe answers Retry.
+func (pi *pipeInstance) WriteAt(_ int64, data []byte) (int, error) {
+	pi.s.mu.Lock()
+	defer pi.s.mu.Unlock()
+	p := pi.p
+	if p.closed {
+		return 0, fmt.Errorf("%w: pipe closed", proto.ErrEndOfFile)
+	}
+	room := p.capacity - len(p.buf)
+	if room <= 0 {
+		return 0, fmt.Errorf("%w: pipe full", proto.ErrRetry)
+	}
+	if len(data) > room {
+		data = data[:room]
+	}
+	p.buf = append(p.buf, data...)
+	return len(data), nil
+}
+
+// Release closes this end; when the last writer goes, the pipe drains to
+// EOF for readers.
+func (pi *pipeInstance) Release() {
+	pi.s.mu.Lock()
+	defer pi.s.mu.Unlock()
+	if pi.mode&proto.ModeRead != 0 && pi.p.readers > 0 {
+		pi.p.readers--
+	}
+	if pi.mode&(proto.ModeWrite|proto.ModeAppend) != 0 && pi.p.writers > 0 {
+		pi.p.writers--
+		if pi.p.writers == 0 {
+			pi.p.closed = true
+		}
+	}
+}
+
+var (
+	_ vio.Instance = (*pipeInstance)(nil)
+	_ core.Handler = (*Server)(nil)
+)

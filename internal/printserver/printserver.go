@@ -1,0 +1,364 @@
+// Package printserver implements the V-System laser printer server (§6):
+// print jobs are created by opening a named job in the printer's context,
+// writing the data, and releasing the instance, which queues the job. The
+// job queue is the server's context: the context directory lists the jobs
+// with their queue positions, and removing a job's name cancels it —
+// naming and object management are one mechanism (§2.3).
+package printserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// jobState tracks a job through the queue.
+type jobState uint8
+
+const (
+	stateSpooling jobState = iota + 1
+	stateQueued
+	statePrinting
+	stateDone
+)
+
+func (st jobState) String() string {
+	switch st {
+	case stateSpooling:
+		return "spooling"
+	case stateQueued:
+		return "queued"
+	case statePrinting:
+		return "printing"
+	case stateDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// job is one print job.
+type job struct {
+	id    uint32
+	name  string
+	owner string
+	data  []byte
+	state jobState
+}
+
+// Server is the printer server.
+type Server struct {
+	srv   *core.Server
+	proc  *kernel.Process
+	store *core.MapStore
+	reg   *vio.Registry
+
+	mu      sync.Mutex
+	jobs    map[uint32]*job
+	queue   []uint32 // queued job ids in submission order
+	next    uint32
+	printed [][]byte // completed output, oldest first
+	// pagesPerJobTime is the simulated print speed applied when the
+	// queue advances.
+	pageTime time.Duration
+}
+
+// Start spawns a printer server on host.
+func Start(host *kernel.Host) (*Server, error) {
+	proc, err := host.NewProcess("print-server")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		proc:     proc,
+		store:    core.NewMapStore(),
+		reg:      vio.NewRegistry(),
+		jobs:     make(map[uint32]*job),
+		pageTime: 2 * time.Second,
+	}
+	s.srv = core.NewServer(proc, s.store, s)
+	go s.srv.Run()
+	if err := proc.SetPid(kernel.ServicePrinter, proc.PID(), kernel.ScopeBoth); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// RootPair returns the server's single context (the job queue).
+func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
+
+// QueueLength returns the number of jobs not yet done.
+func (s *Server) QueueLength() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Printed returns the payloads printed so far.
+func (s *Server) Printed() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.printed))
+	for i, p := range s.printed {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+// AdvanceQueue simulates the printer finishing the job at the head of the
+// queue, charging print time to the server clock. It returns the name of
+// the finished job, or "" if the queue is empty.
+func (s *Server) AdvanceQueue() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return ""
+	}
+	id := s.queue[0]
+	s.queue = s.queue[1:]
+	j := s.jobs[id]
+	if j == nil {
+		return ""
+	}
+	pages := (len(j.data) + vio.DefaultBlockSize - 1) / vio.DefaultBlockSize
+	if pages == 0 {
+		pages = 1
+	}
+	s.proc.ChargeCompute(time.Duration(pages) * s.pageTime)
+	j.state = stateDone
+	s.printed = append(s.printed, j.data)
+	delete(s.jobs, id)
+	_ = s.store.Unbind(core.CtxDefault, j.name)
+	if len(s.queue) > 0 {
+		if head := s.jobs[s.queue[0]]; head != nil {
+			head.state = statePrinting
+		}
+	}
+	return j.name
+}
+
+func (s *Server) describe(j *job, position int) proto.Descriptor {
+	return proto.Descriptor{
+		Tag:          proto.TagPrintJob,
+		ObjectID:     j.id,
+		Name:         j.name,
+		Owner:        j.owner,
+		Size:         uint32(len(j.data)),
+		Perms:        proto.PermRead | proto.PermWrite,
+		TypeSpecific: [2]uint32{uint32(position), uint32(j.state)},
+	}
+}
+
+// position returns a job's 1-based queue position, or 0 if not queued.
+func (s *Server) position(id uint32) int {
+	for i, q := range s.queue {
+		if q == id {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// HandleNamed implements core.Handler.
+func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpCreateInstance:
+		mode := proto.OpenMode(req.Msg)
+		if mode&proto.ModeDirectory != 0 {
+			if _, err := res.ContextOf(); err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			pattern, err := proto.DirPattern(req.Msg)
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			return s.openQueueDirectory(res.Name, pattern)
+		}
+		if res.Entry == nil && mode&proto.ModeCreate != 0 {
+			return s.submit(req, res)
+		}
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		// Re-opening an existing job gives read access to its data.
+		return s.openJob(res.Entry.Object.ID, res.Last, proto.ModeRead)
+
+	case proto.OpQueryObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		j := s.jobs[res.Entry.Object.ID]
+		var d proto.Descriptor
+		if j != nil {
+			d = s.describe(j, s.position(j.id))
+		}
+		s.mu.Unlock()
+		if j == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		reply := core.OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+
+	case proto.OpRemoveObject:
+		// Cancelling a job is deleting its name from the queue context.
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		id := res.Entry.Object.ID
+		delete(s.jobs, id)
+		for i, q := range s.queue {
+			if q == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		if err := s.store.Unbind(core.CtxDefault, res.Last); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler.
+func (s *Server) HandleOp(req *core.Request) *proto.Message {
+	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+}
+
+// submit creates a job in spooling state; releasing the instance queues
+// it.
+func (s *Server) submit(req *core.Request, res *core.Resolution) *proto.Message {
+	s.mu.Lock()
+	s.next++
+	j := &job{id: s.next, name: res.Last, state: stateSpooling}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if err := s.store.Bind(core.CtxDefault, j.name, core.ObjectEntry(proto.TagPrintJob, j.id)); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		return core.ErrorReplyMsg(err)
+	}
+	return s.openJob(j.id, j.name, proto.ModeWrite)
+}
+
+func (s *Server) openJob(id uint32, name string, mode uint32) *proto.Message {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	iid, err := s.reg.Open(&jobInstance{s: s, j: j, mode: mode}, name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+func (s *Server) openQueueDirectory(name, pattern string) *proto.Message {
+	s.mu.Lock()
+	records := make([]proto.Descriptor, 0, len(s.queue))
+	for _, id := range s.queue {
+		if j := s.jobs[id]; j != nil {
+			records = append(records, s.describe(j, s.position(id)))
+		}
+	}
+	s.mu.Unlock()
+	records = core.FilterRecords(records, pattern)
+	model := s.proc.Kernel().Model()
+	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+// jobInstance spools data into a job; Release queues it for printing.
+type jobInstance struct {
+	s    *Server
+	j    *job
+	mode uint32
+}
+
+func (ji *jobInstance) Info() proto.InstanceInfo {
+	ji.s.mu.Lock()
+	defer ji.s.mu.Unlock()
+	return proto.InstanceInfo{
+		SizeBytes: uint32(len(ji.j.data)),
+		BlockSize: vio.DefaultBlockSize,
+		Flags:     ji.mode,
+	}
+}
+
+func (ji *jobInstance) ReadAt(off int64, buf []byte) (int, error) {
+	ji.s.mu.Lock()
+	defer ji.s.mu.Unlock()
+	if off >= int64(len(ji.j.data)) {
+		return 0, proto.ErrEndOfFile
+	}
+	return copy(buf, ji.j.data[off:]), nil
+}
+
+func (ji *jobInstance) WriteAt(off int64, data []byte) (int, error) {
+	ji.s.mu.Lock()
+	defer ji.s.mu.Unlock()
+	if ji.j.state != stateSpooling {
+		return 0, fmt.Errorf("%w: job already queued", proto.ErrNoPermission)
+	}
+	if need := int(off) + len(data); need > len(ji.j.data) {
+		grown := make([]byte, need)
+		copy(grown, ji.j.data)
+		ji.j.data = grown
+	}
+	return copy(ji.j.data[off:], data), nil
+}
+
+// Release moves a spooling job into the print queue.
+func (ji *jobInstance) Release() {
+	ji.s.mu.Lock()
+	defer ji.s.mu.Unlock()
+	if ji.j.state == stateSpooling {
+		ji.j.state = stateQueued
+		ji.s.queue = append(ji.s.queue, ji.j.id)
+		if len(ji.s.queue) == 1 {
+			ji.j.state = statePrinting
+		}
+	}
+}
+
+var (
+	_ vio.Instance = (*jobInstance)(nil)
+	_ core.Handler = (*Server)(nil)
+)

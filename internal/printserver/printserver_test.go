@@ -1,0 +1,205 @@
+package printserver
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vio"
+	"repro/internal/vtime"
+)
+
+func startRig(t *testing.T) (*Server, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	host := k.NewHost("services")
+	s, err := Start(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientHost := k.NewHost("ws")
+	client, err := clientHost.NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Destroy() })
+	return s, client
+}
+
+func submit(t *testing.T, client *kernel.Process, s *Server, name string, data []byte) {
+	t.Helper()
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), name)
+	proto.SetOpenMode(req, proto.ModeWrite|proto.ModeCreate)
+	reply, err := client.Send(req, s.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.ReplyError(reply.Op); err != nil {
+		t.Fatal(err)
+	}
+	f := vio.NewFile(client, s.PID(), proto.GetInstanceInfo(reply))
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitQueuesOnRelease(t *testing.T) {
+	s, client := startRig(t)
+	submit(t, client, s, "a.ps", []byte("A"))
+	if s.QueueLength() != 1 {
+		t.Fatalf("queue = %d", s.QueueLength())
+	}
+	submit(t, client, s, "b.ps", []byte("B"))
+	if s.QueueLength() != 2 {
+		t.Fatalf("queue = %d", s.QueueLength())
+	}
+}
+
+func TestFIFOOrderAndStates(t *testing.T) {
+	s, client := startRig(t)
+	submit(t, client, s, "first.ps", []byte("1"))
+	submit(t, client, s, "second.ps", []byte("2"))
+
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, uint32(core.CtxDefault), "first.ps")
+	reply, err := client.Send(q, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("query = %v, %v", reply, err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TypeSpecific[0] != 1 || jobState(d.TypeSpecific[1]) != statePrinting {
+		t.Fatalf("head job descriptor = %+v", d)
+	}
+
+	if name := s.AdvanceQueue(); name != "first.ps" {
+		t.Fatalf("printed %q", name)
+	}
+	if name := s.AdvanceQueue(); name != "second.ps" {
+		t.Fatalf("printed %q", name)
+	}
+	if s.AdvanceQueue() != "" {
+		t.Fatal("empty queue should return empty name")
+	}
+	printed := s.Printed()
+	if len(printed) != 2 || string(printed[0]) != "1" || string(printed[1]) != "2" {
+		t.Fatalf("printed = %q", printed)
+	}
+}
+
+func TestPrintedNameUnboundAfterCompletion(t *testing.T) {
+	s, client := startRig(t)
+	submit(t, client, s, "done.ps", []byte("x"))
+	s.AdvanceQueue()
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, uint32(core.CtxDefault), "done.ps")
+	reply, err := client.Send(q, s.PID())
+	if err != nil || reply.Op != proto.ReplyNotFound {
+		t.Fatalf("query after print = %v, %v", reply, err)
+	}
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	s, client := startRig(t)
+	submit(t, client, s, "a.ps", []byte("A"))
+	submit(t, client, s, "b.ps", []byte("B"))
+	rm := &proto.Message{Op: proto.OpRemoveObject}
+	proto.SetCSName(rm, uint32(core.CtxDefault), "a.ps")
+	reply, err := client.Send(rm, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("cancel = %v, %v", reply, err)
+	}
+	if s.QueueLength() != 1 {
+		t.Fatalf("queue = %d", s.QueueLength())
+	}
+	if name := s.AdvanceQueue(); name != "b.ps" {
+		t.Fatalf("printed %q", name)
+	}
+}
+
+func TestWriteAfterQueueingRejected(t *testing.T) {
+	s, client := startRig(t)
+	// Open, write, close (queues the job), then reopen and try to write.
+	submit(t, client, s, "late.ps", []byte("x"))
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "late.ps")
+	proto.SetOpenMode(req, proto.ModeRead)
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("reopen = %v, %v", reply, err)
+	}
+	f := vio.NewFile(client, s.PID(), proto.GetInstanceInfo(reply))
+	if _, err := f.Write([]byte("more")); err == nil {
+		t.Fatal("write to a queued job must fail")
+	}
+	// Reading the queued job's data still works.
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll()
+	if err != nil || string(got) != "x" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}
+
+func TestDuplicateJobName(t *testing.T) {
+	s, client := startRig(t)
+	submit(t, client, s, "dup.ps", []byte("x"))
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "dup.ps")
+	proto.SetOpenMode(req, proto.ModeWrite|proto.ModeCreate)
+	// Existing name: reopens for read, not a new job.
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+	if s.QueueLength() != 1 {
+		t.Fatalf("queue = %d", s.QueueLength())
+	}
+}
+
+func TestQueueDirectoryPositions(t *testing.T) {
+	s, client := startRig(t)
+	for _, n := range []string{"a.ps", "b.ps", "c.ps"} {
+		submit(t, client, s, n, []byte(n))
+	}
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "")
+	proto.SetOpenMode(req, proto.ModeRead|proto.ModeDirectory)
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("open dir = %v, %v", reply, err)
+	}
+	f := vio.NewFile(client, s.PID(), proto.GetInstanceInfo(reply))
+	raw, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := proto.DecodeDescriptors(raw)
+	if err != nil || len(records) != 3 {
+		t.Fatalf("records = %v, %v", records, err)
+	}
+	for i, r := range records {
+		if int(r.TypeSpecific[0]) != i+1 {
+			t.Fatalf("record %d position = %d", i, r.TypeSpecific[0])
+		}
+	}
+}
+
+func TestAdvanceChargesPrintTime(t *testing.T) {
+	s, client := startRig(t)
+	submit(t, client, s, "big.ps", make([]byte, 5*vio.DefaultBlockSize))
+	before := s.proc.Now()
+	s.AdvanceQueue()
+	if s.proc.Now()-before < 5*s.pageTime {
+		t.Fatal("printing must charge per-page time")
+	}
+}

@@ -1,0 +1,73 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal: arbitrary bytes never panic the message decoder, and
+// anything that decodes re-encodes to an equivalent message.
+func FuzzUnmarshal(f *testing.F) {
+	m := &Message{Op: OpCreateInstance, F: [6]uint32{1, 2, 3, 4, 5, 6}, Segment: []byte("name")}
+	good, _ := m.Marshal()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderBytes))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := decoded.Marshal()
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		again, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if again.Op != decoded.Op || again.F != decoded.F || !bytes.Equal(again.Segment, decoded.Segment) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}
+
+// FuzzDecodeDescriptors: arbitrary directory streams never panic, and
+// valid streams round trip.
+func FuzzDecodeDescriptors(f *testing.F) {
+	d := Descriptor{Tag: TagFile, Name: "x", Owner: "y"}
+	f.Add(d.AppendEncoded(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := DecodeDescriptors(data)
+		if err != nil {
+			return
+		}
+		re := EncodeDescriptors(records)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("valid stream not canonical: %d bytes vs %d", len(re), len(data))
+		}
+	})
+}
+
+// FuzzCSName: arbitrary header fields never panic the CSname accessors.
+func FuzzCSName(f *testing.F) {
+	f.Add(uint32(0), uint32(0), []byte("users/mann"))
+	f.Add(uint32(5), uint32(100), []byte(""))
+	f.Fuzz(func(t *testing.T, idx, nameLen uint32, segment []byte) {
+		m := &Message{Op: OpQueryObject, Segment: segment}
+		m.F[1] = idx
+		m.F[2] = nameLen
+		name, i, err := CSName(m)
+		if err != nil {
+			return
+		}
+		if i > len(name) {
+			t.Fatalf("index %d beyond name %d", i, len(name))
+		}
+	})
+}

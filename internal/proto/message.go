@@ -1,0 +1,105 @@
+// Package proto defines the V-System message standards (§3.2 of the
+// paper): the fixed 32-byte request/reply message format with an optional
+// appended segment, the operation and reply codes, the standard fields of
+// CSname requests (§5.3), and the typed object-description records
+// returned by query operations and context directories (Figure 3, §5.5-5.6).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderBytes is the size of the fixed message header on the wire: the V
+// kernel's 32-byte message (operation code, flags, six 32-bit parameter
+// words, and the segment length).
+const HeaderBytes = 32
+
+// MaxSegmentBytes bounds the appended segment of a single message; larger
+// transfers use MoveTo/MoveFrom.
+const MaxSegmentBytes = 1 << 16
+
+// Code is a 16-bit operation code (in request messages) or reply code (in
+// reply messages). It occupies the first field of every message and acts
+// as the tag for the variant part, like a Pascal variant-record tag.
+type Code uint16
+
+// Message is a V message: a fixed header of an operation/reply code, a
+// flags word, and six 32-bit parameter words, plus an optional byte
+// segment appended to the message. The interpretation of F and Segment is
+// specified by Op.
+type Message struct {
+	Op      Code
+	Flags   uint16
+	F       [6]uint32
+	Segment []byte
+}
+
+// ErrShortMessage is returned when unmarshalling from a buffer smaller
+// than the fixed header.
+var ErrShortMessage = errors.New("proto: buffer shorter than message header")
+
+// ErrSegmentTooLarge is returned when a segment exceeds MaxSegmentBytes.
+var ErrSegmentTooLarge = errors.New("proto: segment too large")
+
+// WireSize is the total size of the message on the wire.
+func (m *Message) WireSize() int { return HeaderBytes + len(m.Segment) }
+
+// Marshal encodes the message into wire format.
+func (m *Message) Marshal() ([]byte, error) {
+	if len(m.Segment) > MaxSegmentBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSegmentTooLarge, len(m.Segment))
+	}
+	buf := make([]byte, HeaderBytes+len(m.Segment))
+	binary.BigEndian.PutUint16(buf[0:], uint16(m.Op))
+	binary.BigEndian.PutUint16(buf[2:], m.Flags)
+	for i, f := range m.F {
+		binary.BigEndian.PutUint32(buf[4+4*i:], f)
+	}
+	binary.BigEndian.PutUint32(buf[28:], uint32(len(m.Segment)))
+	copy(buf[HeaderBytes:], m.Segment)
+	return buf, nil
+}
+
+// Unmarshal decodes a message from wire format.
+func Unmarshal(buf []byte) (*Message, error) {
+	if len(buf) < HeaderBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortMessage, len(buf))
+	}
+	m := &Message{
+		Op:    Code(binary.BigEndian.Uint16(buf[0:])),
+		Flags: binary.BigEndian.Uint16(buf[2:]),
+	}
+	for i := range m.F {
+		m.F[i] = binary.BigEndian.Uint32(buf[4+4*i:])
+	}
+	segLen := binary.BigEndian.Uint32(buf[28:])
+	if segLen > MaxSegmentBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSegmentTooLarge, segLen)
+	}
+	if int(segLen) > len(buf)-HeaderBytes {
+		return nil, fmt.Errorf("%w: segment length %d exceeds buffer", ErrShortMessage, segLen)
+	}
+	if segLen > 0 {
+		m.Segment = make([]byte, segLen)
+		copy(m.Segment, buf[HeaderBytes:HeaderBytes+int(segLen)])
+	}
+	return m, nil
+}
+
+// Clone returns a deep copy of the message, used when a message is
+// delivered to multiple group members.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Segment != nil {
+		c.Segment = make([]byte, len(m.Segment))
+		copy(c.Segment, m.Segment)
+	}
+	return &c
+}
+
+// NewReply builds a reply message with the given reply code. Reply
+// messages reuse the message structure, with the reply code in the code
+// field (§3.2).
+func NewReply(code Code) *Message { return &Message{Op: code} }

@@ -1,0 +1,373 @@
+package proto
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageMarshalRoundTrip(t *testing.T) {
+	m := &Message{
+		Op:      OpCreateInstance,
+		Flags:   0x0101,
+		F:       [6]uint32{1, 2, 3, 4, 5, 6},
+		Segment: []byte("users/mann/naming.mss"),
+	}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != m.WireSize() {
+		t.Fatalf("marshalled %d bytes, WireSize says %d", len(buf), m.WireSize())
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != m.Op || got.Flags != m.Flags || got.F != m.F || string(got.Segment) != string(m.Segment) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestMessageMarshalRoundTripProperty(t *testing.T) {
+	f := func(op, flags uint16, fields [6]uint32, seg []byte) bool {
+		if len(seg) > MaxSegmentBytes {
+			seg = seg[:MaxSegmentBytes]
+		}
+		m := &Message{Op: Code(op), Flags: flags, F: fields, Segment: seg}
+		buf, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return got.Op == m.Op && got.Flags == m.Flags && got.F == m.F &&
+			string(got.Segment) == string(m.Segment)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageHeaderIs32Bytes(t *testing.T) {
+	m := &Message{Op: OpEcho}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 32 {
+		t.Fatalf("segmentless message = %d bytes on the wire, want the V kernel's 32", len(buf))
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("short buffer err = %v", err)
+	}
+}
+
+func TestUnmarshalTruncatedSegment(t *testing.T) {
+	m := &Message{Op: OpEcho, Segment: []byte("hello")}
+	buf, _ := m.Marshal()
+	if _, err := Unmarshal(buf[:len(buf)-2]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("truncated segment err = %v", err)
+	}
+}
+
+func TestMarshalOversizeSegment(t *testing.T) {
+	m := &Message{Op: OpEcho, Segment: make([]byte, MaxSegmentBytes+1)}
+	if _, err := m.Marshal(); !errors.Is(err, ErrSegmentTooLarge) {
+		t.Fatalf("oversize segment err = %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := &Message{Op: OpEcho, Segment: []byte("abc")}
+	c := m.Clone()
+	c.Segment[0] = 'z'
+	if m.Segment[0] != 'a' {
+		t.Fatal("Clone must copy the segment")
+	}
+}
+
+func TestCSNameFields(t *testing.T) {
+	m := &Message{Op: OpQueryObject}
+	SetCSName(m, 7, "a/b/c")
+	name, idx, err := CSName(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "a/b/c" || idx != 0 || CSNameContext(m) != 7 {
+		t.Fatalf("got name=%q idx=%d ctx=%d", name, idx, CSNameContext(m))
+	}
+	RewriteCSName(m, 9, 2)
+	name, idx, err = CSName(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "a/b/c" || idx != 2 || CSNameContext(m) != 9 {
+		t.Fatalf("after rewrite: name=%q idx=%d ctx=%d", name, idx, CSNameContext(m))
+	}
+}
+
+func TestCSNameBadFields(t *testing.T) {
+	m := &Message{Op: OpQueryObject}
+	SetCSName(m, 0, "abc")
+	m.F[2] = 99 // length beyond segment
+	if _, _, err := CSName(m); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("bad length err = %v", err)
+	}
+	SetCSName(m, 0, "abc")
+	m.F[1] = 10 // index beyond length
+	if _, _, err := CSName(m); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("bad index err = %v", err)
+	}
+}
+
+func TestCSNameArbitraryBytes(t *testing.T) {
+	// CSnames are byte sequences; arbitrary bytes including NUL and
+	// non-ASCII must survive (§5.1).
+	f := func(raw []byte) bool {
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		m := &Message{Op: OpQueryObject}
+		SetCSName(m, 1, string(raw))
+		name, _, err := CSName(m)
+		return err == nil && name == string(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameNames(t *testing.T) {
+	m := &Message{Op: OpRenameObject}
+	SetRenameNames(m, 3, "old/name", "new-name")
+	oldName, _, err := CSName(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newName, err := RenameNewName(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldName != "old/name" || newName != "new-name" {
+		t.Fatalf("got %q -> %q", oldName, newName)
+	}
+}
+
+func TestRenameNewNameTruncated(t *testing.T) {
+	m := &Message{Op: OpRenameObject}
+	SetRenameNames(m, 3, "old", "new")
+	m.F[3] = 50
+	if _, err := RenameNewName(m); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("truncated rename err = %v", err)
+	}
+}
+
+func TestAddContextTargets(t *testing.T) {
+	m := &Message{Op: OpAddContextName}
+	SetAddContextTarget(m, 0xAABBCCDD, 42)
+	dyn, pid, ctx := AddContextTarget(m)
+	if dyn || pid != 0xAABBCCDD || ctx != 42 {
+		t.Fatalf("static target decoded as dyn=%v pid=%x ctx=%d", dyn, pid, ctx)
+	}
+	SetAddContextDynamicTarget(m, 5, 0xFFFF0002)
+	dyn, svc, wctx := AddContextTarget(m)
+	if !dyn || svc != 5 || wctx != 0xFFFF0002 {
+		t.Fatalf("dynamic target decoded as dyn=%v svc=%d ctx=%x", dyn, svc, wctx)
+	}
+	// Re-setting static clears the dynamic flag.
+	SetAddContextTarget(m, 1, 2)
+	if dyn, _, _ := AddContextTarget(m); dyn {
+		t.Fatal("static target must clear the dynamic flag")
+	}
+}
+
+func TestInstanceInfoRoundTrip(t *testing.T) {
+	f := func(id uint16, size, bs, flags uint32) bool {
+		m := NewReply(ReplyOK)
+		SetInstanceInfo(m, InstanceInfo{ID: id, SizeBytes: size, BlockSize: bs, Flags: flags})
+		got := GetInstanceInfo(m)
+		return got.ID == id && got.SizeBytes == size && got.BlockSize == bs && got.Flags == flags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapContextReplyRoundTrip(t *testing.T) {
+	m := NewReply(ReplyOK)
+	SetMapContextReply(m, 0x00020005, 77)
+	pid, ctx := GetMapContextReply(m)
+	if pid != 0x00020005 || ctx != 77 {
+		t.Fatalf("got pid=%x ctx=%d", pid, ctx)
+	}
+}
+
+func TestIsCSNameOp(t *testing.T) {
+	for _, c := range []Code{OpMapContext, OpQueryObject, OpModifyObject, OpRemoveObject,
+		OpRenameObject, OpAddContextName, OpDeleteContextName, OpCreateInstance,
+		OpLoadProgram, OpExecProgram} {
+		if !c.IsCSNameOp() {
+			t.Errorf("%v should be a CSname op", c)
+		}
+	}
+	for _, c := range []Code{OpReadInstance, OpEcho, OpGetContextName, ReplyOK, OpNSLookup} {
+		if c.IsCSNameOp() {
+			t.Errorf("%v should not be a CSname op", c)
+		}
+	}
+}
+
+func TestIsReply(t *testing.T) {
+	if !ReplyNotFound.IsReply() || OpEcho.IsReply() {
+		t.Fatal("IsReply misclassifies codes")
+	}
+}
+
+func TestReplyErrorMapping(t *testing.T) {
+	if ReplyError(ReplyOK) != nil {
+		t.Fatal("ReplyOK must map to nil error")
+	}
+	if !errors.Is(ReplyError(ReplyNotFound), ErrNotFound) {
+		t.Fatal("ReplyNotFound must map to ErrNotFound")
+	}
+	if err := ReplyError(Code(0xFF)); !errors.Is(err, ErrIllegalRequest) {
+		t.Fatalf("unknown reply code err = %v", err)
+	}
+}
+
+func TestErrorReplyInverse(t *testing.T) {
+	// Property: ErrorReply inverts ReplyError for all standard codes.
+	for code := range replyErrors {
+		if got := ErrorReply(ReplyError(code)); got != code {
+			t.Errorf("ErrorReply(ReplyError(%v)) = %v", code, got)
+		}
+	}
+	if ErrorReply(nil) != ReplyOK {
+		t.Fatal("ErrorReply(nil) must be ReplyOK")
+	}
+	if ErrorReply(errors.New("mystery")) != ReplyIllegalRequest {
+		t.Fatal("unknown errors must map to ReplyIllegalRequest")
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	if OpCreateInstance.String() != "CreateInstance" {
+		t.Fatalf("String = %q", OpCreateInstance.String())
+	}
+	if !strings.Contains(Code(0x7777).String(), "7777") {
+		t.Fatal("unknown codes should print their value")
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	d := Descriptor{
+		Tag:          TagFile,
+		Perms:        PermRead | PermWrite,
+		ObjectID:     1234,
+		Size:         4096,
+		Modified:     987654321,
+		TypeSpecific: [2]uint32{11, 22},
+		Name:         "naming.mss",
+		Owner:        "cheriton",
+	}
+	buf := d.AppendEncoded(nil)
+	if len(buf) != d.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), d.EncodedSize())
+	}
+	got, n, err := DecodeDescriptor(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) || got != d {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDescriptorRoundTripProperty(t *testing.T) {
+	f := func(tag, perms uint16, id, size uint32, mod uint64, ts [2]uint32, name, owner string) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		if len(owner) > 1000 {
+			owner = owner[:1000]
+		}
+		d := Descriptor{
+			Tag: DescriptorTag(tag), Perms: perms, ObjectID: id, Size: size,
+			Modified: mod, TypeSpecific: ts, Name: name, Owner: owner,
+		}
+		got, n, err := DecodeDescriptor(d.AppendEncoded(nil))
+		return err == nil && n == d.EncodedSize() && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorStreamRoundTrip(t *testing.T) {
+	list := []Descriptor{
+		{Tag: TagFile, Name: "a"},
+		{Tag: TagDirectory, Name: "subdir", Owner: "mann"},
+		{Tag: TagLink, Name: "other", TypeSpecific: [2]uint32{0x10001, 3}},
+	}
+	got, err := DecodeDescriptors(EncodeDescriptors(list))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(list) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(list))
+	}
+	for i := range list {
+		if got[i] != list[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], list[i])
+		}
+	}
+}
+
+func TestDecodeDescriptorsEmpty(t *testing.T) {
+	got, err := DecodeDescriptors(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: %v, %v", got, err)
+	}
+}
+
+func TestDecodeDescriptorsCorrupt(t *testing.T) {
+	d := Descriptor{Tag: TagFile, Name: "x"}
+	buf := d.AppendEncoded(nil)
+	if _, err := DecodeDescriptors(buf[:len(buf)-1]); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("corrupt stream err = %v", err)
+	}
+}
+
+func TestDescriptorTagStrings(t *testing.T) {
+	tags := []DescriptorTag{TagFile, TagDirectory, TagContextPrefix, TagTerminal,
+		TagPrintJob, TagTCPConnection, TagProgram, TagMailbox, TagLink, TagServiceBinding}
+	seen := make(map[string]bool, len(tags))
+	for _, tag := range tags {
+		s := tag.String()
+		if s == "" || strings.HasPrefix(s, "tag(") {
+			t.Errorf("tag %d has no name", tag)
+		}
+		if seen[s] {
+			t.Errorf("duplicate tag name %q", s)
+		}
+		seen[s] = true
+	}
+	if DescriptorTag(999).String() != "tag(999)" {
+		t.Fatal("unknown tags should print their value")
+	}
+}
+
+func TestOpenModeRoundTrip(t *testing.T) {
+	m := &Message{Op: OpCreateInstance}
+	SetOpenMode(m, ModeRead|ModeCreate)
+	if OpenMode(m) != ModeRead|ModeCreate {
+		t.Fatal("open mode round trip failed")
+	}
+}

@@ -1,0 +1,234 @@
+package rig
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+)
+
+// TestPacketLossMaskedByRetransmission: the kernel IPC masks moderate
+// packet loss by retransmission (§3.1's IPC is "entirely adequate as a
+// transport level"); operations succeed, just slower.
+func TestPacketLossMaskedByRetransmission(t *testing.T) {
+	r := boot(t)
+	s := r.WS[0].Session
+
+	base := s.Proc().Now()
+	if _, err := s.ReadFile("[home]welcome.txt"); err != nil {
+		t.Fatal(err)
+	}
+	cleanTime := s.Proc().Now() - base
+
+	r.Net.SetDropRate(0.05)
+	defer r.Net.SetDropRate(0)
+	ok, failed := 0, 0
+	start := s.Proc().Now()
+	for i := 0; i < 50; i++ {
+		if _, err := s.ReadFile("[home]welcome.txt"); err != nil {
+			failed++
+			continue
+		}
+		ok++
+	}
+	lossyAvg := (s.Proc().Now() - start) / 50
+	if ok < 45 {
+		t.Fatalf("only %d/50 reads survived 5%% loss", ok)
+	}
+	if lossyAvg <= cleanTime {
+		t.Fatalf("loss should cost retransmission latency: %v vs clean %v", lossyAvg, cleanTime)
+	}
+}
+
+func TestPartitionDuringForwardChain(t *testing.T) {
+	// The client can reach FS1 but FS1 cannot reach FS2: a name crossing
+	// the link fails cleanly; direct FS1 names keep working.
+	r := boot(t)
+	s := r.WS[0].Session
+	// Put FS2 in its own partition.
+	r.Net.Partition(r.FS2Host.ID(), 1)
+	defer r.Net.Heal()
+
+	if _, err := s.ReadFile("[storage]/shared/archive/2026/paper.mss"); !errors.Is(err, netsim.ErrUnreachable) {
+		t.Fatalf("cross-partition traversal err = %v", err)
+	}
+	if _, err := s.ReadFile("[home]welcome.txt"); err != nil {
+		t.Fatalf("unrelated names must keep working: %v", err)
+	}
+	r.Net.Heal()
+	if _, err := s.ReadFile("[storage]/shared/archive/2026/paper.mss"); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestCrashDuringOpenInstanceInvalidated(t *testing.T) {
+	// Instances die with the server; subsequent instance operations fail
+	// with nonexistent process, and a fresh open on the re-created server
+	// works.
+	r := boot(t)
+	s := r.WS[0].Session
+	f, err := s.Open("[home]welcome.txt", proto.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.FS1Host.Crash()
+	if _, err := f.ReadBlock(0); !errors.Is(err, kernel.ErrNonexistentProcess) {
+		t.Fatalf("read on dead server err = %v", err)
+	}
+	r.FS1Host.Restart()
+	if _, err := restartFS1(r); err != nil {
+		t.Fatal(err)
+	}
+	// The home prefix is static and now dangles; the dynamic [bin] works.
+	if _, err := s.ReadFile("[bin]hello"); err != nil {
+		t.Fatalf("dynamic binding after restart: %v", err)
+	}
+}
+
+func TestPrefixServerCrashIsolatedPerUser(t *testing.T) {
+	// One user's prefix server dies: only that user's bracketed names
+	// break; the other user and current-context names are unaffected —
+	// no central failure point (§2.2).
+	r := boot(t)
+	victim, other := r.WS[0], r.WS[1]
+
+	victim.Prefix.Proc().Destroy()
+	if _, err := victim.Session.ReadFile("[home]welcome.txt"); !errors.Is(err, kernel.ErrNonexistentProcess) {
+		t.Fatalf("victim's prefixed name err = %v", err)
+	}
+	// Current-context access does not involve the prefix server at all.
+	if _, err := victim.Session.ReadFile("welcome.txt"); err != nil {
+		t.Fatalf("victim's current-context name: %v", err)
+	}
+	if _, err := other.Session.ReadFile("[home]welcome.txt"); err != nil {
+		t.Fatalf("other user's names: %v", err)
+	}
+}
+
+func TestConcurrentSessionsMixedWorkload(t *testing.T) {
+	// Eight concurrent sessions per user hammer the servers with mixed
+	// operations; everything stays consistent and race-free.
+	r := boot(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for w, ws := range r.WS {
+		for i := 0; i < 4; i++ {
+			sess, err := r.NewSession(ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(w, i int) {
+				defer wg.Done()
+				base := fmt.Sprintf("[home]stress-%d-%d", w, i)
+				for j := 0; j < 20; j++ {
+					name := fmt.Sprintf("%s-%d.txt", base, j)
+					payload := fmt.Sprintf("payload %d %d %d", w, i, j)
+					if err := sess.WriteFile(name, []byte(payload)); err != nil {
+						errCh <- err
+						return
+					}
+					got, err := sess.ReadFile(name)
+					if err != nil || string(got) != payload {
+						errCh <- fmt.Errorf("read back %q: %q, %v", name, got, err)
+						return
+					}
+					if j%3 == 0 {
+						if err := sess.Remove(name); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					if _, err := sess.List("[home]"); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w, i)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Every surviving file is intact.
+	records, err := r.WS[0].Session.List("[home]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := 0
+	for _, d := range records {
+		if strings.HasPrefix(d.Name, "stress-") {
+			survivors++
+		}
+	}
+	// 4 sessions × 20 files × (2/3 kept, j%3!=0 → 13 of 20).
+	if survivors != 4*13 {
+		t.Fatalf("survivors = %d, want %d", survivors, 4*13)
+	}
+}
+
+func TestConcurrentTerminalCreation(t *testing.T) {
+	// Transient-object id generation stays unique under concurrency.
+	r := boot(t)
+	ws := r.WS[0]
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		sess, err := r.NewSession(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := sess.Open("[tty]new", proto.ModeRead|proto.ModeWrite|proto.ModeCreate)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := f.Write([]byte("x")); err != nil {
+				errCh <- err
+				return
+			}
+			errCh <- f.Close()
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ws.Term.Count() != 8 {
+		t.Fatalf("terminals = %d", ws.Term.Count())
+	}
+	records, err := ws.Session.List("[tty]")
+	if err != nil || len(records) != 8 {
+		t.Fatalf("listing = %d records, %v", len(records), err)
+	}
+	seen := map[string]bool{}
+	for _, d := range records {
+		if seen[d.Name] {
+			t.Fatalf("duplicate terminal name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestTotalLossEventuallyFails(t *testing.T) {
+	r := boot(t)
+	s := r.WS[0].Session
+	r.Net.SetDropRate(1.0)
+	defer r.Net.SetDropRate(0)
+	if _, err := s.ReadFile("[home]welcome.txt"); err == nil {
+		t.Fatal("total loss should exhaust retransmissions")
+	}
+}

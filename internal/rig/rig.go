@@ -1,0 +1,321 @@
+// Package rig assembles the paper's testbed in simulation (§6): diskless
+// workstations and server machines on a shared Ethernet, file servers
+// providing program loading and file access, one context prefix server
+// per user workstation, and the simple local servers each workstation
+// runs (virtual terminal server, program manager). A services machine
+// hosts the printer, Internet and mail servers, and — for the baseline
+// comparisons only — a centralized name server.
+//
+// The rig gives tests, examples and the experiment harness a common,
+// deterministic topology.
+package rig
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/execserver"
+	"repro/internal/fileserver"
+	"repro/internal/inetserver"
+	"repro/internal/kernel"
+	"repro/internal/mailserver"
+	"repro/internal/nameserver"
+	"repro/internal/netsim"
+	"repro/internal/pipeserver"
+	"repro/internal/prefix"
+	"repro/internal/printserver"
+	"repro/internal/termserver"
+	"repro/internal/timeserver"
+	"repro/internal/vtime"
+)
+
+// Config selects the rig's shape.
+type Config struct {
+	// Users names the workstation users; one workstation is built per
+	// user. Default: {"mann", "cheriton"}.
+	Users []string
+	// Seed drives the network's deterministic RNG.
+	Seed int64
+	// ReadAhead controls the file servers' buffer-cache read-ahead.
+	ReadAhead bool
+	// Baseline additionally starts the centralized name server used by
+	// the §2.2 comparison experiments.
+	Baseline bool
+	// Model overrides the cost model (default: the calibrated 3 Mbit
+	// model; vtime.Model10Mbit() selects the faster wire).
+	Model *vtime.CostModel
+}
+
+// DefaultConfig is the standard two-user configuration.
+func DefaultConfig() Config {
+	return Config{Users: []string{"mann", "cheriton"}, Seed: 1, ReadAhead: true}
+}
+
+// Workstation is one user's diskless workstation: the local servers plus
+// a client session whose current context starts at the user's home
+// directory.
+type Workstation struct {
+	Host    *kernel.Host
+	User    string
+	Prefix  *prefix.Server
+	Term    *termserver.Server
+	Exec    *execserver.Server
+	Session *client.Session
+	HomeCtx core.ContextPair
+}
+
+// Rig is the assembled topology.
+type Rig struct {
+	Net    *netsim.Network
+	Kernel *kernel.Kernel
+	Model  *vtime.CostModel
+
+	FS1Host *kernel.Host
+	FS1     *fileserver.FileServer
+	FS2Host *kernel.Host
+	FS2     *fileserver.FileServer
+
+	ServicesHost *kernel.Host
+	Print        *printserver.Server
+	Inet         *inetserver.Server
+	Mail         *mailserver.Server
+	Time         *timeserver.Server
+	Pipe         *pipeserver.Server
+
+	NSHost *kernel.Host
+	NS     *nameserver.Server
+
+	WS []*Workstation
+
+	// BinCtx is the standard program directory context on FS1.
+	BinCtx core.ContextPair
+}
+
+// New boots a rig.
+func New(cfg Config) (*Rig, error) {
+	if len(cfg.Users) == 0 {
+		cfg.Users = []string{"mann", "cheriton"}
+	}
+	model := cfg.Model
+	if model == nil {
+		model = vtime.DefaultModel()
+	}
+	net := netsim.New(model, cfg.Seed)
+	k := kernel.New(net)
+	r := &Rig{Net: net, Kernel: k, Model: model}
+
+	if err := r.bootFileServers(cfg); err != nil {
+		return nil, fmt.Errorf("rig: boot file servers: %w", err)
+	}
+	if err := r.bootServices(cfg); err != nil {
+		return nil, fmt.Errorf("rig: boot services: %w", err)
+	}
+	for _, user := range cfg.Users {
+		ws, err := r.bootWorkstation(user)
+		if err != nil {
+			return nil, fmt.Errorf("rig: boot workstation for %s: %w", user, err)
+		}
+		r.WS = append(r.WS, ws)
+	}
+	return r, nil
+}
+
+// MustNew is New for tests and examples where a boot failure is fatal.
+func MustNew(cfg Config) *Rig {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (r *Rig) bootFileServers(cfg Config) error {
+	var err error
+	r.FS1Host = r.Kernel.NewHost("fs1")
+	r.FS1, err = fileserver.Start(r.FS1Host, "fs1", fileserver.WithReadAhead(cfg.ReadAhead))
+	if err != nil {
+		return err
+	}
+	if err := r.FS1.Proc().SetPid(kernel.ServiceStorage, r.FS1.PID(), kernel.ScopeBoth); err != nil {
+		return err
+	}
+
+	r.FS2Host = r.Kernel.NewHost("fs2")
+	r.FS2, err = fileserver.Start(r.FS2Host, "fs2", fileserver.WithReadAhead(cfg.ReadAhead))
+	if err != nil {
+		return err
+	}
+	if err := r.FS2.Proc().SetPid(kernel.ServiceStorage, r.FS2.PID(), kernel.ScopeBoth); err != nil {
+		return err
+	}
+
+	// Standard file system contents.
+	binCtx, err := r.FS1.MkdirAll("/bin", "system")
+	if err != nil {
+		return err
+	}
+	r.BinCtx = core.ContextPair{Server: r.FS1.PID(), Ctx: binCtx}
+	if err := r.FS1.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
+		return err
+	}
+	if err := r.FS1.SetWellKnown(core.CtxPublic, "/"); err != nil {
+		return err
+	}
+	for name, size := range map[string]int{"hello": 2 * 1024, "editor": 64 * 1024, "compiler": 64 * 1024} {
+		if err := r.FS1.WriteFile("/bin/"+name, "system", programImage(name, size)); err != nil {
+			return err
+		}
+	}
+	for _, user := range cfg.Users {
+		base := "/users/" + user
+		if err := r.FS1.WriteFile(base+"/welcome.txt", user,
+			[]byte(fmt.Sprintf("Welcome to the V-System, %s.\n", user))); err != nil {
+			return err
+		}
+		if err := r.FS1.WriteFile(base+"/notes/todo.txt", user,
+			[]byte("- finish the naming paper\n- measure Open latency\n")); err != nil {
+			return err
+		}
+	}
+	if err := r.FS1.SetWellKnown(core.CtxHome, "/users/"+cfg.Users[0]); err != nil {
+		return err
+	}
+
+	// FS2 holds the archive tree, reachable from FS1 through a
+	// cross-server link (Figure 4's curved arrow).
+	if err := r.FS2.WriteFile("/archive/2026/paper.mss", "system",
+		[]byte("Uniform Access to Distributed Name Interpretation\n")); err != nil {
+		return err
+	}
+	archiveCtx, err := r.FS2.MkdirAll("/archive", "system")
+	if err != nil {
+		return err
+	}
+	return r.FS1.AddLink("/shared", "archive",
+		core.ContextPair{Server: r.FS2.PID(), Ctx: archiveCtx})
+}
+
+func (r *Rig) bootServices(cfg Config) error {
+	var err error
+	r.ServicesHost = r.Kernel.NewHost("services")
+	if r.Print, err = printserver.Start(r.ServicesHost); err != nil {
+		return err
+	}
+	if r.Inet, err = inetserver.Start(r.ServicesHost); err != nil {
+		return err
+	}
+	if r.Mail, err = mailserver.Start(r.ServicesHost); err != nil {
+		return err
+	}
+	if r.Time, err = timeserver.Start(r.ServicesHost); err != nil {
+		return err
+	}
+	if r.Pipe, err = pipeserver.Start(r.ServicesHost); err != nil {
+		return err
+	}
+	for _, user := range cfg.Users {
+		if err := r.Mail.AddMailbox(user + "@v.stanford.edu"); err != nil {
+			return err
+		}
+	}
+	// A pre-existing foreign mailbox, with its externally-imposed name.
+	if err := r.Mail.AddMailbox("cheriton@su-score.ARPA"); err != nil {
+		return err
+	}
+
+	if cfg.Baseline {
+		r.NSHost = r.Kernel.NewHost("nameserver")
+		if r.NS, err = nameserver.Start(r.NSHost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Rig) bootWorkstation(user string) (*Workstation, error) {
+	host := r.Kernel.NewHost("ws-" + user)
+	ws := &Workstation{Host: host, User: user}
+
+	var err error
+	if ws.Prefix, err = prefix.Start(host, user); err != nil {
+		return nil, err
+	}
+	if ws.Term, err = termserver.Start(host); err != nil {
+		return nil, err
+	}
+	if ws.Exec, err = execserver.Start(host, r.BinCtx); err != nil {
+		return nil, err
+	}
+
+	homeCtx, err := r.FS1.MkdirAll("/users/"+user, user)
+	if err != nil {
+		return nil, err
+	}
+	ws.HomeCtx = core.ContextPair{Server: r.FS1.PID(), Ctx: homeCtx}
+
+	// The standard per-user context prefixes (§6): some refer to file
+	// servers, some to special contexts within them, some to generic
+	// services via dynamic (service, well-known-context) bindings.
+	defs := []struct {
+		name string
+		bind func() error
+	}{
+		{"storage", func() error { return ws.Prefix.Define("storage", r.FS1.RootPair()) }},
+		{"storage2", func() error { return ws.Prefix.Define("storage2", r.FS2.RootPair()) }},
+		{"home", func() error { return ws.Prefix.Define("home", ws.HomeCtx) }},
+		{"bin", func() error {
+			return ws.Prefix.DefineDynamic("bin", kernel.ServiceStorage, core.CtxStdPrograms)
+		}},
+		{"tty", func() error { return ws.Prefix.Define("tty", ws.Term.RootPair()) }},
+		{"exec", func() error { return ws.Prefix.Define("exec", ws.Exec.RootPair()) }},
+		{"print", func() error {
+			return ws.Prefix.DefineDynamic("print", kernel.ServicePrinter, core.CtxDefault)
+		}},
+		{"tcp", func() error {
+			return ws.Prefix.DefineDynamic("tcp", kernel.ServiceInternet, core.CtxDefault)
+		}},
+		{"mail", func() error {
+			return ws.Prefix.DefineDynamic("mail", kernel.ServiceMail, core.CtxDefault)
+		}},
+		{"time", func() error {
+			return ws.Prefix.DefineDynamic("time", kernel.ServiceTime, core.CtxDefault)
+		}},
+		{"pipe", func() error {
+			return ws.Prefix.DefineDynamic("pipe", kernel.ServicePipe, core.CtxDefault)
+		}},
+	}
+	for _, d := range defs {
+		if err := d.bind(); err != nil {
+			return nil, fmt.Errorf("prefix %q: %w", d.name, err)
+		}
+	}
+
+	ws.Session, err = r.NewSession(ws)
+	return ws, err
+}
+
+// NewSession creates an additional client session (a "program") on a
+// workstation, inheriting the user's prefix server and home directory as
+// current context (§6).
+func (r *Rig) NewSession(ws *Workstation) (*client.Session, error) {
+	proc, err := ws.Host.NewProcess("client-" + ws.User)
+	if err != nil {
+		return nil, err
+	}
+	return client.New(proc, ws.Prefix.PID(), ws.HomeCtx, ws.User), nil
+}
+
+// Workstation returns the i-th workstation.
+func (r *Rig) Workstation(i int) *Workstation { return r.WS[i] }
+
+// programImage fabricates a deterministic program image of the given
+// size.
+func programImage(name string, size int) []byte {
+	img := make([]byte, size)
+	copy(img, "V-PROGRAM:"+name)
+	for i := len(name) + 10; i < size; i++ {
+		img[i] = byte(i * 31)
+	}
+	return img
+}

@@ -1,0 +1,283 @@
+// Package termserver implements the V-System virtual graphics terminal
+// server (§3, §6): a server providing a small number of transient objects
+// — virtual terminals — named by short numeric object instance
+// identifiers generated at creation time, with character-string names
+// derived from them (§4.3).
+//
+// It is one of the simple local server processes every workstation runs,
+// and one of the context types the single "list directory" command can
+// list (§6).
+package termserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/vio"
+)
+
+// CreateName is the distinguished name opened with ModeCreate to
+// allocate a new virtual terminal.
+const CreateName = "new"
+
+// terminal is one virtual terminal: a screen buffer plus an input queue.
+type terminal struct {
+	mu     sync.Mutex
+	id     uint32
+	name   string
+	screen []byte
+	owner  string
+}
+
+// Server is the virtual graphics terminal server.
+type Server struct {
+	srv   *core.Server
+	proc  *kernel.Process
+	store *core.MapStore
+	reg   *vio.Registry
+
+	mu    sync.Mutex
+	terms map[uint32]*terminal
+	next  uint32
+}
+
+// Start spawns a terminal server on host.
+func Start(host *kernel.Host) (*Server, error) {
+	proc, err := host.NewProcess("vgt-server")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		proc:  proc,
+		store: core.NewMapStore(),
+		reg:   vio.NewRegistry(),
+		terms: make(map[uint32]*terminal),
+	}
+	s.srv = core.NewServer(proc, s.store, s)
+	go s.srv.Run()
+	if err := proc.SetPid(kernel.ServiceTerminal, proc.PID(), kernel.ScopeLocal); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// RootPair returns the server's single context.
+func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
+
+// Count returns the number of live terminals.
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.terms)
+}
+
+// Screen returns a copy of the named terminal's screen contents (test and
+// example support).
+func (s *Server) Screen(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.terms {
+		if t.name == name {
+			t.mu.Lock()
+			out := append([]byte(nil), t.screen...)
+			t.mu.Unlock()
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%q: %w", name, proto.ErrNotFound)
+}
+
+// create allocates a terminal. Terminal names are derived from the
+// numeric object instance identifier chosen by the server (§4.3).
+func (s *Server) create(owner string) *terminal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	t := &terminal{id: s.next, name: fmt.Sprintf("vgt%d", s.next), owner: owner}
+	s.terms[t.id] = t
+	if err := s.store.Bind(core.CtxDefault, t.name, core.ObjectEntry(proto.TagTerminal, t.id)); err != nil {
+		// Name collision is impossible: ids are unique.
+		panic(err)
+	}
+	return t
+}
+
+func (s *Server) describe(t *terminal) proto.Descriptor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return proto.Descriptor{
+		Tag:      proto.TagTerminal,
+		ObjectID: t.id,
+		Name:     t.name,
+		Owner:    t.owner,
+		Size:     uint32(len(t.screen)),
+		Perms:    proto.PermRead | proto.PermWrite,
+	}
+}
+
+// HandleNamed implements core.Handler.
+func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpCreateInstance:
+		mode := proto.OpenMode(req.Msg)
+		if mode&proto.ModeDirectory != 0 {
+			if _, err := res.ContextOf(); err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			pattern, err := proto.DirPattern(req.Msg)
+			if err != nil {
+				return core.ErrorReplyMsg(err)
+			}
+			return s.openDirectory(res.Name, pattern)
+		}
+		if res.Last == CreateName && res.Entry == nil && mode&proto.ModeCreate != 0 {
+			t := s.create("")
+			return s.openTerminal(t.id, t.name)
+		}
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		return s.openTerminal(res.Entry.Object.ID, res.Last)
+
+	case proto.OpQueryObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		t := s.terms[res.Entry.Object.ID]
+		s.mu.Unlock()
+		if t == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		d := s.describe(t)
+		reply := core.OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+
+	case proto.OpRemoveObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		s.mu.Lock()
+		delete(s.terms, res.Entry.Object.ID)
+		s.mu.Unlock()
+		if err := s.store.Unbind(core.CtxDefault, res.Last); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler.
+func (s *Server) HandleOp(req *core.Request) *proto.Message {
+	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+		return reply
+	}
+	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+}
+
+// openTerminal opens a terminal as a V I/O instance: reads return the
+// screen contents, writes append to the screen.
+func (s *Server) openTerminal(id uint32, name string) *proto.Message {
+	s.mu.Lock()
+	t := s.terms[id]
+	s.mu.Unlock()
+	if t == nil {
+		return core.ErrorReplyMsg(proto.ErrNotFound)
+	}
+	iid, err := s.reg.Open(&termInstance{t: t}, name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+func (s *Server) openDirectory(name, pattern string) *proto.Message {
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.terms))
+	for id := range s.terms {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	records := make([]proto.Descriptor, 0, len(ids))
+	s.mu.Lock()
+	for _, id := range ids {
+		if t := s.terms[id]; t != nil {
+			records = append(records, s.describe(t))
+		}
+	}
+	s.mu.Unlock()
+	records = core.FilterRecords(records, pattern)
+	model := s.proc.Kernel().Model()
+	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	inst, _ := s.reg.Get(iid)
+	info := inst.Info()
+	info.ID = iid
+	reply := core.OkReply()
+	proto.SetInstanceInfo(reply, info)
+	proto.SetInstanceOwner(reply, uint32(s.proc.PID()))
+	return reply
+}
+
+// termInstance adapts a terminal to the V I/O instance interface.
+type termInstance struct {
+	t *terminal
+}
+
+func (ti *termInstance) Info() proto.InstanceInfo {
+	ti.t.mu.Lock()
+	defer ti.t.mu.Unlock()
+	return proto.InstanceInfo{
+		SizeBytes: uint32(len(ti.t.screen)),
+		BlockSize: vio.DefaultBlockSize,
+		Flags:     proto.ModeRead | proto.ModeWrite,
+	}
+}
+
+func (ti *termInstance) ReadAt(off int64, buf []byte) (int, error) {
+	ti.t.mu.Lock()
+	defer ti.t.mu.Unlock()
+	if off >= int64(len(ti.t.screen)) {
+		return 0, proto.ErrEndOfFile
+	}
+	return copy(buf, ti.t.screen[off:]), nil
+}
+
+// WriteAt appends to the screen regardless of offset: a terminal is a
+// stream sink, not a random-access store.
+func (ti *termInstance) WriteAt(_ int64, data []byte) (int, error) {
+	ti.t.mu.Lock()
+	defer ti.t.mu.Unlock()
+	ti.t.screen = append(ti.t.screen, data...)
+	return len(data), nil
+}
+
+func (ti *termInstance) Release() {}
+
+var (
+	_ vio.Instance = (*termInstance)(nil)
+	_ core.Handler = (*Server)(nil)
+)

@@ -1,0 +1,160 @@
+package termserver
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vio"
+	"repro/internal/vtime"
+)
+
+func startRig(t *testing.T) (*Server, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	host := k.NewHost("ws")
+	s, err := Start(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := host.NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Destroy() })
+	return s, client
+}
+
+func open(t *testing.T, client *kernel.Process, s *Server, name string, mode uint32) *vio.File {
+	t.Helper()
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), name)
+	proto.SetOpenMode(req, mode)
+	reply, err := client.Send(req, s.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.ReplyError(reply.Op); err != nil {
+		t.Fatalf("open %q: %v", name, err)
+	}
+	return vio.NewFile(client, s.PID(), proto.GetInstanceInfo(reply))
+}
+
+func TestCreateTerminalNamesFromInstanceID(t *testing.T) {
+	s, client := startRig(t)
+	f1 := open(t, client, s, CreateName, proto.ModeRead|proto.ModeWrite|proto.ModeCreate)
+	f2 := open(t, client, s, CreateName, proto.ModeRead|proto.ModeWrite|proto.ModeCreate)
+	defer f1.Close()
+	defer f2.Close()
+	if s.Count() != 2 {
+		t.Fatalf("terminals = %d", s.Count())
+	}
+	// §4.3: names derive from server-generated numeric identifiers.
+	if _, err := s.Screen("vgt1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Screen("vgt2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAppendsToScreen(t *testing.T) {
+	s, client := startRig(t)
+	f := open(t, client, s, CreateName, proto.ModeWrite|proto.ModeCreate)
+	if _, err := f.Write([]byte("line one\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Writes append regardless of file position.
+	if _, err := f.Write([]byte("line two\n")); err != nil {
+		t.Fatal(err)
+	}
+	screen, err := s.Screen("vgt1")
+	if err != nil || string(screen) != "line one\nline two\n" {
+		t.Fatalf("screen = %q, %v", screen, err)
+	}
+}
+
+func TestReopenExistingTerminal(t *testing.T) {
+	s, client := startRig(t)
+	f := open(t, client, s, CreateName, proto.ModeWrite|proto.ModeCreate)
+	if _, err := f.Write([]byte("persistent")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2 := open(t, client, s, "vgt1", proto.ModeRead)
+	got, err := f2.ReadAll()
+	if err != nil || string(got) != "persistent" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}
+
+func TestOpenMissingTerminal(t *testing.T) {
+	s, client := startRig(t)
+	req := &proto.Message{Op: proto.OpCreateInstance}
+	proto.SetCSName(req, uint32(core.CtxDefault), "vgt99")
+	proto.SetOpenMode(req, proto.ModeRead)
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyNotFound {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+}
+
+func TestQueryAndRemove(t *testing.T) {
+	s, client := startRig(t)
+	f := open(t, client, s, CreateName, proto.ModeWrite|proto.ModeCreate)
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, uint32(core.CtxDefault), "vgt1")
+	reply, err := client.Send(q, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("query = %v, %v", reply, err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil || d.Tag != proto.TagTerminal || d.Size != 10 {
+		t.Fatalf("descriptor = %+v, %v", d, err)
+	}
+
+	rm := &proto.Message{Op: proto.OpRemoveObject}
+	proto.SetCSName(rm, uint32(core.CtxDefault), "vgt1")
+	reply, err = client.Send(rm, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("remove = %v, %v", reply, err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("terminal survived removal")
+	}
+}
+
+func TestDirectoryListsTerminalsSorted(t *testing.T) {
+	s, client := startRig(t)
+	for i := 0; i < 3; i++ {
+		open(t, client, s, CreateName, proto.ModeCreate|proto.ModeWrite)
+	}
+	dir := open(t, client, s, "", proto.ModeRead|proto.ModeDirectory)
+	raw, err := dir.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := proto.DecodeDescriptors(raw)
+	if err != nil || len(records) != 3 {
+		t.Fatalf("records = %v, %v", records, err)
+	}
+	for i, want := range []string{"vgt1", "vgt2", "vgt3"} {
+		if records[i].Name != want {
+			t.Fatalf("records[%d] = %q", i, records[i].Name)
+		}
+	}
+}
+
+func TestScreenOfUnknownTerminal(t *testing.T) {
+	s, _ := startRig(t)
+	if _, err := s.Screen("vgt9"); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,106 @@
+// Package timeserver implements the V-System time service (§4.2): the
+// paper's example of a simple service for which clients typically
+// translate from service to real server pid on each operation, rather
+// than caching the binding.
+//
+// The server answers OpQueryInstance-style time requests with the
+// domain's virtual time. It also exposes its single "clock" object under
+// the name-handling protocol, so even the time is a nameable, queryable
+// object.
+package timeserver
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+)
+
+// Server is the time server.
+type Server struct {
+	srv   *core.Server
+	proc  *kernel.Process
+	store *core.MapStore
+}
+
+// clockObjectID is the id of the single clock object.
+const clockObjectID = 1
+
+// Start spawns a time server on host and registers the time service.
+func Start(host *kernel.Host) (*Server, error) {
+	proc, err := host.NewProcess("time-server")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{proc: proc, store: core.NewMapStore()}
+	if err := s.store.Bind(core.CtxDefault, "clock",
+		core.ObjectEntry(proto.TagServiceBinding, clockObjectID)); err != nil {
+		return nil, err
+	}
+	s.srv = core.NewServer(proc, s.store, s)
+	go s.srv.Run()
+	if err := proc.SetPid(kernel.ServiceTime, proc.PID(), kernel.ScopeBoth); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PID returns the server's process identifier.
+func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// RootPair returns the server's single context.
+func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
+
+// HandleNamed implements core.Handler: the clock object answers query.
+func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpQueryObject:
+		if res.Entry == nil || res.Entry.Object == nil {
+			return core.ErrorReplyMsg(proto.ErrNotFound)
+		}
+		now := s.proc.Now()
+		d := proto.Descriptor{
+			Tag:      proto.TagServiceBinding,
+			ObjectID: clockObjectID,
+			Name:     "clock",
+			Modified: uint64(now),
+			Size:     uint32(now / 1e9), // whole virtual seconds since boot
+		}
+		reply := core.OkReply()
+		reply.Segment = d.AppendEncoded(nil)
+		return reply
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// HandleOp implements core.Handler: OpEcho doubles as "get time" for the
+// simple per-operation clients §4.2 describes — the reply's F[0]/F[1]
+// carry the server's virtual time.
+func (s *Server) HandleOp(req *core.Request) *proto.Message {
+	switch req.Msg.Op {
+	case proto.OpEcho:
+		reply := core.OkReply()
+		now := uint64(s.proc.Now())
+		reply.F[0] = uint32(now >> 32)
+		reply.F[1] = uint32(now)
+		return reply
+	default:
+		return core.ErrorReplyMsg(proto.ErrIllegalRequest)
+	}
+}
+
+// GetTime is the client stub the paper sketches: GetPid(time service) on
+// each call, then one transaction.
+func GetTime(proc *kernel.Process) (uint64, error) {
+	pid, err := proc.GetPid(kernel.ServiceTime, kernel.ScopeBoth)
+	if err != nil {
+		return 0, err
+	}
+	reply, err := core.Transact(proc, pid, &proto.Message{Op: proto.OpEcho})
+	if err != nil {
+		return 0, err
+	}
+	return uint64(reply.F[0])<<32 | uint64(reply.F[1]), nil
+}
+
+var _ core.Handler = (*Server)(nil)

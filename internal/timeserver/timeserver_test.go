@@ -1,0 +1,92 @@
+package timeserver
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+func startRig(t *testing.T) (*Server, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	host := k.NewHost("services")
+	s, err := Start(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientHost := k.NewHost("ws")
+	client, err := clientHost.NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Destroy() })
+	return s, client
+}
+
+func TestGetTimeBindsPerUse(t *testing.T) {
+	s, client := startRig(t)
+	t1, err := GetTime(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GetTime(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 <= t1 {
+		t.Fatalf("time must advance: %d then %d", t1, t2)
+	}
+	// Per-use binding survives server re-creation (§4.2).
+	host := s.proc.Host()
+	s.proc.Destroy()
+	s2, err := Start(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.PID() == s.PID() {
+		t.Fatal("new server should have a new pid")
+	}
+	if _, err := GetTime(client); err != nil {
+		t.Fatalf("GetTime after re-creation: %v", err)
+	}
+}
+
+func TestGetTimeNoService(t *testing.T) {
+	_, client := startRig(t)
+	// A domain without the service registered.
+	k2 := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	h := k2.NewHost("lonely")
+	p, err := h.NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GetTime(p); !errors.Is(err, kernel.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = client
+}
+
+func TestClockIsNameableObject(t *testing.T) {
+	s, client := startRig(t)
+	req := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req, uint32(core.CtxDefault), "clock")
+	reply, err := client.Send(req, s.PID())
+	if err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("query = %v, %v", reply, err)
+	}
+	d, _, err := proto.DecodeDescriptor(reply.Segment)
+	if err != nil || d.Name != "clock" || d.Tag != proto.TagServiceBinding {
+		t.Fatalf("descriptor = %+v, %v", d, err)
+	}
+	// Unknown names are unbound.
+	req2 := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(req2, uint32(core.CtxDefault), "sundial")
+	if reply, err := client.Send(req2, s.PID()); err != nil || reply.Op != proto.ReplyNotFound {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+}

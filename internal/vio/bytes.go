@@ -1,0 +1,150 @@
+package vio
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// BytesInstance serves a byte slice as a file-like instance: memory
+// arrays, fabricated context directories, print-job payloads, terminal
+// buffers. WriteSink, if set, receives every write instead of mutating the
+// snapshot — this is how writing a context directory record becomes a
+// modify operation (§5.6).
+type BytesInstance struct {
+	mu        sync.Mutex
+	data      []byte
+	blockSize uint32
+	flags     uint32
+	released  func()
+	writeSink func(off int64, data []byte) error
+}
+
+// BytesOption configures a BytesInstance.
+type BytesOption func(*BytesInstance)
+
+// WithBlockSize overrides the default block size.
+func WithBlockSize(bs uint32) BytesOption {
+	return func(b *BytesInstance) { b.blockSize = bs }
+}
+
+// Writable enables writes that grow/mutate the in-memory data.
+func Writable() BytesOption {
+	return func(b *BytesInstance) { b.flags |= proto.ModeWrite }
+}
+
+// WithWriteSink enables writes and routes them to sink instead of the
+// buffer.
+func WithWriteSink(sink func(off int64, data []byte) error) BytesOption {
+	return func(b *BytesInstance) {
+		b.flags |= proto.ModeWrite
+		b.writeSink = sink
+	}
+}
+
+// OnRelease registers a release callback.
+func OnRelease(fn func()) BytesOption {
+	return func(b *BytesInstance) { b.released = fn }
+}
+
+// NewBytesInstance serves data (readable by default).
+func NewBytesInstance(data []byte, opts ...BytesOption) *BytesInstance {
+	b := &BytesInstance{
+		data:      data,
+		blockSize: DefaultBlockSize,
+		flags:     proto.ModeRead,
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Info implements Instance.
+func (b *BytesInstance) Info() proto.InstanceInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return proto.InstanceInfo{
+		SizeBytes: uint32(len(b.data)),
+		BlockSize: b.blockSize,
+		Flags:     b.flags,
+	}
+}
+
+// ReadAt implements Instance.
+func (b *BytesInstance) ReadAt(off int64, buf []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if off >= int64(len(b.data)) {
+		return 0, proto.ErrEndOfFile
+	}
+	return copy(buf, b.data[off:]), nil
+}
+
+// WriteAt implements Instance.
+func (b *BytesInstance) WriteAt(off int64, data []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.flags&proto.ModeWrite == 0 {
+		return 0, proto.ErrModeNotSupported
+	}
+	if b.writeSink != nil {
+		if err := b.writeSink(off, data); err != nil {
+			return 0, err
+		}
+		return len(data), nil
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", proto.ErrBadArgs)
+	}
+	if need := int(off) + len(data); need > len(b.data) {
+		grown := make([]byte, need)
+		copy(grown, b.data)
+		b.data = grown
+	}
+	return copy(b.data[off:], data), nil
+}
+
+// Release implements Instance.
+func (b *BytesInstance) Release() {
+	if b.released != nil {
+		b.released()
+	}
+}
+
+// Bytes returns a copy of the current data.
+func (b *BytesInstance) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]byte, len(b.data))
+	copy(out, b.data)
+	return out
+}
+
+// NewDirectoryInstance fabricates a context directory instance: a
+// read-only stream of the given description records, where writing a
+// record back invokes modify on the corresponding object (§5.6).
+func NewDirectoryInstance(records []proto.Descriptor, modify func(proto.Descriptor) error) *BytesInstance {
+	opts := []BytesOption{}
+	if modify != nil {
+		opts = append(opts, WithWriteSink(func(off int64, data []byte) error {
+			// Each write carries one or more whole description records;
+			// writing a record has the semantics of the modification
+			// operation on the corresponding object.
+			records, err := proto.DecodeDescriptors(data)
+			if err != nil {
+				return err
+			}
+			for _, d := range records {
+				if err := modify(d); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	}
+	return NewBytesInstance(proto.EncodeDescriptors(records), opts...)
+}
+
+var _ Instance = (*BytesInstance)(nil)

@@ -1,0 +1,237 @@
+package vio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/proto"
+)
+
+// File is the client side of an open instance: it wraps the
+// (server-pid, instance-id) pair returned by OpCreateInstance and speaks
+// the block-oriented instance operations, presenting a sequential
+// io.Reader/io.Writer.
+type File struct {
+	proc   *kernel.Process
+	server kernel.PID
+	info   proto.InstanceInfo
+	pos    int64
+	closed bool
+}
+
+// NewFile wraps an already-opened instance. Most callers use the client
+// package's Open, which performs the name-mapped OpCreateInstance.
+func NewFile(proc *kernel.Process, server kernel.PID, info proto.InstanceInfo) *File {
+	return &File{proc: proc, server: server, info: info}
+}
+
+// Info returns the instance parameters from open time.
+func (f *File) Info() proto.InstanceInfo { return f.info }
+
+// Server returns the pid of the server implementing the instance.
+func (f *File) Server() kernel.PID { return f.server }
+
+// InstanceID returns the instance identifier.
+func (f *File) InstanceID() uint16 { return f.info.ID }
+
+// transact sends one instance operation and maps failure replies to
+// errors.
+func (f *File) transact(req *proto.Message) (*proto.Message, error) {
+	if f.closed {
+		return nil, fmt.Errorf("%w: instance closed", proto.ErrBadArgs)
+	}
+	reply, err := f.proc.Send(req, f.server)
+	if err != nil {
+		return nil, err
+	}
+	if err := proto.ReplyError(reply.Op); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// ReadBlock reads up to one block at the given block index.
+func (f *File) ReadBlock(block uint32) ([]byte, error) {
+	req := &proto.Message{Op: proto.OpReadInstance}
+	req.F[0] = uint32(f.info.ID)
+	req.F[1] = block
+	reply, err := f.transact(req)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Segment, nil
+}
+
+// Read implements io.Reader with sequential block requests.
+func (f *File) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	bs := int64(f.info.BlockSize)
+	if bs == 0 {
+		bs = DefaultBlockSize
+	}
+	total := 0
+	for total < len(p) {
+		block := uint32(f.pos / bs)
+		within := f.pos % bs
+		data, err := f.ReadBlock(block)
+		if err != nil {
+			if errors.Is(err, proto.ErrEndOfFile) && total > 0 {
+				return total, nil
+			}
+			if errors.Is(err, proto.ErrEndOfFile) {
+				return 0, io.EOF
+			}
+			return total, err
+		}
+		if int64(len(data)) <= within {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, io.EOF
+		}
+		n := copy(p[total:], data[within:])
+		total += n
+		f.pos += int64(n)
+		if int64(len(data)) < bs {
+			// Short block: end of data.
+			return total, nil
+		}
+	}
+	return total, nil
+}
+
+// ReadRetry reads like Read but backs off and retries when the server
+// answers Retry — the not-ready discipline for stream devices such as
+// pipes. It gives up after maxRetries consecutive Retry replies.
+func (f *File) ReadRetry(p []byte, maxRetries int) (int, error) {
+	for attempt := 0; ; attempt++ {
+		n, err := f.Read(p)
+		if err != nil && errors.Is(err, proto.ErrRetry) && attempt < maxRetries {
+			// Back off in virtual time before polling again.
+			f.proc.ChargeCompute(time.Millisecond)
+			continue
+		}
+		return n, err
+	}
+}
+
+// ReadAll reads the instance from the current position to EOF.
+func (f *File) ReadAll() ([]byte, error) {
+	var out []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// Write implements io.Writer with sequential block writes.
+func (f *File) Write(p []byte) (int, error) {
+	bs := int64(f.info.BlockSize)
+	if bs == 0 {
+		bs = DefaultBlockSize
+	}
+	total := 0
+	for total < len(p) {
+		block := uint32(f.pos / bs)
+		within := f.pos % bs
+		chunk := p[total:]
+		if max := bs - within; int64(len(chunk)) > max {
+			chunk = chunk[:max]
+		}
+		req := &proto.Message{Op: proto.OpWriteInstance}
+		req.F[0] = uint32(f.info.ID)
+		req.F[1] = block
+		req.F[2] = uint32(within)
+		req.Segment = chunk
+		reply, err := f.transact(req)
+		if err != nil {
+			return total, err
+		}
+		n := int(reply.F[1])
+		total += n
+		f.pos += int64(n)
+		if n < len(chunk) {
+			return total, io.ErrShortWrite
+		}
+	}
+	return total, nil
+}
+
+// Seek implements io.Seeker relative to the open-time size.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(f.info.SizeBytes)
+	default:
+		return 0, fmt.Errorf("%w: whence %d", proto.ErrBadArgs, whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("%w: negative position", proto.ErrBadArgs)
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+// Query refreshes and returns the instance parameters.
+func (f *File) Query() (proto.InstanceInfo, error) {
+	req := &proto.Message{Op: proto.OpQueryInstance}
+	req.F[0] = uint32(f.info.ID)
+	reply, err := f.transact(req)
+	if err != nil {
+		return proto.InstanceInfo{}, err
+	}
+	info := proto.GetInstanceInfo(reply)
+	f.info = info
+	return info, nil
+}
+
+// InstanceName asks the server for the CSname this instance was opened
+// under — the inverse mapping (§5.7).
+func (f *File) InstanceName() (string, error) {
+	req := &proto.Message{Op: proto.OpGetInstanceName}
+	req.F[0] = uint32(f.info.ID)
+	reply, err := f.transact(req)
+	if err != nil {
+		return "", err
+	}
+	return string(reply.Segment), nil
+}
+
+// Close releases the instance at the server.
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	req := &proto.Message{Op: proto.OpReleaseInstance}
+	req.F[0] = uint32(f.info.ID)
+	_, err := f.transact(req)
+	f.closed = true
+	return err
+}
+
+var (
+	_ io.Reader = (*File)(nil)
+	_ io.Writer = (*File)(nil)
+	_ io.Seeker = (*File)(nil)
+	_ io.Closer = (*File)(nil)
+)

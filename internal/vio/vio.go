@@ -1,0 +1,196 @@
+// Package vio implements the V I/O protocol (§3.2): uniform, file-like
+// access to data sources and sinks — disk files, terminals, print queues,
+// network connections, memory arrays, and context directories — over the
+// kernel IPC as transport.
+//
+// The server side registers open instances in a Registry keyed by 16-bit
+// object instance identifiers (§4.3) and serves the block-oriented
+// instance operations. The client side wraps (server-pid, instance-id) in
+// a File with sequential Read/Write/Close.
+package vio
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// Instance is an open file-like object on the server side. Offsets are
+// byte offsets; implementations return proto.ErrEndOfFile past the end.
+type Instance interface {
+	// Info returns the instance parameters (size, block size, modes).
+	Info() proto.InstanceInfo
+	// ReadAt fills buf from the object starting at off.
+	ReadAt(off int64, buf []byte) (int, error)
+	// WriteAt stores data into the object starting at off.
+	WriteAt(off int64, data []byte) (int, error)
+	// Release closes the instance.
+	Release()
+}
+
+// DefaultBlockSize is the conventional V page size.
+const DefaultBlockSize = 512
+
+// Registry holds a server's open instances, keyed by object instance
+// identifier. Identifiers are allocated so as to maximize the time before
+// reuse (§4.3).
+type Registry struct {
+	mu        sync.Mutex
+	instances map[uint16]*slot
+	next      uint16
+}
+
+type slot struct {
+	inst Instance
+	name string // the CSname the instance was opened by, for inverse mapping
+}
+
+// NewRegistry returns an empty instance registry.
+func NewRegistry() *Registry {
+	return &Registry{instances: make(map[uint16]*slot)}
+}
+
+// Open registers an instance, recording the name it was opened under, and
+// returns its new instance identifier.
+func (r *Registry) Open(inst Instance, name string) (uint16, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.instances) >= 0xFFFE {
+		return 0, fmt.Errorf("%w: instance table full", proto.ErrNoServerResources)
+	}
+	for {
+		r.next++
+		if r.next == 0 {
+			r.next = 1
+		}
+		if _, used := r.instances[r.next]; !used {
+			break
+		}
+	}
+	r.instances[r.next] = &slot{inst: inst, name: name}
+	return r.next, nil
+}
+
+// Get returns the instance with the given identifier.
+func (r *Registry) Get(id uint16) (Instance, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.instances[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: instance %d", proto.ErrBadArgs, id)
+	}
+	return s.inst, nil
+}
+
+// NameOf returns the CSname an instance was opened under — the inverse
+// mapping from instance id to name (§5.7). As §6 discusses, this is the
+// inverse of a many-to-one function: it returns *a* name, the one used at
+// open time, which may since have been unbound.
+func (r *Registry) NameOf(id uint16) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.instances[id]
+	if !ok {
+		return "", fmt.Errorf("%w: instance %d", proto.ErrBadArgs, id)
+	}
+	return s.name, nil
+}
+
+// Release removes and releases an instance.
+func (r *Registry) Release(id uint16) error {
+	r.mu.Lock()
+	s, ok := r.instances[id]
+	delete(r.instances, id)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: instance %d", proto.ErrBadArgs, id)
+	}
+	s.inst.Release()
+	return nil
+}
+
+// Count returns the number of open instances.
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.instances)
+}
+
+// HandleOp serves the generic instance operations (query, read, write,
+// release, instance-name) against the registry, returning nil for
+// operation codes it does not handle so the caller can try its own.
+func (r *Registry) HandleOp(msg *proto.Message) *proto.Message {
+	switch msg.Op {
+	case proto.OpQueryInstance:
+		inst, err := r.Get(uint16(msg.F[0]))
+		if err != nil {
+			return proto.NewReply(proto.ErrorReply(err))
+		}
+		reply := proto.NewReply(proto.ReplyOK)
+		proto.SetInstanceInfo(reply, inst.Info())
+		return reply
+
+	case proto.OpReadInstance:
+		inst, err := r.Get(uint16(msg.F[0]))
+		if err != nil {
+			return proto.NewReply(proto.ErrorReply(err))
+		}
+		info := inst.Info()
+		if info.Flags&proto.ModeRead == 0 {
+			return proto.NewReply(proto.ReplyModeNotSupported)
+		}
+		count := msg.F[2]
+		if count == 0 || count > info.BlockSize {
+			count = info.BlockSize
+		}
+		buf := make([]byte, count)
+		off := int64(msg.F[1]) * int64(info.BlockSize)
+		n, err := inst.ReadAt(off, buf)
+		if n == 0 && err != nil {
+			return proto.NewReply(proto.ErrorReply(err))
+		}
+		reply := proto.NewReply(proto.ReplyOK)
+		reply.F[0] = msg.F[0]
+		reply.F[1] = uint32(n)
+		reply.Segment = buf[:n]
+		return reply
+
+	case proto.OpWriteInstance:
+		inst, err := r.Get(uint16(msg.F[0]))
+		if err != nil {
+			return proto.NewReply(proto.ErrorReply(err))
+		}
+		info := inst.Info()
+		if info.Flags&proto.ModeWrite == 0 {
+			return proto.NewReply(proto.ReplyModeNotSupported)
+		}
+		off := int64(msg.F[1])*int64(info.BlockSize) + int64(msg.F[2])
+		n, err := inst.WriteAt(off, msg.Segment)
+		if err != nil {
+			return proto.NewReply(proto.ErrorReply(err))
+		}
+		reply := proto.NewReply(proto.ReplyOK)
+		reply.F[0] = msg.F[0]
+		reply.F[1] = uint32(n)
+		return reply
+
+	case proto.OpReleaseInstance:
+		if err := r.Release(uint16(msg.F[0])); err != nil {
+			return proto.NewReply(proto.ErrorReply(err))
+		}
+		return proto.NewReply(proto.ReplyOK)
+
+	case proto.OpGetInstanceName:
+		name, err := r.NameOf(uint16(msg.F[0]))
+		if err != nil {
+			return proto.NewReply(proto.ErrorReply(err))
+		}
+		reply := proto.NewReply(proto.ReplyOK)
+		reply.Segment = []byte(name)
+		return reply
+
+	default:
+		return nil
+	}
+}

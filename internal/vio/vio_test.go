@@ -1,0 +1,278 @@
+package vio
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+)
+
+func TestRegistryOpenGetRelease(t *testing.T) {
+	r := NewRegistry()
+	inst := NewBytesInstance([]byte("abc"))
+	id, err := r.Open(inst, "file-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get(id)
+	if err != nil || got != Instance(inst) {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	name, err := r.NameOf(id)
+	if err != nil || name != "file-a" {
+		t.Fatalf("NameOf = %q, %v", name, err)
+	}
+	if err := r.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(id); !errors.Is(err, proto.ErrBadArgs) {
+		t.Fatalf("Get after release err = %v", err)
+	}
+	if err := r.Release(id); !errors.Is(err, proto.ErrBadArgs) {
+		t.Fatalf("double release err = %v", err)
+	}
+}
+
+func TestRegistryIDsNotImmediatelyReused(t *testing.T) {
+	// §4.3: servers maximize the time before reusing an instance id.
+	r := NewRegistry()
+	a, _ := r.Open(NewBytesInstance(nil), "a")
+	if err := r.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Open(NewBytesInstance(nil), "b")
+	if a == b {
+		t.Fatal("instance id reused immediately")
+	}
+}
+
+func TestRegistryCount(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		if _, err := r.Open(NewBytesInstance(nil), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Count() != 5 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestRegistryReleaseCallback(t *testing.T) {
+	r := NewRegistry()
+	released := false
+	id, _ := r.Open(NewBytesInstance(nil, OnRelease(func() { released = true })), "x")
+	if err := r.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if !released {
+		t.Fatal("release callback not invoked")
+	}
+}
+
+func TestBytesInstanceRead(t *testing.T) {
+	b := NewBytesInstance([]byte("hello world"))
+	buf := make([]byte, 5)
+	n, err := b.ReadAt(6, buf)
+	if err != nil || n != 5 || string(buf) != "world" {
+		t.Fatalf("ReadAt = %d %q %v", n, buf, err)
+	}
+	if _, err := b.ReadAt(11, buf); !errors.Is(err, proto.ErrEndOfFile) {
+		t.Fatalf("EOF err = %v", err)
+	}
+}
+
+func TestBytesInstanceReadOnlyWriteFails(t *testing.T) {
+	b := NewBytesInstance([]byte("x"))
+	if _, err := b.WriteAt(0, []byte("y")); !errors.Is(err, proto.ErrModeNotSupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBytesInstanceWriteGrows(t *testing.T) {
+	b := NewBytesInstance([]byte("abc"), Writable())
+	if _, err := b.WriteAt(5, []byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Bytes()
+	if len(got) != 7 || string(got[5:]) != "XY" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	info := b.Info()
+	if info.SizeBytes != 7 || info.Flags&proto.ModeWrite == 0 {
+		t.Fatalf("Info = %+v", info)
+	}
+}
+
+func TestBytesInstanceNegativeWriteOffset(t *testing.T) {
+	b := NewBytesInstance(nil, Writable())
+	if _, err := b.WriteAt(-1, []byte("x")); !errors.Is(err, proto.ErrBadArgs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBytesInstanceWriteSink(t *testing.T) {
+	var gotOff int64
+	var gotData []byte
+	b := NewBytesInstance([]byte("snapshot"), WithWriteSink(func(off int64, data []byte) error {
+		gotOff, gotData = off, append([]byte(nil), data...)
+		return nil
+	}))
+	if _, err := b.WriteAt(3, []byte("mod")); err != nil {
+		t.Fatal(err)
+	}
+	if gotOff != 3 || string(gotData) != "mod" {
+		t.Fatalf("sink got off=%d data=%q", gotOff, gotData)
+	}
+	// Snapshot unchanged.
+	if string(b.Bytes()) != "snapshot" {
+		t.Fatal("write sink must not mutate the snapshot")
+	}
+}
+
+func TestBytesInstanceReadWriteProperty(t *testing.T) {
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) % int64(len(data))
+		b := NewBytesInstance(append([]byte(nil), data...), Writable())
+		buf := make([]byte, len(data))
+		n, err := b.ReadAt(o, buf)
+		if err != nil || n != len(data)-int(o) {
+			return false
+		}
+		return string(buf[:n]) == string(data[o:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryInstanceReadDecodes(t *testing.T) {
+	records := []proto.Descriptor{
+		{Tag: proto.TagFile, Name: "a", Size: 1},
+		{Tag: proto.TagDirectory, Name: "d"},
+	}
+	inst := NewDirectoryInstance(records, nil)
+	buf := make([]byte, inst.Info().SizeBytes)
+	if _, err := inst.ReadAt(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := proto.DecodeDescriptors(buf)
+	if err != nil || len(got) != 2 || got[0].Name != "a" {
+		t.Fatalf("decoded %+v, %v", got, err)
+	}
+}
+
+func TestDirectoryInstanceWriteInvokesModify(t *testing.T) {
+	var modified []proto.Descriptor
+	inst := NewDirectoryInstance(nil, func(d proto.Descriptor) error {
+		modified = append(modified, d)
+		return nil
+	})
+	rec := proto.Descriptor{Tag: proto.TagFile, Name: "a", Perms: proto.PermRead}
+	if _, err := inst.WriteAt(0, rec.AppendEncoded(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(modified) != 1 || modified[0].Name != "a" || modified[0].Perms != proto.PermRead {
+		t.Fatalf("modify saw %+v", modified)
+	}
+}
+
+func TestDirectoryInstanceWriteCorruptRecord(t *testing.T) {
+	inst := NewDirectoryInstance(nil, func(proto.Descriptor) error { return nil })
+	if _, err := inst.WriteAt(0, []byte{1, 2, 3}); !errors.Is(err, proto.ErrBadArgs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDirectoryInstanceWithoutModifyIsReadOnly(t *testing.T) {
+	inst := NewDirectoryInstance(nil, nil)
+	if _, err := inst.WriteAt(0, []byte("x")); !errors.Is(err, proto.ErrModeNotSupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandleOpQueryReadWriteRelease(t *testing.T) {
+	r := NewRegistry()
+	id, _ := r.Open(NewBytesInstance([]byte("0123456789"), Writable(), WithBlockSize(4)), "f")
+
+	q := &proto.Message{Op: proto.OpQueryInstance, F: [6]uint32{uint32(id)}}
+	reply := r.HandleOp(q)
+	if reply.Op != proto.ReplyOK {
+		t.Fatalf("query reply = %v", reply.Op)
+	}
+	info := proto.GetInstanceInfo(reply)
+	if info.SizeBytes != 10 || info.BlockSize != 4 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	read := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{uint32(id), 1}}
+	reply = r.HandleOp(read)
+	if reply.Op != proto.ReplyOK || string(reply.Segment) != "4567" {
+		t.Fatalf("read block 1 = %v %q", reply.Op, reply.Segment)
+	}
+
+	write := &proto.Message{Op: proto.OpWriteInstance, F: [6]uint32{uint32(id), 0, 2}, Segment: []byte("XX")}
+	reply = r.HandleOp(write)
+	if reply.Op != proto.ReplyOK || reply.F[1] != 2 {
+		t.Fatalf("write reply = %v", reply)
+	}
+	read0 := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{uint32(id), 0}}
+	if got := r.HandleOp(read0); string(got.Segment) != "01XX" {
+		t.Fatalf("after write, block 0 = %q", got.Segment)
+	}
+
+	rel := &proto.Message{Op: proto.OpReleaseInstance, F: [6]uint32{uint32(id)}}
+	if reply = r.HandleOp(rel); reply.Op != proto.ReplyOK {
+		t.Fatalf("release reply = %v", reply.Op)
+	}
+	if r.Count() != 0 {
+		t.Fatal("release did not remove instance")
+	}
+}
+
+func TestHandleOpReadPastEnd(t *testing.T) {
+	r := NewRegistry()
+	id, _ := r.Open(NewBytesInstance([]byte("ab")), "f")
+	read := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{uint32(id), 9}}
+	if reply := r.HandleOp(read); reply.Op != proto.ReplyEndOfFile {
+		t.Fatalf("reply = %v", reply.Op)
+	}
+}
+
+func TestHandleOpWriteToReadOnly(t *testing.T) {
+	r := NewRegistry()
+	id, _ := r.Open(NewBytesInstance([]byte("ab")), "f")
+	w := &proto.Message{Op: proto.OpWriteInstance, F: [6]uint32{uint32(id)}, Segment: []byte("x")}
+	if reply := r.HandleOp(w); reply.Op != proto.ReplyModeNotSupported {
+		t.Fatalf("reply = %v", reply.Op)
+	}
+}
+
+func TestHandleOpUnknownInstance(t *testing.T) {
+	r := NewRegistry()
+	read := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{777}}
+	if reply := r.HandleOp(read); reply.Op != proto.ReplyBadArgs {
+		t.Fatalf("reply = %v", reply.Op)
+	}
+}
+
+func TestHandleOpUnhandledReturnsNil(t *testing.T) {
+	r := NewRegistry()
+	if reply := r.HandleOp(&proto.Message{Op: proto.OpEcho}); reply != nil {
+		t.Fatalf("reply = %v", reply)
+	}
+}
+
+func TestHandleOpGetInstanceName(t *testing.T) {
+	r := NewRegistry()
+	id, _ := r.Open(NewBytesInstance(nil), "[storage]/users/mann/f")
+	req := &proto.Message{Op: proto.OpGetInstanceName, F: [6]uint32{uint32(id)}}
+	reply := r.HandleOp(req)
+	if reply.Op != proto.ReplyOK || string(reply.Segment) != "[storage]/users/mann/f" {
+		t.Fatalf("reply = %v %q", reply.Op, reply.Segment)
+	}
+}
