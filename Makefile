@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all test race bench vet fmt experiments examples clean
+.PHONY: all check test race bench vet fmt experiments examples clean
 
 all: vet test
+
+# Full verification gate: static checks, the whole suite under the race
+# detector, and the chaos-engine determinism guarantee (same schedule +
+# seed must give byte-identical event logs and metrics).
+check: vet
+	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'TestChaosScheduleDeterministic|TestA10Deterministic' ./internal/chaos/ ./internal/experiments/
 
 test:
 	$(GO) test ./...

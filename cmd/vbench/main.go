@@ -6,6 +6,7 @@
 //
 //	vbench            # run every experiment
 //	vbench t1 a2      # run selected experiments
+//	vbench chaos      # fault-injection sweep (alias for a10)
 //	vbench -list      # list experiment ids
 package main
 

@@ -10,9 +10,22 @@ func TestVbenchList(t *testing.T) {
 	if err := run([]string{"-list"}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range []string{"e1", "e2", "e3", "e5", "t1", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"} {
+	for _, id := range []string{"e1", "e2", "e3", "e5", "t1", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10"} {
 		if !strings.Contains(sb.String(), id) {
 			t.Errorf("missing experiment id %q", id)
+		}
+	}
+}
+
+func TestVbenchChaosAlias(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"chaos"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"A10", "chaos sweep", "dynamic binding, invalidate-and-retry"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
 }

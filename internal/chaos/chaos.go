@@ -1,0 +1,263 @@
+// Package chaos is a deterministic fault-schedule engine for the
+// simulated V domain.
+//
+// The paper's §2.2 reliability argument — distributed name interpretation
+// keeps every object on a live server nameable, where a centralized name
+// server is a single point of failure — is only demonstrable *during*
+// faults. This package scripts faults as a declarative schedule of
+// virtual-time events over the existing injection hooks (netsim frame
+// loss and partitions, kernel host crash/restart) so that fault scenarios
+// replay identically: the same schedule and seed produce byte-identical
+// event logs and identical client-visible outcomes, run after run.
+//
+// The engine has no clock of its own. Workloads pump it by calling
+// AdvanceTo with their session's virtual time — from the operation loop
+// and, through the client's retry observer, from inside backoff waits, so
+// a scripted restart becomes visible exactly when a waiting client's
+// clock passes it.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/vtime"
+)
+
+// Action is the kind of fault (or repair) an event performs.
+type Action int
+
+const (
+	// SetLoss sets the network frame-loss probability to Rate.
+	SetLoss Action = iota
+	// Partition moves Host into partition group Group.
+	Partition
+	// Heal returns every host to partition group 0.
+	Heal
+	// Crash takes Host down, destroying its processes and service table.
+	Crash
+	// Restart brings Host back up (empty tables; re-created servers get
+	// new pids — the §4.2 rebinding scenario). The engine's RestartHook,
+	// if set, then re-creates the host's servers.
+	Restart
+	// Custom runs the event's Do function.
+	Custom
+)
+
+// String names the action for event logs.
+func (a Action) String() string {
+	switch a {
+	case SetLoss:
+		return "set-loss"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Custom:
+		return "custom"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Event is one scheduled fault. Only the fields its Action reads are
+// meaningful.
+type Event struct {
+	// At is the virtual time the event fires (first AdvanceTo at or past
+	// it).
+	At vtime.Time
+	// Action selects what the event does.
+	Action Action
+	// Host names the target host (Partition, Crash, Restart).
+	Host string
+	// Group is the partition group (Partition).
+	Group int
+	// Rate is the frame-loss probability (SetLoss).
+	Rate float64
+	// Note is free text appended to the log line.
+	Note string
+	// Do is the body of a Custom event.
+	Do func() error
+}
+
+// Engine fires a sorted schedule of events as virtual time passes.
+type Engine struct {
+	// RestartHook, if set, is called after a Restart event with the
+	// host's name, to re-create the servers that lived there (the engine
+	// can restart a host kernel, but only the rig knows what ran on it).
+	RestartHook func(host string) error
+
+	k      *kernel.Kernel
+	mu     sync.Mutex
+	events []Event
+	next   int
+	log    []string
+}
+
+// New builds an engine over the domain's kernel. The schedule is copied
+// and stably sorted by fire time, so equal-time events keep their given
+// order.
+func New(k *kernel.Kernel, events []Event) *Engine {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	return &Engine{k: k, events: sorted}
+}
+
+// AdvanceTo fires, in order, every not-yet-fired event whose time is at
+// or before now. Callers pump it with their session's virtual clock; it
+// is safe to call from several sessions, and each event fires exactly
+// once.
+func (e *Engine) AdvanceTo(now vtime.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.next < len(e.events) && e.events[e.next].At <= now {
+		ev := e.events[e.next]
+		e.next++
+		e.fireLocked(ev)
+	}
+}
+
+// Finish fires every remaining event regardless of time, so a schedule's
+// log is complete even if the workload's clock stops short.
+func (e *Engine) Finish() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.next < len(e.events) {
+		ev := e.events[e.next]
+		e.next++
+		e.fireLocked(ev)
+	}
+}
+
+// fireLocked executes one event and logs the outcome. Called with e.mu
+// held.
+func (e *Engine) fireLocked(ev Event) {
+	var outcome string
+	switch ev.Action {
+	case SetLoss:
+		e.k.Network().SetDropRate(ev.Rate)
+		outcome = fmt.Sprintf("rate=%.2f", ev.Rate)
+	case Partition:
+		if h := e.k.HostByName(ev.Host); h != nil {
+			e.k.Network().Partition(h.ID(), ev.Group)
+			outcome = fmt.Sprintf("host=%s group=%d", ev.Host, ev.Group)
+		} else {
+			outcome = fmt.Sprintf("host=%s unknown", ev.Host)
+		}
+	case Heal:
+		e.k.Network().Heal()
+		outcome = "all groups -> 0"
+	case Crash:
+		if h := e.k.HostByName(ev.Host); h != nil {
+			h.Crash()
+			outcome = "host=" + ev.Host
+		} else {
+			outcome = fmt.Sprintf("host=%s unknown", ev.Host)
+		}
+	case Restart:
+		if h := e.k.HostByName(ev.Host); h != nil {
+			h.Restart()
+			outcome = "host=" + ev.Host
+			if e.RestartHook != nil {
+				if err := e.RestartHook(ev.Host); err != nil {
+					outcome += " hook-error=" + err.Error()
+				}
+			}
+		} else {
+			outcome = fmt.Sprintf("host=%s unknown", ev.Host)
+		}
+	case Custom:
+		outcome = "ok"
+		if ev.Do == nil {
+			outcome = "no-op"
+		} else if err := ev.Do(); err != nil {
+			outcome = "error=" + err.Error()
+		}
+	default:
+		outcome = "unknown action"
+	}
+	line := fmt.Sprintf("t=%08dus %-9s %s", ev.At.Microseconds(), ev.Action, outcome)
+	if ev.Note != "" {
+		line += " (" + ev.Note + ")"
+	}
+	e.log = append(e.log, line)
+}
+
+// Log returns a copy of the fired-event log, one line per event in fire
+// order. Two runs of the same schedule produce byte-identical logs — the
+// determinism the virtual-time substrate guarantees.
+func (e *Engine) Log() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.log))
+	copy(out, e.log)
+	return out
+}
+
+// Fired returns how many events have fired so far.
+func (e *Engine) Fired() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.next
+}
+
+// Profile parameterizes the random-chaos generator: repeated host
+// outages (crash, then restart after OutageLength) and frame-loss pulses
+// (loss at LossRate for LossPulseLength, then clean), with the gaps
+// jittered around their means.
+type Profile struct {
+	// Duration is the schedule's length; no event fires after it.
+	Duration time.Duration
+	// Hosts are the outage candidates, picked uniformly per outage.
+	Hosts []string
+	// MeanOutageEvery is the average gap between outage starts; zero
+	// disables outages.
+	MeanOutageEvery time.Duration
+	// OutageLength is how long a crashed host stays down.
+	OutageLength time.Duration
+	// MeanLossPulseEvery is the average gap between loss pulses; zero
+	// disables them.
+	MeanLossPulseEvery time.Duration
+	// LossPulseLength is how long a pulse lasts.
+	LossPulseLength time.Duration
+	// LossRate is the frame-loss probability during a pulse.
+	LossRate float64
+}
+
+// Generate produces a schedule from a seed, deterministically: the same
+// seed and profile always yield the same events. Gaps are jittered
+// uniformly in [0.5, 1.5) of their mean.
+func Generate(seed int64, p Profile) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func(mean time.Duration) time.Duration {
+		return time.Duration(float64(mean) * (0.5 + rng.Float64()))
+	}
+	var events []Event
+	if p.MeanOutageEvery > 0 && len(p.Hosts) > 0 {
+		for t := jitter(p.MeanOutageEvery); t < p.Duration; t += jitter(p.MeanOutageEvery) {
+			host := p.Hosts[rng.Intn(len(p.Hosts))]
+			events = append(events,
+				Event{At: t, Action: Crash, Host: host, Note: "scheduled outage"},
+				Event{At: t + p.OutageLength, Action: Restart, Host: host, Note: "outage over"},
+			)
+		}
+	}
+	if p.MeanLossPulseEvery > 0 && p.LossRate > 0 {
+		for t := jitter(p.MeanLossPulseEvery); t < p.Duration; t += jitter(p.MeanLossPulseEvery) {
+			events = append(events,
+				Event{At: t, Action: SetLoss, Rate: p.LossRate, Note: "loss pulse"},
+				Event{At: t + p.LossPulseLength, Action: SetLoss, Rate: 0, Note: "pulse over"},
+			)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}

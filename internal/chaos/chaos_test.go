@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+func newDomain(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	return kernel.New(netsim.New(vtime.DefaultModel(), 1))
+}
+
+func TestEngineFiresInOrder(t *testing.T) {
+	k := newDomain(t)
+	h := k.NewHost("victim")
+
+	// Deliberately unsorted schedule; the engine sorts by fire time.
+	e := New(k, []Event{
+		{At: 300 * time.Millisecond, Action: Restart, Host: "victim"},
+		{At: 100 * time.Millisecond, Action: Crash, Host: "victim"},
+		{At: 200 * time.Millisecond, Action: SetLoss, Rate: 0.5},
+	})
+
+	e.AdvanceTo(50 * time.Millisecond)
+	if e.Fired() != 0 || !h.Alive() {
+		t.Fatalf("nothing should fire before its time (fired=%d)", e.Fired())
+	}
+
+	e.AdvanceTo(150 * time.Millisecond)
+	if e.Fired() != 1 || h.Alive() {
+		t.Fatalf("crash should have fired (fired=%d alive=%v)", e.Fired(), h.Alive())
+	}
+
+	e.AdvanceTo(400 * time.Millisecond)
+	if e.Fired() != 3 || !h.Alive() || k.Network().DropRate() != 0.5 {
+		t.Fatalf("all events should have fired (fired=%d alive=%v rate=%v)",
+			e.Fired(), h.Alive(), k.Network().DropRate())
+	}
+
+	log := e.Log()
+	if len(log) != 3 || !strings.Contains(log[0], "crash") ||
+		!strings.Contains(log[1], "set-loss") || !strings.Contains(log[2], "restart") {
+		t.Fatalf("log = %q", log)
+	}
+}
+
+func TestRestartHookRuns(t *testing.T) {
+	k := newDomain(t)
+	k.NewHost("fs")
+	e := New(k, []Event{
+		{At: 1 * time.Millisecond, Action: Crash, Host: "fs"},
+		{At: 2 * time.Millisecond, Action: Restart, Host: "fs"},
+	})
+	var hooked []string
+	e.RestartHook = func(host string) error {
+		hooked = append(hooked, host)
+		return nil
+	}
+	e.Finish()
+	if !reflect.DeepEqual(hooked, []string{"fs"}) {
+		t.Fatalf("hooked = %v", hooked)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{
+		Duration:           3 * time.Second,
+		Hosts:              []string{"fs1", "fs2"},
+		MeanOutageEvery:    600 * time.Millisecond,
+		OutageLength:       200 * time.Millisecond,
+		MeanLossPulseEvery: 900 * time.Millisecond,
+		LossPulseLength:    150 * time.Millisecond,
+		LossRate:           0.3,
+	}
+	a, b := Generate(7, p), Generate(7, p)
+	if len(a) == 0 {
+		t.Fatal("profile should generate events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed must generate the same schedule:\n%v\n%v", a, b)
+	}
+	c := Generate(8, p)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should generate different schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted at %d: %v then %v", i, a[i-1].At, a[i].At)
+		}
+	}
+}

@@ -36,6 +36,14 @@ type Session struct {
 	nameCache  map[string]core.ContextPair
 	cacheRetry bool
 	cacheStats CacheStats
+
+	// currentName is the CSname the current context was entered by, kept
+	// so the recovery policy can re-map the context if its server dies
+	// (resilience.go). Empty when the context was installed directly.
+	currentName string
+	// recovery, when non-nil, applies the session's retry/rebind policy
+	// to every operation (resilience.go).
+	recovery *resilience
 }
 
 // CacheStats counts name-cache behaviour for the A8 experiment.
@@ -66,6 +74,12 @@ func (s *Session) Current() core.ContextPair { return s.current }
 // SetCurrent installs a context pair directly (programs inherit their
 // current context this way at startup, §6).
 func (s *Session) SetCurrent(pair core.ContextPair) { s.current = pair }
+
+// SetCurrentName records the CSname the current context corresponds to,
+// for sessions whose context pair was installed directly rather than via
+// ChangeContext. The recovery policy uses it to re-map a current context
+// whose server has died.
+func (s *Session) SetCurrentName(name string) { s.currentName = name }
 
 // PrefixServer returns the session's context prefix server pid.
 func (s *Session) PrefixServer() kernel.PID { return s.prefixServer }
@@ -102,8 +116,19 @@ func (s *Session) FlushNameCache() {
 func (s *Session) NameCacheStats() CacheStats { return s.cacheStats }
 
 // send charges the client stub cost, routes, and performs the
-// transaction.
+// transaction under the session's recovery policy: each attempt re-routes
+// the name, so a retry picks up re-resolved bindings.
 func (s *Session) send(name string, req *proto.Message) (*proto.Message, error) {
+	var reply *proto.Message
+	err := s.withRecovery(name, func() (e error) {
+		reply, e = s.sendOnce(name, req)
+		return
+	})
+	return reply, err
+}
+
+// sendOnce is one attempt of send.
+func (s *Session) sendOnce(name string, req *proto.Message) (*proto.Message, error) {
 	if s.nameCache != nil && prefix.HasPrefix(name) {
 		return s.sendCached(name, req)
 	}
@@ -172,7 +197,18 @@ func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bo
 }
 
 // sendTo is send with an explicit destination (non-name operations).
+// Recovery here only waits out transient unreachability — there is no
+// name to re-resolve a fixed pid by.
 func (s *Session) sendTo(server kernel.PID, req *proto.Message) (*proto.Message, error) {
+	var reply *proto.Message
+	err := s.withRecovery("", func() (e error) {
+		reply, e = s.sendToOnce(server, req)
+		return
+	})
+	return reply, err
+}
+
+func (s *Session) sendToOnce(server kernel.PID, req *proto.Message) (*proto.Message, error) {
 	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
 	reply, err := s.proc.Send(req, server)
 	if err != nil {
@@ -189,11 +225,12 @@ func (s *Session) sendTo(server kernel.PID, req *proto.Message) (*proto.Message,
 func (s *Session) Open(name string, mode uint32) (*vio.File, error) {
 	req := &proto.Message{Op: proto.OpCreateInstance}
 	proto.SetOpenMode(req, mode)
-	server, _ := s.route(name)
 	reply, err := s.send(name, req)
 	if err != nil {
 		return nil, err
 	}
+	// Routed after send so a recovery retry's re-resolution is reflected.
+	server, _ := s.route(name)
 	// When the open was forwarded (through the prefix server or across
 	// file servers) the instance lives at the final server. The reply's
 	// sender is not visible at this layer, so servers return instances
@@ -231,22 +268,32 @@ func (s *Session) List(name string) ([]proto.Descriptor, error) {
 // pattern ('*' and '?' globbing): only matching objects are collated and
 // transmitted — the §5.6 extension.
 func (s *Session) ListPattern(name, pattern string) ([]proto.Descriptor, error) {
-	req := &proto.Message{Op: proto.OpCreateInstance}
-	server, ctx := s.route(name)
-	proto.SetCSName(req, uint32(ctx), name)
-	proto.SetOpenMode(req, proto.ModeRead|proto.ModeDirectory)
-	proto.SetDirPattern(req, pattern)
-	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
-	reply, err := s.proc.Send(req, server)
+	var reply *proto.Message
+	var owner kernel.PID
+	err := s.withRecovery(name, func() error {
+		// Re-encode per attempt: SetCSName resets the segment the pattern
+		// is appended to, and routing may change after a rebind.
+		req := &proto.Message{Op: proto.OpCreateInstance}
+		server, ctx := s.route(name)
+		proto.SetCSName(req, uint32(ctx), name)
+		proto.SetOpenMode(req, proto.ModeRead|proto.ModeDirectory)
+		proto.SetDirPattern(req, pattern)
+		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+		r, err := s.proc.Send(req, server)
+		if err != nil {
+			return fmt.Errorf("%q: %w", name, err)
+		}
+		if err := core.ReplyToError(r); err != nil {
+			return fmt.Errorf("%q: %w", name, err)
+		}
+		reply = r
+		if owner = kernel.PID(proto.InstanceOwner(r)); owner == kernel.NilPID {
+			owner = server
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%q: %w", name, err)
-	}
-	if err := core.ReplyToError(reply); err != nil {
-		return nil, fmt.Errorf("%q: %w", name, err)
-	}
-	owner := kernel.PID(proto.InstanceOwner(reply))
-	if owner == kernel.NilPID {
-		owner = server
+		return nil, err
 	}
 	f := vio.NewFile(s.proc, owner, proto.GetInstanceInfo(reply))
 	defer f.Close()
@@ -313,16 +360,18 @@ func (s *Session) Query(name string) (proto.Descriptor, error) {
 // Modify overwrites the modifiable fields of the named object's
 // description (§5.5).
 func (s *Session) Modify(name string, d proto.Descriptor) error {
-	req := &proto.Message{Op: proto.OpModifyObject}
-	server, ctx := s.route(name)
-	proto.SetCSName(req, uint32(ctx), name)
-	req.Segment = d.AppendEncoded(req.Segment)
-	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
-	reply, err := s.proc.Send(req, server)
-	if err != nil {
-		return fmt.Errorf("%q: %w", name, err)
-	}
-	return core.ReplyToError(reply)
+	return s.withRecovery(name, func() error {
+		req := &proto.Message{Op: proto.OpModifyObject}
+		server, ctx := s.route(name)
+		proto.SetCSName(req, uint32(ctx), name)
+		req.Segment = d.AppendEncoded(req.Segment)
+		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+		reply, err := s.proc.Send(req, server)
+		if err != nil {
+			return fmt.Errorf("%q: %w", name, err)
+		}
+		return core.ReplyToError(reply)
+	})
 }
 
 // Remove deletes the named object.
@@ -351,15 +400,17 @@ func (s *Session) Rename(oldName, newName string) error {
 		}
 		newName = newName[rest:]
 	}
-	req := &proto.Message{Op: proto.OpRenameObject}
-	server, ctx := s.route(oldName)
-	proto.SetRenameNames(req, uint32(ctx), oldName, newName)
-	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
-	reply, err := s.proc.Send(req, server)
-	if err != nil {
-		return fmt.Errorf("%q: %w", oldName, err)
-	}
-	return core.ReplyToError(reply)
+	return s.withRecovery(oldName, func() error {
+		req := &proto.Message{Op: proto.OpRenameObject}
+		server, ctx := s.route(oldName)
+		proto.SetRenameNames(req, uint32(ctx), oldName, newName)
+		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+		reply, err := s.proc.Send(req, server)
+		if err != nil {
+			return fmt.Errorf("%q: %w", oldName, err)
+		}
+		return core.ReplyToError(reply)
+	})
 }
 
 // MakeContext creates a new (empty) context with the given name — a
@@ -390,15 +441,17 @@ func (s *Session) Link(oldName, newName string) error {
 		}
 		newName = newName[rest:]
 	}
-	req := &proto.Message{Op: proto.OpLinkObject}
-	server, ctx := s.route(oldName)
-	proto.SetRenameNames(req, uint32(ctx), oldName, newName)
-	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
-	reply, err := s.proc.Send(req, server)
-	if err != nil {
-		return fmt.Errorf("%q: %w", oldName, err)
-	}
-	return core.ReplyToError(reply)
+	return s.withRecovery(oldName, func() error {
+		req := &proto.Message{Op: proto.OpLinkObject}
+		server, ctx := s.route(oldName)
+		proto.SetRenameNames(req, uint32(ctx), oldName, newName)
+		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+		reply, err := s.proc.Send(req, server)
+		if err != nil {
+			return fmt.Errorf("%q: %w", oldName, err)
+		}
+		return core.ReplyToError(reply)
+	})
 }
 
 // MapContext resolves a name to a fully-qualified context pair (§5.7).
@@ -420,6 +473,7 @@ func (s *Session) ChangeContext(name string) error {
 		return err
 	}
 	s.current = pair
+	s.currentName = name
 	return nil
 }
 
@@ -474,18 +528,23 @@ func (s *Session) Unlink(name string) error {
 // returning the number of bytes loaded — the diskless workstation program
 // load (§3.1).
 func (s *Session) LoadProgram(name string, buf []byte) (int, error) {
-	req := &proto.Message{Op: proto.OpLoadProgram}
-	server, ctx := s.route(name)
-	proto.SetCSName(req, uint32(ctx), name)
-	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
-	reply, err := s.proc.SendMove(req, server, nil, buf)
-	if err != nil {
-		return 0, fmt.Errorf("%q: %w", name, err)
-	}
-	if err := core.ReplyToError(reply); err != nil {
-		return 0, fmt.Errorf("%q: %w", name, err)
-	}
-	return int(reply.F[3]), nil
+	var n int
+	err := s.withRecovery(name, func() error {
+		req := &proto.Message{Op: proto.OpLoadProgram}
+		server, ctx := s.route(name)
+		proto.SetCSName(req, uint32(ctx), name)
+		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+		reply, err := s.proc.SendMove(req, server, nil, buf)
+		if err != nil {
+			return fmt.Errorf("%q: %w", name, err)
+		}
+		if err := core.ReplyToError(reply); err != nil {
+			return fmt.Errorf("%q: %w", name, err)
+		}
+		n = int(reply.F[3])
+		return nil
+	})
+	return n, err
 }
 
 // Exec asks a program manager to execute the named program — e.g.
@@ -495,19 +554,26 @@ func (s *Session) LoadProgram(name string, buf []byte) (int, error) {
 // program starts with the invoker's current context (§6). It returns the
 // program's name in the programs-in-execution context and its pid.
 func (s *Session) Exec(name string) (progName string, pid kernel.PID, err error) {
-	req := &proto.Message{Op: proto.OpExecProgram}
-	server, ctx := s.route(name)
-	proto.SetCSName(req, uint32(ctx), name)
-	proto.SetExecEnvironment(req, uint32(s.prefixServer), uint32(s.current.Server), uint32(s.current.Ctx))
-	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
-	reply, err := s.proc.Send(req, server)
+	err = s.withRecovery(name, func() error {
+		req := &proto.Message{Op: proto.OpExecProgram}
+		server, ctx := s.route(name)
+		proto.SetCSName(req, uint32(ctx), name)
+		proto.SetExecEnvironment(req, uint32(s.prefixServer), uint32(s.current.Server), uint32(s.current.Ctx))
+		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+		reply, err := s.proc.Send(req, server)
+		if err != nil {
+			return fmt.Errorf("%q: %w", name, err)
+		}
+		if err := core.ReplyToError(reply); err != nil {
+			return fmt.Errorf("%q: %w", name, err)
+		}
+		progName, pid = string(reply.Segment), kernel.PID(reply.F[1])
+		return nil
+	})
 	if err != nil {
-		return "", kernel.NilPID, fmt.Errorf("%q: %w", name, err)
+		return "", kernel.NilPID, err
 	}
-	if err := core.ReplyToError(reply); err != nil {
-		return "", kernel.NilPID, fmt.Errorf("%q: %w", name, err)
-	}
-	return string(reply.Segment), kernel.PID(reply.F[1]), nil
+	return progName, pid, nil
 }
 
 // CurrentName reconstructs a CSname for the current context — the §6

@@ -1,0 +1,281 @@
+// Resilience: the client run-time's unified recovery policy.
+//
+// The paper's §2.2 argues the distributed model keeps every object on a
+// live server nameable — but only if clients actually re-resolve names
+// when a binding dies under them. This file adds that recovery to the
+// standard run-time routines as one policy shared by every operation:
+//
+//   - bounded exponential-backoff retries, charged to virtual time, on
+//     transport-level failures (dead process, host down, partition,
+//     retransmission exhaustion) and on the prefix server's bounded
+//     "no live target" answer;
+//   - automatic re-resolution between attempts: prefixed names re-route
+//     through the context prefix server (whose dynamic bindings rebind
+//     via GetPid at time of use, §4.2), and a dangling current context
+//     is re-mapped from the name it was entered by;
+//   - per-session resilience metrics, surfaced through internal/rig and
+//     the A10 chaos experiment.
+package client
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/prefix"
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+// RetryPolicy bounds the recovery a session performs on a failed
+// operation. All delays are virtual time, charged to the session's
+// process clock.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (1 = no
+	// retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (doubling per retry).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the measured policy the chaos experiments use:
+// four attempts, 50 ms initial backoff doubling to a 400 ms cap —
+// roughly the kernel's retransmission scale, so a retried operation
+// rides out one retransmit-detected failure per backoff step.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 400 * time.Millisecond}
+}
+
+// ResilienceStats is a session's recovery record.
+type ResilienceStats struct {
+	// Ops counts operations attempted under the policy.
+	Ops int
+	// OpsFailed counts operations that failed after exhausting retries
+	// (or failing terminally).
+	OpsFailed int
+	// Retries counts individual retry attempts.
+	Retries int
+	// Rebinds counts re-resolutions performed between attempts (cached
+	// prefix resolutions dropped, current context re-mapped).
+	Rebinds int
+	// Failovers counts operations that succeeded after at least one
+	// failed attempt.
+	Failovers int
+	// Downtime is the total virtual time spent backing off — the
+	// unavailability the session actually experienced.
+	Downtime vtime.Time
+}
+
+// resilience is the per-session recovery state.
+type resilience struct {
+	policy   RetryPolicy
+	observer func(vtime.Time)
+	stats    ResilienceStats
+}
+
+// EnableResilience turns on the recovery policy for every operation on
+// this session.
+func (s *Session) EnableResilience(policy RetryPolicy) {
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	s.recovery = &resilience{policy: policy}
+}
+
+// DisableResilience turns recovery off; failures surface immediately.
+func (s *Session) DisableResilience() { s.recovery = nil }
+
+// ResilienceStats returns the session's recovery counters.
+func (s *Session) ResilienceStats() ResilienceStats {
+	if s.recovery == nil {
+		return ResilienceStats{}
+	}
+	return s.recovery.stats
+}
+
+// SetRetryObserver installs a callback invoked with the session's
+// virtual time after each backoff charge. The chaos engine registers
+// its AdvanceTo here, so faults scheduled in virtual time fire while a
+// session is waiting out an outage — exactly when a real deployment
+// would see them.
+func (s *Session) SetRetryObserver(fn func(vtime.Time)) {
+	if s.recovery != nil {
+		s.recovery.observer = fn
+	}
+}
+
+// Retryable reports whether err is a transport-level failure that
+// re-resolution or waiting may cure: the target process is gone
+// (crashed, destroyed, or re-created under a new pid), its host is
+// down, the network is partitioned or lossy to the point of retransmit
+// exhaustion, or a server reported a bounded-time timeout for a dead
+// forward target. Name-level failures (not found, bad arguments, no
+// permission...) are terminal: retrying cannot change what a name
+// means.
+func Retryable(err error) bool {
+	return errors.Is(err, kernel.ErrNonexistentProcess) ||
+		errors.Is(err, kernel.ErrHostDown) ||
+		errors.Is(err, netsim.ErrUnreachable) ||
+		errors.Is(err, proto.ErrNonexistentProcess) ||
+		errors.Is(err, proto.ErrTimeout)
+}
+
+// withRecovery runs attempt under the session's policy. Each attempt is
+// expected to redo its own routing (so a retry picks up fresh
+// resolutions). name is the operation's CSname, used to invalidate
+// per-name state between attempts; it may be empty for operations not
+// tied to a name.
+func (s *Session) withRecovery(name string, attempt func() error) error {
+	r := s.recovery
+	if r == nil {
+		return attempt()
+	}
+	r.stats.Ops++
+	err := attempt()
+	if err == nil || !Retryable(err) {
+		if err != nil {
+			r.stats.OpsFailed++
+		}
+		return err
+	}
+	delay := r.policy.BaseDelay
+	for try := 1; try < r.policy.MaxAttempts; try++ {
+		// Back off in virtual time. The observer (typically the chaos
+		// engine) sees the new clock before the retry routes.
+		r.stats.Retries++
+		r.stats.Downtime += delay
+		s.proc.ChargeCompute(delay)
+		if r.observer != nil {
+			r.observer(s.proc.Now())
+		}
+		if delay *= 2; delay > r.policy.MaxDelay {
+			delay = r.policy.MaxDelay
+		}
+		s.rebind(name)
+		if err = attempt(); err == nil {
+			r.stats.Failovers++
+			return nil
+		}
+		if !Retryable(err) {
+			break
+		}
+	}
+	r.stats.OpsFailed++
+	return err
+}
+
+// rebind drops whatever resolution state the failed attempt may have
+// used, so the next attempt resolves afresh: a cached prefix
+// resolution is invalidated, and a current context that has no prefix
+// to fall back on is re-mapped from the name it was entered by.
+func (s *Session) rebind(name string) {
+	if name != "" && prefix.HasPrefix(name) {
+		if s.nameCache != nil {
+			if pfx, _, err := prefix.Parse(name, 0); err == nil {
+				if _, ok := s.nameCache[pfx]; ok {
+					delete(s.nameCache, pfx)
+					s.recovery.stats.Rebinds++
+				}
+			}
+		}
+		// Prefixed names re-route through the prefix server on the next
+		// attempt; its dynamic bindings re-resolve by GetPid per use.
+		return
+	}
+	// A plain name is interpreted in the current context. If that
+	// context's server died, re-map the context through the prefix
+	// server (GetPid rebinding happens there) using the name it was
+	// entered by.
+	if s.currentName == "" || !s.proc.Kernel().ProcessAlive(s.current.Server) {
+		if s.currentName == "" {
+			return
+		}
+		if pair, err := s.mapContextDirect(s.currentName); err == nil {
+			s.current = pair
+			s.recovery.stats.Rebinds++
+		}
+	}
+}
+
+// mapContextDirect resolves a name to a context pair without recovery
+// (used inside the recovery path itself).
+func (s *Session) mapContextDirect(name string) (core.ContextPair, error) {
+	req := &proto.Message{Op: proto.OpMapContext}
+	server, ctx := s.route(name)
+	proto.SetCSName(req, uint32(ctx), name)
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	reply, err := s.proc.Send(req, server)
+	if err != nil {
+		return core.ContextPair{}, err
+	}
+	if err := core.ReplyToError(reply); err != nil {
+		return core.ContextPair{}, err
+	}
+	pid, c := proto.GetMapContextReply(reply)
+	return core.ContextPair{Server: kernel.PID(pid), Ctx: core.ContextID(c)}, nil
+}
+
+// PrefixHealth is one entry of a prefix survey: the prefix's
+// description record, the context pair its binding currently resolves
+// to, and the error probing that server returned — nil for a live
+// server. Dead entries carry their error instead of failing the whole
+// survey (graceful degradation for fan-out operations).
+type PrefixHealth struct {
+	Descriptor proto.Descriptor
+	Target     core.ContextPair
+	Err        error
+}
+
+// SurveyPrefixes reads the user's prefix table and probes every
+// binding's target server, returning one entry per prefix. Descriptors
+// for live servers come back alongside per-entry errors for dead ones,
+// so one crashed server cannot hide every other prefix — the §2.2
+// reliability property made operational. It fails wholesale only if
+// the prefix server itself is unreachable.
+func (s *Session) SurveyPrefixes() ([]PrefixHealth, error) {
+	records, err := s.ListPrefixes()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PrefixHealth, 0, len(records))
+	for _, d := range records {
+		entry := PrefixHealth{Descriptor: d}
+		if d.ObjectID == 1 {
+			// Dynamic binding: resolve by GetPid as the prefix server
+			// would at time of use.
+			pid, err := s.proc.GetPid(kernel.Service(d.TypeSpecific[0]), kernel.ScopeBoth)
+			if err != nil {
+				entry.Err = err
+				out = append(out, entry)
+				continue
+			}
+			entry.Target = core.ContextPair{Server: pid, Ctx: core.ContextID(d.TypeSpecific[1])}
+		} else {
+			entry.Target = core.ContextPair{
+				Server: kernel.PID(d.TypeSpecific[0]),
+				Ctx:    core.ContextID(d.TypeSpecific[1]),
+			}
+		}
+		entry.Err = s.probe(entry.Target)
+		out = append(out, entry)
+	}
+	return out, nil
+}
+
+// probe performs one cheap transaction against a server to establish
+// liveness. Any reply — success or protocol-level failure — proves the
+// server is alive; only transport failures mark it dead.
+func (s *Session) probe(pair core.ContextPair) error {
+	req := &proto.Message{Op: proto.OpMapContext}
+	proto.SetCSName(req, uint32(pair.Ctx), "")
+	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
+	_, err := s.proc.Send(req, pair.Server)
+	if err != nil && Retryable(err) {
+		return err
+	}
+	return nil
+}

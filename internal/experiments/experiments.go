@@ -39,20 +39,21 @@ type Runner func() (Result, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
-	"e1": E1,
-	"e2": E2,
-	"e3": E3,
-	"t1": T1,
-	"e5": E5,
-	"a1": A1,
-	"a2": A2,
-	"a3": A3,
-	"a4": A4,
-	"a5": A5,
-	"a6": A6,
-	"a7": A7,
-	"a8": A8,
-	"a9": A9,
+	"e1":  E1,
+	"e2":  E2,
+	"e3":  E3,
+	"t1":  T1,
+	"e5":  E5,
+	"a1":  A1,
+	"a2":  A2,
+	"a3":  A3,
+	"a4":  A4,
+	"a5":  A5,
+	"a6":  A6,
+	"a7":  A7,
+	"a8":  A8,
+	"a9":  A9,
+	"a10": A10,
 }
 
 // IDs returns the experiment ids in canonical order.
@@ -62,26 +63,36 @@ func IDs() []string {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	// Canonical order: E-series, T-series, A-series.
+	// Canonical order: E-series, T-series, A-series, numerically within
+	// each series (so a10 follows a9).
 	sort.Slice(ids, func(i, j int) bool {
 		rank := func(s string) string {
+			series := "2"
 			switch s[0] {
 			case 'e':
-				return "0" + s
+				series = "0"
 			case 't':
-				return "1" + s
-			default:
-				return "2" + s
+				series = "1"
 			}
+			num := s[1:]
+			for len(num) < 3 {
+				num = "0" + num
+			}
+			return series + num
 		}
 		return rank(ids[i]) < rank(ids[j])
 	})
 	return ids
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id. "chaos" is accepted as an alias
+// for the A10 fault-injection sweep (`vbench chaos`).
 func Run(id string) (Result, error) {
-	r, ok := registry[strings.ToLower(id)]
+	id = strings.ToLower(id)
+	if id == "chaos" {
+		id = "a10"
+	}
+	r, ok := registry[id]
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}

@@ -33,10 +33,10 @@ func parseMs(t *testing.T, s string) float64 {
 
 func TestIDsCanonicalOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
+	if len(ids) != 15 {
 		t.Fatalf("ids = %v", ids)
 	}
-	if ids[0] != "e1" || ids[len(ids)-1] != "a9" {
+	if ids[0] != "e1" || ids[len(ids)-1] != "a10" {
 		t.Fatalf("order = %v", ids)
 	}
 	for i, id := range ids[:4] {
@@ -334,5 +334,60 @@ func TestScorecardAllReproduced(t *testing.T) {
 	PrintScorecard(&sb, checks)
 	if !strings.Contains(sb.String(), "REPRODUCED") {
 		t.Fatal("rendering broken")
+	}
+}
+
+// parseFracs parses an A10 measured cell like "0.66 / 0.39 / 0.24 ok"
+// into the three per-rate success fractions.
+func parseFracs(t *testing.T, s string) [3]float64 {
+	t.Helper()
+	parts := strings.Split(strings.TrimSuffix(s, " ok"), " / ")
+	if len(parts) != 3 {
+		t.Fatalf("cannot parse fractions %q", s)
+	}
+	var out [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			t.Fatalf("cannot parse fractions %q: %v", s, err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestA10Shape(t *testing.T) {
+	res := runExp(t, "a10")
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Rows 0-2 static, 3-5 dynamic; index 1 is the default fault rate.
+	staticNone := parseFracs(t, res.Rows[0].Measured)
+	dynRetry := parseFracs(t, res.Rows[5].Measured)
+	if dynRetry[1] < 0.9 {
+		t.Fatalf("dynamic + invalidate-and-retry must stay >= 0.9 at the default fault rate, got %v", dynRetry[1])
+	}
+	if staticNone[1] > dynRetry[1]-0.2 {
+		t.Fatalf("static binding should degrade measurably: static %v vs dynamic %v", staticNone[1], dynRetry[1])
+	}
+	// More faults must not improve static availability.
+	if staticNone[2] > staticNone[0] {
+		t.Fatalf("static success should fall with fault rate: %v", staticNone)
+	}
+	// The recovery-work row exists and reflects engaged machinery.
+	if !strings.Contains(res.Rows[6].Measured, "rebinds") {
+		t.Fatalf("recovery row = %q", res.Rows[6].Measured)
+	}
+}
+
+func TestA10Deterministic(t *testing.T) {
+	first, second := runExp(t, "a10"), runExp(t, "a10")
+	if len(first.Rows) != len(second.Rows) {
+		t.Fatalf("row counts differ")
+	}
+	for i := range first.Rows {
+		if first.Rows[i] != second.Rows[i] {
+			t.Fatalf("row %d differs:\n%+v\n%+v", i, first.Rows[i], second.Rows[i])
+		}
 	}
 }

@@ -94,6 +94,46 @@ func (k *Kernel) HostByID(id netsim.HostID) *Host {
 	return k.hosts[id]
 }
 
+// HostByName returns the host with the given configured name, or nil.
+// Host names are unique in the rigs this simulation builds; if several
+// hosts share a name the lowest id wins, deterministically.
+func (k *Kernel) HostByName(name string) *Host {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var found *Host
+	for _, h := range k.hosts {
+		if h.name == name && (found == nil || h.id < found.id) {
+			found = h
+		}
+	}
+	return found
+}
+
+// ProcessAlive reports whether pid currently names a live process (its
+// host is up and the process exists). For a group pid it reports whether
+// the group has at least one live member. It is the cheap liveness probe
+// servers use before forwarding a transaction (§5.4): the local kernel
+// can answer from its tables without a network exchange in simulation.
+func (k *Kernel) ProcessAlive(pid PID) bool {
+	if pid == NilPID {
+		return false
+	}
+	if pid.IsGroup() {
+		members, err := k.GroupMembers(pid)
+		if err != nil {
+			return false
+		}
+		for _, m := range members {
+			if p, _ := k.findProcess(m); p != nil {
+				return true
+			}
+		}
+		return false
+	}
+	p, _ := k.findProcess(pid)
+	return p != nil
+}
+
 // findProcess resolves a pid to its live process. The second result
 // reports whether the pid's host exists and is alive (so callers can
 // distinguish "host down / partitioned" from "host up, process gone").

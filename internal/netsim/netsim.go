@@ -83,6 +83,13 @@ func (n *Network) SetDropRate(p float64) {
 	n.dropRate = p
 }
 
+// DropRate returns the current frame-loss probability.
+func (n *Network) DropRate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropRate
+}
+
 // Partition places host h into partition group g. Hosts in different
 // groups cannot exchange frames. All hosts start in group 0.
 func (n *Network) Partition(h HostID, g int) {

@@ -82,6 +82,21 @@ type Binding struct {
 	WellKnown core.ContextID
 }
 
+// Stats counts the prefix server's forwarding and recovery activity —
+// the per-session resilience record the chaos experiments read (§2.2's
+// reliability argument, measured during faults rather than after them).
+type Stats struct {
+	// Forwards counts CSname requests rewritten and passed on.
+	Forwards uint64
+	// Rebinds counts uses of a dynamic binding that resolved to a
+	// different pid than its previous use: the service failed over to a
+	// replica or was re-implemented by a new process (§4.2).
+	Rebinds uint64
+	// DeadTargets counts requests answered with a bounded-time failure
+	// because no live target could be resolved for the binding.
+	DeadTargets uint64
+}
+
 // Server is one user's context prefix server. It normally runs on the
 // user's workstation, so the request that reaches it always pays only a
 // local hop (§6).
@@ -92,16 +107,21 @@ type Server struct {
 
 	mu       sync.Mutex
 	bindings map[string]Binding
+	// lastResolved remembers, per dynamic prefix, the pid its last use
+	// resolved to, so rebinds (§4.2) are observable in Stats.
+	lastResolved map[string]kernel.PID
+	stats        Stats
 }
 
 // New creates a prefix server for the given user on proc. Call Run in the
 // process goroutine.
 func New(proc *kernel.Process, owner string) *Server {
 	return &Server{
-		proc:     proc,
-		owner:    owner,
-		reg:      vio.NewRegistry(),
-		bindings: make(map[string]Binding),
+		proc:         proc,
+		owner:        owner,
+		reg:          vio.NewRegistry(),
+		bindings:     make(map[string]Binding),
+		lastResolved: make(map[string]kernel.PID),
 	}
 }
 
@@ -252,10 +272,45 @@ func (s *Server) handleCSName(msg *proto.Message, from kernel.PID) *proto.Messag
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
+	// Dynamic bindings recover at time of use (§4.2): GetPid just
+	// re-resolved the service, so a replica or re-created server takes
+	// over transparently — count the rebind when the answer moved. If the
+	// resolution points at a dead process (a stale registration left in
+	// another kernel's service table), answer with a bounded-time failure
+	// instead of forwarding into a dead transaction, charging the
+	// retransmit budget the discovery would have cost.
+	if b.Dynamic {
+		if !s.proc.Kernel().ProcessAlive(pair.Server) {
+			s.proc.ChargeCompute(model.RetransmitTimeout)
+			s.countStat(func(st *Stats) { st.DeadTargets++ })
+			return core.ErrorReplyMsg(fmt.Errorf("prefix %q: no live server for service %v: %w",
+				pfx, b.Service, proto.ErrTimeout))
+		}
+		s.countStat(func(st *Stats) {
+			if prev, ok := s.lastResolved[pfx]; ok && prev != pair.Server {
+				st.Rebinds++
+			}
+			s.lastResolved[pfx] = pair.Server
+		})
+	}
 	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
+	s.countStat(func(st *Stats) { st.Forwards++ })
 	// A failed forward already failed the client's transaction.
 	_ = s.proc.Forward(msg, from, pair.Server)
 	return nil
+}
+
+// Stats returns a snapshot of the forwarding and recovery counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) countStat(update func(*Stats)) {
+	s.mu.Lock()
+	update(&s.stats)
+	s.mu.Unlock()
 }
 
 // resolveBinding maps a binding to a concrete context pair; dynamic
@@ -423,6 +478,7 @@ func (s *Server) handleDelete(msg *proto.Message) *proto.Message {
 		return core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", key, proto.ErrNotFound))
 	}
 	delete(s.bindings, key)
+	delete(s.lastResolved, key)
 	return core.OkReply()
 }
 

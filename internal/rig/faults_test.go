@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/netsim"
@@ -220,6 +221,62 @@ func TestConcurrentTerminalCreation(t *testing.T) {
 			t.Fatalf("duplicate terminal name %q", d.Name)
 		}
 		seen[d.Name] = true
+	}
+}
+
+func TestForwardToDeadServerBoundedTime(t *testing.T) {
+	// A CSname request forwarded along the chain prefix -> FS1 -> FS2
+	// when FS2 is dead must fail in bounded virtual time — no hang, and
+	// the client is charged the retransmit budget the discovery costs
+	// (satellite regression for the §5.4 forwarding path).
+	r := boot(t)
+	s := r.WS[0].Session
+	r.FS2Host.Crash()
+
+	start := s.Proc().Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.ReadFile("[storage]/shared/archive/2026/paper.mss")
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("forward to dead server hung")
+	}
+	if !errors.Is(err, kernel.ErrNonexistentProcess) {
+		t.Fatalf("read through dead forward target err = %v", err)
+	}
+	elapsed := s.Proc().Now() - start
+	if elapsed < r.Model.RetransmitTimeout {
+		t.Fatalf("failure must cost at least one retransmit timeout, got %v", elapsed)
+	}
+	if elapsed > 10*r.Model.RetransmitTimeout {
+		t.Fatalf("failure took %v, want bounded by the retransmit budget", elapsed)
+	}
+}
+
+func TestCrashWhileRequestInFlightNoHang(t *testing.T) {
+	// A server crash landing while transactions are mid-flight fails the
+	// pending senders instead of leaving them blocked forever.
+	r := boot(t)
+	s := r.WS[0].Session
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := s.ReadFile("[storage2]/archive/2026/paper.mss"); err != nil {
+				return // the crash landed; erroring out is the point
+			}
+		}
+	}()
+	time.Sleep(time.Millisecond) // real time: let reads get in flight
+	r.FS2Host.Crash()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request in flight at crash time hung")
 	}
 }
 

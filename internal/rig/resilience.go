@@ -1,0 +1,87 @@
+// Resilience glue: the rig-level view of the recovery machinery — chaos
+// engines composed over the topology, crashed-server re-creation, and
+// aggregated resilience metrics across sessions and prefix servers.
+package rig
+
+import (
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fileserver"
+	"repro/internal/kernel"
+	"repro/internal/prefix"
+)
+
+// NewChaos builds a chaos engine over this rig's kernel. Its restart
+// hook re-creates the fs1 file server whenever a scripted Restart brings
+// the fs1 host back — the engine can restart a host kernel, but only the
+// rig knows what ran on it. Schedules targeting other hosts restart bare
+// kernels unless the caller replaces the hook.
+func (r *Rig) NewChaos(events []chaos.Event) *chaos.Engine {
+	e := chaos.New(r.Kernel, events)
+	e.RestartHook = func(host string) error {
+		if host == "fs1" {
+			_, err := r.RecreateFS1()
+			return err
+		}
+		return nil
+	}
+	return e
+}
+
+// RecreateFS1 starts a replacement fs1 file server on the (restarted)
+// fs1 host and re-registers its service and well-known contexts. The
+// replacement is a cold server: it gets a new pid (the §4.2 rebinding
+// scenario) and an empty file system seeded with /bin/hello, so dynamic
+// bindings and program loads recover while static bindings to the old
+// pid dangle.
+func (r *Rig) RecreateFS1() (*fileserver.FileServer, error) {
+	fs, err := fileserver.Start(r.FS1Host, "fs1")
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.Proc().SetPid(kernel.ServiceStorage, fs.PID(), kernel.ScopeBoth); err != nil {
+		return nil, err
+	}
+	if err := fs.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
+		return nil, err
+	}
+	if err := fs.WriteFile("/bin/hello", "system", programImage("hello", 2048)); err != nil {
+		return nil, err
+	}
+	r.FS1 = fs
+	return fs, nil
+}
+
+// ResilienceSummary aggregates the recovery record of a run: every
+// session's client-side retry counters plus every workstation prefix
+// server's forwarding and rebinding counters.
+type ResilienceSummary struct {
+	Client client.ResilienceStats
+	Prefix prefix.Stats
+}
+
+// ResilienceSummary sums resilience metrics across all sessions the rig
+// created and all workstation prefix servers.
+func (r *Rig) ResilienceSummary() ResilienceSummary {
+	var sum ResilienceSummary
+	r.sessMu.Lock()
+	sessions := append([]*client.Session(nil), r.sessions...)
+	r.sessMu.Unlock()
+	for _, s := range sessions {
+		st := s.ResilienceStats()
+		sum.Client.Ops += st.Ops
+		sum.Client.OpsFailed += st.OpsFailed
+		sum.Client.Retries += st.Retries
+		sum.Client.Rebinds += st.Rebinds
+		sum.Client.Failovers += st.Failovers
+		sum.Client.Downtime += st.Downtime
+	}
+	for _, ws := range r.WS {
+		ps := ws.Prefix.Stats()
+		sum.Prefix.Forwards += ps.Forwards
+		sum.Prefix.Rebinds += ps.Rebinds
+		sum.Prefix.DeadTargets += ps.DeadTargets
+	}
+	return sum
+}

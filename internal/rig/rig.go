@@ -12,6 +12,7 @@ package rig
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -45,6 +46,9 @@ type Config struct {
 	// Model overrides the cost model (default: the calibrated 3 Mbit
 	// model; vtime.Model10Mbit() selects the faster wire).
 	Model *vtime.CostModel
+	// Retry, when non-nil, enables the client recovery policy
+	// (resilience.go) on every session the rig creates.
+	Retry *client.RetryPolicy
 }
 
 // DefaultConfig is the standard two-user configuration.
@@ -90,6 +94,11 @@ type Rig struct {
 
 	// BinCtx is the standard program directory context on FS1.
 	BinCtx core.ContextPair
+
+	retry *client.RetryPolicy
+
+	sessMu   sync.Mutex
+	sessions []*client.Session
 }
 
 // New boots a rig.
@@ -103,7 +112,7 @@ func New(cfg Config) (*Rig, error) {
 	}
 	net := netsim.New(model, cfg.Seed)
 	k := kernel.New(net)
-	r := &Rig{Net: net, Kernel: k, Model: model}
+	r := &Rig{Net: net, Kernel: k, Model: model, retry: cfg.Retry}
 
 	if err := r.bootFileServers(cfg); err != nil {
 		return nil, fmt.Errorf("rig: boot file servers: %w", err)
@@ -303,7 +312,17 @@ func (r *Rig) NewSession(ws *Workstation) (*client.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return client.New(proc, ws.Prefix.PID(), ws.HomeCtx, ws.User), nil
+	s := client.New(proc, ws.Prefix.PID(), ws.HomeCtx, ws.User)
+	// The home context is nameable as [home]; recording that lets the
+	// recovery policy re-map the current context if its server dies.
+	s.SetCurrentName("[home]")
+	if r.retry != nil {
+		s.EnableResilience(*r.retry)
+	}
+	r.sessMu.Lock()
+	r.sessions = append(r.sessions, s)
+	r.sessMu.Unlock()
+	return s, nil
 }
 
 // Workstation returns the i-th workstation.

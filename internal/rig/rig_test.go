@@ -796,20 +796,7 @@ func TestE3SequentialReadRate(t *testing.T) {
 // --- helpers that extend the rig for individual tests ---
 
 func bootReplacementFS(r *Rig) (*fileserver.FileServer, error) {
-	fs, err := fileserver.Start(r.FS1Host, "fs1")
-	if err != nil {
-		return nil, err
-	}
-	if err := fs.Proc().SetPid(kernel.ServiceStorage, fs.PID(), kernel.ScopeBoth); err != nil {
-		return nil, err
-	}
-	if err := fs.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
-		return nil, err
-	}
-	if err := fs.WriteFile("/bin/hello", "system", programImage("hello", 2048)); err != nil {
-		return nil, err
-	}
-	return fs, nil
+	return r.RecreateFS1()
 }
 
 func bootLocalFS(r *Rig, ws *Workstation) (*fileserver.FileServer, error) {
