@@ -2,16 +2,19 @@
 
 GO ?= go
 
-.PHONY: all check test race bench vet fmt experiments examples clean
+.PHONY: all check test race bench bench-json vet fmt experiments examples clean
 
 all: vet test
 
 # Full verification gate: static checks, the whole suite under the race
-# detector, and the chaos-engine determinism guarantee (same schedule +
-# seed must give byte-identical event logs and metrics).
+# detector, the server-team stress tests (many real client goroutines
+# hammering one team per server package), and the determinism
+# guarantees (same schedule + seed must give byte-identical event logs,
+# metrics, and A11 team-sweep results).
 check: vet
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'TestChaosScheduleDeterministic|TestA10Deterministic' ./internal/chaos/ ./internal/experiments/
+	$(GO) test -race -run 'TestTeamStress' ./internal/...
+	$(GO) test -race -count=2 -run 'TestChaosScheduleDeterministic|TestA10Deterministic|TestA11Deterministic' ./internal/chaos/ ./internal/experiments/
 
 test:
 	$(GO) test ./...
@@ -21,6 +24,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable per-experiment results (the perf trajectory).
+bench-json:
+	$(GO) run ./cmd/vbench -json BENCH_vbench.json > vbench_output.txt
 
 vet:
 	$(GO) vet ./...

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	vbench            # run every experiment
-//	vbench t1 a2      # run selected experiments
-//	vbench chaos      # fault-injection sweep (alias for a10)
-//	vbench -list      # list experiment ids
+//	vbench                       # run every experiment
+//	vbench t1 a2                 # run selected experiments
+//	vbench chaos                 # fault-injection sweep (alias for a10)
+//	vbench -list                 # list experiment ids
+//	vbench -json BENCH.json      # also write results as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +33,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	score := fs.Bool("score", false, "print the reproduction scorecard and exit")
+	jsonPath := fs.String("json", "", "also write per-experiment results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,12 +57,40 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintln(w, "V-System distributed name interpretation — paper reproduction")
 	fmt.Fprintln(w, "(virtual-time measurements on the simulated 3 Mbit Ethernet testbed)")
 	fmt.Fprintln(w)
+	var results []experiments.Result
 	for _, id := range ids {
 		res, err := experiments.Run(id)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		experiments.Print(w, res)
+		results = append(results, res)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonPath, err)
+		}
 	}
 	return nil
+}
+
+// benchDoc is the -json output schema: the experiment results verbatim,
+// wrapped with enough metadata to interpret the file on its own.
+type benchDoc struct {
+	Tool        string               `json:"tool"`
+	Description string               `json:"description"`
+	Results     []experiments.Result `json:"results"`
+}
+
+func writeJSON(path string, results []experiments.Result) error {
+	doc := benchDoc{
+		Tool:        "vbench",
+		Description: "virtual-time measurements on the simulated 3 Mbit Ethernet testbed",
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

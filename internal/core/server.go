@@ -13,13 +13,27 @@ type Request struct {
 	Msg  *proto.Message
 	From kernel.PID
 	srv  *Server
+	proc *kernel.Process
+
+	// name/res hold the CSname and its resolution once interpretation
+	// completed at this server; the name-fault stage reads them.
+	name string
+	res  *Resolution
 }
 
 // Server returns the server processing the request.
 func (r *Request) Server() *Server { return r.srv }
 
-// Proc returns the server process, for Move operations and clock charges.
-func (r *Request) Proc() *kernel.Process { return r.srv.proc }
+// Proc returns the process serving this request — the receptionist for a
+// single-process server, the handling worker for a team (§3.1). Move
+// operations and clock charges must go through it so one request's waits
+// are charged to the process actually serving it.
+func (r *Request) Proc() *kernel.Process {
+	if r.proc != nil {
+		return r.proc
+	}
+	return r.srv.proc
+}
 
 // Handler is the server-specific part of a CSNH server: the operations on
 // the objects its store names.
@@ -45,32 +59,79 @@ type ServerStats struct {
 	Forwarded uint64
 	// Failures counts non-OK replies sent.
 	Failures uint64
+	// Handoffs counts receptionist-to-worker forwards inside the server
+	// team (§3.1) — intra-team, unlike the inter-server Forwarded.
+	Handoffs uint64
+}
+
+// Option configures a Server.
+type Option func(*serverOptions)
+
+type serverOptions struct {
+	team  int
+	extra []Middleware
+}
+
+// WithTeam sets the number of serving processes (§3.1). 1 — the default —
+// is the single-process server, which serves every request on the
+// receptionist process exactly as before teams existed. For n > 1 the
+// receptionist receives and forwards each transaction to one of n worker
+// processes on the same host, so requests overlap in virtual time.
+func WithTeam(n int) Option {
+	return func(o *serverOptions) { o.team = n }
+}
+
+// WithMiddleware splices extra serving stages between the standard chain
+// (dispatch charge, stats, name-fault decoration) and the route to the
+// handler. Stages run on the serving process and must be safe for
+// concurrent workers.
+func WithMiddleware(stages ...Middleware) Option {
+	return func(o *serverOptions) { o.extra = append(o.extra, stages...) }
 }
 
 // Server is the skeleton every character-string name handling server
-// embeds: it runs the receive loop, performs the standard processing any
+// embeds: it runs the serving team, performs the standard processing any
 // CSNH server can do on any CSname request — validating the standard
 // fields and running the name-mapping procedure, forwarding partially
 // interpreted names to other servers — and dispatches what remains to the
-// Handler (§5.3-5.4).
+// Handler (§5.3-5.4). The standard per-request logic is factored into a
+// middleware chain; the team runtime decides which process serves.
 type Server struct {
 	proc    *kernel.Process
 	store   ContextStore
 	handler Handler
+	team    *Team
+	serve   HandlerFunc
 
 	statsMu sync.Mutex
 	stats   ServerStats
 }
 
 // NewServer assembles a CSNH server from its process, store and handler.
-func NewServer(proc *kernel.Process, store ContextStore, handler Handler) *Server {
-	return &Server{proc: proc, store: store, handler: handler}
+func NewServer(proc *kernel.Process, store ContextStore, handler Handler, opts ...Option) *Server {
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Server{proc: proc, store: store, handler: handler}
+	stages := append([]Middleware{
+		s.chargeDispatch,
+		s.countRequests,
+		s.countFailures,
+		s.decorateNameFaults,
+	}, o.extra...)
+	s.serve = Chain(s.route, stages...)
+	s.team = NewTeam(proc, o.team, s.serveOne, func() {
+		s.count(func(st *ServerStats) { st.Handoffs++ })
+	})
+	return s
 }
 
-// Proc returns the server's process.
+// Proc returns the server's receptionist process — its public identity.
 func (s *Server) Proc() *kernel.Process { return s.proc }
 
-// PID returns the server's process identifier.
+// PID returns the server's public process identifier (the receptionist's;
+// clients address the team through it).
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
 
 // Pair returns the fully-qualified context pair for one of this server's
@@ -79,17 +140,23 @@ func (s *Server) Pair(ctx ContextID) ContextPair {
 	return ContextPair{Server: s.proc.PID(), Ctx: ctx}
 }
 
+// TeamSize returns the number of serving processes.
+func (s *Server) TeamSize() int { return s.team.Size() }
+
 // Run is the server main loop; it returns when the server process is
-// destroyed. Run it in the process goroutine (Host.Spawn).
-func (s *Server) Run() {
-	for {
-		msg, from, err := s.proc.Receive()
-		if err != nil {
-			return
-		}
-		s.serveOne(msg, from)
-	}
-}
+// destroyed. Run it in the receptionist's goroutine (Host.Spawn). Team
+// workers, if configured, are spawned first.
+func (s *Server) Run() { s.team.Run() }
+
+// Start spawns the team workers and runs the reception loop in its own
+// goroutine, returning the worker-spawn error if any.
+func (s *Server) Start() error { return s.team.Start() }
+
+// Err reports why the server stopped serving: nil while it is running,
+// kernel.ErrProcessDead after a clean Destroy, and an error wrapping
+// kernel.ErrHostDown when its host crashed (the Receive error Run used to
+// swallow).
+func (s *Server) Err() error { return s.team.Err() }
 
 // Stats returns a snapshot of the server's protocol counters.
 func (s *Server) Stats() ServerStats {
@@ -104,34 +171,76 @@ func (s *Server) count(update func(*ServerStats)) {
 	s.statsMu.Unlock()
 }
 
-// serveOne processes a single request and replies or forwards exactly
-// once.
-func (s *Server) serveOne(msg *proto.Message, from kernel.PID) {
-	model := s.proc.Kernel().Model()
-	s.proc.ChargeCompute(model.ServerDispatchCost)
-	req := &Request{Msg: msg, From: from, srv: s}
-	s.count(func(st *ServerStats) {
-		st.Requests++
-		if msg.Op.IsCSNameOp() {
-			st.CSNameRequests++
-		}
-	})
-
-	var reply *proto.Message
-	if msg.Op.IsCSNameOp() {
-		reply = s.serveCSName(req)
-	} else {
-		reply = s.handler.HandleOp(req)
-	}
+// serveOne processes a single request on the serving process p and
+// replies or forwards exactly once.
+func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID) {
+	req := &Request{Msg: msg, From: from, srv: s, proc: p}
+	reply := s.serve(req)
 	if reply == nil {
-		return // handler replied or forwarded itself
-	}
-	if reply.Op != proto.ReplyOK {
-		s.count(func(st *ServerStats) { st.Failures++ })
+		return // a stage or the handler replied or forwarded itself
 	}
 	// A failed reply means the sender died or became unreachable; the
 	// transaction is already failed on the sender side.
-	_ = s.proc.Reply(reply, from)
+	_ = p.Reply(reply, from)
+}
+
+// chargeDispatch charges the fixed request-dispatch cost to the serving
+// process.
+func (s *Server) chargeDispatch(next HandlerFunc) HandlerFunc {
+	return func(req *Request) *proto.Message {
+		req.Proc().ChargeCompute(req.Proc().Kernel().Model().ServerDispatchCost)
+		return next(req)
+	}
+}
+
+// countRequests counts every request, and the CSname subset.
+func (s *Server) countRequests(next HandlerFunc) HandlerFunc {
+	return func(req *Request) *proto.Message {
+		s.count(func(st *ServerStats) {
+			st.Requests++
+			if req.Msg.Op.IsCSNameOp() {
+				st.CSNameRequests++
+			}
+		})
+		return next(req)
+	}
+}
+
+// countFailures counts non-OK replies sent.
+func (s *Server) countFailures(next HandlerFunc) HandlerFunc {
+	return func(req *Request) *proto.Message {
+		reply := next(req)
+		if reply != nil && reply.Op != proto.ReplyOK {
+			s.count(func(st *ServerStats) { st.Failures++ })
+		}
+		return reply
+	}
+}
+
+// decorateNameFaults adds name-fault details to failure replies for
+// requests whose name interpretation completed here: the handler rejected
+// the resolved final component, so report this server as the fault site —
+// the client can then explain the failure even after forwarding (§7
+// deficiency). Interpretation failures carry their fault details already.
+func (s *Server) decorateNameFaults(next HandlerFunc) HandlerFunc {
+	return func(req *Request) *proto.Message {
+		reply := next(req)
+		if reply != nil && reply.Op != proto.ReplyOK && req.res != nil {
+			if _, _, _, ok := proto.NameFault(reply); !ok {
+				proto.SetNameFault(reply, len(req.name)-len(req.res.Last), uint32(s.PID()), req.res.Last)
+			}
+		}
+		return reply
+	}
+}
+
+// route is the terminal stage: CSname requests get the standard
+// name-mapping treatment, everything else goes to the handler.
+func (s *Server) route(req *Request) *proto.Message {
+	if req.Msg.Op.IsCSNameOp() {
+		return s.serveCSName(req)
+	}
+	return s.handler.HandleOp(req)
 }
 
 // serveCSName performs the standard CSname processing: even if this server
@@ -150,7 +259,7 @@ func (s *Server) serveCSName(req *Request) *proto.Message {
 		// forwarded there (§5.7).
 		interp = InterpretBinding
 	}
-	res, fwd, err := interp(s.store, s.proc, name, index, ContextID(proto.CSNameContext(req.Msg)))
+	res, fwd, err := interp(s.store, req.Proc(), name, index, ContextID(proto.CSNameContext(req.Msg)))
 	if err != nil {
 		return s.faultReply(err)
 	}
@@ -158,26 +267,16 @@ func (s *Server) serveCSName(req *Request) *proto.Message {
 		s.count(func(st *ServerStats) { st.Forwarded++ })
 		proto.RewriteCSName(req.Msg, uint32(fwd.Pair.Ctx), fwd.Index)
 		// A failed forward has already failed the sender's transaction.
-		_ = s.proc.Forward(req.Msg, req.From, fwd.Pair.Server)
+		_ = req.Proc().Forward(req.Msg, req.From, fwd.Pair.Server)
 		return nil
 	}
+	req.name, req.res = name, res
 	// OpMapContext is fully determined by the resolution, so the skeleton
 	// implements it for every server (§5.7).
-	var reply *proto.Message
 	if req.Msg.Op == proto.OpMapContext {
-		reply = s.mapContextReply(res)
-	} else {
-		reply = s.handler.HandleNamed(req, res)
+		return s.mapContextReply(res)
 	}
-	if reply != nil && reply.Op != proto.ReplyOK {
-		if _, _, _, ok := proto.NameFault(reply); !ok {
-			// The handler rejected the resolved final component: report
-			// it as the fault site so the client can explain the failure
-			// even after forwarding (§7 deficiency).
-			proto.SetNameFault(reply, len(name)-len(res.Last), uint32(s.PID()), res.Last)
-		}
-	}
-	return reply
+	return s.handler.HandleNamed(req, res)
 }
 
 // faultReply builds a failure reply carrying name-fault details when the
@@ -192,7 +291,8 @@ func (s *Server) faultReply(err error) *proto.Message {
 }
 
 // mapContextReply builds the standard OpMapContext reply: the
-// (server-pid, context-id) pair the name denotes.
+// (server-pid, context-id) pair the name denotes. The pid is the
+// receptionist's — the team's public identity.
 func (s *Server) mapContextReply(res *Resolution) *proto.Message {
 	ctx, ok := res.ResolvesToContext()
 	if !ok {

@@ -150,7 +150,7 @@ func (ts *toyServer) HandleNamed(req *Request, res *Resolution) *proto.Message {
 }
 
 func (ts *toyServer) HandleOp(req *Request) *proto.Message {
-	if reply := ts.reg.HandleOp(req.Msg); reply != nil {
+	if reply := ts.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	return ErrorReplyMsg(proto.ErrIllegalRequest)

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/proto"
+)
+
+// HandlerFunc processes one request and returns the reply to send, or nil
+// when the request was already answered (the stage replied or forwarded
+// itself).
+type HandlerFunc func(req *Request) *proto.Message
+
+// Middleware is one composable serving stage wrapped around a
+// HandlerFunc. The standard Server chain factors dispatch-cost charging,
+// request counting, failure counting and name-fault decoration into such
+// stages; WithMiddleware splices additional ones in front of the route.
+type Middleware func(next HandlerFunc) HandlerFunc
+
+// Chain composes stages around terminal. The first stage is outermost:
+// Chain(h, a, b) serves a(b(h)).
+func Chain(terminal HandlerFunc, stages ...Middleware) HandlerFunc {
+	h := terminal
+	for i := len(stages) - 1; i >= 0; i-- {
+		h = stages[i](h)
+	}
+	return h
+}
+
+// serveFunc processes one received message on behalf of the serving
+// process p (the receptionist itself, or a team worker).
+type serveFunc func(p *kernel.Process, msg *proto.Message, from kernel.PID)
+
+// Team is the multi-process serving runtime (§3.1): V servers are process
+// teams in which a receptionist process receives requests and immediately
+// Forwards each transaction to a worker process on the same host, so one
+// client's disk or compute wait never delays another client's request.
+// The kernel Forward primitive makes the handoff invisible to the client:
+// the worker appears to have received the request directly and replies to
+// the original sender.
+//
+// Size counts the serving processes. Size 1 is the single-process server:
+// the receptionist serves every request inline, exactly reproducing the
+// pre-team behavior. For size n > 1 the receptionist only receives,
+// charges the dispatch cost, and hands off round-robin to n workers; the
+// intra-host hop is charged at LocalHop by the network layer.
+type Team struct {
+	recept    *kernel.Process
+	size      int
+	serve     serveFunc
+	onHandoff func()
+
+	mu      sync.Mutex
+	workers []*kernel.Process
+	err     error
+}
+
+// NewTeam assembles a team around the receptionist process. serve is
+// invoked once per request on whichever process handles it; onHandoff (if
+// non-nil) is called for every receptionist-to-worker handoff. Sizes
+// below 1 mean 1.
+func NewTeam(recept *kernel.Process, size int, serve serveFunc, onHandoff func()) *Team {
+	if size < 1 {
+		size = 1
+	}
+	return &Team{recept: recept, size: size, serve: serve, onHandoff: onHandoff}
+}
+
+// Size returns the number of serving processes.
+func (t *Team) Size() int { return t.size }
+
+// Err reports why the team stopped serving: nil while it is running,
+// kernel.ErrProcessDead after a clean Destroy, and an error wrapping
+// kernel.ErrHostDown when the host crashed under it.
+func (t *Team) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Start spawns the worker processes (for sizes above 1) and runs the
+// reception loop in its own goroutine. It replaces `go team.Run()` when
+// the caller wants the worker-spawn error.
+func (t *Team) Start() error {
+	if err := t.spawnWorkers(); err != nil {
+		return err
+	}
+	go t.run()
+	return nil
+}
+
+// Run spawns the workers and runs the reception loop inline; it returns
+// when the receptionist process is destroyed. Call it from the
+// receptionist's goroutine (Host.Spawn).
+func (t *Team) Run() {
+	if err := t.spawnWorkers(); err != nil {
+		t.recordExit(err)
+		return
+	}
+	t.run()
+}
+
+func (t *Team) spawnWorkers() error {
+	if t.size <= 1 {
+		return nil
+	}
+	workers, err := t.recept.Host().SpawnTeam(t.recept.Name(), t.size, t.workerLoop)
+	if err != nil {
+		return fmt.Errorf("spawn team %s: %w", t.recept.Name(), err)
+	}
+	t.mu.Lock()
+	t.workers = workers
+	t.mu.Unlock()
+	return nil
+}
+
+// run is the reception loop. With no workers the receptionist serves each
+// request itself; with workers it does only the standard dispatch work
+// before handing the transaction off (§3.1).
+func (t *Team) run() {
+	if t.size <= 1 {
+		for {
+			msg, from, err := t.recept.Receive()
+			if err != nil {
+				t.recordExit(err)
+				return
+			}
+			t.serve(t.recept, msg, from)
+		}
+	}
+	model := t.recept.Kernel().Model()
+	next := 0
+	for {
+		msg, from, err := t.recept.Receive()
+		if err != nil {
+			t.recordExit(err)
+			t.stopWorkers()
+			return
+		}
+		// Reception is serialized at the dispatch cost; everything past
+		// it runs on the worker's clock.
+		t.recept.ChargeCompute(model.ServerDispatchCost)
+		if t.onHandoff != nil {
+			t.onHandoff()
+		}
+		w := t.workers[next%len(t.workers)]
+		next++
+		// A failed forward (worker died mid-crash) has already failed
+		// the sender's transaction.
+		_ = t.recept.Forward(msg, from, w.PID())
+	}
+}
+
+func (t *Team) workerLoop(p *kernel.Process) {
+	for {
+		msg, from, err := p.Receive()
+		if err != nil {
+			t.recordExit(err)
+			return
+		}
+		t.serve(p, msg, from)
+	}
+}
+
+// recordExit records the first termination cause, classifying a
+// crashed-host shutdown distinctly from a clean destroy.
+func (t *Team) recordExit(err error) {
+	if !t.recept.Host().Alive() {
+		err = fmt.Errorf("%w: host %s under server %s", kernel.ErrHostDown, t.recept.Host().Name(), t.recept.Name())
+	}
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+}
+
+// stopWorkers destroys the workers after the receptionist stops; on a
+// host crash the kernel has already terminated them.
+func (t *Team) stopWorkers() {
+	t.mu.Lock()
+	workers := t.workers
+	t.mu.Unlock()
+	for _, w := range workers {
+		w.Destroy()
+	}
+}

@@ -60,7 +60,8 @@ type Server struct {
 }
 
 // Start spawns a program manager on host, loading images from programDir.
-func Start(host *kernel.Host, programDir core.ContextPair) (*Server, error) {
+// Options (e.g. core.WithTeam) configure the serving runtime.
+func Start(host *kernel.Host, programDir core.ContextPair, opts ...core.Option) (*Server, error) {
 	proc, err := host.NewProcess("program-manager")
 	if err != nil {
 		return nil, err
@@ -75,8 +76,10 @@ func Start(host *kernel.Host, programDir core.ContextPair) (*Server, error) {
 		bodies:        make(map[string]Body),
 		sessionBodies: make(map[string]SessionBody),
 	}
-	s.srv = core.NewServer(proc, s.store, s)
-	go s.srv.Run()
+	s.srv = core.NewServer(proc, s.store, s, opts...)
+	if err := s.srv.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServiceExec, proc.PID(), kernel.ScopeLocal); err != nil {
 		return nil, err
 	}
@@ -85,6 +88,9 @@ func Start(host *kernel.Host, programDir core.ContextPair) (*Server, error) {
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (s *Server) Err() error { return s.srv.Err() }
 
 // RootPair returns the programs-in-execution context.
 func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
@@ -133,7 +139,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if res.Last == "" {
 			return core.ErrorReplyMsg(proto.ErrBadArgs)
 		}
-		return s.exec(res.Last, req.Msg)
+		return s.exec(req.Proc(), res.Last, req.Msg)
 
 	case proto.OpCreateInstance:
 		if proto.OpenMode(req.Msg)&proto.ModeDirectory == 0 {
@@ -146,7 +152,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if err != nil {
 			return core.ErrorReplyMsg(err)
 		}
-		return s.openDirectory(res.Name, pattern)
+		return s.openDirectory(req.Proc(), res.Name, pattern)
 
 	case proto.OpQueryObject:
 		if res.Entry == nil || res.Entry.Object == nil {
@@ -162,7 +168,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if p == nil {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		req.Proc().ChargeCompute(req.Proc().Kernel().Model().DescriptorFabricateCost)
 		reply := core.OkReply()
 		reply.Segment = d.AppendEncoded(nil)
 		return reply
@@ -181,7 +187,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 
 // HandleOp implements core.Handler.
 func (s *Server) HandleOp(req *core.Request) *proto.Message {
-	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+	if reply := s.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	switch req.Msg.Op {
@@ -203,13 +209,13 @@ func (s *Server) HandleOp(req *core.Request) *proto.Message {
 
 // exec loads the program image from the program directory and starts it,
 // passing along the invoker's naming environment (§6).
-func (s *Server) exec(image string, req *proto.Message) *proto.Message {
+func (s *Server) exec(serving *kernel.Process, image string, req *proto.Message) *proto.Message {
 	// Load the program text from the file server via MoveTo (§3.1). A
 	// 64 KB buffer stands in for the program's text+data segments.
 	buf := make([]byte, 64*1024)
 	loadReq := &proto.Message{Op: proto.OpLoadProgram}
 	proto.SetCSName(loadReq, uint32(s.programDir.Ctx), image)
-	reply, err := s.proc.SendMove(loadReq, s.programDir.Server, nil, buf)
+	reply, err := serving.SendMove(loadReq, s.programDir.Server, nil, buf)
 	if err != nil {
 		return core.ErrorReplyMsg(fmt.Errorf("load %q: %w", image, kernelToProto(err)))
 	}
@@ -248,7 +254,7 @@ func (s *Server) exec(image string, req *proto.Message) *proto.Message {
 		name:     fmt.Sprintf("%s.%d", image, id),
 		image:    image,
 		pid:      proc.PID(),
-		started:  s.proc.Now(),
+		started:  serving.Now(),
 		sizeText: loaded,
 	}
 	s.mu.Lock()
@@ -287,7 +293,7 @@ func (s *Server) kill(id uint32, name string) *proto.Message {
 	return core.OkReply()
 }
 
-func (s *Server) openDirectory(name, pattern string) *proto.Message {
+func (s *Server) openDirectory(p *kernel.Process, name, pattern string) *proto.Message {
 	s.mu.Lock()
 	ids := make([]uint32, 0, len(s.programs))
 	for id := range s.programs {
@@ -300,8 +306,8 @@ func (s *Server) openDirectory(name, pattern string) *proto.Message {
 	}
 	s.mu.Unlock()
 	records = core.FilterRecords(records, pattern)
-	model := s.proc.Kernel().Model()
-	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	model := p.Kernel().Model()
+	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
 	if err != nil {
 		return core.ErrorReplyMsg(err)

@@ -20,18 +20,18 @@ import (
 
 // Row is one reported measurement.
 type Row struct {
-	Label    string
-	Paper    string // the paper's value, or "-" when the paper gives none
-	Measured string
-	Note     string
+	Label    string `json:"label"`
+	Paper    string `json:"paper"` // the paper's value, or "-" when the paper gives none
+	Measured string `json:"measured"`
+	Note     string `json:"note,omitempty"`
 }
 
 // Result is one experiment's output.
 type Result struct {
-	ID     string
-	Title  string
-	Source string // where in the paper the numbers come from
-	Rows   []Row
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Source string `json:"source"` // where in the paper the numbers come from
+	Rows   []Row  `json:"rows"`
 }
 
 // Runner produces one experiment result.
@@ -54,6 +54,7 @@ var registry = map[string]Runner{
 	"a8":  A8,
 	"a9":  A9,
 	"a10": A10,
+	"a11": A11,
 }
 
 // IDs returns the experiment ids in canonical order.

@@ -156,6 +156,21 @@ func Scorecard() ([]Check, error) {
 		Upholds: a5.Rows[0].Measured == "recovers",
 	})
 
+	hot1, _, err := a11Run(1)
+	if err != nil {
+		return nil, err
+	}
+	hot4, _, err := a11Run(4)
+	if err != nil {
+		return nil, err
+	}
+	ratio := hot4.throughput / hot1.throughput
+	checks = append(checks, Check{
+		Claim: "server team overlaps name interpretation", Paper: "team of processes (§3.1)",
+		Got:     fmt.Sprintf("team=4 serves %.1fx team=1 throughput", ratio),
+		Upholds: ratio >= 2,
+	})
+
 	return checks, nil
 }
 

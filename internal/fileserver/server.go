@@ -3,6 +3,7 @@ package fileserver
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -32,6 +33,14 @@ func WithBufferCachePages(pages int) Option {
 	return func(fs *FileServer) { fs.cache = newBlockCache(pages) }
 }
 
+// WithTeam sets the server-team size — the number of serving processes
+// (§3.1). The default 1 is the calibrated single-process baseline; with
+// n > 1 a receptionist forwards each request to one of n workers, so one
+// client's disk wait overlaps other requests' compute.
+func WithTeam(n int) Option {
+	return func(fs *FileServer) { fs.teamSize = n }
+}
+
 // CachedPages returns the number of pages currently in the buffer cache.
 func (fs *FileServer) CachedPages() int { return fs.cache.size() }
 
@@ -44,6 +53,7 @@ type FileServer struct {
 	cache     *blockCache
 	reg       *vio.Registry
 	readAhead bool
+	teamSize  int
 	name      string
 }
 
@@ -61,15 +71,24 @@ func Start(host *kernel.Host, name string, opts ...Option) (*FileServer, error) 
 		cache:     newBlockCache(defaultCachePages),
 		reg:       vio.NewRegistry(),
 		readAhead: true,
+		teamSize:  1,
 		name:      name,
 	}
 	for _, opt := range opts {
 		opt(fs)
 	}
-	fs.srv = core.NewServer(proc, fs.vol, fs)
-	go fs.srv.Run()
+	fs.srv = core.NewServer(proc, fs.vol, fs, core.WithTeam(fs.teamSize))
+	if err := fs.srv.Start(); err != nil {
+		return nil, err
+	}
 	return fs, nil
 }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (fs *FileServer) Err() error { return fs.srv.Err() }
+
+// TeamSize returns the number of serving processes.
+func (fs *FileServer) TeamSize() int { return fs.srv.TeamSize() }
 
 // PID returns the server's process identifier.
 func (fs *FileServer) PID() kernel.PID { return fs.proc.PID() }
@@ -211,7 +230,7 @@ func (fs *FileServer) HandleNamed(req *core.Request, res *core.Resolution) *prot
 	case proto.OpModifyObject:
 		return fs.handleModify(req, res)
 	case proto.OpRemoveObject:
-		return fs.handleRemove(res)
+		return fs.handleRemove(req, res)
 	case proto.OpRenameObject:
 		return fs.handleRename(req, res)
 	case proto.OpLinkObject:
@@ -219,7 +238,7 @@ func (fs *FileServer) HandleNamed(req *core.Request, res *core.Resolution) *prot
 	case proto.OpAddContextName:
 		return fs.handleAddLink(req, res)
 	case proto.OpDeleteContextName:
-		return fs.handleRemove(res)
+		return fs.handleRemove(req, res)
 	case proto.OpLoadProgram:
 		return fs.handleLoadProgram(req, res)
 	default:
@@ -229,7 +248,7 @@ func (fs *FileServer) HandleNamed(req *core.Request, res *core.Resolution) *prot
 
 // HandleOp implements core.Handler for non-name operations.
 func (fs *FileServer) HandleOp(req *core.Request) *proto.Message {
-	if reply := fs.reg.HandleOp(req.Msg); reply != nil {
+	if reply := fs.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	switch req.Msg.Op {
@@ -245,9 +264,9 @@ func (fs *FileServer) HandleOp(req *core.Request) *proto.Message {
 		// Baseline support (§2.2 comparison): open by the low-level
 		// identifier a centralized name server handed out, bypassing
 		// name interpretation.
-		return fs.openFileInstance(req.Msg.F[3], "", proto.OpenMode(req.Msg))
+		return fs.openFileInstance(req.Proc(), req.Msg.F[3], "", proto.OpenMode(req.Msg))
 	case proto.OpRemoveByUID:
-		if err := fs.vol.removeByIno(req.Msg.F[3], fs.proc.Now()); err != nil {
+		if err := fs.vol.removeByIno(req.Msg.F[3], req.Proc().Now()); err != nil {
 			return core.ErrorReplyMsg(err)
 		}
 		return core.OkReply()
@@ -265,7 +284,7 @@ func (fs *FileServer) handleOpen(req *core.Request, res *core.Resolution) *proto
 		case res.Entry == nil && mode&proto.ModeCreate != 0:
 			// Directory-mode create of an unbound name makes a new
 			// context (the mkdir of the protocol).
-			n, err := fs.vol.mkdir(res.Final, res.Last, "", fs.proc.Now())
+			n, err := fs.vol.mkdir(res.Final, res.Last, "", req.Proc().Now())
 			if err != nil {
 				return core.ErrorReplyMsg(err)
 			}
@@ -282,7 +301,7 @@ func (fs *FileServer) handleOpen(req *core.Request, res *core.Resolution) *proto
 		if err != nil {
 			return core.ErrorReplyMsg(err)
 		}
-		return fs.openDirectoryInstance(ctx, res.Name, pattern)
+		return fs.openDirectoryInstance(req.Proc(), ctx, res.Name, pattern)
 	}
 	if _, isCtx := res.ResolvesToContext(); isCtx {
 		return core.ErrorReplyMsg(fmt.Errorf("%w: opening a directory requires directory mode", proto.ErrModeNotSupported))
@@ -291,16 +310,16 @@ func (fs *FileServer) handleOpen(req *core.Request, res *core.Resolution) *proto
 		if mode&proto.ModeCreate == 0 {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		n, err := fs.vol.createFile(res.Final, res.Last, "", fs.proc.Now())
+		n, err := fs.vol.createFile(res.Final, res.Last, "", req.Proc().Now())
 		if err != nil {
 			return core.ErrorReplyMsg(err)
 		}
-		return fs.openFileInstance(uint32(n.id), res.Name, mode)
+		return fs.openFileInstance(req.Proc(), uint32(n.id), res.Name, mode)
 	}
-	return fs.openFileInstance(res.Entry.Object.ID, res.Name, mode)
+	return fs.openFileInstance(req.Proc(), res.Entry.Object.ID, res.Name, mode)
 }
 
-func (fs *FileServer) openFileInstance(id uint32, name string, mode uint32) *proto.Message {
+func (fs *FileServer) openFileInstance(p *kernel.Process, id uint32, name string, mode uint32) *proto.Message {
 	perms, err := fs.vol.filePerms(id)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
@@ -314,7 +333,7 @@ func (fs *FileServer) openFileInstance(id uint32, name string, mode uint32) *pro
 		return core.ErrorReplyMsg(proto.ErrNoPermission)
 	}
 	if mode&proto.ModeTruncate != 0 {
-		if err := fs.vol.truncate(id, fs.proc.Now()); err != nil {
+		if err := fs.vol.truncate(id, p.Now()); err != nil {
 			return core.ErrorReplyMsg(err)
 		}
 		fs.cache.invalidate(id)
@@ -332,14 +351,14 @@ func (fs *FileServer) openFileInstance(id uint32, name string, mode uint32) *pro
 	return reply
 }
 
-func (fs *FileServer) openDirectoryInstance(ctx core.ContextID, name, pattern string) *proto.Message {
+func (fs *FileServer) openDirectoryInstance(p *kernel.Process, ctx core.ContextID, name, pattern string) *proto.Message {
 	records, err := fs.vol.list(ctx)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
 	records = core.FilterRecords(records, pattern)
-	model := fs.proc.Kernel().Model()
-	fs.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	model := p.Kernel().Model()
+	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 	inst := vio.NewDirectoryInstance(records, func(rec proto.Descriptor) error {
 		return fs.vol.modify(ctx, rec, fs.proc.Now())
 	})
@@ -356,8 +375,8 @@ func (fs *FileServer) openDirectoryInstance(ctx core.ContextID, name, pattern st
 }
 
 func (fs *FileServer) handleQuery(req *core.Request, res *core.Resolution) *proto.Message {
-	model := fs.proc.Kernel().Model()
-	fs.proc.ChargeCompute(model.DescriptorFabricateCost)
+	model := req.Proc().Kernel().Model()
+	req.Proc().ChargeCompute(model.DescriptorFabricateCost)
 	var (
 		d   proto.Descriptor
 		err error
@@ -389,20 +408,20 @@ func (fs *FileServer) handleModify(req *core.Request, res *core.Resolution) *pro
 		return core.ErrorReplyMsg(proto.ErrNotFound)
 	}
 	rec.Name = res.Last
-	if err := fs.vol.modify(res.Final, rec, fs.proc.Now()); err != nil {
+	if err := fs.vol.modify(res.Final, rec, req.Proc().Now()); err != nil {
 		return core.ErrorReplyMsg(err)
 	}
 	return core.OkReply()
 }
 
-func (fs *FileServer) handleRemove(res *core.Resolution) *proto.Message {
+func (fs *FileServer) handleRemove(req *core.Request, res *core.Resolution) *proto.Message {
 	if res.Last == "" {
 		return core.ErrorReplyMsg(fmt.Errorf("%w: cannot remove a context through itself", proto.ErrIllegalRequest))
 	}
 	if res.Entry == nil {
 		return core.ErrorReplyMsg(proto.ErrNotFound)
 	}
-	if err := fs.vol.remove(res.Final, res.Last, fs.proc.Now()); err != nil {
+	if err := fs.vol.remove(res.Final, res.Last, req.Proc().Now()); err != nil {
 		return core.ErrorReplyMsg(err)
 	}
 	return core.OkReply()
@@ -419,7 +438,7 @@ func (fs *FileServer) handleRename(req *core.Request, res *core.Resolution) *pro
 	// The new name is interpreted in the same starting context as the
 	// old; it must resolve within this server (cross-server renames are
 	// not supported — the name would have to move with the object).
-	nres, fwd, err := core.Interpret(fs.vol, fs.proc, newName, 0, core.ContextID(proto.CSNameContext(req.Msg)))
+	nres, fwd, err := core.Interpret(fs.vol, req.Proc(), newName, 0, core.ContextID(proto.CSNameContext(req.Msg)))
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
@@ -432,7 +451,7 @@ func (fs *FileServer) handleRename(req *core.Request, res *core.Resolution) *pro
 	if nres.Entry != nil {
 		return core.ErrorReplyMsg(fmt.Errorf("%q: %w", nres.Last, proto.ErrDuplicateName))
 	}
-	if err := fs.vol.rename(res.Final, res.Last, nres.Final, nres.Last, fs.proc.Now()); err != nil {
+	if err := fs.vol.rename(res.Final, res.Last, nres.Final, nres.Last, req.Proc().Now()); err != nil {
 		return core.ErrorReplyMsg(err)
 	}
 	return core.OkReply()
@@ -451,7 +470,7 @@ func (fs *FileServer) handleAlias(req *core.Request, res *core.Resolution) *prot
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
-	nres, fwd, err := core.Interpret(fs.vol, fs.proc, newName, 0, core.ContextID(proto.CSNameContext(req.Msg)))
+	nres, fwd, err := core.Interpret(fs.vol, req.Proc(), newName, 0, core.ContextID(proto.CSNameContext(req.Msg)))
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
@@ -464,7 +483,7 @@ func (fs *FileServer) handleAlias(req *core.Request, res *core.Resolution) *prot
 	if nres.Entry != nil {
 		return core.ErrorReplyMsg(fmt.Errorf("%q: %w", nres.Last, proto.ErrDuplicateName))
 	}
-	if err := fs.vol.addAlias(nres.Final, nres.Last, res.Entry.Object.ID, fs.proc.Now()); err != nil {
+	if err := fs.vol.addAlias(nres.Final, nres.Last, res.Entry.Object.ID, req.Proc().Now()); err != nil {
 		return core.ErrorReplyMsg(err)
 	}
 	return core.OkReply()
@@ -482,7 +501,7 @@ func (fs *FileServer) handleAddLink(req *core.Request, res *core.Resolution) *pr
 		return core.ErrorReplyMsg(fmt.Errorf("%w: file servers support only static links", proto.ErrModeNotSupported))
 	}
 	target := core.ContextPair{Server: kernel.PID(pid), Ctx: core.ContextID(ctx)}
-	if err := fs.vol.addLink(res.Final, res.Last, target, fs.proc.Now()); err != nil {
+	if err := fs.vol.addLink(res.Final, res.Last, target, req.Proc().Now()); err != nil {
 		return core.ErrorReplyMsg(err)
 	}
 	return core.OkReply()
@@ -500,7 +519,7 @@ func (fs *FileServer) handleLoadProgram(req *core.Request, res *core.Resolution)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
-	n, err := fs.proc.MoveTo(req.From, 0, data)
+	n, err := req.Proc().MoveTo(req.From, 0, data)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
@@ -509,14 +528,16 @@ func (fs *FileServer) handleLoadProgram(req *core.Request, res *core.Resolution)
 	return reply
 }
 
-// fileInstance is an open file with per-instance read-ahead state. All
-// methods run in the server goroutine, so the server clock is the time
-// base for disk scheduling.
+// fileInstance is an open file with per-instance read-ahead state. The
+// serving process's clock is the time base for disk scheduling; under a
+// server team concurrent workers may touch the same instance, so the
+// read-ahead state is guarded by its own lock.
 type fileInstance struct {
 	fs   *FileServer
 	ino  uint32
 	mode uint32
 
+	mu            sync.Mutex
 	prefetchBlock int64 // block the buffer cache has prefetched (-1: none)
 	prefetchDone  vtime.Time
 }
@@ -540,12 +561,13 @@ func (fi *fileInstance) Info() proto.InstanceInfo {
 	}
 }
 
-// ReadAt serves one page, charging disk time: a page already prefetched
-// by the buffer cache is ready at its prefetch-completion time; otherwise
-// a synchronous fetch is issued. With read-ahead enabled, serving page p
-// starts the fetch of page p+1 immediately, so a sequential reader finds
-// the next page (nearly) ready — the §3.1 streaming file access.
-func (fi *fileInstance) ReadAt(off int64, buf []byte) (int, error) {
+// ReadAt serves one page, charging disk time to the serving process p: a
+// page already prefetched by the buffer cache is ready at its
+// prefetch-completion time; otherwise a synchronous fetch is issued. With
+// read-ahead enabled, serving page p starts the fetch of page p+1
+// immediately, so a sequential reader finds the next page (nearly) ready
+// — the §3.1 streaming file access.
+func (fi *fileInstance) ReadAt(p *kernel.Process, off int64, buf []byte) (int, error) {
 	// End-of-file is answered from the i-node, without touching the disk.
 	size, err := fi.fs.vol.size(fi.ino)
 	if err != nil {
@@ -554,9 +576,11 @@ func (fi *fileInstance) ReadAt(off int64, buf []byte) (int, error) {
 	if off >= int64(size) {
 		return 0, proto.ErrEndOfFile
 	}
-	pageSize := int64(fi.fs.proc.Kernel().Model().DiskPageSize)
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	pageSize := int64(p.Kernel().Model().DiskPageSize)
 	block := off / pageSize
-	clock := fi.fs.proc.Clock()
+	clock := p.Clock()
 	now := clock.Now()
 
 	var ready vtime.Time
@@ -590,9 +614,9 @@ func (fi *fileInstance) ReadAt(off int64, buf []byte) (int, error) {
 
 // WriteAt stores data write-behind: the pages go to the buffer cache and
 // the disk write completes asynchronously, so no disk latency is charged.
-func (fi *fileInstance) WriteAt(off int64, data []byte) (int, error) {
-	n, err := fi.fs.vol.writeAt(fi.ino, off, data, fi.fs.proc.Now())
-	pageSize := int64(fi.fs.proc.Kernel().Model().DiskPageSize)
+func (fi *fileInstance) WriteAt(p *kernel.Process, off int64, data []byte) (int, error) {
+	n, err := fi.fs.vol.writeAt(fi.ino, off, data, p.Now())
+	pageSize := int64(p.Kernel().Model().DiskPageSize)
 	for b := off / pageSize; b <= (off+int64(n))/pageSize; b++ {
 		fi.fs.cache.insert(fi.ino, b)
 	}

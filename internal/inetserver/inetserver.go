@@ -54,6 +54,7 @@ type Server struct {
 	store   *core.MapStore
 	reg     *vio.Registry
 	respond Responder
+	teamOpt []core.Option
 
 	mu    sync.Mutex
 	conns map[uint32]*conn
@@ -66,6 +67,11 @@ type Option func(*Server)
 // WithResponder overrides the simulated remote endpoint.
 func WithResponder(r Responder) Option {
 	return func(s *Server) { s.respond = r }
+}
+
+// WithTeam serves requests with a team of n processes (§3.1).
+func WithTeam(n int) Option {
+	return func(s *Server) { s.teamOpt = append(s.teamOpt, core.WithTeam(n)) }
 }
 
 // Start spawns an Internet server on host.
@@ -88,8 +94,10 @@ func Start(host *kernel.Host, opts ...Option) (*Server, error) {
 	if err := s.store.Bind(core.CtxDefault, "tcp", core.ContextEntry(tcpContext)); err != nil {
 		return nil, err
 	}
-	s.srv = core.NewServer(proc, s.store, s)
-	go s.srv.Run()
+	s.srv = core.NewServer(proc, s.store, s, s.teamOpt...)
+	if err := s.srv.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServiceInternet, proc.PID(), kernel.ScopeBoth); err != nil {
 		return nil, err
 	}
@@ -98,6 +106,9 @@ func Start(host *kernel.Host, opts ...Option) (*Server, error) {
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (s *Server) Err() error { return s.srv.Err() }
 
 // RootPair returns the server's root context.
 func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
@@ -141,7 +152,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 			if err != nil {
 				return core.ErrorReplyMsg(err)
 			}
-			return s.openDirectory(ctx, res.Name, pattern)
+			return s.openDirectory(req.Proc(), ctx, res.Name, pattern)
 		}
 		if res.Final != tcpContext {
 			return core.ErrorReplyMsg(fmt.Errorf("%w: connections live in the tcp context", proto.ErrNotFound))
@@ -150,7 +161,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 			if mode&proto.ModeCreate == 0 {
 				return core.ErrorReplyMsg(proto.ErrNotFound)
 			}
-			return s.dial(res.Last)
+			return s.dial(req.Proc(), res.Last)
 		}
 		return s.openConn(res.Entry.Object.ID, res.Last)
 
@@ -168,7 +179,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if c == nil {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		req.Proc().ChargeCompute(req.Proc().Kernel().Model().DescriptorFabricateCost)
 		reply := core.OkReply()
 		reply.Segment = d.AppendEncoded(nil)
 		return reply
@@ -192,17 +203,17 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 
 // HandleOp implements core.Handler.
 func (s *Server) HandleOp(req *core.Request) *proto.Message {
-	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+	if reply := s.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
 }
 
 // dial opens a new connection to dest.
-func (s *Server) dial(dest string) *proto.Message {
+func (s *Server) dial(p *kernel.Process, dest string) *proto.Message {
 	s.mu.Lock()
 	s.next++
-	c := &conn{id: s.next, dest: dest, opened: s.proc.Now()}
+	c := &conn{id: s.next, dest: dest, opened: p.Now()}
 	s.conns[c.id] = c
 	s.mu.Unlock()
 	if err := s.store.Bind(tcpContext, dest, core.ObjectEntry(proto.TagTCPConnection, c.id)); err != nil {
@@ -234,7 +245,7 @@ func (s *Server) openConn(id uint32, name string) *proto.Message {
 	return reply
 }
 
-func (s *Server) openDirectory(ctx core.ContextID, name, pattern string) *proto.Message {
+func (s *Server) openDirectory(p *kernel.Process, ctx core.ContextID, name, pattern string) *proto.Message {
 	if ctx == core.CtxDefault {
 		// Root directory: one entry, the tcp context.
 		records := []proto.Descriptor{{Tag: proto.TagDirectory, Name: "tcp", ObjectID: uint32(tcpContext)}}
@@ -252,8 +263,8 @@ func (s *Server) openDirectory(ctx core.ContextID, name, pattern string) *proto.
 	}
 	s.mu.Unlock()
 	records = core.FilterRecords(records, pattern)
-	model := s.proc.Kernel().Model()
-	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	model := p.Kernel().Model()
+	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 	return s.replyDirectory(records, name)
 }
 
@@ -290,7 +301,7 @@ func (ci *connInstance) Info() proto.InstanceInfo {
 
 // ReadAt drains from the inbox; offsets are ignored because a connection
 // is a stream.
-func (ci *connInstance) ReadAt(_ int64, buf []byte) (int, error) {
+func (ci *connInstance) ReadAt(_ *kernel.Process, _ int64, buf []byte) (int, error) {
 	ci.s.mu.Lock()
 	defer ci.s.mu.Unlock()
 	if len(ci.c.inbox) == 0 {
@@ -302,14 +313,14 @@ func (ci *connInstance) ReadAt(_ int64, buf []byte) (int, error) {
 	return n, nil
 }
 
-func (ci *connInstance) WriteAt(_ int64, data []byte) (int, error) {
+func (ci *connInstance) WriteAt(p *kernel.Process, _ int64, data []byte) (int, error) {
 	ci.s.mu.Lock()
 	responder := ci.s.respond
 	dest := ci.c.dest
 	ci.s.mu.Unlock()
 	// The remote round trip is charged at network cost.
-	model := ci.s.proc.Kernel().Model()
-	ci.s.proc.ChargeCompute(2 * model.RemoteHop(len(data)))
+	model := p.Kernel().Model()
+	p.ChargeCompute(2 * model.RemoteHop(len(data)))
 	back := responder(dest, data)
 	ci.s.mu.Lock()
 	defer ci.s.mu.Unlock()

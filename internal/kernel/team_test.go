@@ -1,0 +1,47 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSpawnTeamSpawnsWorkers(t *testing.T) {
+	k := newDomain(t)
+	h := k.NewHost("srv")
+	started := make(chan PID, 4)
+	workers, err := h.SpawnTeam("fs", 4, func(p *Process) {
+		started <- p.PID()
+		<-p.Done()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 4 {
+		t.Fatalf("spawned %d workers", len(workers))
+	}
+	seen := make(map[PID]bool)
+	for i := 0; i < 4; i++ {
+		seen[<-started] = true
+	}
+	for i, w := range workers {
+		if !seen[w.PID()] {
+			t.Fatalf("worker %d body never ran", i)
+		}
+		want := "fs/worker" + string(rune('0'+i))
+		if w.Name() != want {
+			t.Fatalf("worker %d name = %q, want %q", i, w.Name(), want)
+		}
+	}
+	for _, w := range workers {
+		w.Destroy()
+	}
+}
+
+func TestSpawnTeamOnCrashedHost(t *testing.T) {
+	k := newDomain(t)
+	h := k.NewHost("srv")
+	h.Crash()
+	if _, err := h.SpawnTeam("fs", 2, func(p *Process) {}); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("err = %v, want ErrHostDown", err)
+	}
+}

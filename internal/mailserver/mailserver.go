@@ -63,8 +63,9 @@ type Server struct {
 	reg  *vio.Registry
 }
 
-// Start spawns a mail server on host.
-func Start(host *kernel.Host) (*Server, error) {
+// Start spawns a mail server on host. Options (e.g. core.WithTeam)
+// configure the serving runtime.
+func Start(host *kernel.Host, opts ...core.Option) (*Server, error) {
 	proc, err := host.NewProcess("mail-server")
 	if err != nil {
 		return nil, err
@@ -74,8 +75,10 @@ func Start(host *kernel.Host) (*Server, error) {
 		st:   &store{boxes: make(map[string]*mailbox), byID: make(map[uint32]*mailbox)},
 		reg:  vio.NewRegistry(),
 	}
-	s.srv = core.NewServer(proc, s.st, s)
-	go s.srv.Run()
+	s.srv = core.NewServer(proc, s.st, s, opts...)
+	if err := s.srv.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServiceMail, proc.PID(), kernel.ScopeBoth); err != nil {
 		return nil, err
 	}
@@ -84,6 +87,9 @@ func Start(host *kernel.Host) (*Server, error) {
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (s *Server) Err() error { return s.srv.Err() }
 
 // RootPair returns the server's single context.
 func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
@@ -151,7 +157,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 			if err != nil {
 				return core.ErrorReplyMsg(err)
 			}
-			return s.openDirectory(res.Name, pattern)
+			return s.openDirectory(req.Proc(), res.Name, pattern)
 		}
 		if res.Entry == nil {
 			if mode&proto.ModeCreate == 0 {
@@ -182,7 +188,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if mb == nil {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		req.Proc().ChargeCompute(req.Proc().Kernel().Model().DescriptorFabricateCost)
 		reply := core.OkReply()
 		reply.Segment = d.AppendEncoded(nil)
 		return reply
@@ -210,7 +216,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 
 // HandleOp implements core.Handler.
 func (s *Server) HandleOp(req *core.Request) *proto.Message {
-	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+	if reply := s.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
@@ -238,7 +244,7 @@ func (s *Server) openMailbox(id uint32, name string) *proto.Message {
 	return reply
 }
 
-func (s *Server) openDirectory(name, pattern string) *proto.Message {
+func (s *Server) openDirectory(p *kernel.Process, name, pattern string) *proto.Message {
 	s.st.mu.Lock()
 	addrs := make([]string, 0, len(s.st.boxes))
 	for a := range s.st.boxes {
@@ -289,7 +295,7 @@ func (mi *mailboxInstance) Info() proto.InstanceInfo {
 	}
 }
 
-func (mi *mailboxInstance) ReadAt(off int64, buf []byte) (int, error) {
+func (mi *mailboxInstance) ReadAt(_ *kernel.Process, off int64, buf []byte) (int, error) {
 	mi.s.st.mu.Lock()
 	defer mi.s.st.mu.Unlock()
 	flat := mi.flatten()
@@ -300,7 +306,7 @@ func (mi *mailboxInstance) ReadAt(off int64, buf []byte) (int, error) {
 }
 
 // WriteAt delivers one message per write, regardless of offset.
-func (mi *mailboxInstance) WriteAt(_ int64, data []byte) (int, error) {
+func (mi *mailboxInstance) WriteAt(_ *kernel.Process, _ int64, data []byte) (int, error) {
 	mi.s.st.mu.Lock()
 	defer mi.s.st.mu.Unlock()
 	msg := make([]byte, len(data))

@@ -48,8 +48,9 @@ type Server struct {
 	next  uint32
 }
 
-// Start spawns a pipe server on host.
-func Start(host *kernel.Host) (*Server, error) {
+// Start spawns a pipe server on host. Options (e.g. core.WithTeam)
+// configure the serving runtime.
+func Start(host *kernel.Host, opts ...core.Option) (*Server, error) {
 	proc, err := host.NewProcess("pipe-server")
 	if err != nil {
 		return nil, err
@@ -60,8 +61,10 @@ func Start(host *kernel.Host) (*Server, error) {
 		reg:   vio.NewRegistry(),
 		pipes: make(map[uint32]*pipe),
 	}
-	s.srv = core.NewServer(proc, s.store, s)
-	go s.srv.Run()
+	s.srv = core.NewServer(proc, s.store, s, opts...)
+	if err := s.srv.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServicePipe, proc.PID(), kernel.ScopeBoth); err != nil {
 		return nil, err
 	}
@@ -70,6 +73,9 @@ func Start(host *kernel.Host) (*Server, error) {
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (s *Server) Err() error { return s.srv.Err() }
 
 // RootPair returns the server's single context.
 func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
@@ -105,7 +111,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 			if err != nil {
 				return core.ErrorReplyMsg(err)
 			}
-			return s.openDirectory(res.Name, pattern)
+			return s.openDirectory(req.Proc(), res.Name, pattern)
 		}
 		if res.Entry == nil {
 			if mode&proto.ModeCreate == 0 {
@@ -132,7 +138,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if p == nil {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		req.Proc().ChargeCompute(req.Proc().Kernel().Model().DescriptorFabricateCost)
 		reply := core.OkReply()
 		reply.Segment = d.AppendEncoded(nil)
 		return reply
@@ -156,7 +162,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 
 // HandleOp implements core.Handler.
 func (s *Server) HandleOp(req *core.Request) *proto.Message {
-	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+	if reply := s.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
@@ -205,7 +211,7 @@ func (s *Server) openPipe(id uint32, name string, mode uint32) *proto.Message {
 	return reply
 }
 
-func (s *Server) openDirectory(name, pattern string) *proto.Message {
+func (s *Server) openDirectory(p *kernel.Process, name, pattern string) *proto.Message {
 	s.mu.Lock()
 	ids := make([]uint32, 0, len(s.pipes))
 	for id := range s.pipes {
@@ -218,8 +224,8 @@ func (s *Server) openDirectory(name, pattern string) *proto.Message {
 	}
 	s.mu.Unlock()
 	records = core.FilterRecords(records, pattern)
-	model := s.proc.Kernel().Model()
-	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	model := p.Kernel().Model()
+	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
@@ -252,7 +258,7 @@ func (pi *pipeInstance) Info() proto.InstanceInfo {
 
 // ReadAt drains the pipe; offsets are meaningless on a stream. An empty
 // open pipe answers Retry; an empty closed pipe answers end-of-file.
-func (pi *pipeInstance) ReadAt(_ int64, buf []byte) (int, error) {
+func (pi *pipeInstance) ReadAt(_ *kernel.Process, _ int64, buf []byte) (int, error) {
 	pi.s.mu.Lock()
 	defer pi.s.mu.Unlock()
 	p := pi.p
@@ -268,7 +274,7 @@ func (pi *pipeInstance) ReadAt(_ int64, buf []byte) (int, error) {
 }
 
 // WriteAt appends to the pipe; a full pipe answers Retry.
-func (pi *pipeInstance) WriteAt(_ int64, data []byte) (int, error) {
+func (pi *pipeInstance) WriteAt(_ *kernel.Process, _ int64, data []byte) (int, error) {
 	pi.s.mu.Lock()
 	defer pi.s.mu.Unlock()
 	p := pi.p

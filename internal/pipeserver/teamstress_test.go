@@ -1,0 +1,93 @@
+package pipeserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vio"
+	"repro/internal/vtime"
+)
+
+// TestTeamStressPipeServer runs a writer/reader pair per pipe, many
+// pipes concurrently, against one pipe-server team.
+func TestTeamStressPipeServer(t *testing.T) {
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	s, err := Start(k.NewHost("services"), core.WithTeam(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	openPipe := func(proc *kernel.Process, name string, mode uint32) (*vio.File, error) {
+		req := &proto.Message{Op: proto.OpCreateInstance}
+		proto.SetCSName(req, uint32(core.CtxDefault), name)
+		proto.SetOpenMode(req, mode)
+		reply, err := proc.Send(req, s.PID())
+		if err != nil {
+			return nil, err
+		}
+		if err := proto.ReplyError(reply.Op); err != nil {
+			return nil, err
+		}
+		return vio.NewFile(proc, s.PID(), proto.GetInstanceInfo(reply)), nil
+	}
+
+	const pipes, lines = 5, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, pipes)
+	for i := 0; i < pipes; i++ {
+		wProc, err := k.NewHost(fmt.Sprintf("wr%d", i)).NewProcess("writer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rProc, err := k.NewHost(fmt.Sprintf("rd%d", i)).NewProcess("reader")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			wProc.Destroy()
+			rProc.Destroy()
+		})
+		wg.Add(1)
+		go func(i int, wProc, rProc *kernel.Process) {
+			defer wg.Done()
+			name := fmt.Sprintf("stream%d", i)
+			w, err := openPipe(wProc, name, proto.ModeWrite|proto.ModeCreate)
+			if err != nil {
+				errs <- fmt.Errorf("pipe %d open writer: %w", i, err)
+				return
+			}
+			r, err := openPipe(rProc, name, proto.ModeRead)
+			if err != nil {
+				errs <- fmt.Errorf("pipe %d open reader: %w", i, err)
+				return
+			}
+			for j := 0; j < lines; j++ {
+				msg := fmt.Sprintf("pipe %d line %d\n", i, j)
+				if _, err := w.Write([]byte(msg)); err != nil {
+					errs <- fmt.Errorf("pipe %d write %d: %w", i, j, err)
+					return
+				}
+				if _, err := r.Seek(0, 0); err != nil {
+					errs <- fmt.Errorf("pipe %d seek %d: %w", i, j, err)
+					return
+				}
+				buf := make([]byte, 64)
+				n, err := r.Read(buf)
+				if err != nil || string(buf[:n]) != msg {
+					errs <- fmt.Errorf("pipe %d read %d: %q, %v", i, j, buf[:n], err)
+					return
+				}
+			}
+		}(i, wProc, rProc)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -97,13 +97,24 @@ type Stats struct {
 	DeadTargets uint64
 }
 
+// Option configures a prefix server.
+type Option func(*Server)
+
+// WithTeam sets the server-team size — the number of serving processes
+// (§3.1). The default 1 preserves the calibrated single-process behavior.
+func WithTeam(n int) Option {
+	return func(s *Server) { s.teamSize = n }
+}
+
 // Server is one user's context prefix server. It normally runs on the
 // user's workstation, so the request that reaches it always pays only a
 // local hop (§6).
 type Server struct {
-	proc  *kernel.Process
-	owner string
-	reg   *vio.Registry
+	proc     *kernel.Process
+	owner    string
+	reg      *vio.Registry
+	team     *core.Team
+	teamSize int
 
 	mu       sync.Mutex
 	bindings map[string]Binding
@@ -115,29 +126,42 @@ type Server struct {
 
 // New creates a prefix server for the given user on proc. Call Run in the
 // process goroutine.
-func New(proc *kernel.Process, owner string) *Server {
-	return &Server{
+func New(proc *kernel.Process, owner string, opts ...Option) *Server {
+	s := &Server{
 		proc:         proc,
 		owner:        owner,
 		reg:          vio.NewRegistry(),
+		teamSize:     1,
 		bindings:     make(map[string]Binding),
 		lastResolved: make(map[string]kernel.PID),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.team = core.NewTeam(proc, s.teamSize, s.serveOne, nil)
+	return s
 }
 
 // Start spawns a prefix server process on host and runs it.
-func Start(host *kernel.Host, owner string) (*Server, error) {
+func Start(host *kernel.Host, owner string, opts ...Option) (*Server, error) {
 	proc, err := host.NewProcess("context-prefix[" + owner + "]")
 	if err != nil {
 		return nil, err
 	}
-	s := New(proc, owner)
-	go s.Run()
+	s := New(proc, owner, opts...)
+	if err := s.team.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServiceContextPrefix, proc.PID(), kernel.ScopeLocal); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
+
+// Err reports why the server stopped serving: nil while it is running,
+// kernel.ErrProcessDead after a clean destroy, an error wrapping
+// kernel.ErrHostDown after a host crash.
+func (s *Server) Err() error { return s.team.Err() }
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
@@ -196,36 +220,31 @@ func (s *Server) TableBytes() int {
 	return total
 }
 
-// Run is the server main loop.
-func (s *Server) Run() {
-	for {
-		msg, from, err := s.proc.Receive()
-		if err != nil {
-			return
-		}
-		s.serveOne(msg, from)
-	}
-}
+// Run is the server main loop; team workers, if configured, are spawned
+// first.
+func (s *Server) Run() { s.team.Run() }
 
-func (s *Server) serveOne(msg *proto.Message, from kernel.PID) {
-	model := s.proc.Kernel().Model()
-	s.proc.ChargeCompute(model.ServerDispatchCost)
+// serveOne processes one request on the serving process p (the
+// receptionist, or a team worker after a §3.1 handoff).
+func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID) {
+	model := p.Kernel().Model()
+	p.ChargeCompute(model.ServerDispatchCost)
 
 	var reply *proto.Message
 	switch {
 	case msg.Op.IsCSNameOp():
-		reply = s.handleCSName(msg, from)
+		reply = s.handleCSName(p, msg, from)
 	case msg.Op == proto.OpGetContextName:
 		reply = s.handleInverse(msg)
 	default:
-		if r := s.reg.HandleOp(msg); r != nil {
+		if r := s.reg.HandleOp(p, msg); r != nil {
 			reply = r
 		} else {
 			reply = proto.NewReply(proto.ReplyIllegalRequest)
 		}
 	}
 	if reply != nil {
-		_ = s.proc.Reply(reply, from)
+		_ = p.Reply(reply, from)
 	}
 }
 
@@ -235,8 +254,8 @@ func (s *Server) serveOne(msg *proto.Message, from kernel.PID) {
 // space. Bracket-less names address the prefix server's own context: its
 // prefix table, where the optional add/delete operations are implemented
 // (§5.7).
-func (s *Server) handleCSName(msg *proto.Message, from kernel.PID) *proto.Message {
-	model := s.proc.Kernel().Model()
+func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel.PID) *proto.Message {
+	model := p.Kernel().Model()
 	name, index, err := proto.CSName(msg)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
@@ -249,14 +268,14 @@ func (s *Server) handleCSName(msg *proto.Message, from kernel.PID) *proto.Messag
 		case proto.OpDeleteContextName:
 			return s.handleDelete(msg)
 		default:
-			return s.handleOwnName(msg, name[index:])
+			return s.handleOwnName(p, msg, name[index:])
 		}
 	}
 
 	// The calibrated per-request processing cost of the MC68000 prefix
 	// server: re-validating the request, parsing the prefix, scanning the
 	// table and rewriting the message (§6).
-	s.proc.ChargeCompute(model.PrefixRewriteCost)
+	p.ChargeCompute(model.PrefixRewriteCost)
 
 	pfx, rest, err := Parse(name, index)
 	if err != nil {
@@ -268,7 +287,7 @@ func (s *Server) handleCSName(msg *proto.Message, from kernel.PID) *proto.Messag
 	if !ok {
 		return core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", pfx, proto.ErrNotFound))
 	}
-	pair, err := s.resolveBinding(b)
+	pair, err := s.resolveBinding(p, b)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
@@ -280,8 +299,8 @@ func (s *Server) handleCSName(msg *proto.Message, from kernel.PID) *proto.Messag
 	// instead of forwarding into a dead transaction, charging the
 	// retransmit budget the discovery would have cost.
 	if b.Dynamic {
-		if !s.proc.Kernel().ProcessAlive(pair.Server) {
-			s.proc.ChargeCompute(model.RetransmitTimeout)
+		if !p.Kernel().ProcessAlive(pair.Server) {
+			p.ChargeCompute(model.RetransmitTimeout)
 			s.countStat(func(st *Stats) { st.DeadTargets++ })
 			return core.ErrorReplyMsg(fmt.Errorf("prefix %q: no live server for service %v: %w",
 				pfx, b.Service, proto.ErrTimeout))
@@ -296,7 +315,7 @@ func (s *Server) handleCSName(msg *proto.Message, from kernel.PID) *proto.Messag
 	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
 	s.countStat(func(st *Stats) { st.Forwards++ })
 	// A failed forward already failed the client's transaction.
-	_ = s.proc.Forward(msg, from, pair.Server)
+	_ = p.Forward(msg, from, pair.Server)
 	return nil
 }
 
@@ -316,11 +335,11 @@ func (s *Server) countStat(update func(*Stats)) {
 // resolveBinding maps a binding to a concrete context pair; dynamic
 // bindings perform GetPid at time of use, so the name keeps working after
 // the service is re-implemented by a new process (§6).
-func (s *Server) resolveBinding(b Binding) (core.ContextPair, error) {
+func (s *Server) resolveBinding(p *kernel.Process, b Binding) (core.ContextPair, error) {
 	if !b.Dynamic {
 		return b.Pair, nil
 	}
-	pid, err := s.proc.GetPid(b.Service, kernel.ScopeBoth)
+	pid, err := p.GetPid(b.Service, kernel.ScopeBoth)
 	if err != nil {
 		return core.ContextPair{}, fmt.Errorf("service %v: %w", b.Service, proto.ErrNotFound)
 	}
@@ -329,14 +348,14 @@ func (s *Server) resolveBinding(b Binding) (core.ContextPair, error) {
 
 // handleOwnName serves requests on the prefix server's own (single)
 // context: its context directory and per-prefix queries.
-func (s *Server) handleOwnName(msg *proto.Message, rest string) *proto.Message {
+func (s *Server) handleOwnName(p *kernel.Process, msg *proto.Message, rest string) *proto.Message {
 	rest = strings.TrimLeft(rest, string(core.Separator))
 	switch msg.Op {
 	case proto.OpCreateInstance:
 		if proto.OpenMode(msg)&proto.ModeDirectory == 0 || rest != "" {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		return s.openDirectory(msg)
+		return s.openDirectory(p, msg)
 	case proto.OpQueryObject:
 		s.mu.Lock()
 		b, ok := s.bindings[rest]
@@ -344,7 +363,7 @@ func (s *Server) handleOwnName(msg *proto.Message, rest string) *proto.Message {
 		if !ok {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		p.ChargeCompute(p.Kernel().Model().DescriptorFabricateCost)
 		reply := core.OkReply()
 		d := s.describe(rest, b)
 		reply.Segment = d.AppendEncoded(nil)
@@ -382,12 +401,12 @@ func (s *Server) describe(name string, b Binding) proto.Descriptor {
 
 // openDirectory fabricates the prefix table's context directory; writing
 // a record back redefines the corresponding prefix (§5.6).
-func (s *Server) openDirectory(msg *proto.Message) *proto.Message {
+func (s *Server) openDirectory(p *kernel.Process, msg *proto.Message) *proto.Message {
 	pattern, err := proto.DirPattern(msg)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
-	model := s.proc.Kernel().Model()
+	model := p.Kernel().Model()
 	s.mu.Lock()
 	names := make([]string, 0, len(s.bindings))
 	for n := range s.bindings {
@@ -400,7 +419,7 @@ func (s *Server) openDirectory(msg *proto.Message) *proto.Message {
 	}
 	s.mu.Unlock()
 	records = core.FilterRecords(records, pattern)
-	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 
 	inst := vio.NewDirectoryInstance(records, func(d proto.Descriptor) error {
 		return s.modifyFromRecord(d)

@@ -68,8 +68,9 @@ type Server struct {
 	pageTime time.Duration
 }
 
-// Start spawns a printer server on host.
-func Start(host *kernel.Host) (*Server, error) {
+// Start spawns a printer server on host. Options (e.g. core.WithTeam)
+// configure the serving runtime.
+func Start(host *kernel.Host, opts ...core.Option) (*Server, error) {
 	proc, err := host.NewProcess("print-server")
 	if err != nil {
 		return nil, err
@@ -81,8 +82,10 @@ func Start(host *kernel.Host) (*Server, error) {
 		jobs:     make(map[uint32]*job),
 		pageTime: 2 * time.Second,
 	}
-	s.srv = core.NewServer(proc, s.store, s)
-	go s.srv.Run()
+	s.srv = core.NewServer(proc, s.store, s, opts...)
+	if err := s.srv.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServicePrinter, proc.PID(), kernel.ScopeBoth); err != nil {
 		return nil, err
 	}
@@ -91,6 +94,9 @@ func Start(host *kernel.Host) (*Server, error) {
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (s *Server) Err() error { return s.srv.Err() }
 
 // RootPair returns the server's single context (the job queue).
 func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
@@ -180,7 +186,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 			if err != nil {
 				return core.ErrorReplyMsg(err)
 			}
-			return s.openQueueDirectory(res.Name, pattern)
+			return s.openQueueDirectory(req.Proc(), res.Name, pattern)
 		}
 		if res.Entry == nil && mode&proto.ModeCreate != 0 {
 			return s.submit(req, res)
@@ -205,7 +211,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if j == nil {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		req.Proc().ChargeCompute(req.Proc().Kernel().Model().DescriptorFabricateCost)
 		reply := core.OkReply()
 		reply.Segment = d.AppendEncoded(nil)
 		return reply
@@ -237,7 +243,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 
 // HandleOp implements core.Handler.
 func (s *Server) HandleOp(req *core.Request) *proto.Message {
-	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+	if reply := s.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
@@ -280,7 +286,7 @@ func (s *Server) openJob(id uint32, name string, mode uint32) *proto.Message {
 	return reply
 }
 
-func (s *Server) openQueueDirectory(name, pattern string) *proto.Message {
+func (s *Server) openQueueDirectory(p *kernel.Process, name, pattern string) *proto.Message {
 	s.mu.Lock()
 	records := make([]proto.Descriptor, 0, len(s.queue))
 	for _, id := range s.queue {
@@ -290,8 +296,8 @@ func (s *Server) openQueueDirectory(name, pattern string) *proto.Message {
 	}
 	s.mu.Unlock()
 	records = core.FilterRecords(records, pattern)
-	model := s.proc.Kernel().Model()
-	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	model := p.Kernel().Model()
+	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
@@ -322,7 +328,7 @@ func (ji *jobInstance) Info() proto.InstanceInfo {
 	}
 }
 
-func (ji *jobInstance) ReadAt(off int64, buf []byte) (int, error) {
+func (ji *jobInstance) ReadAt(_ *kernel.Process, off int64, buf []byte) (int, error) {
 	ji.s.mu.Lock()
 	defer ji.s.mu.Unlock()
 	if off >= int64(len(ji.j.data)) {
@@ -331,7 +337,7 @@ func (ji *jobInstance) ReadAt(off int64, buf []byte) (int, error) {
 	return copy(buf, ji.j.data[off:]), nil
 }
 
-func (ji *jobInstance) WriteAt(off int64, data []byte) (int, error) {
+func (ji *jobInstance) WriteAt(_ *kernel.Process, off int64, data []byte) (int, error) {
 	ji.s.mu.Lock()
 	defer ji.s.mu.Unlock()
 	if ji.j.state != stateSpooling {

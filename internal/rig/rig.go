@@ -49,6 +49,24 @@ type Config struct {
 	// Retry, when non-nil, enables the client recovery policy
 	// (resilience.go) on every session the rig creates.
 	Retry *client.RetryPolicy
+
+	// FileServerTeam sets how many serving processes each file server
+	// runs (§3.1 server teams). 0 or 1 keeps the single-process server.
+	FileServerTeam int
+	// ServicesTeam does the same for the services-machine servers
+	// (printer, Internet, mail, time, pipe).
+	ServicesTeam int
+	// PrefixTeam does the same for each workstation's prefix server.
+	PrefixTeam int
+}
+
+// teamOpt returns the core option list for a team-size knob: empty for
+// 0/1 so the default single-process path is untouched.
+func teamOpt(n int) []core.Option {
+	if n <= 1 {
+		return nil
+	}
+	return []core.Option{core.WithTeam(n)}
 }
 
 // DefaultConfig is the standard two-user configuration.
@@ -121,7 +139,7 @@ func New(cfg Config) (*Rig, error) {
 		return nil, fmt.Errorf("rig: boot services: %w", err)
 	}
 	for _, user := range cfg.Users {
-		ws, err := r.bootWorkstation(user)
+		ws, err := r.bootWorkstation(cfg, user)
 		if err != nil {
 			return nil, fmt.Errorf("rig: boot workstation for %s: %w", user, err)
 		}
@@ -142,7 +160,11 @@ func MustNew(cfg Config) *Rig {
 func (r *Rig) bootFileServers(cfg Config) error {
 	var err error
 	r.FS1Host = r.Kernel.NewHost("fs1")
-	r.FS1, err = fileserver.Start(r.FS1Host, "fs1", fileserver.WithReadAhead(cfg.ReadAhead))
+	fsOpts := []fileserver.Option{fileserver.WithReadAhead(cfg.ReadAhead)}
+	if cfg.FileServerTeam > 1 {
+		fsOpts = append(fsOpts, fileserver.WithTeam(cfg.FileServerTeam))
+	}
+	r.FS1, err = fileserver.Start(r.FS1Host, "fs1", fsOpts...)
 	if err != nil {
 		return err
 	}
@@ -151,7 +173,7 @@ func (r *Rig) bootFileServers(cfg Config) error {
 	}
 
 	r.FS2Host = r.Kernel.NewHost("fs2")
-	r.FS2, err = fileserver.Start(r.FS2Host, "fs2", fileserver.WithReadAhead(cfg.ReadAhead))
+	r.FS2, err = fileserver.Start(r.FS2Host, "fs2", fsOpts...)
 	if err != nil {
 		return err
 	}
@@ -208,19 +230,24 @@ func (r *Rig) bootFileServers(cfg Config) error {
 func (r *Rig) bootServices(cfg Config) error {
 	var err error
 	r.ServicesHost = r.Kernel.NewHost("services")
-	if r.Print, err = printserver.Start(r.ServicesHost); err != nil {
+	team := teamOpt(cfg.ServicesTeam)
+	if r.Print, err = printserver.Start(r.ServicesHost, team...); err != nil {
 		return err
 	}
-	if r.Inet, err = inetserver.Start(r.ServicesHost); err != nil {
+	inetOpts := []inetserver.Option{}
+	if cfg.ServicesTeam > 1 {
+		inetOpts = append(inetOpts, inetserver.WithTeam(cfg.ServicesTeam))
+	}
+	if r.Inet, err = inetserver.Start(r.ServicesHost, inetOpts...); err != nil {
 		return err
 	}
-	if r.Mail, err = mailserver.Start(r.ServicesHost); err != nil {
+	if r.Mail, err = mailserver.Start(r.ServicesHost, team...); err != nil {
 		return err
 	}
-	if r.Time, err = timeserver.Start(r.ServicesHost); err != nil {
+	if r.Time, err = timeserver.Start(r.ServicesHost, team...); err != nil {
 		return err
 	}
-	if r.Pipe, err = pipeserver.Start(r.ServicesHost); err != nil {
+	if r.Pipe, err = pipeserver.Start(r.ServicesHost, team...); err != nil {
 		return err
 	}
 	for _, user := range cfg.Users {
@@ -242,12 +269,16 @@ func (r *Rig) bootServices(cfg Config) error {
 	return nil
 }
 
-func (r *Rig) bootWorkstation(user string) (*Workstation, error) {
+func (r *Rig) bootWorkstation(cfg Config, user string) (*Workstation, error) {
 	host := r.Kernel.NewHost("ws-" + user)
 	ws := &Workstation{Host: host, User: user}
 
 	var err error
-	if ws.Prefix, err = prefix.Start(host, user); err != nil {
+	prefixOpts := []prefix.Option{}
+	if cfg.PrefixTeam > 1 {
+		prefixOpts = append(prefixOpts, prefix.WithTeam(cfg.PrefixTeam))
+	}
+	if ws.Prefix, err = prefix.Start(host, user, prefixOpts...); err != nil {
 		return nil, err
 	}
 	if ws.Term, err = termserver.Start(host); err != nil {

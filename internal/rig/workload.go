@@ -1,0 +1,126 @@
+// Multi-client closed-loop workload driver.
+//
+// The driver models N concurrent clients against the rig's servers while
+// keeping every run bit-for-bit reproducible: clients issue requests one
+// at a time in real execution, stepped in virtual-time order, so there
+// are no goroutine races in the driver, while the per-process virtual
+// clocks let a server team's workers overlap service in virtual time
+// (the §3.1 concurrency this repo's A11 experiment measures).
+package rig
+
+import (
+	"time"
+
+	"repro/internal/client"
+)
+
+// WorkloadClient is one closed-loop client: it issues Requests
+// iterations of Op back to back (plus optional think time), modelling a
+// program in a closed loop against the servers.
+type WorkloadClient struct {
+	// Session is the client's naming session; its process clock is the
+	// client's time base.
+	Session *client.Session
+	// Op performs one request cycle; iter counts from 0.
+	Op func(s *client.Session, iter int) error
+	// Requests is the client's quota of Op iterations.
+	Requests int
+	// Think is virtual think time charged before each iteration.
+	Think time.Duration
+}
+
+// ClientStats reports one client's outcome.
+type ClientStats struct {
+	Completed int
+	Errors    int
+	// TotalLatency is the sum of per-iteration virtual latencies
+	// (excluding think time).
+	TotalLatency time.Duration
+	// Finish is the client's virtual clock after its last iteration.
+	Finish time.Duration
+}
+
+// MeanLatency returns the average per-request virtual latency.
+func (c ClientStats) MeanLatency() time.Duration {
+	if c.Completed == 0 {
+		return 0
+	}
+	return c.TotalLatency / time.Duration(c.Completed)
+}
+
+// WorkloadResult is the outcome of a RunWorkload call.
+type WorkloadResult struct {
+	Clients  []ClientStats
+	Requests int
+	// Makespan is the virtual time from the earliest client start to the
+	// latest client finish.
+	Makespan time.Duration
+}
+
+// Throughput returns aggregate requests per virtual second.
+func (w *WorkloadResult) Throughput() float64 {
+	if w.Makespan <= 0 {
+		return 0
+	}
+	return float64(w.Requests) / w.Makespan.Seconds()
+}
+
+// RunWorkload drives the clients as a deterministic closed loop: at each
+// step the unfinished client with the smallest virtual clock (ties
+// broken by lowest index) issues its next request and runs it to
+// completion. Real execution is strictly sequential — one request in
+// flight at a time — so runs are reproducible; concurrency is modelled
+// in virtual time, where a later client's request reaches the server at
+// its own (earlier or overlapping) virtual arrival and a server team's
+// per-worker clocks overlap service where a single-process server's one
+// clock serializes it.
+func RunWorkload(clients []*WorkloadClient) *WorkloadResult {
+	res := &WorkloadResult{Clients: make([]ClientStats, len(clients))}
+	iters := make([]int, len(clients))
+	var start time.Duration
+	for i, c := range clients {
+		now := c.Session.Proc().Now()
+		if i == 0 || now < start {
+			start = now
+		}
+	}
+	for {
+		pick := -1
+		var best time.Duration
+		for i, c := range clients {
+			if iters[i] >= c.Requests {
+				continue
+			}
+			now := c.Session.Proc().Now()
+			if pick == -1 || now < best {
+				pick, best = i, now
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		c := clients[pick]
+		if c.Think > 0 {
+			c.Session.Proc().ChargeCompute(c.Think)
+		}
+		before := c.Session.Proc().Now()
+		err := c.Op(c.Session, iters[pick])
+		after := c.Session.Proc().Now()
+		st := &res.Clients[pick]
+		if err != nil {
+			st.Errors++
+		} else {
+			st.Completed++
+		}
+		st.TotalLatency += after - before
+		st.Finish = after
+		iters[pick]++
+		res.Requests++
+	}
+	for _, st := range res.Clients {
+		if st.Finish-start > res.Makespan {
+			res.Makespan = st.Finish - start
+		}
+	}
+	return res
+}

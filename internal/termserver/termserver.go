@@ -46,8 +46,9 @@ type Server struct {
 	next  uint32
 }
 
-// Start spawns a terminal server on host.
-func Start(host *kernel.Host) (*Server, error) {
+// Start spawns a terminal server on host. Options (e.g. core.WithTeam)
+// configure the serving runtime.
+func Start(host *kernel.Host, opts ...core.Option) (*Server, error) {
 	proc, err := host.NewProcess("vgt-server")
 	if err != nil {
 		return nil, err
@@ -58,8 +59,10 @@ func Start(host *kernel.Host) (*Server, error) {
 		reg:   vio.NewRegistry(),
 		terms: make(map[uint32]*terminal),
 	}
-	s.srv = core.NewServer(proc, s.store, s)
-	go s.srv.Run()
+	s.srv = core.NewServer(proc, s.store, s, opts...)
+	if err := s.srv.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServiceTerminal, proc.PID(), kernel.ScopeLocal); err != nil {
 		return nil, err
 	}
@@ -68,6 +71,9 @@ func Start(host *kernel.Host) (*Server, error) {
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (s *Server) Err() error { return s.srv.Err() }
 
 // RootPair returns the server's single context.
 func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
@@ -136,7 +142,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 			if err != nil {
 				return core.ErrorReplyMsg(err)
 			}
-			return s.openDirectory(res.Name, pattern)
+			return s.openDirectory(req.Proc(), res.Name, pattern)
 		}
 		if res.Last == CreateName && res.Entry == nil && mode&proto.ModeCreate != 0 {
 			t := s.create("")
@@ -157,7 +163,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if t == nil {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		s.proc.ChargeCompute(s.proc.Kernel().Model().DescriptorFabricateCost)
+		req.Proc().ChargeCompute(req.Proc().Kernel().Model().DescriptorFabricateCost)
 		d := s.describe(t)
 		reply := core.OkReply()
 		reply.Segment = d.AppendEncoded(nil)
@@ -182,7 +188,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 
 // HandleOp implements core.Handler.
 func (s *Server) HandleOp(req *core.Request) *proto.Message {
-	if reply := s.reg.HandleOp(req.Msg); reply != nil {
+	if reply := s.reg.HandleOp(req.Proc(), req.Msg); reply != nil {
 		return reply
 	}
 	return core.ErrorReplyMsg(proto.ErrIllegalRequest)
@@ -210,7 +216,7 @@ func (s *Server) openTerminal(id uint32, name string) *proto.Message {
 	return reply
 }
 
-func (s *Server) openDirectory(name, pattern string) *proto.Message {
+func (s *Server) openDirectory(p *kernel.Process, name, pattern string) *proto.Message {
 	s.mu.Lock()
 	ids := make([]uint32, 0, len(s.terms))
 	for id := range s.terms {
@@ -227,8 +233,8 @@ func (s *Server) openDirectory(name, pattern string) *proto.Message {
 	}
 	s.mu.Unlock()
 	records = core.FilterRecords(records, pattern)
-	model := s.proc.Kernel().Model()
-	s.proc.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
+	model := p.Kernel().Model()
+	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 	iid, err := s.reg.Open(vio.NewDirectoryInstance(records, nil), name)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
@@ -257,7 +263,7 @@ func (ti *termInstance) Info() proto.InstanceInfo {
 	}
 }
 
-func (ti *termInstance) ReadAt(off int64, buf []byte) (int, error) {
+func (ti *termInstance) ReadAt(_ *kernel.Process, off int64, buf []byte) (int, error) {
 	ti.t.mu.Lock()
 	defer ti.t.mu.Unlock()
 	if off >= int64(len(ti.t.screen)) {
@@ -268,7 +274,7 @@ func (ti *termInstance) ReadAt(off int64, buf []byte) (int, error) {
 
 // WriteAt appends to the screen regardless of offset: a terminal is a
 // stream sink, not a random-access store.
-func (ti *termInstance) WriteAt(_ int64, data []byte) (int, error) {
+func (ti *termInstance) WriteAt(_ *kernel.Process, _ int64, data []byte) (int, error) {
 	ti.t.mu.Lock()
 	defer ti.t.mu.Unlock()
 	ti.t.screen = append(ti.t.screen, data...)

@@ -1,0 +1,54 @@
+package timeserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// TestTeamStressTimeServer issues GetTime from many concurrent client
+// processes against one time-server team.
+func TestTeamStressTimeServer(t *testing.T) {
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	if _, err := Start(k.NewHost("services"), core.WithTeam(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, trials = 6, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		proc, err := k.NewHost(fmt.Sprintf("ws%d", i)).NewProcess("client")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(proc.Destroy)
+		wg.Add(1)
+		go func(i int, proc *kernel.Process) {
+			defer wg.Done()
+			var last uint64
+			for j := 0; j < trials; j++ {
+				now, err := GetTime(proc)
+				if err != nil {
+					errs <- fmt.Errorf("client %d trial %d: %w", i, j, err)
+					return
+				}
+				if now <= last {
+					errs <- fmt.Errorf("client %d trial %d: time went %d -> %d", i, j, last, now)
+					return
+				}
+				last = now
+			}
+		}(i, proc)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

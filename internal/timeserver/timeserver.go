@@ -26,7 +26,8 @@ type Server struct {
 const clockObjectID = 1
 
 // Start spawns a time server on host and registers the time service.
-func Start(host *kernel.Host) (*Server, error) {
+// Options (e.g. core.WithTeam) configure the serving runtime.
+func Start(host *kernel.Host, opts ...core.Option) (*Server, error) {
 	proc, err := host.NewProcess("time-server")
 	if err != nil {
 		return nil, err
@@ -36,8 +37,10 @@ func Start(host *kernel.Host) (*Server, error) {
 		core.ObjectEntry(proto.TagServiceBinding, clockObjectID)); err != nil {
 		return nil, err
 	}
-	s.srv = core.NewServer(proc, s.store, s)
-	go s.srv.Run()
+	s.srv = core.NewServer(proc, s.store, s, opts...)
+	if err := s.srv.Start(); err != nil {
+		return nil, err
+	}
 	if err := proc.SetPid(kernel.ServiceTime, proc.PID(), kernel.ScopeBoth); err != nil {
 		return nil, err
 	}
@@ -46,6 +49,9 @@ func Start(host *kernel.Host) (*Server, error) {
 
 // PID returns the server's process identifier.
 func (s *Server) PID() kernel.PID { return s.proc.PID() }
+
+// Err reports why the server stopped serving (see core.Server.Err).
+func (s *Server) Err() error { return s.srv.Err() }
 
 // RootPair returns the server's single context.
 func (s *Server) RootPair() core.ContextPair { return s.srv.Pair(core.CtxDefault) }
@@ -57,7 +63,7 @@ func (s *Server) HandleNamed(req *core.Request, res *core.Resolution) *proto.Mes
 		if res.Entry == nil || res.Entry.Object == nil {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
-		now := s.proc.Now()
+		now := req.Proc().Now()
 		d := proto.Descriptor{
 			Tag:      proto.TagServiceBinding,
 			ObjectID: clockObjectID,
@@ -80,7 +86,7 @@ func (s *Server) HandleOp(req *core.Request) *proto.Message {
 	switch req.Msg.Op {
 	case proto.OpEcho:
 		reply := core.OkReply()
-		now := uint64(s.proc.Now())
+		now := uint64(req.Proc().Now())
 		reply.F[0] = uint32(now >> 32)
 		reply.F[1] = uint32(now)
 		return reply

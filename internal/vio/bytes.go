@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/kernel"
 	"repro/internal/proto"
 )
 
@@ -72,8 +73,9 @@ func (b *BytesInstance) Info() proto.InstanceInfo {
 	}
 }
 
-// ReadAt implements Instance.
-func (b *BytesInstance) ReadAt(off int64, buf []byte) (int, error) {
+// ReadAt implements Instance. Byte instances live in server memory, so no
+// wait is charged to the serving process.
+func (b *BytesInstance) ReadAt(_ *kernel.Process, off int64, buf []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if off >= int64(len(b.data)) {
@@ -83,7 +85,7 @@ func (b *BytesInstance) ReadAt(off int64, buf []byte) (int, error) {
 }
 
 // WriteAt implements Instance.
-func (b *BytesInstance) WriteAt(off int64, data []byte) (int, error) {
+func (b *BytesInstance) WriteAt(_ *kernel.Process, off int64, data []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.flags&proto.ModeWrite == 0 {

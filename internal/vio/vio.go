@@ -13,18 +13,27 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/kernel"
 	"repro/internal/proto"
 )
 
 // Instance is an open file-like object on the server side. Offsets are
 // byte offsets; implementations return proto.ErrEndOfFile past the end.
+//
+// ReadAt and WriteAt receive the process serving the request (a server
+// may be a multi-process team, §3.1) so device and compute waits are
+// charged to the serving process's clock, not the team's receptionist.
+// Instances may be served by concurrent team workers and must guard their
+// own state.
 type Instance interface {
 	// Info returns the instance parameters (size, block size, modes).
 	Info() proto.InstanceInfo
-	// ReadAt fills buf from the object starting at off.
-	ReadAt(off int64, buf []byte) (int, error)
-	// WriteAt stores data into the object starting at off.
-	WriteAt(off int64, data []byte) (int, error)
+	// ReadAt fills buf from the object starting at off, charging waits
+	// to the serving process p.
+	ReadAt(p *kernel.Process, off int64, buf []byte) (int, error)
+	// WriteAt stores data into the object starting at off, charging
+	// waits to the serving process p.
+	WriteAt(p *kernel.Process, off int64, data []byte) (int, error)
 	// Release closes the instance.
 	Release()
 }
@@ -119,8 +128,9 @@ func (r *Registry) Count() int {
 
 // HandleOp serves the generic instance operations (query, read, write,
 // release, instance-name) against the registry, returning nil for
-// operation codes it does not handle so the caller can try its own.
-func (r *Registry) HandleOp(msg *proto.Message) *proto.Message {
+// operation codes it does not handle so the caller can try its own. p is
+// the process serving the request; instance waits are charged to it.
+func (r *Registry) HandleOp(p *kernel.Process, msg *proto.Message) *proto.Message {
 	switch msg.Op {
 	case proto.OpQueryInstance:
 		inst, err := r.Get(uint16(msg.F[0]))
@@ -146,7 +156,7 @@ func (r *Registry) HandleOp(msg *proto.Message) *proto.Message {
 		}
 		buf := make([]byte, count)
 		off := int64(msg.F[1]) * int64(info.BlockSize)
-		n, err := inst.ReadAt(off, buf)
+		n, err := inst.ReadAt(p, off, buf)
 		if n == 0 && err != nil {
 			return proto.NewReply(proto.ErrorReply(err))
 		}
@@ -166,7 +176,7 @@ func (r *Registry) HandleOp(msg *proto.Message) *proto.Message {
 			return proto.NewReply(proto.ReplyModeNotSupported)
 		}
 		off := int64(msg.F[1])*int64(info.BlockSize) + int64(msg.F[2])
-		n, err := inst.WriteAt(off, msg.Segment)
+		n, err := inst.WriteAt(p, off, msg.Segment)
 		if err != nil {
 			return proto.NewReply(proto.ErrorReply(err))
 		}

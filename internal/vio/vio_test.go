@@ -74,25 +74,25 @@ func TestRegistryReleaseCallback(t *testing.T) {
 func TestBytesInstanceRead(t *testing.T) {
 	b := NewBytesInstance([]byte("hello world"))
 	buf := make([]byte, 5)
-	n, err := b.ReadAt(6, buf)
+	n, err := b.ReadAt(nil, 6, buf)
 	if err != nil || n != 5 || string(buf) != "world" {
 		t.Fatalf("ReadAt = %d %q %v", n, buf, err)
 	}
-	if _, err := b.ReadAt(11, buf); !errors.Is(err, proto.ErrEndOfFile) {
+	if _, err := b.ReadAt(nil, 11, buf); !errors.Is(err, proto.ErrEndOfFile) {
 		t.Fatalf("EOF err = %v", err)
 	}
 }
 
 func TestBytesInstanceReadOnlyWriteFails(t *testing.T) {
 	b := NewBytesInstance([]byte("x"))
-	if _, err := b.WriteAt(0, []byte("y")); !errors.Is(err, proto.ErrModeNotSupported) {
+	if _, err := b.WriteAt(nil, 0, []byte("y")); !errors.Is(err, proto.ErrModeNotSupported) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestBytesInstanceWriteGrows(t *testing.T) {
 	b := NewBytesInstance([]byte("abc"), Writable())
-	if _, err := b.WriteAt(5, []byte("XY")); err != nil {
+	if _, err := b.WriteAt(nil, 5, []byte("XY")); err != nil {
 		t.Fatal(err)
 	}
 	got := b.Bytes()
@@ -107,7 +107,7 @@ func TestBytesInstanceWriteGrows(t *testing.T) {
 
 func TestBytesInstanceNegativeWriteOffset(t *testing.T) {
 	b := NewBytesInstance(nil, Writable())
-	if _, err := b.WriteAt(-1, []byte("x")); !errors.Is(err, proto.ErrBadArgs) {
+	if _, err := b.WriteAt(nil, -1, []byte("x")); !errors.Is(err, proto.ErrBadArgs) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -119,7 +119,7 @@ func TestBytesInstanceWriteSink(t *testing.T) {
 		gotOff, gotData = off, append([]byte(nil), data...)
 		return nil
 	}))
-	if _, err := b.WriteAt(3, []byte("mod")); err != nil {
+	if _, err := b.WriteAt(nil, 3, []byte("mod")); err != nil {
 		t.Fatal(err)
 	}
 	if gotOff != 3 || string(gotData) != "mod" {
@@ -139,7 +139,7 @@ func TestBytesInstanceReadWriteProperty(t *testing.T) {
 		o := int64(off) % int64(len(data))
 		b := NewBytesInstance(append([]byte(nil), data...), Writable())
 		buf := make([]byte, len(data))
-		n, err := b.ReadAt(o, buf)
+		n, err := b.ReadAt(nil, o, buf)
 		if err != nil || n != len(data)-int(o) {
 			return false
 		}
@@ -157,7 +157,7 @@ func TestDirectoryInstanceReadDecodes(t *testing.T) {
 	}
 	inst := NewDirectoryInstance(records, nil)
 	buf := make([]byte, inst.Info().SizeBytes)
-	if _, err := inst.ReadAt(0, buf); err != nil {
+	if _, err := inst.ReadAt(nil, 0, buf); err != nil {
 		t.Fatal(err)
 	}
 	got, err := proto.DecodeDescriptors(buf)
@@ -173,7 +173,7 @@ func TestDirectoryInstanceWriteInvokesModify(t *testing.T) {
 		return nil
 	})
 	rec := proto.Descriptor{Tag: proto.TagFile, Name: "a", Perms: proto.PermRead}
-	if _, err := inst.WriteAt(0, rec.AppendEncoded(nil)); err != nil {
+	if _, err := inst.WriteAt(nil, 0, rec.AppendEncoded(nil)); err != nil {
 		t.Fatal(err)
 	}
 	if len(modified) != 1 || modified[0].Name != "a" || modified[0].Perms != proto.PermRead {
@@ -183,14 +183,14 @@ func TestDirectoryInstanceWriteInvokesModify(t *testing.T) {
 
 func TestDirectoryInstanceWriteCorruptRecord(t *testing.T) {
 	inst := NewDirectoryInstance(nil, func(proto.Descriptor) error { return nil })
-	if _, err := inst.WriteAt(0, []byte{1, 2, 3}); !errors.Is(err, proto.ErrBadArgs) {
+	if _, err := inst.WriteAt(nil, 0, []byte{1, 2, 3}); !errors.Is(err, proto.ErrBadArgs) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestDirectoryInstanceWithoutModifyIsReadOnly(t *testing.T) {
 	inst := NewDirectoryInstance(nil, nil)
-	if _, err := inst.WriteAt(0, []byte("x")); !errors.Is(err, proto.ErrModeNotSupported) {
+	if _, err := inst.WriteAt(nil, 0, []byte("x")); !errors.Is(err, proto.ErrModeNotSupported) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -200,7 +200,7 @@ func TestHandleOpQueryReadWriteRelease(t *testing.T) {
 	id, _ := r.Open(NewBytesInstance([]byte("0123456789"), Writable(), WithBlockSize(4)), "f")
 
 	q := &proto.Message{Op: proto.OpQueryInstance, F: [6]uint32{uint32(id)}}
-	reply := r.HandleOp(q)
+	reply := r.HandleOp(nil, q)
 	if reply.Op != proto.ReplyOK {
 		t.Fatalf("query reply = %v", reply.Op)
 	}
@@ -210,23 +210,23 @@ func TestHandleOpQueryReadWriteRelease(t *testing.T) {
 	}
 
 	read := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{uint32(id), 1}}
-	reply = r.HandleOp(read)
+	reply = r.HandleOp(nil, read)
 	if reply.Op != proto.ReplyOK || string(reply.Segment) != "4567" {
 		t.Fatalf("read block 1 = %v %q", reply.Op, reply.Segment)
 	}
 
 	write := &proto.Message{Op: proto.OpWriteInstance, F: [6]uint32{uint32(id), 0, 2}, Segment: []byte("XX")}
-	reply = r.HandleOp(write)
+	reply = r.HandleOp(nil, write)
 	if reply.Op != proto.ReplyOK || reply.F[1] != 2 {
 		t.Fatalf("write reply = %v", reply)
 	}
 	read0 := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{uint32(id), 0}}
-	if got := r.HandleOp(read0); string(got.Segment) != "01XX" {
+	if got := r.HandleOp(nil, read0); string(got.Segment) != "01XX" {
 		t.Fatalf("after write, block 0 = %q", got.Segment)
 	}
 
 	rel := &proto.Message{Op: proto.OpReleaseInstance, F: [6]uint32{uint32(id)}}
-	if reply = r.HandleOp(rel); reply.Op != proto.ReplyOK {
+	if reply = r.HandleOp(nil, rel); reply.Op != proto.ReplyOK {
 		t.Fatalf("release reply = %v", reply.Op)
 	}
 	if r.Count() != 0 {
@@ -238,7 +238,7 @@ func TestHandleOpReadPastEnd(t *testing.T) {
 	r := NewRegistry()
 	id, _ := r.Open(NewBytesInstance([]byte("ab")), "f")
 	read := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{uint32(id), 9}}
-	if reply := r.HandleOp(read); reply.Op != proto.ReplyEndOfFile {
+	if reply := r.HandleOp(nil, read); reply.Op != proto.ReplyEndOfFile {
 		t.Fatalf("reply = %v", reply.Op)
 	}
 }
@@ -247,7 +247,7 @@ func TestHandleOpWriteToReadOnly(t *testing.T) {
 	r := NewRegistry()
 	id, _ := r.Open(NewBytesInstance([]byte("ab")), "f")
 	w := &proto.Message{Op: proto.OpWriteInstance, F: [6]uint32{uint32(id)}, Segment: []byte("x")}
-	if reply := r.HandleOp(w); reply.Op != proto.ReplyModeNotSupported {
+	if reply := r.HandleOp(nil, w); reply.Op != proto.ReplyModeNotSupported {
 		t.Fatalf("reply = %v", reply.Op)
 	}
 }
@@ -255,14 +255,14 @@ func TestHandleOpWriteToReadOnly(t *testing.T) {
 func TestHandleOpUnknownInstance(t *testing.T) {
 	r := NewRegistry()
 	read := &proto.Message{Op: proto.OpReadInstance, F: [6]uint32{777}}
-	if reply := r.HandleOp(read); reply.Op != proto.ReplyBadArgs {
+	if reply := r.HandleOp(nil, read); reply.Op != proto.ReplyBadArgs {
 		t.Fatalf("reply = %v", reply.Op)
 	}
 }
 
 func TestHandleOpUnhandledReturnsNil(t *testing.T) {
 	r := NewRegistry()
-	if reply := r.HandleOp(&proto.Message{Op: proto.OpEcho}); reply != nil {
+	if reply := r.HandleOp(nil, &proto.Message{Op: proto.OpEcho}); reply != nil {
 		t.Fatalf("reply = %v", reply)
 	}
 }
@@ -271,7 +271,7 @@ func TestHandleOpGetInstanceName(t *testing.T) {
 	r := NewRegistry()
 	id, _ := r.Open(NewBytesInstance(nil), "[storage]/users/mann/f")
 	req := &proto.Message{Op: proto.OpGetInstanceName, F: [6]uint32{uint32(id)}}
-	reply := r.HandleOp(req)
+	reply := r.HandleOp(nil, req)
 	if reply.Op != proto.ReplyOK || string(reply.Segment) != "[storage]/users/mann/f" {
 		t.Fatalf("reply = %v %q", reply.Op, reply.Segment)
 	}
