@@ -2,19 +2,34 @@
 
 GO ?= go
 
-.PHONY: all check test race bench bench-json vet fmt experiments examples clean
+# Wall-clock budget for each live fuzz target in `make fuzz`.
+FUZZTIME ?= 10s
+
+# Statement-coverage floor for `make cover`, measured when the trace
+# harness landed (73.5% total). Raise it when coverage rises; never
+# lower it to make a regression pass.
+COVERAGE_FLOOR ?= 73.0
+
+.PHONY: all check test race bench bench-json vet fmt fuzz cover experiments examples clean
 
 all: vet test
 
 # Full verification gate: static checks, the whole suite under the race
 # detector, the server-team stress tests (many real client goroutines
-# hammering one team per server package), and the determinism
-# guarantees (same schedule + seed must give byte-identical event logs,
-# metrics, and A11 team-sweep results).
+# hammering one team per server package), the determinism guarantees
+# (same schedule + seed must give byte-identical event logs, metrics,
+# and A11 team-sweep results), the trace-driven invariant harness
+# (golden canonical trace, trace determinism, per-server invariant
+# tier, traced workload driver, trace-under-chaos), and the coverage
+# floor.
 check: vet
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestTeamStress' ./internal/...
 	$(GO) test -race -count=2 -run 'TestChaosScheduleDeterministic|TestA10Deterministic|TestA11Deterministic' ./internal/chaos/ ./internal/experiments/
+	$(GO) test -race -run 'TestCanonicalTraceGolden|TestCanonicalTraceDeterministic|TestA12Decomposition' ./internal/experiments/
+	$(GO) test -race -run 'TestTraceInvariants' ./internal/...
+	$(GO) test -race -run 'TestWorkloadDriverTrace|TestTraceUnderChaos' ./internal/rig/
+	$(MAKE) cover
 
 test:
 	$(GO) test ./...
@@ -35,6 +50,30 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# Live fuzzing of every decoder and name-handling routine that faces
+# arbitrary bytes, FUZZTIME each. Seed corpora live under each
+# package's testdata/fuzz/ and replay in plain `go test`. The quote in
+# 'FuzzDecodeDescriptor matches the anchored name only (not
+# FuzzDecodeDescriptors).
+fuzz:
+	$(GO) test -fuzz 'FuzzMatchName' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) ./internal/prefix/
+	$(GO) test -fuzz 'FuzzUnmarshal' -fuzztime $(FUZZTIME) ./internal/proto/
+	$(GO) test -fuzz 'FuzzDecodeDescriptors' -fuzztime $(FUZZTIME) ./internal/proto/
+	$(GO) test -fuzz 'FuzzDecodeDescriptor$$' -fuzztime $(FUZZTIME) ./internal/proto/
+	$(GO) test -fuzz 'FuzzCSName' -fuzztime $(FUZZTIME) ./internal/proto/
+	$(GO) test -fuzz 'FuzzCacheKey' -fuzztime $(FUZZTIME) ./internal/client/
+	$(GO) test -fuzz 'FuzzModelPaths' -fuzztime $(FUZZTIME) ./internal/namemodel/
+
+# Statement coverage with a recorded floor: fails if total coverage
+# drops below COVERAGE_FLOOR.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVERAGE_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+	{ echo "coverage $$total% fell below floor $(COVERAGE_FLOOR)%"; exit 1; }
 
 # Regenerate every paper table and figure (paper vs. measured).
 experiments:

@@ -9,6 +9,7 @@
 //	vbench chaos                 # fault-injection sweep (alias for a10)
 //	vbench -list                 # list experiment ids
 //	vbench -json BENCH.json      # also write results as JSON
+//	vbench -trace TRACE.json     # export the canonical single-client trace
 package main
 
 import (
@@ -34,6 +35,7 @@ func run(args []string, w io.Writer) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	score := fs.Bool("score", false, "print the reproduction scorecard and exit")
 	jsonPath := fs.String("json", "", "also write per-experiment results as JSON to this file")
+	tracePath := fs.String("trace", "", "export the canonical single-client trace (span tree + wire frames) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +53,20 @@ func run(args []string, w io.Writer) error {
 	}
 
 	ids := fs.Args()
+	if *tracePath != "" {
+		data, err := experiments.CanonicalTrace()
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := os.WriteFile(*tracePath, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *tracePath, err)
+		}
+		fmt.Fprintf(w, "wrote canonical trace to %s\n", *tracePath)
+		// -trace alone exports the trace without running every experiment.
+		if len(ids) == 0 {
+			return nil
+		}
+	}
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}

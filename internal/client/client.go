@@ -151,8 +151,18 @@ func (s *Session) sendCached(name string, req *proto.Message) (*proto.Message, e
 	return s.sendCachedAttempt(name, req, true)
 }
 
+// cacheKey derives the name-cache key for a prefixed CSname: the parsed
+// prefix (the key itself) and the index where the server-relative
+// remainder of the name begins.
+func cacheKey(name string) (pfx string, rest int, err error) {
+	if !prefix.HasPrefix(name) {
+		return "", 0, fmt.Errorf("%w: %q has no context prefix", proto.ErrBadArgs, name)
+	}
+	return prefix.Parse(name, 0)
+}
+
 func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bool) (*proto.Message, error) {
-	pfx, rest, err := prefix.Parse(name, 0)
+	pfx, rest, err := cacheKey(name)
 	if err != nil {
 		return nil, fmt.Errorf("%q: %w", name, err)
 	}

@@ -1,0 +1,60 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/prefix"
+	"repro/internal/proto"
+)
+
+// FuzzCacheKey fuzzes the name-cache key derivation: the routine that
+// decides which per-prefix cache entry a CSname hits (and which entry a
+// rebind invalidates). The key must exist exactly for prefixed names,
+// be the parsed prefix verbatim, and agree with the prefix syntax's own
+// parser — a key mismatch would make the cache serve another prefix's
+// binding.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("[home]welcome.txt")
+	f.Add("[storage]/shared/archive/2026/paper.mss")
+	f.Add("[bin]hello")
+	f.Add("welcome.txt")
+	f.Add("[unterminated")
+	f.Add("[]empty")
+	f.Add("[a][b]nested")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, name string) {
+		pfx, rest, err := cacheKey(name)
+		if err != nil {
+			if !errors.Is(err, proto.ErrBadArgs) {
+				t.Fatalf("cacheKey error %v is not ErrBadArgs", err)
+			}
+			return
+		}
+		if !prefix.HasPrefix(name) {
+			t.Fatalf("key %q derived for unprefixed name %q", pfx, name)
+		}
+		if pfx == "" || strings.ContainsRune(pfx, ']') {
+			t.Fatalf("malformed key %q", pfx)
+		}
+		if rest <= 0 || rest > len(name) {
+			t.Fatalf("rest %d out of range for %q", rest, name)
+		}
+		// The key is the prefix verbatim: the name re-assembled from its
+		// quoted key must produce the same key and the same remainder.
+		requoted := prefix.Quote(pfx) + name[rest:]
+		p2, r2, err := cacheKey(requoted)
+		if err != nil || p2 != pfx {
+			t.Fatalf("re-quoted name parses to (%q, %v), want key %q", p2, err, pfx)
+		}
+		if requoted[r2:] != name[rest:] {
+			t.Fatalf("remainder changed: %q vs %q", requoted[r2:], name[rest:])
+		}
+		// And the parser the prefix server itself uses must agree.
+		p3, r3, err := prefix.Parse(name, 0)
+		if err != nil || p3 != pfx || r3 != rest {
+			t.Fatalf("cacheKey (%q, %d) disagrees with prefix.Parse (%q, %d, %v)", pfx, rest, p3, r3, err)
+		}
+	})
+}

@@ -19,6 +19,7 @@ package client
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/prefix"
 	"repro/internal/proto"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -130,16 +132,31 @@ func Retryable(err error) bool {
 // per-name state between attempts; it may be empty for operations not
 // tied to a name.
 func (s *Session) withRecovery(name string, attempt func() error) error {
+	tr := s.proc.Tracer()
+	label := name
+	if label == "" {
+		label = "(direct)"
+	}
+	root := tr.Start(0, trace.KindClientOp, label, s.proc.Now(), s.proc.TraceID())
 	r := s.recovery
 	if r == nil {
-		return attempt()
+		s.proc.SetCurrentSpan(root)
+		err := attempt()
+		s.proc.SetCurrentSpan(0)
+		tr.Fail(root, s.proc.Now(), failureClass(err))
+		return err
 	}
 	r.stats.Ops++
+	a := tr.Start(root, trace.KindAttempt, "attempt 1", s.proc.Now(), s.proc.TraceID())
+	s.proc.SetCurrentSpan(a)
 	err := attempt()
+	s.proc.SetCurrentSpan(0)
+	tr.Fail(a, s.proc.Now(), failureClass(err))
 	if err == nil || !Retryable(err) {
 		if err != nil {
 			r.stats.OpsFailed++
 		}
+		tr.Fail(root, s.proc.Now(), failureClass(err))
 		return err
 	}
 	delay := r.policy.BaseDelay
@@ -148,16 +165,28 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 		// engine) sees the new clock before the retry routes.
 		r.stats.Retries++
 		r.stats.Downtime += delay
+		b := tr.Start(root, trace.KindBackoff, fmt.Sprintf("backoff %d", try), s.proc.Now(), s.proc.TraceID())
 		s.proc.ChargeCompute(delay)
+		tr.End(b, s.proc.Now())
 		if r.observer != nil {
 			r.observer(s.proc.Now())
 		}
 		if delay *= 2; delay > r.policy.MaxDelay {
 			delay = r.policy.MaxDelay
 		}
+		rb := tr.Start(root, trace.KindRebind, label, s.proc.Now(), s.proc.TraceID())
+		s.proc.SetCurrentSpan(rb)
 		s.rebind(name)
-		if err = attempt(); err == nil {
+		s.proc.SetCurrentSpan(0)
+		tr.End(rb, s.proc.Now())
+		a := tr.Start(root, trace.KindAttempt, fmt.Sprintf("attempt %d", try+1), s.proc.Now(), s.proc.TraceID())
+		s.proc.SetCurrentSpan(a)
+		err = attempt()
+		s.proc.SetCurrentSpan(0)
+		tr.Fail(a, s.proc.Now(), failureClass(err))
+		if err == nil {
 			r.stats.Failovers++
+			tr.End(root, s.proc.Now())
 			return nil
 		}
 		if !Retryable(err) {
@@ -165,7 +194,21 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 		}
 	}
 	r.stats.OpsFailed++
+	tr.Fail(root, s.proc.Now(), failureClass(err))
 	return err
+}
+
+// failureClass classifies an operation-level error for trace spans:
+// transport failures get the kernel classification, anything else the
+// protocol reply code the error maps to.
+func failureClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	if c := kernel.FailureClass(err); c != "error" {
+		return c
+	}
+	return proto.ErrorReply(err).String()
 }
 
 // rebind drops whatever resolution state the failed attempt may have
@@ -175,7 +218,7 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 func (s *Session) rebind(name string) {
 	if name != "" && prefix.HasPrefix(name) {
 		if s.nameCache != nil {
-			if pfx, _, err := prefix.Parse(name, 0); err == nil {
+			if pfx, _, err := cacheKey(name); err == nil {
 				if _, ok := s.nameCache[pfx]; ok {
 					delete(s.nameCache, pfx)
 					s.recovery.stats.Rebinds++

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // Request is one received message being processed by a CSNH server.
@@ -158,6 +159,10 @@ func (s *Server) Start() error { return s.team.Start() }
 // swallow).
 func (s *Server) Err() error { return s.team.Err() }
 
+// Exited is closed once the serving team has stopped, after its exit
+// cause and trace event are recorded (see Team.Exited).
+func (s *Server) Exited() <-chan struct{} { return s.team.Exited() }
+
 // Stats returns a snapshot of the server's protocol counters.
 func (s *Server) Stats() ServerStats {
 	s.statsMu.Lock()
@@ -174,14 +179,31 @@ func (s *Server) count(update func(*ServerStats)) {
 // serveOne processes a single request on the serving process p and
 // replies or forwards exactly once.
 func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID) {
+	tr := p.Tracer()
+	sp := tr.Start(p.PendingSpan(from), trace.KindServe, msg.Op.String(), p.Now(), p.TraceID())
+	p.SetCurrentSpan(sp)
 	req := &Request{Msg: msg, From: from, srv: s, proc: p}
 	reply := s.serve(req)
 	if reply == nil {
-		return // a stage or the handler replied or forwarded itself
+		// A stage or the handler replied or forwarded itself.
+		tr.End(sp, p.Now())
+		p.SetCurrentSpan(0)
+		return
 	}
+	// Attach the per-request failure classification — which the reply
+	// path below otherwise swallows — to the serve span, and end it
+	// before the Reply unblocks the client, so a snapshot taken the
+	// moment the client resumes never sees a half-open serve.
+	class := ""
+	if reply.Op != proto.ReplyOK {
+		class = reply.Op.String()
+	}
+	tr.Fail(sp, p.Now(), class)
 	// A failed reply means the sender died or became unreachable; the
-	// transaction is already failed on the sender side.
+	// transaction is already failed on the sender side (and the reply
+	// span carries the transport failure classification).
 	_ = p.Reply(reply, from)
+	p.SetCurrentSpan(0)
 }
 
 // chargeDispatch charges the fixed request-dispatch cost to the serving

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // HandlerFunc processes one request and returns the reply to send, or nil
@@ -55,6 +56,7 @@ type Team struct {
 	mu      sync.Mutex
 	workers []*kernel.Process
 	err     error
+	exited  chan struct{}
 }
 
 // NewTeam assembles a team around the receptionist process. serve is
@@ -65,7 +67,7 @@ func NewTeam(recept *kernel.Process, size int, serve serveFunc, onHandoff func()
 	if size < 1 {
 		size = 1
 	}
-	return &Team{recept: recept, size: size, serve: serve, onHandoff: onHandoff}
+	return &Team{recept: recept, size: size, serve: serve, onHandoff: onHandoff, exited: make(chan struct{})}
 }
 
 // Size returns the number of serving processes.
@@ -147,9 +149,18 @@ func (t *Team) run() {
 		}
 		w := t.workers[next%len(t.workers)]
 		next++
+		tr := t.recept.Tracer()
+		sp := tr.Start(t.recept.PendingSpan(from), trace.KindHandoff, "handoff -> "+w.Name(), t.recept.Now(), t.recept.TraceID())
+		// The handoff span covers the dispatch decision and ends before
+		// the Forward: a fast worker can unblock the client before this
+		// goroutine runs again, and a snapshot then must never see a
+		// half-open handoff. The forward hop is recorded as its child.
+		tr.End(sp, t.recept.Now())
+		t.recept.SetCurrentSpan(sp)
 		// A failed forward (worker died mid-crash) has already failed
-		// the sender's transaction.
+		// the sender's transaction and classified the forward span.
 		_ = t.recept.Forward(msg, from, w.PID())
+		t.recept.SetCurrentSpan(0)
 	}
 }
 
@@ -167,15 +178,36 @@ func (t *Team) workerLoop(p *kernel.Process) {
 // recordExit records the first termination cause, classifying a
 // crashed-host shutdown distinctly from a clean destroy.
 func (t *Team) recordExit(err error) {
-	if !t.recept.Host().Alive() {
+	// CrashKilled, not Host().Alive(): the dying goroutine may run only
+	// after the host has already been restarted, and the classification
+	// must reflect how this team died, not the host's current state.
+	if t.recept.CrashKilled() || !t.recept.Host().Alive() {
 		err = fmt.Errorf("%w: host %s under server %s", kernel.ErrHostDown, t.recept.Host().Name(), t.recept.Name())
 	}
 	t.mu.Lock()
-	if t.err == nil {
-		t.err = err
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
 	}
-	t.mu.Unlock()
+	t.err = err
+	// Record why the team stopped, classified: "host-down" for a
+	// crash, "process-dead" for a clean destroy — the distinction
+	// Err() reports, now visible from the trace alone. Recorded before
+	// exited is closed (and before Err can observe the error), so anyone
+	// synchronizing on either is guaranteed to see the event in a
+	// snapshot — team death is asynchronous real time even though it is
+	// instantaneous virtual time.
+	t.recept.Tracer().Event(0, trace.KindServerExit, t.recept.Name(),
+		t.recept.Now(), t.recept.TraceID(), kernel.FailureClass(err))
+	close(t.exited)
 }
+
+// Exited is closed once the team has stopped serving, after the exit
+// cause and its trace event are recorded. It is the synchronization
+// point for observers that need the team's death to be visible —
+// chaos restart hooks, trace snapshots — since the serving goroutines
+// notice a host crash asynchronously.
+func (t *Team) Exited() <-chan struct{} { return t.exited }
 
 // stopWorkers destroys the workers after the receptionist stops; on a
 // host crash the kernel has already terminated them.

@@ -75,6 +75,9 @@ func a11Run(team int) (hot, cold a11Stats, err error) {
 	cfg := rig.DefaultConfig()
 	cfg.Users = []string{"mann"}
 	cfg.FileServerTeam = team
+	// Tracing is free in virtual time, so running every sweep point
+	// through the invariant checker costs the measurement nothing.
+	cfg.Trace = true
 	r, err := rig.New(cfg)
 	if err != nil {
 		return hot, cold, err
@@ -115,6 +118,9 @@ func a11Run(team int) (hot, cold a11Stats, err error) {
 	if err := a11Check(hotRes, "cache-hit"); err != nil {
 		return hot, cold, err
 	}
+	if err := r.CheckTrace(); err != nil {
+		return hot, cold, fmt.Errorf("cache-hit phase trace: %w", err)
+	}
 
 	coldClients := make([]*rig.WorkloadClient, 0, a11ColdClients)
 	for i := 0; i < a11ColdClients; i++ {
@@ -135,6 +141,9 @@ func a11Run(team int) (hot, cold a11Stats, err error) {
 	coldRes := rig.RunWorkload(coldClients)
 	if err := a11Check(coldRes, "cold-stream"); err != nil {
 		return hot, cold, err
+	}
+	if err := r.CheckTrace(); err != nil {
+		return hot, cold, fmt.Errorf("cold-stream phase trace: %w", err)
 	}
 	return a11Phase(hotRes), a11Phase(coldRes), nil
 }

@@ -1,0 +1,154 @@
+// A12: trace-driven decomposition of the paper's remote message
+// transaction, plus the canonical single-client trace `vbench -trace`
+// exports. Where E1 reproduces the §3.1 / Figure 1 total (2.56 ms for a
+// remote Send-Receive-Reply with 32-byte messages), A12 reads the same
+// transaction's *trace* and splits the total into its wire, queueing,
+// and serving components — each row is computed from span timestamps,
+// not from the cost model directly, so the decomposition doubles as a
+// check that the tracer's account of a transaction sums to the clock's.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/rig"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// A12 traces one remote Send-Receive-Reply transaction (the E1 workload)
+// and decomposes the paper's 2.56 ms total into request hop, server
+// dwell, and reply hop, with the per-hop wire/driver/queueing breakdown
+// read off the wire spans.
+func A12() (Result, error) {
+	model := vtime.DefaultModel()
+	net := netsim.New(model, 1)
+	k := kernel.New(net)
+	tr := trace.New()
+	k.SetTracer(tr)
+	net.SetRecorder(tr)
+
+	fsHost := k.NewHost("fileserver")
+	wsHost := k.NewHost("ws-mann")
+	echo, err := fsHost.Spawn("echo", func(p *kernel.Process) {
+		for {
+			msg, from, err := p.Receive()
+			if err != nil {
+				return
+			}
+			reply := *msg
+			reply.Op = proto.ReplyOK
+			if err := p.Reply(&reply, from); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	clientProc, err := wsHost.NewProcess("a12-client")
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := clientProc.Send(&proto.Message{Op: proto.OpEcho}, echo.PID()); err != nil {
+		return Result{}, err
+	}
+
+	spans := tr.Snapshot()
+	if err := trace.Check(spans, trace.CheckOptions{Model: model}); err != nil {
+		return Result{}, fmt.Errorf("a12: trace invariants: %w", err)
+	}
+	find := func(what string, pred func(s trace.Span) bool) (trace.Span, error) {
+		for _, s := range spans {
+			if pred(s) {
+				return s, nil
+			}
+		}
+		return trace.Span{}, fmt.Errorf("a12: no %s span in trace", what)
+	}
+	send, err := find("send", func(s trace.Span) bool { return s.Kind == trace.KindSend })
+	if err != nil {
+		return Result{}, err
+	}
+	reqWire, err := find("request wire", func(s trace.Span) bool {
+		return s.Kind == trace.KindWire && s.Name == "request" && s.Parent == send.ID
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := find("reply", func(s trace.Span) bool {
+		return s.Kind == trace.KindReply && s.Parent == send.ID
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	repWire, err := find("reply wire", func(s trace.Span) bool {
+		return s.Kind == trace.KindWire && s.Name == "reply" && s.Parent == rep.ID
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	dur := func(s trace.Span) time.Duration { return time.Duration(s.End - s.Start) }
+	total := dur(send)
+	reqHop := dur(reqWire)
+	repHop := dur(repWire)
+	dwell := time.Duration(repWire.Start - reqWire.End)
+	queue := time.Duration(reqWire.Queue + repWire.Queue)
+	wireTx := model.WireTime(reqWire.Bytes)
+	fixed := model.RemoteDriverFloor + model.RemoteProtocolExtra
+	if reqHop+dwell+repHop != total {
+		return Result{}, fmt.Errorf("a12: decomposition %v + %v + %v does not sum to total %v",
+			reqHop, dwell, repHop, total)
+	}
+
+	return Result{
+		ID:     "a12",
+		Title:  "trace decomposition of the remote message transaction",
+		Source: "§3.1, Figure 1 (components read off the span tree)",
+		Rows: []Row{
+			{Label: "remote transaction (total)", Paper: "2.56 ms", Measured: ms(total),
+				Note: "send span, 32-byte messages"},
+			{Label: "request hop (client to server)", Paper: "-", Measured: ms(reqHop),
+				Note: "request wire span"},
+			{Label: "server dwell", Paper: "-", Measured: ms(dwell),
+				Note: "reply wire start minus request wire end"},
+			{Label: "reply hop (server to client)", Paper: "-", Measured: ms(repHop),
+				Note: "reply wire span"},
+			{Label: "wire transmission per hop", Paper: "-", Measured: ms(wireTx),
+				Note: fmt.Sprintf("%d message bytes on the 3 Mbit wire", reqWire.Bytes)},
+			{Label: "driver + protocol fixed per hop", Paper: "-", Measured: ms(fixed),
+				Note: "per-packet latency floor"},
+			{Label: "wire queueing (both hops)", Paper: "-", Measured: ms(queue),
+				Note: "idle wire: no contention"},
+		},
+	}, nil
+}
+
+// CanonicalTrace boots the standard single-user rig with tracing on,
+// performs one open/read/close of "[home]welcome.txt", checks the trace
+// invariants, and returns the trace document as indented JSON. This is
+// the trace `vbench -trace` exports and the golden-trace regression test
+// pins byte-for-byte.
+func CanonicalTrace() ([]byte, error) {
+	cfg := rig.DefaultConfig()
+	cfg.Users = []string{"mann"}
+	cfg.Seed = 1
+	cfg.Trace = true
+	r, err := rig.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := r.WS[0].Session
+	if _, err := s.ReadFile("[home]welcome.txt"); err != nil {
+		return nil, fmt.Errorf("canonical trace: read: %w", err)
+	}
+	if err := r.CheckTrace(); err != nil {
+		return nil, fmt.Errorf("canonical trace: invariants: %w", err)
+	}
+	return r.Tracer.JSON()
+}

@@ -55,6 +55,7 @@ var registry = map[string]Runner{
 	"a9":  A9,
 	"a10": A10,
 	"a11": A11,
+	"a12": A12,
 }
 
 // IDs returns the experiment ids in canonical order.

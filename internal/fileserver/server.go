@@ -87,6 +87,10 @@ func Start(host *kernel.Host, name string, opts ...Option) (*FileServer, error) 
 // Err reports why the server stopped serving (see core.Server.Err).
 func (fs *FileServer) Err() error { return fs.srv.Err() }
 
+// Exited is closed once the serving team has stopped, after its exit
+// cause and trace event are recorded (see core.Team.Exited).
+func (fs *FileServer) Exited() <-chan struct{} { return fs.srv.Exited() }
+
 // TeamSize returns the number of serving processes.
 func (fs *FileServer) TeamSize() int { return fs.srv.TeamSize() }
 

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/netsim"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // group is a process group addressable by a group pid. Groups implement
@@ -105,15 +107,23 @@ func (k *Kernel) leaveAllGroups(member PID) {
 // multicast frame; the first member to reply completes the original
 // sender's transaction, which is how a context can be implemented
 // transparently by a group of servers working in cooperation (§7).
-func (p *Process) forwardGroup(env *envelope, msg *proto.Message, gid PID) error {
+func (p *Process) forwardGroup(env *envelope, msg *proto.Message, gid PID, sp trace.SpanID) error {
 	k := p.host.kernel
+	tr := k.Tracer()
+	tr.SetGroup(sp)
 	members, err := k.GroupMembers(gid)
 	if err != nil {
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
 		env.fail(err)
 		return err
 	}
 	now := p.clock.Now()
 	mcast := k.net.Multicast(p.host.id, msg.WireSize(), now)
+	tr.Wire(sp, "multicast", now, mcast, msg.WireSize(), netsim.HopDetail{Packets: 1}, false, true)
+	// End before delivering clones: a member may serve and unblock the
+	// original sender before this goroutine runs again. A zero-delivery
+	// failure below is classified on the root send span.
+	tr.End(sp, now+mcast)
 	delivered := 0
 	for _, m := range members {
 		target, _ := k.findProcess(m)
@@ -131,6 +141,7 @@ func (p *Process) forwardGroup(env *envelope, msg *proto.Message, gid PID) error
 			replyCh: env.replyCh, // first reply wins
 			moveSrc: env.moveSrc,
 			moveDst: env.moveDst,
+			span:    sp,
 		}
 		if target.deliver(clone) {
 			delivered++
@@ -150,13 +161,18 @@ func (p *Process) forwardGroup(env *envelope, msg *proto.Message, gid PID) error
 // discarded.
 func (p *Process) sendGroup(msg *proto.Message, gid PID, moveSrc, moveDst []byte) (*proto.Message, error) {
 	k := p.host.kernel
+	tr := k.Tracer()
+	sp := tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" -> "+gid.String(), p.clock.Now(), p.TraceID())
+	tr.SetGroup(sp)
 	members, err := k.GroupMembers(gid)
 	if err != nil {
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
 		return nil, err
 	}
 	// One multicast frame serves every remote member.
 	now := p.clock.Now()
 	mcast := k.net.Multicast(p.host.id, msg.WireSize(), now)
+	tr.Wire(sp, "multicast", now, mcast, msg.WireSize(), netsim.HopDetail{Packets: 1}, false, true)
 
 	replyCh := make(chan replyEvent, len(members)+1)
 	delivered := 0
@@ -179,6 +195,7 @@ func (p *Process) sendGroup(msg *proto.Message, gid PID, moveSrc, moveDst []byte
 			replyCh: replyCh,
 			moveSrc: moveSrc,
 			moveDst: moveDst,
+			span:    sp,
 		}
 		if target.deliver(env) {
 			delivered++
@@ -186,17 +203,22 @@ func (p *Process) sendGroup(msg *proto.Message, gid PID, moveSrc, moveDst []byte
 	}
 	if delivered == 0 {
 		p.clock.Advance(k.model.RetransmitTimeout)
-		return nil, fmt.Errorf("%w: group %v has no reachable members", ErrNonexistentProcess, gid)
+		err := fmt.Errorf("%w: group %v has no reachable members", ErrNonexistentProcess, gid)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		return nil, err
 	}
 	var lastErr error
 	for i := 0; i < delivered; i++ {
 		ev := <-replyCh
 		if ev.err == nil {
 			p.clock.Observe(ev.at)
+			tr.End(sp, p.clock.Now())
 			return ev.msg, nil
 		}
 		lastErr = ev.err
 	}
 	p.clock.Advance(k.model.RetransmitTimeout)
-	return nil, fmt.Errorf("send to group %v: %w", gid, lastErr)
+	err = fmt.Errorf("send to group %v: %w", gid, lastErr)
+	tr.Fail(sp, p.clock.Now(), FailureClass(err))
+	return nil, err
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -36,11 +38,43 @@ var (
 // before giving up on an unreachable or dead remote host.
 const failedSendRetries = 3
 
+// FailureClass maps a kernel-level error to the short classification
+// string attached to failed trace spans. The mapping is checked most
+// specific first: a wrapped ErrHostDown stays "host-down" even though
+// the wrapping error chain may also carry ErrNonexistentProcess.
+func FailureClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrHostDown):
+		return "host-down"
+	case errors.Is(err, netsim.ErrUnreachable):
+		return "unreachable"
+	case errors.Is(err, ErrNonexistentProcess):
+		return "nonexistent-process"
+	case errors.Is(err, ErrProcessDead):
+		return "process-dead"
+	case errors.Is(err, ErrNoPendingMessage):
+		return "no-pending-message"
+	case errors.Is(err, ErrNotFound):
+		return "service-not-found"
+	case errors.Is(err, ErrNoSuchGroup):
+		return "no-such-group"
+	default:
+		return "error"
+	}
+}
+
 // Kernel is one simulated V domain: the set of logical hosts running the
 // distributed V kernel over one local network (§4.1).
 type Kernel struct {
 	net   *netsim.Network
 	model *vtime.CostModel
+
+	// tracer is the observer every IPC primitive reports spans to. A
+	// nil tracer (the default) records nothing; tracing never advances
+	// a virtual clock either way.
+	tracer atomic.Pointer[trace.Tracer]
 
 	mu       sync.Mutex
 	hosts    map[netsim.HostID]*Host
@@ -61,6 +95,13 @@ func New(n *netsim.Network) *Kernel {
 
 // Network returns the underlying simulated network.
 func (k *Kernel) Network() *netsim.Network { return k.net }
+
+// SetTracer installs (or, with nil, removes) the domain's tracer.
+func (k *Kernel) SetTracer(t *trace.Tracer) { k.tracer.Store(t) }
+
+// Tracer returns the installed tracer; nil means tracing is off, and a
+// nil *trace.Tracer accepts every recording call as a no-op.
+func (k *Kernel) Tracer() *trace.Tracer { return k.tracer.Load() }
 
 // Model returns the cost model in force.
 func (k *Kernel) Model() *vtime.CostModel { return k.model }
@@ -291,7 +332,7 @@ func (h *Host) Crash() {
 	h.services = make(map[Service]svcEntry)
 	h.mu.Unlock()
 	for _, p := range procs {
-		p.terminate()
+		p.terminate(true)
 	}
 }
 

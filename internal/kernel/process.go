@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/netsim"
 	"repro/internal/proto"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -31,6 +33,10 @@ type envelope struct {
 	// MoveFrom and writable via MoveTo while the sender awaits the reply.
 	moveSrc []byte
 	moveDst []byte
+	// span is the send (or, after forwarding, forward) span this
+	// transaction currently runs under; servers parent their serve
+	// spans on it via PendingSpan.
+	span trace.SpanID
 }
 
 // complete and fail deliver at most one event per envelope. The
@@ -65,7 +71,11 @@ type Process struct {
 
 	mu      sync.Mutex
 	dead    bool
+	crashed bool              // died with its host, not by clean Destroy
 	pending map[PID]*envelope // received but not yet replied, by origin pid
+	// curSpan is the span this process's own activity currently nests
+	// under (a serve, handoff or client-op span).
+	curSpan trace.SpanID
 }
 
 // PID returns the process identifier.
@@ -99,6 +109,42 @@ func (p *Process) isDead() bool {
 	return p.dead
 }
 
+// Tracer returns the domain tracer (nil-safe to use when tracing is off).
+func (p *Process) Tracer() *trace.Tracer { return p.host.kernel.Tracer() }
+
+// TraceID identifies this process on trace spans.
+func (p *Process) TraceID() trace.ProcID {
+	return trace.ProcID{Name: p.name, PID: uint32(p.pid), Host: p.host.name}
+}
+
+// CurrentSpan returns the span this process's activity currently nests
+// under (0 when none).
+func (p *Process) CurrentSpan() trace.SpanID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.curSpan
+}
+
+// SetCurrentSpan sets (or, with 0, clears) the process's current span.
+// Servers set it around serving a request so the kernel primitives they
+// invoke parent their spans correctly.
+func (p *Process) SetCurrentSpan(id trace.SpanID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.curSpan = id
+}
+
+// PendingSpan returns the transaction span of the received-but-unreplied
+// message from origin, for servers starting a serve span.
+func (p *Process) PendingSpan(origin PID) trace.SpanID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if env := p.pending[origin]; env != nil {
+		return env.span
+	}
+	return 0
+}
+
 // Send sends msg to dst and blocks until the receiver (or the process the
 // message is forwarded to) replies — one message transaction (Figure 1).
 func (p *Process) Send(msg *proto.Message, dst PID) (*proto.Message, error) {
@@ -116,19 +162,28 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 		return p.sendGroup(msg, dst, moveSrc, moveDst)
 	}
 	k := p.host.kernel
+	tr := k.Tracer()
+	sp := tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" -> "+dst.String(), p.clock.Now(), p.TraceID())
 	target, hostUp := k.findProcess(dst)
 	if target == nil {
 		p.chargeFailedSend(dst, hostUp)
+		var err error
 		if !hostUp && dst.Host() != p.host.id {
-			return nil, fmt.Errorf("%w: %v (host down or gone)", ErrNonexistentProcess, dst)
+			err = fmt.Errorf("%w: %v (host down or gone)", ErrNonexistentProcess, dst)
+		} else {
+			err = fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
 		}
-		return nil, fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		return nil, err
 	}
-	d, err := k.net.Unicast(p.host.id, dst.Host(), msg.WireSize(), p.clock.Now())
+	d, det, err := k.net.UnicastDetail(p.host.id, dst.Host(), msg.WireSize(), p.clock.Now())
 	if err != nil {
 		p.clock.Advance(time.Duration(failedSendRetries) * k.model.RetransmitTimeout)
-		return nil, fmt.Errorf("send to %v: %w", dst, err)
+		err = fmt.Errorf("send to %v: %w", dst, err)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		return nil, err
 	}
+	tr.Wire(sp, "request", p.clock.Now(), d, msg.WireSize(), det, dst.Host() == p.host.id, false)
 	env := &envelope{
 		origin:  p.pid,
 		msg:     msg,
@@ -136,17 +191,23 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 		replyCh: make(chan replyEvent, 1),
 		moveSrc: moveSrc,
 		moveDst: moveDst,
+		span:    sp,
 	}
 	if !target.deliver(env) {
 		p.chargeFailedSend(dst, true)
-		return nil, fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
+		err := fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		return nil, err
 	}
 	ev := <-env.replyCh
 	if ev.err != nil {
 		p.clock.Advance(k.model.RetransmitTimeout)
-		return nil, fmt.Errorf("send to %v: %w", dst, ev.err)
+		err := fmt.Errorf("send to %v: %w", dst, ev.err)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		return nil, err
 	}
 	p.clock.Observe(ev.at)
+	tr.End(sp, p.clock.Now())
 	return ev.msg, nil
 }
 
@@ -236,12 +297,23 @@ func (p *Process) Reply(msg *proto.Message, to PID) error {
 		return fmt.Errorf("%w: %v", ErrNoPendingMessage, to)
 	}
 	k := p.host.kernel
-	d, err := k.net.Unicast(p.host.id, env.origin.Host(), msg.WireSize(), p.clock.Now())
+	tr := k.Tracer()
+	parent := p.CurrentSpan()
+	if parent == 0 {
+		parent = env.span
+	}
+	sp := tr.Start(parent, trace.KindReply, msg.Op.String()+" -> "+env.origin.String(), p.clock.Now(), p.TraceID())
+	d, det, err := k.net.UnicastDetail(p.host.id, env.origin.Host(), msg.WireSize(), p.clock.Now())
 	if err != nil {
 		err = fmt.Errorf("reply to %v: %w", to, err)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
 		env.fail(err)
 		return err
 	}
+	tr.Wire(sp, "reply", p.clock.Now(), d, msg.WireSize(), det, env.origin.Host() == p.host.id, false)
+	// End the span before unblocking the sender, so a snapshot taken
+	// the moment the sender resumes never sees a half-open reply.
+	tr.End(sp, p.clock.Now()+d)
 	env.complete(msg, p.clock.Now()+d)
 	return nil
 }
@@ -258,23 +330,38 @@ func (p *Process) Forward(msg *proto.Message, from PID, to PID) error {
 		return fmt.Errorf("%w: %v", ErrNoPendingMessage, from)
 	}
 	k := p.host.kernel
+	tr := k.Tracer()
+	parent := p.CurrentSpan()
+	if parent == 0 {
+		parent = env.span
+	}
+	sp := tr.Start(parent, trace.KindForward, msg.Op.String()+" -> "+to.String(), p.clock.Now(), p.TraceID())
 	if to.IsGroup() {
-		return p.forwardGroup(env, msg, to)
+		return p.forwardGroup(env, msg, to, sp)
 	}
 	target, _ := k.findProcess(to)
 	if target == nil {
 		err := fmt.Errorf("forward to %v: %w", to, ErrNonexistentProcess)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
 		env.fail(err)
 		return err
 	}
-	d, err := k.net.Unicast(p.host.id, to.Host(), msg.WireSize(), p.clock.Now())
+	d, det, err := k.net.UnicastDetail(p.host.id, to.Host(), msg.WireSize(), p.clock.Now())
 	if err != nil {
 		err = fmt.Errorf("forward to %v: %w", to, err)
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
 		env.fail(err)
 		return err
 	}
+	tr.Wire(sp, "forward", p.clock.Now(), d, msg.WireSize(), det, to.Host() == p.host.id, false)
 	env.msg = msg
 	env.arrival = p.clock.Now() + d
+	env.span = sp
+	// End before delivering: the recipient may serve and unblock the
+	// original sender before this goroutine runs again, and a snapshot
+	// then must not see a half-open forward. If delivery fails below,
+	// the failure classification lands on the root send span instead.
+	tr.End(sp, env.arrival)
 	if !target.deliver(env) {
 		err := fmt.Errorf("forward to %v: %w", to, ErrNonexistentProcess)
 		env.fail(err)
@@ -298,10 +385,15 @@ func (p *Process) MoveFrom(src PID, dst []byte, offset int) (int, error) {
 		return 0, fmt.Errorf("%w: MoveFrom offset %d outside segment of %d", proto.ErrBadArgs, offset, len(env.moveSrc))
 	}
 	n := copy(dst, env.moveSrc[offset:])
-	d, err := p.host.kernel.net.Unicast(src.Host(), p.host.id, n, p.clock.Now())
+	d, det, err := p.host.kernel.net.UnicastDetail(src.Host(), p.host.id, n, p.clock.Now())
 	if err != nil {
 		return 0, err
 	}
+	parent := p.CurrentSpan()
+	if parent == 0 {
+		parent = env.span
+	}
+	p.Tracer().Wire(parent, "move-from", p.clock.Now(), d, n, det, src.Host() == p.host.id, false)
 	p.clock.Advance(d)
 	return n, nil
 }
@@ -320,10 +412,15 @@ func (p *Process) MoveTo(dst PID, offset int, data []byte) (int, error) {
 		return 0, fmt.Errorf("%w: MoveTo offset %d outside segment of %d", proto.ErrBadArgs, offset, len(env.moveDst))
 	}
 	n := copy(env.moveDst[offset:], data)
-	d, err := p.host.kernel.net.Unicast(p.host.id, dst.Host(), n, p.clock.Now())
+	d, det, err := p.host.kernel.net.UnicastDetail(p.host.id, dst.Host(), n, p.clock.Now())
 	if err != nil {
 		return 0, err
 	}
+	parent := p.CurrentSpan()
+	if parent == 0 {
+		parent = env.span
+	}
+	p.Tracer().Wire(parent, "move-to", p.clock.Now(), d, n, det, dst.Host() == p.host.id, false)
 	p.clock.Advance(d)
 	return n, nil
 }
@@ -340,29 +437,38 @@ func (p *Process) SetPid(service Service, pid PID, vis Scope) error {
 func (p *Process) GetPid(service Service, scope Scope) (PID, error) {
 	k := p.host.kernel
 	m := k.model
+	tr := k.Tracer()
+	sp := tr.Start(p.CurrentSpan(), trace.KindGetPid, service.String(), p.clock.Now(), p.TraceID())
 	if scope != ScopeRemote {
 		p.clock.Advance(m.GetPidLocalCost)
 		if pid, ok := p.host.lookupService(service, false); ok {
+			tr.End(sp, p.clock.Now())
 			return pid, nil
 		}
 		if scope == ScopeLocal {
-			return NilPID, fmt.Errorf("%w: %v (local)", ErrNotFound, service)
+			err := fmt.Errorf("%w: %v (local)", ErrNotFound, service)
+			tr.Fail(sp, p.clock.Now(), FailureClass(err))
+			return NilPID, err
 		}
 	}
 	// One broadcast frame queries every kernel; the first positive
 	// response (lowest host id, deterministically) costs one return hop.
 	bcast := k.net.Broadcast(p.host.id, proto.HeaderBytes, p.clock.Now())
+	tr.Wire(sp, "getpid-broadcast", p.clock.Now(), bcast, proto.HeaderBytes, netsim.HopDetail{Packets: 1}, false, true)
 	for _, h := range k.aliveHostsSorted() {
 		if h.id == p.host.id || !k.net.Reachable(p.host.id, h.id) {
 			continue
 		}
 		if pid, ok := h.lookupService(service, true); ok {
 			p.clock.Advance(bcast + m.RemoteHop(proto.HeaderBytes))
+			tr.End(sp, p.clock.Now())
 			return pid, nil
 		}
 	}
 	p.clock.Advance(bcast + m.RetransmitTimeout)
-	return NilPID, fmt.Errorf("%w: %v", ErrNotFound, service)
+	err := fmt.Errorf("%w: %v", ErrNotFound, service)
+	tr.Fail(sp, p.clock.Now(), FailureClass(err))
+	return NilPID, err
 }
 
 // Destroy terminates the process: blocked senders get
@@ -377,18 +483,30 @@ func (p *Process) Destroy() {
 	h.mu.Unlock()
 	h.deregisterPid(p.pid)
 	h.kernel.leaveAllGroups(p.pid)
-	p.terminate()
+	p.terminate(false)
+}
+
+// CrashKilled reports whether the process died in a host crash rather
+// than a clean Destroy. Unlike Host.Alive it stays true across a host
+// Restart, so a server team waking up late can still classify its own
+// death correctly (the host may already be back up with a replacement
+// server by the time the dying goroutine runs).
+func (p *Process) CrashKilled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
 }
 
 // terminate marks the process dead and fails every outstanding
-// transaction touching it.
-func (p *Process) terminate() {
+// transaction touching it. crashed records the cause for CrashKilled.
+func (p *Process) terminate(crashed bool) {
 	p.mu.Lock()
 	if p.dead {
 		p.mu.Unlock()
 		return
 	}
 	p.dead = true
+	p.crashed = crashed
 	pend := p.pending
 	p.pending = make(map[PID]*envelope)
 	p.mu.Unlock()

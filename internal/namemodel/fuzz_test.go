@@ -1,0 +1,88 @@
+package namemodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzPath turns a fuzzed string into a model path: split on '/',
+// dropping empty components (the model has no notion of "." or empty
+// names; the distributed servers reject them at the wire).
+func fuzzPath(s string) Path {
+	var p Path
+	for _, c := range strings.Split(s, "/") {
+		if c != "" {
+			p = append(p, c)
+		}
+	}
+	return p
+}
+
+// FuzzModelPaths drives the reference naming model with arbitrary
+// context-directory paths: build the context chain for dir, create an
+// object under it, and check the model's own semantics — Mkdir of every
+// prefix succeeds, Create→Resolve returns the exact contents, the
+// parent List contains the leaf, Remove unbinds it, and a second
+// Resolve reports notfound. The model must never panic, whatever the
+// component strings contain.
+func FuzzModelPaths(f *testing.F) {
+	f.Add("users/mann", "paper.mss", []byte("contents"))
+	f.Add("", "top", []byte{})
+	f.Add("a/b/c/d/e", "leaf", []byte("x"))
+	f.Add("weird/..//comp", "\x00\xff", []byte("binary"))
+	f.Add("same", "same", []byte("collide"))
+	f.Fuzz(func(t *testing.T, dir, leaf string, contents []byte) {
+		m := New()
+		m.AddTree("fs")
+		dirPath := fuzzPath(dir)
+		for i := range dirPath {
+			if code := m.Mkdir("fs", dirPath[:i+1].clone()); code != "" {
+				t.Fatalf("mkdir %v: %s", dirPath[:i+1], code)
+			}
+		}
+		leafPath := fuzzPath(leaf)
+		if len(leafPath) == 0 {
+			// The leaf string had no usable component; resolving the
+			// directory itself must still answer a context.
+			out := m.Resolve("fs", dirPath)
+			if out.Err != "" || out.Context == nil {
+				t.Fatalf("resolve %v: %+v", dirPath, out)
+			}
+			return
+		}
+		full := append(dirPath.clone(), leafPath...)
+		// Intermediate leaf components need their own contexts.
+		for i := 0; i < len(leafPath)-1; i++ {
+			if code := m.Mkdir("fs", full[:len(dirPath)+i+1].clone()); code != "" {
+				t.Fatalf("mkdir %v: %s", full[:len(dirPath)+i+1], code)
+			}
+		}
+		if code := m.Create("fs", full, contents); code != "" {
+			t.Fatalf("create %v: %s", full, code)
+		}
+		out := m.Resolve("fs", full)
+		if out.Err != "" || !bytes.Equal(out.Object, contents) {
+			t.Fatalf("resolve %v after create: %+v", full, out)
+		}
+		names, code := m.List("fs", full[:len(full)-1])
+		if code != "" {
+			t.Fatalf("list parent: %s", code)
+		}
+		found := false
+		for _, n := range names {
+			if n == full[len(full)-1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("created name %q missing from parent listing %v", full[len(full)-1], names)
+		}
+		if code := m.Remove("fs", full, false); code != "" {
+			t.Fatalf("remove %v: %s", full, code)
+		}
+		if out := m.Resolve("fs", full); out.Err != ErrNotFound {
+			t.Fatalf("resolve after remove: %+v", out)
+		}
+	})
+}

@@ -29,6 +29,34 @@ var ErrUnreachable = errors.New("netsim: host unreachable")
 // reported as failed, mirroring the V kernel's bounded retry.
 const maxRetransmits = 5
 
+// HopDetail carries the cost breakdown of one delivered hop: how long
+// the frame queued for the shared medium, how many packets it was
+// fragmented into, and how many retransmissions masked injected loss.
+type HopDetail struct {
+	Queue       time.Duration
+	Packets     int
+	Retransmits int
+}
+
+// FrameEvent describes one frame (or fragmented packet burst) placed on
+// the medium, for observers such as the tracing layer.
+type FrameEvent struct {
+	Src, Dst    HostID // Dst is 0 for broadcast and multicast
+	Cast        string // "unicast", "broadcast" or "multicast"
+	Bytes       int
+	Packets     int
+	Retransmits int
+	At          vtime.Time
+	Queue       time.Duration
+	Latency     time.Duration
+}
+
+// FrameRecorder observes every frame the network carries. Implementations
+// must not call back into the Network (they run with its lock held).
+type FrameRecorder interface {
+	RecordFrame(FrameEvent)
+}
+
 // Stats records cumulative traffic counters for the whole network.
 type Stats struct {
 	Packets     uint64 // frames successfully delivered
@@ -49,6 +77,7 @@ type Network struct {
 	dropRate  float64
 	partition map[HostID]int // host -> partition group; absent means group 0
 	stats     Stats
+	recorder  FrameRecorder
 	// wireFreeAt serializes the shared medium: a frame transmitted at
 	// virtual time t occupies the wire from max(t, wireFreeAt) for its
 	// wire time, so concurrent senders contend (CSMA-style, without
@@ -112,6 +141,22 @@ func (n *Network) Reachable(a, b HostID) bool {
 	return n.partition[a] == n.partition[b]
 }
 
+// SetRecorder installs an observer for every frame the network carries.
+// A nil recorder disables recording.
+func (n *Network) SetRecorder(r FrameRecorder) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.recorder = r
+}
+
+// recordLocked reports a frame to the installed recorder, if any.
+// Must be called with n.mu held.
+func (n *Network) recordLocked(ev FrameEvent) {
+	if n.recorder != nil {
+		n.recorder.RecordFrame(ev)
+	}
+}
+
 // Stats returns a snapshot of the cumulative traffic counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -155,27 +200,44 @@ func (n *Network) occupancy(bytes int) time.Duration {
 // from injected loss. Same-host delivery is a local hop and never touches
 // the wire.
 func (n *Network) Unicast(a, b HostID, bytes int, at vtime.Time) (time.Duration, error) {
+	d, _, err := n.UnicastDetail(a, b, bytes, at)
+	return d, err
+}
+
+// UnicastDetail is Unicast with the hop's cost breakdown exposed for
+// observers. The simulation is identical (same RNG draws, same stats),
+// so traced and untraced runs stay byte-identical in virtual time.
+func (n *Network) UnicastDetail(a, b HostID, bytes int, at vtime.Time) (time.Duration, HopDetail, error) {
 	if a == b {
-		return n.model.LocalHop(bytes), nil
+		return n.model.LocalHop(bytes), HopDetail{}, nil
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.partition[a] != n.partition[b] {
-		return 0, fmt.Errorf("%w: host %d and host %d are partitioned", ErrUnreachable, a, b)
+		return 0, HopDetail{}, fmt.Errorf("%w: host %d and host %d are partitioned", ErrUnreachable, a, b)
 	}
-	d := n.reserveWireLocked(at, bytes) + n.model.RemoteHop(bytes)
+	queue := n.reserveWireLocked(at, bytes)
+	d := queue + n.model.RemoteHop(bytes)
 	retries := 0
 	for n.dropRate > 0 && n.rng.Float64() < n.dropRate {
 		retries++
 		n.stats.Drops++
 		if retries > maxRetransmits {
-			return 0, fmt.Errorf("%w: %d retransmissions to host %d failed", ErrUnreachable, retries-1, b)
+			return 0, HopDetail{Queue: queue, Retransmits: retries - 1},
+				fmt.Errorf("%w: %d retransmissions to host %d failed", ErrUnreachable, retries-1, b)
 		}
 		d += n.model.RetransmitTimeout + n.model.RemoteHop(bytes)
 	}
-	n.stats.Packets += uint64(packetsFor(bytes, n.model.MaxDataPerPacket))
+	packets := packetsFor(bytes, n.model.MaxDataPerPacket)
+	n.stats.Packets += uint64(packets)
 	n.stats.Bytes += uint64(bytes)
-	return d, nil
+	det := HopDetail{Queue: queue, Packets: packets, Retransmits: retries}
+	n.recordLocked(FrameEvent{
+		Src: a, Dst: b, Cast: "unicast",
+		Bytes: bytes, Packets: packets, Retransmits: retries,
+		At: at, Queue: queue, Latency: d,
+	})
+	return d, det, nil
 }
 
 // Broadcast returns the one-way latency of a broadcast frame from host a
@@ -187,7 +249,13 @@ func (n *Network) Broadcast(a HostID, bytes int, at vtime.Time) time.Duration {
 	n.stats.Packets++
 	n.stats.Broadcasts++
 	n.stats.Bytes += uint64(bytes)
-	return n.reserveWireLocked(at, bytes) + n.model.RemoteHop(bytes)
+	queue := n.reserveWireLocked(at, bytes)
+	d := queue + n.model.RemoteHop(bytes)
+	n.recordLocked(FrameEvent{
+		Src: a, Cast: "broadcast", Bytes: bytes, Packets: 1,
+		At: at, Queue: queue, Latency: d,
+	})
+	return d
 }
 
 // Multicast returns the one-way latency of a multicast frame from host a
@@ -199,7 +267,13 @@ func (n *Network) Multicast(a HostID, bytes int, at vtime.Time) time.Duration {
 	n.stats.Packets++
 	n.stats.Multicasts++
 	n.stats.Bytes += uint64(bytes)
-	return n.reserveWireLocked(at, bytes) + n.model.RemoteHop(bytes)
+	queue := n.reserveWireLocked(at, bytes)
+	d := queue + n.model.RemoteHop(bytes)
+	n.recordLocked(FrameEvent{
+		Src: a, Cast: "multicast", Bytes: bytes, Packets: 1,
+		At: at, Queue: queue, Latency: d,
+	})
+	return d
 }
 
 // InPartition reports the partition group of h.
@@ -207,6 +281,13 @@ func (n *Network) InPartition(h HostID) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.partition[h]
+}
+
+// PacketsFor reports how many packets a payload of `bytes` fragments
+// into given the model's per-packet data limit — the accounting the
+// trace invariant checker verifies wire spans against.
+func PacketsFor(bytes, perPacket int) int {
+	return packetsFor(bytes, perPacket)
 }
 
 func packetsFor(bytes, perPacket int) int {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/proto"
+	"repro/internal/trace"
 	"repro/internal/vio"
 )
 
@@ -227,6 +228,9 @@ func (s *Server) Run() { s.team.Run() }
 // serveOne processes one request on the serving process p (the
 // receptionist, or a team worker after a §3.1 handoff).
 func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID) {
+	tr := p.Tracer()
+	sp := tr.Start(p.PendingSpan(from), trace.KindServe, msg.Op.String(), p.Now(), p.TraceID())
+	p.SetCurrentSpan(sp)
 	model := p.Kernel().Model()
 	p.ChargeCompute(model.ServerDispatchCost)
 
@@ -243,9 +247,21 @@ func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID
 			reply = proto.NewReply(proto.ReplyIllegalRequest)
 		}
 	}
-	if reply != nil {
-		_ = p.Reply(reply, from)
+	if reply == nil {
+		// The request was forwarded along a prefix binding.
+		tr.End(sp, p.Now())
+		p.SetCurrentSpan(0)
+		return
 	}
+	// Classify non-OK replies on the serve span and end it before the
+	// Reply unblocks the client (snapshot consistency — see core).
+	class := ""
+	if reply.Op != proto.ReplyOK {
+		class = reply.Op.String()
+	}
+	tr.Fail(sp, p.Now(), class)
+	_ = p.Reply(reply, from)
+	p.SetCurrentSpan(0)
 }
 
 // handleCSName routes any CSname request: a bracketed prefix selects a

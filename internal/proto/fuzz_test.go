@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -50,6 +51,47 @@ func FuzzDecodeDescriptors(f *testing.F) {
 		re := EncodeDescriptors(records)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("valid stream not canonical: %d bytes vs %d", len(re), len(data))
+		}
+	})
+}
+
+// FuzzDecodeDescriptor: arbitrary bytes at the single-record decoder.
+// Whatever the input, it must not panic, every error must be ErrBadArgs
+// (so servers answer a bad record with a protocol error, not a crash),
+// and any record it accepts must re-encode to the exact bytes consumed
+// — the canonical-form property directory listings rely on (§5.6).
+func FuzzDecodeDescriptor(f *testing.F) {
+	seed := Descriptor{
+		Tag:          TagFile,
+		Perms:        PermRead | PermWrite,
+		ObjectID:     42,
+		Size:         1 << 20,
+		Modified:     123456789,
+		TypeSpecific: [2]uint32{7, 9},
+		Name:         "paper.mss",
+		Owner:        "mann",
+	}
+	f.Add(seed.AppendEncoded(nil))
+	f.Add(EncodeDescriptors([]Descriptor{seed, {Tag: TagLink, Name: "archive"}}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		d, n, err := DecodeDescriptor(buf)
+		if err != nil {
+			if !errors.Is(err, ErrBadArgs) {
+				t.Fatalf("decode error %v is not ErrBadArgs", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(buf) {
+			t.Fatalf("consumed %d of %d bytes", n, len(buf))
+		}
+		if d.EncodedSize() != n {
+			t.Fatalf("EncodedSize %d != consumed %d", d.EncodedSize(), n)
+		}
+		if got := d.AppendEncoded(nil); !bytes.Equal(got, buf[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", got, buf[:n])
 		}
 	})
 }

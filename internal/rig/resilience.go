@@ -21,12 +21,30 @@ func (r *Rig) NewChaos(events []chaos.Event) *chaos.Engine {
 	e := chaos.New(r.Kernel, events)
 	e.RestartHook = func(host string) error {
 		if host == "fs1" {
+			// The dying team notices the crash asynchronously (its
+			// goroutines, real time); wait for its exit to be recorded
+			// before the replacement starts so trace snapshots are
+			// deterministic — one server-exit event per scripted crash,
+			// always present.
+			if r.FS1 != nil {
+				<-r.FS1.Exited()
+			}
 			_, err := r.RecreateFS1()
 			return err
 		}
 		return nil
 	}
 	return e
+}
+
+// DrainFS1 waits for a crashed fs1 server team to finish dying. A no-op
+// while the fs1 host is up; after a schedule that ends with fs1 down it
+// blocks until the team's exit (and its trace event) is recorded, so a
+// snapshot taken afterwards is complete and deterministic.
+func (r *Rig) DrainFS1() {
+	if r.FS1 != nil && !r.FS1Host.Alive() {
+		<-r.FS1.Exited()
+	}
 }
 
 // RecreateFS1 starts a replacement fs1 file server on the (restarted)

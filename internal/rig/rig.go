@@ -28,6 +28,7 @@ import (
 	"repro/internal/printserver"
 	"repro/internal/termserver"
 	"repro/internal/timeserver"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -49,6 +50,11 @@ type Config struct {
 	// Retry, when non-nil, enables the client recovery policy
 	// (resilience.go) on every session the rig creates.
 	Retry *client.RetryPolicy
+	// Trace installs a domain tracer recording every IPC primitive and
+	// network frame as spans (internal/trace). Tracing charges zero
+	// virtual time, so traced runs measure identically to untraced
+	// ones.
+	Trace bool
 
 	// FileServerTeam sets how many serving processes each file server
 	// runs (§3.1 server teams). 0 or 1 keeps the single-process server.
@@ -113,6 +119,9 @@ type Rig struct {
 	// BinCtx is the standard program directory context on FS1.
 	BinCtx core.ContextPair
 
+	// Tracer is the domain tracer when Config.Trace was set, else nil.
+	Tracer *trace.Tracer
+
 	retry *client.RetryPolicy
 
 	sessMu   sync.Mutex
@@ -131,6 +140,11 @@ func New(cfg Config) (*Rig, error) {
 	net := netsim.New(model, cfg.Seed)
 	k := kernel.New(net)
 	r := &Rig{Net: net, Kernel: k, Model: model, retry: cfg.Retry}
+	if cfg.Trace {
+		r.Tracer = trace.New()
+		k.SetTracer(r.Tracer)
+		net.SetRecorder(r.Tracer)
+	}
 
 	if err := r.bootFileServers(cfg); err != nil {
 		return nil, fmt.Errorf("rig: boot file servers: %w", err)

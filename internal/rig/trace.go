@@ -1,0 +1,15 @@
+package rig
+
+import "repro/internal/trace"
+
+// CheckTrace runs the protocol invariant checker (trace.Check) over the
+// rig's recorded trace: no span leaks, every send terminated by exactly
+// one reply or a classified failure, bounded forward chains, monotone
+// per-process clocks, and wire packet counts matching the cost model.
+// A rig built without Config.Trace passes trivially.
+func (r *Rig) CheckTrace() error {
+	if r.Tracer == nil {
+		return nil
+	}
+	return trace.Check(r.Tracer.Snapshot(), trace.CheckOptions{Model: r.Model})
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// CheckOptions parameterises the invariant checker.
+type CheckOptions struct {
+	// Model, when set, enables the wire-span packet accounting check
+	// against the cost model's fragmentation size.
+	Model *vtime.CostModel
+	// MaxForwardDepth bounds the forward chain of a single transaction
+	// (default 16 — far above the two rewrite hops the prefix design
+	// ever produces, but low enough to catch a forwarding loop).
+	MaxForwardDepth int
+}
+
+// Check asserts the protocol-level invariants of a recorded trace:
+//
+//  1. no span leaks — every started span ended (no Incomplete spans);
+//  2. parent links are well-formed: each parent exists and was created
+//     before its child (Parent < ID), so the span graph is acyclic by
+//     construction;
+//  3. send termination — every successful non-group send span contains
+//     exactly one successful reply in its own transaction (not counting
+//     nested sends); a group send contains at least one; a failed send
+//     carries a non-empty failure classification;
+//  4. forward chains are bounded: no span has more than MaxForwardDepth
+//     forward ancestors;
+//  5. per-process virtual time is monotone: for each (PID, proc) the
+//     span start times never decrease in creation order, and every span
+//     ends at or after it starts;
+//  6. wire accounting matches the netsim cost model: local hops carry
+//     zero packets, broadcast/multicast frames exactly one, and every
+//     remote unicast hop exactly PacketsFor(bytes) packets.
+//
+// A nil error means the trace is protocol-clean.
+func Check(spans []Span, opt CheckOptions) error {
+	if opt.MaxForwardDepth <= 0 {
+		opt.MaxForwardDepth = 16
+	}
+	byID := make(map[SpanID]*Span, len(spans))
+	children := make(map[SpanID][]*Span, len(spans))
+	for i := range spans {
+		sp := &spans[i]
+		if _, dup := byID[sp.ID]; dup {
+			return fmt.Errorf("trace: duplicate span id %d", sp.ID)
+		}
+		byID[sp.ID] = sp
+	}
+	lastStart := make(map[ProcID]int64)
+	for i := range spans {
+		sp := &spans[i]
+		// (1) leaks.
+		if sp.Incomplete {
+			return fmt.Errorf("trace: span %d (%s %q) never ended", sp.ID, sp.Kind, sp.Name)
+		}
+		// (2) parent links.
+		if sp.Parent != 0 {
+			parent, ok := byID[sp.Parent]
+			if !ok {
+				return fmt.Errorf("trace: span %d (%s %q) has unknown parent %d", sp.ID, sp.Kind, sp.Name, sp.Parent)
+			}
+			if parent.ID >= sp.ID {
+				return fmt.Errorf("trace: span %d has parent %d created after it", sp.ID, sp.Parent)
+			}
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+		// (5) monotone clocks: End covers Start, and per-process starts
+		// never run backwards. Wire spans carry no process identity and
+		// are excluded from the per-process scan.
+		if sp.End < sp.Start {
+			return fmt.Errorf("trace: span %d (%s %q) ends %d before it starts %d", sp.ID, sp.Kind, sp.Name, sp.End, sp.Start)
+		}
+		if sp.PID != 0 {
+			who := ProcID{Name: sp.Proc, PID: sp.PID, Host: sp.Host}
+			if prev, ok := lastStart[who]; ok && sp.Start < prev {
+				return fmt.Errorf("trace: process %s pid %d time ran backwards: span %d starts %d after a span at %d",
+					sp.Proc, sp.PID, sp.ID, sp.Start, prev)
+			}
+			lastStart[who] = sp.Start
+		}
+		// (6) wire accounting.
+		if sp.Kind == KindWire && opt.Model != nil {
+			want := netsim.PacketsFor(sp.Bytes, opt.Model.MaxDataPerPacket)
+			switch {
+			case sp.Local:
+				want = 0
+			case sp.Bcast:
+				want = 1
+			}
+			if sp.Packets != want {
+				return fmt.Errorf("trace: wire span %d (%q, %d bytes, local=%v bcast=%v) carries %d packets, cost model says %d",
+					sp.ID, sp.Name, sp.Bytes, sp.Local, sp.Bcast, sp.Packets, want)
+			}
+		}
+		// (4) forward depth, following parent links.
+		depth := 0
+		for cur := sp; cur.Parent != 0; {
+			cur = byID[cur.Parent]
+			if cur == nil {
+				break
+			}
+			if cur.Kind == KindForward {
+				depth++
+				if depth > opt.MaxForwardDepth {
+					return fmt.Errorf("trace: span %d has a forward chain deeper than %d", sp.ID, opt.MaxForwardDepth)
+				}
+			}
+		}
+	}
+	// (3) send termination.
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Kind != KindSend {
+			continue
+		}
+		if sp.Err != "" {
+			continue // classified failure: nothing more to demand
+		}
+		replies, group := tallyReplies(sp.ID, children)
+		group = group || sp.Group
+		switch {
+		case group && replies < 1:
+			return fmt.Errorf("trace: group send span %d (%q) succeeded with no successful reply", sp.ID, sp.Name)
+		case !group && replies != 1:
+			return fmt.Errorf("trace: send span %d (%q) succeeded with %d successful replies, want exactly 1", sp.ID, sp.Name, replies)
+		}
+	}
+	return nil
+}
+
+// tallyReplies counts successful reply spans in the transaction rooted
+// at id, without descending into nested send spans (those are separate
+// transactions with their own replies). It also reports whether the
+// transaction passed through a group hop (first-reply-wins), which
+// relaxes the exactly-one-reply demand to at-least-one.
+func tallyReplies(id SpanID, children map[SpanID][]*Span) (replies int, group bool) {
+	for _, c := range children[id] {
+		if c.Kind == KindSend {
+			continue
+		}
+		if c.Group {
+			group = true
+		}
+		if c.Kind == KindReply && c.Err == "" {
+			replies++
+		}
+		r, g := tallyReplies(c.ID, children)
+		replies += r
+		group = group || g
+	}
+	return replies, group
+}
