@@ -10,7 +10,7 @@ FUZZTIME ?= 10s
 # lower it to make a regression pass.
 COVERAGE_FLOOR ?= 73.0
 
-.PHONY: all check test race bench bench-json vet fmt fuzz cover experiments examples clean
+.PHONY: all check test race bench bench-json bench-wallclock golden-guard vet fmt fuzz cover experiments examples clean
 
 all: vet test
 
@@ -29,6 +29,9 @@ check: vet
 	$(GO) test -race -run 'TestCanonicalTraceGolden|TestCanonicalTraceDeterministic|TestA12Decomposition' ./internal/experiments/
 	$(GO) test -race -run 'TestTraceInvariants' ./internal/...
 	$(GO) test -race -run 'TestWorkloadDriverTrace|TestTraceUnderChaos' ./internal/rig/
+	$(GO) test -race -run 'TestParallelDriverEquivalence' ./internal/rig/
+	$(GO) test -run 'TestSendZeroAllocUntraced' -count=1 ./internal/kernel/
+	$(MAKE) golden-guard
 	$(MAKE) cover
 
 test:
@@ -43,6 +46,24 @@ bench:
 # Machine-readable per-experiment results (the perf trajectory).
 bench-json:
 	$(GO) run ./cmd/vbench -json BENCH_vbench.json > vbench_output.txt
+
+# Wall-clock benchmark harness (EXPERIMENTS.md A13): hot-path ns/op and
+# allocs/op plus sequential-vs-parallel driver throughput, written as a
+# self-describing JSON document (records GOMAXPROCS and CPU count).
+bench-wallclock:
+	$(GO) run ./cmd/vbench -wallclock BENCH_wallclock.json
+
+# Byte-identity guard for the committed golden outputs: the wall-clock
+# work must not perturb a single virtual-time result or trace span.
+# Regenerates both into a scratch dir and compares byte-for-byte.
+golden-guard:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/vbench > $$tmp/vbench_output.txt && \
+	cmp vbench_output.txt $$tmp/vbench_output.txt && \
+	$(GO) run ./cmd/vbench -trace $$tmp/golden_trace.json >/dev/null && \
+	cmp internal/experiments/testdata/golden_trace.json $$tmp/golden_trace.json && \
+	echo "golden outputs byte-identical" && rm -rf $$tmp || \
+	{ echo "golden outputs drifted from committed files"; rm -rf $$tmp; exit 1; }
 
 vet:
 	$(GO) vet ./...

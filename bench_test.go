@@ -382,3 +382,50 @@ func BenchmarkE5PrefixTable(b *testing.B) {
 
 // defineSeq keeps prefix names unique across benchmark rounds.
 var defineSeq int
+
+// benchShardedWorkload drives the sharded closed-loop workload once per
+// iteration on a fresh topology (setup excluded from the timer) and
+// reports wall-clock requests per second. workers == 0 selects the
+// sequential driver.
+func benchShardedWorkload(b *testing.B, workers int) {
+	cfg := rig.ShardConfig{Shards: 8, ClientsPerShard: 8, Requests: 25, Team: 1, Seed: 42}
+	total := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sw, err := rig.NewShardedWorkload(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var res *rig.WorkloadResult
+		if workers == 0 {
+			res = rig.RunWorkload(sw.Clients)
+		} else {
+			res = rig.RunWorkloadParallel(sw.Clients, workers)
+		}
+		b.StopTimer()
+		total += res.Requests
+		// Tear down the topology's server goroutines between iterations.
+		for _, h := range sw.Hosts {
+			h.Crash()
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkWorkloadSequential is the single-threaded driver baseline for
+// the wall-clock scaling comparison (EXPERIMENTS.md A13).
+func BenchmarkWorkloadSequential(b *testing.B) { benchShardedWorkload(b, 0) }
+
+// BenchmarkWorkloadParallel measures the parallel driver's wall-clock
+// throughput at several worker-pool sizes over the same workload. The
+// virtual-time results are identical to the sequential driver's (see
+// TestParallelDriverEquivalence); only wall-clock time changes.
+func BenchmarkWorkloadParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchShardedWorkload(b, w) })
+	}
+}

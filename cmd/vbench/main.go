@@ -36,6 +36,7 @@ func run(args []string, w io.Writer) error {
 	score := fs.Bool("score", false, "print the reproduction scorecard and exit")
 	jsonPath := fs.String("json", "", "also write per-experiment results as JSON to this file")
 	tracePath := fs.String("trace", "", "export the canonical single-client trace (span tree + wire frames) as JSON to this file")
+	wallclockPath := fs.String("wallclock", "", "run the wall-clock benchmark harness (A13) and write its JSON to this file; skips the virtual-time experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +50,37 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		experiments.PrintScorecard(w, checks)
+		return nil
+	}
+
+	if *wallclockPath != "" {
+		// Wall-clock results are machine-dependent by nature, so they are
+		// kept out of the experiments registry (and out of the byte-pinned
+		// vbench_output.txt): this mode runs only the A13 harness.
+		doc, err := experiments.WallClock()
+		if err != nil {
+			return fmt.Errorf("wallclock: %w", err)
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*wallclockPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *wallclockPath, err)
+		}
+		fmt.Fprintf(w, "wrote wall-clock benchmark results to %s (GOMAXPROCS=%d, %d CPUs)\n", *wallclockPath, doc.GOMAXPROCS, doc.NumCPU)
+		for _, hp := range doc.HotPath {
+			fmt.Fprintf(w, "  %-10s %6d ns/op  %4d B/op  %3d allocs/op  (baseline %d allocs/op)\n",
+				hp.Name, hp.NsPerOp, hp.BytesPerOp, hp.AllocsPerOp, doc.Baseline.E1AllocsPerOp)
+		}
+		for _, d := range doc.Driver {
+			label := d.Mode
+			if d.Workers > 0 {
+				label = fmt.Sprintf("%s/%d", d.Mode, d.Workers)
+			}
+			fmt.Fprintf(w, "  driver %-13s %9.0f req/s wall  (%.2fx vs sequential, makespan %s virtual)\n",
+				label, d.ReqPerSec, d.SpeedupVsSeq, d.VirtualMakespan)
+		}
 		return nil
 	}
 

@@ -37,6 +37,13 @@ type Session struct {
 	cacheRetry bool
 	cacheStats CacheStats
 
+	// lastRouted records the server pid the most recent send()-routed
+	// attempt actually targeted. With the name cache on, a prefixed
+	// request goes straight to the cached pair's server — not the prefix
+	// server s.route() reports — so fallbacks that need "the server the
+	// request went to" must read this, not re-route the name.
+	lastRouted kernel.PID
+
 	// currentName is the CSname the current context was entered by, kept
 	// so the recovery policy can re-map the context if its server dies
 	// (resilience.go). Empty when the context was installed directly.
@@ -133,6 +140,7 @@ func (s *Session) sendOnce(name string, req *proto.Message) (*proto.Message, err
 		return s.sendCached(name, req)
 	}
 	server, ctx := s.route(name)
+	s.lastRouted = server
 	proto.SetCSName(req, uint32(ctx), name)
 	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
 	reply, err := s.proc.Send(req, server)
@@ -186,6 +194,7 @@ func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bo
 		s.cacheStats.Hits++
 	}
 	proto.SetCSName(req, uint32(pair.Ctx), name[rest:])
+	s.lastRouted = pair.Server
 	s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
 	reply, err := s.proc.Send(req, pair.Server)
 	if err != nil {
@@ -239,8 +248,10 @@ func (s *Session) Open(name string, mode uint32) (*vio.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Routed after send so a recovery retry's re-resolution is reflected.
-	server, _ := s.route(name)
+	// The route the successful attempt actually used (recovery retries
+	// re-route, and the name cache sends straight to the cached pair's
+	// server — re-routing here would wrongly yield the prefix server).
+	server := s.lastRouted
 	// When the open was forwarded (through the prefix server or across
 	// file servers) the instance lives at the final server. The reply's
 	// sender is not visible at this layer, so servers return instances

@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/proto"
@@ -104,8 +104,18 @@ type Server struct {
 	team    *Team
 	serve   HandlerFunc
 
-	statsMu sync.Mutex
-	stats   ServerStats
+	// stats counters are atomics: team workers bump them concurrently on
+	// every request, so the serving hot path must not share a mutex.
+	stats serverCounters
+}
+
+// serverCounters is the lock-free backing store for ServerStats.
+type serverCounters struct {
+	requests  atomic.Uint64
+	csname    atomic.Uint64
+	forwarded atomic.Uint64
+	failures  atomic.Uint64
+	handoffs  atomic.Uint64
 }
 
 // NewServer assembles a CSNH server from its process, store and handler.
@@ -123,7 +133,7 @@ func NewServer(proc *kernel.Process, store ContextStore, handler Handler, opts .
 	}, o.extra...)
 	s.serve = Chain(s.route, stages...)
 	s.team = NewTeam(proc, o.team, s.serveOne, func() {
-		s.count(func(st *ServerStats) { st.Handoffs++ })
+		s.stats.handoffs.Add(1)
 	})
 	return s
 }
@@ -165,45 +175,52 @@ func (s *Server) Exited() <-chan struct{} { return s.team.Exited() }
 
 // Stats returns a snapshot of the server's protocol counters.
 func (s *Server) Stats() ServerStats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
-}
-
-func (s *Server) count(update func(*ServerStats)) {
-	s.statsMu.Lock()
-	update(&s.stats)
-	s.statsMu.Unlock()
+	return ServerStats{
+		Requests:       s.stats.requests.Load(),
+		CSNameRequests: s.stats.csname.Load(),
+		Forwarded:      s.stats.forwarded.Load(),
+		Failures:       s.stats.failures.Load(),
+		Handoffs:       s.stats.handoffs.Load(),
+	}
 }
 
 // serveOne processes a single request on the serving process p and
 // replies or forwards exactly once.
 func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID) {
 	tr := p.Tracer()
-	sp := tr.Start(p.PendingSpan(from), trace.KindServe, msg.Op.String(), p.Now(), p.TraceID())
-	p.SetCurrentSpan(sp)
+	var sp trace.SpanID
+	if tr != nil {
+		sp = tr.Start(p.PendingSpan(from), trace.KindServe, msg.Op.String(), p.Now(), p.TraceID())
+		p.SetCurrentSpan(sp)
+	}
 	req := &Request{Msg: msg, From: from, srv: s, proc: p}
 	reply := s.serve(req)
 	if reply == nil {
 		// A stage or the handler replied or forwarded itself.
-		tr.End(sp, p.Now())
-		p.SetCurrentSpan(0)
+		if tr != nil {
+			tr.End(sp, p.Now())
+			p.SetCurrentSpan(0)
+		}
 		return
 	}
-	// Attach the per-request failure classification — which the reply
-	// path below otherwise swallows — to the serve span, and end it
-	// before the Reply unblocks the client, so a snapshot taken the
-	// moment the client resumes never sees a half-open serve.
-	class := ""
-	if reply.Op != proto.ReplyOK {
-		class = reply.Op.String()
+	if tr != nil {
+		// Attach the per-request failure classification — which the reply
+		// path below otherwise swallows — to the serve span, and end it
+		// before the Reply unblocks the client, so a snapshot taken the
+		// moment the client resumes never sees a half-open serve.
+		class := ""
+		if reply.Op != proto.ReplyOK {
+			class = reply.Op.String()
+		}
+		tr.Fail(sp, p.Now(), class)
 	}
-	tr.Fail(sp, p.Now(), class)
 	// A failed reply means the sender died or became unreachable; the
 	// transaction is already failed on the sender side (and the reply
 	// span carries the transport failure classification).
 	_ = p.Reply(reply, from)
-	p.SetCurrentSpan(0)
+	if tr != nil {
+		p.SetCurrentSpan(0)
+	}
 }
 
 // chargeDispatch charges the fixed request-dispatch cost to the serving
@@ -218,12 +235,10 @@ func (s *Server) chargeDispatch(next HandlerFunc) HandlerFunc {
 // countRequests counts every request, and the CSname subset.
 func (s *Server) countRequests(next HandlerFunc) HandlerFunc {
 	return func(req *Request) *proto.Message {
-		s.count(func(st *ServerStats) {
-			st.Requests++
-			if req.Msg.Op.IsCSNameOp() {
-				st.CSNameRequests++
-			}
-		})
+		s.stats.requests.Add(1)
+		if req.Msg.Op.IsCSNameOp() {
+			s.stats.csname.Add(1)
+		}
 		return next(req)
 	}
 }
@@ -233,7 +248,7 @@ func (s *Server) countFailures(next HandlerFunc) HandlerFunc {
 	return func(req *Request) *proto.Message {
 		reply := next(req)
 		if reply != nil && reply.Op != proto.ReplyOK {
-			s.count(func(st *ServerStats) { st.Failures++ })
+			s.stats.failures.Add(1)
 		}
 		return reply
 	}
@@ -286,7 +301,7 @@ func (s *Server) serveCSName(req *Request) *proto.Message {
 		return s.faultReply(err)
 	}
 	if fwd != nil {
-		s.count(func(st *ServerStats) { st.Forwarded++ })
+		s.stats.forwarded.Add(1)
 		proto.RewriteCSName(req.Msg, uint32(fwd.Pair.Ctx), fwd.Index)
 		// A failed forward has already failed the sender's transaction.
 		_ = req.Proc().Forward(req.Msg, req.From, fwd.Pair.Server)

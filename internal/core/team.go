@@ -149,18 +149,23 @@ func (t *Team) run() {
 		}
 		w := t.workers[next%len(t.workers)]
 		next++
-		tr := t.recept.Tracer()
-		sp := tr.Start(t.recept.PendingSpan(from), trace.KindHandoff, "handoff -> "+w.Name(), t.recept.Now(), t.recept.TraceID())
-		// The handoff span covers the dispatch decision and ends before
-		// the Forward: a fast worker can unblock the client before this
-		// goroutine runs again, and a snapshot then must never see a
-		// half-open handoff. The forward hop is recorded as its child.
-		tr.End(sp, t.recept.Now())
-		t.recept.SetCurrentSpan(sp)
+		if tr := t.recept.Tracer(); tr != nil {
+			sp := tr.Start(t.recept.PendingSpan(from), trace.KindHandoff, "handoff -> "+w.Name(), t.recept.Now(), t.recept.TraceID())
+			// The handoff span covers the dispatch decision and ends before
+			// the Forward: a fast worker can unblock the client before this
+			// goroutine runs again, and a snapshot then must never see a
+			// half-open handoff. The forward hop is recorded as its child.
+			tr.End(sp, t.recept.Now())
+			t.recept.SetCurrentSpan(sp)
+			// A failed forward (worker died mid-crash) has already failed
+			// the sender's transaction and classified the forward span.
+			_ = t.recept.Forward(msg, from, w.PID())
+			t.recept.SetCurrentSpan(0)
+			continue
+		}
 		// A failed forward (worker died mid-crash) has already failed
-		// the sender's transaction and classified the forward span.
+		// the sender's transaction.
 		_ = t.recept.Forward(msg, from, w.PID())
-		t.recept.SetCurrentSpan(0)
 	}
 }
 

@@ -1,0 +1,239 @@
+// Wall-clock benchmark harness (EXPERIMENTS.md A13). Unlike every other
+// file in this package, nothing here reads virtual time as a result: it
+// measures how fast the *implementation* executes on the host machine —
+// the send/receive/reply hot path's real latency and allocation count,
+// and the workload driver's wall-clock throughput, sequential vs
+// parallel. The output is a self-describing JSON document (see
+// cmd/vbench -wallclock) that records GOMAXPROCS and the CPU count, so a
+// flat parallel-speedup curve on a single-core machine reads as what it
+// is rather than as a regression.
+//
+// The pre-PR baseline numbers embedded below were recorded with the same
+// harness shape (go test -bench, -benchmem, GOMAXPROCS=1) at the commit
+// before the parallel-driver/allocation work, and are the regression
+// reference `make check`'s gate compares against.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/rig"
+)
+
+// HotPathResult is one measured micro-benchmark: the Figure 1
+// send-receive-reply transaction with tracing disabled.
+type HotPathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	SendAllocs  float64 `json:"steady_state_send_allocs"` // testing.AllocsPerRun of one Send
+}
+
+// DriverResult is one measured workload-driver run.
+type DriverResult struct {
+	Mode         string  `json:"mode"` // "sequential" or "parallel"
+	Workers      int     `json:"workers,omitempty"`
+	Requests     int     `json:"requests"`
+	WallNs       int64   `json:"wall_ns"`
+	ReqPerSec    float64 `json:"req_per_sec"`
+	SpeedupVsSeq float64 `json:"speedup_vs_sequential"`
+	// VirtualMakespan must be identical across every run of this table —
+	// the drivers differ only in wall-clock execution.
+	VirtualMakespan string `json:"virtual_makespan"`
+}
+
+// WallClockBaseline records the pre-PR numbers this PR is gated against.
+type WallClockBaseline struct {
+	Commit          string  `json:"commit"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	E1LocalNsPerOp  int64   `json:"e1_local_ns_per_op"`
+	E1RemoteNsPerOp int64   `json:"e1_remote_ns_per_op"`
+	E1BytesPerOp    int64   `json:"e1_bytes_per_op"`
+	E1AllocsPerOp   int64   `json:"e1_allocs_per_op"`
+	DriverReqPerSec float64 `json:"driver_req_per_sec"`
+	VirtualMakespan string  `json:"driver_virtual_makespan"`
+}
+
+// WallClockDoc is the BENCH_wallclock.json schema.
+type WallClockDoc struct {
+	Tool        string            `json:"tool"`
+	Description string            `json:"description"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	NumCPU      int               `json:"num_cpu"`
+	Baseline    WallClockBaseline `json:"baseline_pre_pr"`
+	HotPath     []HotPathResult   `json:"hot_path"`
+	Driver      []DriverResult    `json:"driver"`
+}
+
+// wallClockBaseline is the recorded pre-PR reference (commit 2345bb5,
+// GOMAXPROCS=1 container): BenchmarkE1MessageTransaction with -benchmem,
+// and the sequential driver over the same 8x8x25 sharded workload this
+// harness runs.
+var wallClockBaseline = WallClockBaseline{
+	Commit:          "2345bb5",
+	GOMAXPROCS:      1,
+	E1LocalNsPerOp:  3353,
+	E1RemoteNsPerOp: 2565,
+	E1BytesPerOp:    448,
+	E1AllocsPerOp:   11,
+	DriverReqPerSec: 104000,
+	VirtualMakespan: "262.03995ms",
+}
+
+// wallClockShards is the driver workload shape: 8 substrate-disjoint
+// shards x 8 clients x 25 deep queries = 1600 requests.
+var wallClockShards = rig.ShardConfig{
+	Shards: 8, ClientsPerShard: 8, Requests: 25, Team: 1, Seed: 42,
+}
+
+// WallClock runs the wall-clock harness and returns the document.
+func WallClock() (*WallClockDoc, error) {
+	doc := &WallClockDoc{
+		Tool:        "vbench -wallclock",
+		Description: "wall-clock (real time) performance of the implementation; virtual-time results are unaffected and identical across all driver modes",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Baseline:    wallClockBaseline,
+	}
+	for _, remote := range []bool{false, true} {
+		hp, err := benchHotPath(remote)
+		if err != nil {
+			return nil, err
+		}
+		doc.HotPath = append(doc.HotPath, hp)
+	}
+	seq, err := benchDriver(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc.Driver = append(doc.Driver, seq)
+	for _, w := range []int{1, 2, 4, 8} {
+		par, err := benchDriver(w, seq.ReqPerSec)
+		if err != nil {
+			return nil, err
+		}
+		doc.Driver = append(doc.Driver, par)
+	}
+	return doc, nil
+}
+
+// benchHotPath measures the untraced send-receive-reply transaction,
+// same-host or cross-host, mirroring BenchmarkE1MessageTransaction.
+func benchHotPath(remote bool) (HotPathResult, error) {
+	r, err := rig.New(rig.DefaultConfig())
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	host := r.WS[0].Host
+	echoHost := host
+	name := "e1/local"
+	if remote {
+		echoHost = r.FS1Host
+		name = "e1/remote"
+	}
+	echo, err := echoHost.Spawn("echo", func(p *kernel.Process) {
+		var reply proto.Message
+		for {
+			msg, from, err := p.Receive()
+			if err != nil {
+				return
+			}
+			reply = *msg
+			reply.Op = proto.ReplyOK
+			if err := p.Reply(&reply, from); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	cl, err := host.NewProcess("bench-client")
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	req := &proto.Message{Op: proto.OpEcho}
+	send := func() error {
+		_, err := cl.Send(req, echo.PID())
+		return err
+	}
+	for i := 0; i < 64; i++ { // warm the envelope pool
+		if err := send(); err != nil {
+			return HotPathResult{}, err
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := send(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := send(); err != nil {
+			panic(err)
+		}
+	})
+	return HotPathResult{
+		Name:        name,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		SendAllocs:  allocs,
+	}, nil
+}
+
+// benchDriver times one run of the sharded workload under the selected
+// driver (workers == 0 means the sequential driver), averaging over a
+// few fresh topologies.
+func benchDriver(workers int, seqReqPerSec float64) (DriverResult, error) {
+	const rounds = 5
+	var elapsed time.Duration
+	var requests int
+	var makespan time.Duration
+	for i := 0; i < rounds; i++ {
+		sw, err := rig.NewShardedWorkload(wallClockShards)
+		if err != nil {
+			return DriverResult{}, err
+		}
+		start := time.Now()
+		var res *rig.WorkloadResult
+		if workers == 0 {
+			res = rig.RunWorkload(sw.Clients)
+		} else {
+			res = rig.RunWorkloadParallel(sw.Clients, workers)
+		}
+		elapsed += time.Since(start)
+		requests += res.Requests
+		if i == 0 {
+			makespan = res.Makespan
+		} else if res.Makespan != makespan {
+			return DriverResult{}, fmt.Errorf("driver workers=%d: virtual makespan varied across runs: %v vs %v", workers, res.Makespan, makespan)
+		}
+		for _, h := range sw.Hosts {
+			h.Crash()
+		}
+	}
+	out := DriverResult{
+		Mode:            "sequential",
+		Workers:         workers,
+		Requests:        requests / rounds,
+		WallNs:          int64(elapsed) / rounds,
+		ReqPerSec:       float64(requests) / elapsed.Seconds(),
+		VirtualMakespan: makespan.String(),
+	}
+	if workers > 0 {
+		out.Mode = "parallel"
+		out.SpeedupVsSeq = out.ReqPerSec / seqReqPerSec
+	} else {
+		out.SpeedupVsSeq = 1
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestWallClockHarness runs the A13 harness end to end and checks its
+// structural invariants. The absolute numbers are machine-dependent and
+// deliberately unasserted; what must hold anywhere is the shape — and
+// that every driver mode reports the identical virtual makespan.
+func TestWallClockHarness(t *testing.T) {
+	doc, err := WallClock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.HotPath) != 2 {
+		t.Fatalf("hot path rows: got %d, want 2", len(doc.HotPath))
+	}
+	for _, hp := range doc.HotPath {
+		if hp.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op %d, want > 0", hp.Name, hp.NsPerOp)
+		}
+	}
+	if len(doc.Driver) != 5 {
+		t.Fatalf("driver rows: got %d, want 5", len(doc.Driver))
+	}
+	want := wallClockShards.Shards * wallClockShards.ClientsPerShard * wallClockShards.Requests
+	for _, d := range doc.Driver {
+		if d.Requests != want {
+			t.Errorf("driver %s/%d: %d requests, want %d", d.Mode, d.Workers, d.Requests, want)
+		}
+		if d.VirtualMakespan != doc.Driver[0].VirtualMakespan {
+			t.Errorf("driver %s/%d: virtual makespan %s differs from sequential's %s",
+				d.Mode, d.Workers, d.VirtualMakespan, doc.Driver[0].VirtualMakespan)
+		}
+	}
+	if doc.Baseline.E1AllocsPerOp != 11 {
+		t.Errorf("recorded baseline allocs/op: got %d, want 11", doc.Baseline.E1AllocsPerOp)
+	}
+}

@@ -111,6 +111,12 @@ func (p *Process) forwardGroup(env *envelope, msg *proto.Message, gid PID, sp tr
 	k := p.host.kernel
 	tr := k.Tracer()
 	tr.SetGroup(sp)
+	// The clones below share env.replyCh, and a straggling member may
+	// write to it after the sender consumed the winning event — so this
+	// envelope must never return to the pool. Set before any completion
+	// event can fire; the sender reads the flag only after receiving an
+	// event through the channel, which orders this write before it.
+	env.shared = true
 	members, err := k.GroupMembers(gid)
 	if err != nil {
 		tr.Fail(sp, p.clock.Now(), FailureClass(err))
@@ -162,8 +168,11 @@ func (p *Process) forwardGroup(env *envelope, msg *proto.Message, gid PID, sp tr
 func (p *Process) sendGroup(msg *proto.Message, gid PID, moveSrc, moveDst []byte) (*proto.Message, error) {
 	k := p.host.kernel
 	tr := k.Tracer()
-	sp := tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" -> "+gid.String(), p.clock.Now(), p.TraceID())
-	tr.SetGroup(sp)
+	var sp trace.SpanID
+	if tr != nil {
+		sp = tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" -> "+gid.String(), p.clock.Now(), p.TraceID())
+		tr.SetGroup(sp)
+	}
 	members, err := k.GroupMembers(gid)
 	if err != nil {
 		tr.Fail(sp, p.clock.Now(), FailureClass(err))

@@ -76,8 +76,12 @@ type Kernel struct {
 	// a virtual clock either way.
 	tracer atomic.Pointer[trace.Tracer]
 
+	// hosts is a copy-on-write snapshot: hosts are only ever added, so
+	// the send path (findProcess on every message) indexes it without a
+	// lock. Writers copy under mu and publish atomically.
+	hosts atomic.Pointer[map[netsim.HostID]*Host]
+
 	mu       sync.Mutex
-	hosts    map[netsim.HostID]*Host
 	nextHost uint16
 	groups   map[uint16]*group
 	nextGrp  uint16
@@ -85,12 +89,14 @@ type Kernel struct {
 
 // New creates a V domain over the given network.
 func New(n *netsim.Network) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		net:    n,
 		model:  n.Model(),
-		hosts:  make(map[netsim.HostID]*Host),
 		groups: make(map[uint16]*group),
 	}
+	hosts := make(map[netsim.HostID]*Host)
+	k.hosts.Store(&hosts)
+	return k
 }
 
 // Network returns the underlying simulated network.
@@ -116,33 +122,38 @@ func (k *Kernel) NewHost(name string) *Host {
 		id:     id,
 		name:   name,
 		kernel: k,
-		procs:  make(map[uint16]*Process),
 		// Local pids are allocated from a per-host starting point spread
 		// across the 16-bit space, mimicking V's randomized allocation
 		// while staying deterministic.
 		nextLocal: uint16(id)*2657 + 100,
-		services:  make(map[Service]svcEntry),
-		alive:     true,
 	}
-	k.hosts[id] = h
+	h.alive.Store(true)
+	procs := make(map[uint16]*Process)
+	h.procs.Store(&procs)
+	services := make(map[Service]svcEntry)
+	h.services.Store(&services)
+
+	old := *k.hosts.Load()
+	hosts := make(map[netsim.HostID]*Host, len(old)+1)
+	for hid, hh := range old {
+		hosts[hid] = hh
+	}
+	hosts[id] = h
+	k.hosts.Store(&hosts)
 	return h
 }
 
 // HostByID returns the host with the given id, or nil.
 func (k *Kernel) HostByID(id netsim.HostID) *Host {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.hosts[id]
+	return (*k.hosts.Load())[id]
 }
 
 // HostByName returns the host with the given configured name, or nil.
 // Host names are unique in the rigs this simulation builds; if several
 // hosts share a name the lowest id wins, deterministically.
 func (k *Kernel) HostByName(name string) *Host {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	var found *Host
-	for _, h := range k.hosts {
+	for _, h := range *k.hosts.Load() {
 		if h.name == name && (found == nil || h.id < found.id) {
 			found = h
 		}
@@ -179,31 +190,20 @@ func (k *Kernel) ProcessAlive(pid PID) bool {
 // reports whether the pid's host exists and is alive (so callers can
 // distinguish "host down / partitioned" from "host up, process gone").
 func (k *Kernel) findProcess(pid PID) (*Process, bool) {
-	k.mu.Lock()
-	h := k.hosts[pid.Host()]
-	k.mu.Unlock()
-	if h == nil {
+	h := (*k.hosts.Load())[pid.Host()]
+	if h == nil || !h.alive.Load() {
 		return nil, false
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.alive {
-		return nil, false
-	}
-	return h.procs[pid.Local()], true
+	return (*h.procs.Load())[pid.Local()], true
 }
 
 // aliveHostsSorted snapshots the alive hosts in id order, for
 // deterministic broadcast queries.
 func (k *Kernel) aliveHostsSorted() []*Host {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	out := make([]*Host, 0, len(k.hosts))
-	for _, h := range k.hosts {
-		h.mu.Lock()
-		alive := h.alive
-		h.mu.Unlock()
-		if alive {
+	hosts := *k.hosts.Load()
+	out := make([]*Host, 0, len(hosts))
+	for _, h := range hosts {
+		if h.alive.Load() {
 			out = append(out, h)
 		}
 	}
@@ -224,11 +224,16 @@ type Host struct {
 	name   string
 	kernel *Kernel
 
-	mu        sync.Mutex
-	procs     map[uint16]*Process
+	// procs and services are copy-on-write snapshots: the send path
+	// resolves pids and service registrations lock-free; writers copy
+	// under mu and publish atomically. alive flips atomically so readers
+	// never queue behind a crashing host.
+	alive    atomic.Bool
+	procs    atomic.Pointer[map[uint16]*Process]
+	services atomic.Pointer[map[Service]svcEntry]
+
+	mu        sync.Mutex // serializes writers of the tables above
 	nextLocal uint16
-	services  map[Service]svcEntry
-	alive     bool
 }
 
 // ID returns the host's logical-host identifier.
@@ -242,9 +247,23 @@ func (h *Host) Kernel() *Kernel { return h.kernel }
 
 // Alive reports whether the host is up.
 func (h *Host) Alive() bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.alive
+	return h.alive.Load()
+}
+
+// storeProcs publishes a fresh copy of the process table with local pid
+// slot set to p (or removed when p is nil). Caller holds h.mu.
+func (h *Host) storeProcs(local uint16, p *Process) {
+	old := *h.procs.Load()
+	procs := make(map[uint16]*Process, len(old)+1)
+	for l, q := range old {
+		procs[l] = q
+	}
+	if p == nil {
+		delete(procs, local)
+	} else {
+		procs[local] = p
+	}
+	h.procs.Store(&procs)
 }
 
 // NewProcess creates a process on this host. The caller drives it (or
@@ -252,10 +271,11 @@ func (h *Host) Alive() bool {
 func (h *Host) NewProcess(name string) (*Process, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if !h.alive {
+	if !h.alive.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrHostDown, h.name)
 	}
-	if len(h.procs) >= 0xFFFE {
+	procs := *h.procs.Load()
+	if len(procs) >= 0xFFFE {
 		return nil, errors.New("kernel: host process table full")
 	}
 	// Find a free local pid, skipping 0 and in-use slots. Allocation
@@ -265,7 +285,7 @@ func (h *Host) NewProcess(name string) (*Process, error) {
 		if h.nextLocal == 0 {
 			h.nextLocal = 1
 		}
-		if _, used := h.procs[h.nextLocal]; !used {
+		if _, used := procs[h.nextLocal]; !used {
 			break
 		}
 	}
@@ -277,7 +297,7 @@ func (h *Host) NewProcess(name string) (*Process, error) {
 		pending: make(map[PID]*envelope),
 		done:    make(chan struct{}),
 	}
-	h.procs[h.nextLocal] = p
+	h.storeProcs(h.nextLocal, p)
 	return p, nil
 }
 
@@ -319,17 +339,20 @@ func (h *Host) SpawnTeam(leader string, n int, body func(p *Process)) ([]*Proces
 // cleared. The host keeps its logical-host id and can be Restarted.
 func (h *Host) Crash() {
 	h.mu.Lock()
-	if !h.alive {
+	if !h.alive.Load() {
 		h.mu.Unlock()
 		return
 	}
-	h.alive = false
-	procs := make([]*Process, 0, len(h.procs))
-	for _, p := range h.procs {
+	h.alive.Store(false)
+	old := *h.procs.Load()
+	procs := make([]*Process, 0, len(old))
+	for _, p := range old {
 		procs = append(procs, p)
 	}
-	h.procs = make(map[uint16]*Process)
-	h.services = make(map[Service]svcEntry)
+	emptyProcs := make(map[uint16]*Process)
+	h.procs.Store(&emptyProcs)
+	emptySvcs := make(map[Service]svcEntry)
+	h.services.Store(&emptySvcs)
 	h.mu.Unlock()
 	for _, p := range procs {
 		p.terminate(true)
@@ -342,21 +365,31 @@ func (h *Host) Crash() {
 func (h *Host) Restart() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.alive = true
+	h.alive.Store(true)
 }
 
 // ProcessByPID returns the live process with the given pid on this host.
 func (h *Host) ProcessByPID(pid PID) (*Process, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.alive {
+	if !h.alive.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrHostDown, h.name)
 	}
-	p := h.procs[pid.Local()]
+	p := (*h.procs.Load())[pid.Local()]
 	if p == nil || p.pid != pid {
 		return nil, fmt.Errorf("%w: %v", ErrNonexistentProcess, pid)
 	}
 	return p, nil
+}
+
+// storeServices publishes a fresh copy of the service table produced by
+// mutate. Caller holds h.mu.
+func (h *Host) storeServices(mutate func(map[Service]svcEntry)) {
+	old := *h.services.Load()
+	services := make(map[Service]svcEntry, len(old)+1)
+	for s, e := range old {
+		services[s] = e
+	}
+	mutate(services)
+	h.services.Store(&services)
 }
 
 // SetPid registers pid as providing service with the given visibility in
@@ -364,10 +397,12 @@ func (h *Host) ProcessByPID(pid PID) (*Process, error) {
 func (h *Host) SetPid(service Service, pid PID, vis Scope) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if !h.alive {
+	if !h.alive.Load() {
 		return fmt.Errorf("%w: %s", ErrHostDown, h.name)
 	}
-	h.services[service] = svcEntry{pid: pid, vis: vis}
+	h.storeServices(func(m map[Service]svcEntry) {
+		m[service] = svcEntry{pid: pid, vis: vis}
+	})
 	return nil
 }
 
@@ -375,18 +410,18 @@ func (h *Host) SetPid(service Service, pid PID, vis Scope) error {
 func (h *Host) ClearPid(service Service) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	delete(h.services, service)
+	h.storeServices(func(m map[Service]svcEntry) {
+		delete(m, service)
+	})
 }
 
 // lookupService consults this host's kernel table. remoteQuery selects
 // whether the query arrived by broadcast from another host.
 func (h *Host) lookupService(service Service, remoteQuery bool) (PID, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.alive {
+	if !h.alive.Load() {
 		return NilPID, false
 	}
-	e, ok := h.services[service]
+	e, ok := (*h.services.Load())[service]
 	if !ok {
 		return NilPID, false
 	}
@@ -405,9 +440,11 @@ func (h *Host) lookupService(service Service, remoteQuery bool) (PID, bool) {
 func (h *Host) deregisterPid(pid PID) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for s, e := range h.services {
-		if e.pid == pid {
-			delete(h.services, s)
+	h.storeServices(func(m map[Service]svcEntry) {
+		for s, e := range m {
+			if e.pid == pid {
+				delete(m, s)
+			}
 		}
-	}
+	})
 }

@@ -37,6 +37,44 @@ type envelope struct {
 	// transaction currently runs under; servers parent their serve
 	// spans on it via PendingSpan.
 	span trace.SpanID
+	// shared marks an envelope that another goroutine may still touch
+	// after the sender's completion event fires, so it must not be
+	// recycled: the reply channel was handed to group clones
+	// (forwardGroup), or the receiving process was terminated while its
+	// goroutine could still be mid-MoveFrom/MoveTo on the envelope.
+	// Written only by a goroutine that holds the envelope via the
+	// receiver's pending table (the forwarder, or terminate after
+	// detaching the table), and read by the sender only after it
+	// receives an event through the channel, which orders the write
+	// before the read.
+	shared bool
+}
+
+// envPool recycles unicast envelopes together with their one-slot reply
+// channels: a Send on the disabled-tracer path then allocates nothing in
+// steady state. An envelope is returned to the pool only by the sender
+// that created it, and only when its completion is single-owner — at
+// most one of Reply-complete, terminate-fail, drain-fail or a
+// sender-side failure ever fires, so the channel is provably empty on
+// reuse. Envelopes whose channel was shared with group clones are
+// never recycled (see envelope.shared).
+var envPool = sync.Pool{
+	New: func() any { return &envelope{replyCh: make(chan replyEvent, 1)} },
+}
+
+func newEnvelope() *envelope { return envPool.Get().(*envelope) }
+
+// release resets the envelope and returns it to the pool. Callers must
+// hold sole ownership: either the envelope was never delivered, or the
+// sender has already consumed its single completion event.
+func (e *envelope) release() {
+	e.origin = NilPID
+	e.msg = nil
+	e.arrival = 0
+	e.moveSrc = nil
+	e.moveDst = nil
+	e.span = 0
+	envPool.Put(e)
 }
 
 // complete and fail deliver at most one event per envelope. The
@@ -103,10 +141,18 @@ func (p *Process) ChargeCompute(d time.Duration) { p.clock.Advance(d) }
 // Done is closed when the process is destroyed.
 func (p *Process) Done() <-chan struct{} { return p.done }
 
+// isDead is the lock-free liveness check on the send hot path. It reads
+// the done channel rather than the mutex-guarded dead flag: a send
+// racing a concurrent destroy is caught by deliver() either way, and
+// the sequential paths the simulation measures see terminate()'s close
+// before any later send.
 func (p *Process) isDead() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dead
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Tracer returns the domain tracer (nil-safe to use when tracing is off).
@@ -163,7 +209,13 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 	}
 	k := p.host.kernel
 	tr := k.Tracer()
-	sp := tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" -> "+dst.String(), p.clock.Now(), p.TraceID())
+	// Span names are built only when tracing is on: the concatenations
+	// (and PID.String's formatting) are the dominant allocations on the
+	// untraced send path.
+	var sp trace.SpanID
+	if tr != nil {
+		sp = tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" -> "+dst.String(), p.clock.Now(), p.TraceID())
+	}
 	target, hostUp := k.findProcess(dst)
 	if target == nil {
 		p.chargeFailedSend(dst, hostUp)
@@ -184,22 +236,28 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 		return nil, err
 	}
 	tr.Wire(sp, "request", p.clock.Now(), d, msg.WireSize(), det, dst.Host() == p.host.id, false)
-	env := &envelope{
-		origin:  p.pid,
-		msg:     msg,
-		arrival: p.clock.Now() + d,
-		replyCh: make(chan replyEvent, 1),
-		moveSrc: moveSrc,
-		moveDst: moveDst,
-		span:    sp,
-	}
+	env := newEnvelope()
+	env.origin = p.pid
+	env.msg = msg
+	env.arrival = p.clock.Now() + d
+	env.moveSrc = moveSrc
+	env.moveDst = moveDst
+	env.span = sp
 	if !target.deliver(env) {
+		// Never delivered: the sender is the sole owner and no completion
+		// event can exist.
+		env.release()
 		p.chargeFailedSend(dst, true)
 		err := fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
 		tr.Fail(sp, p.clock.Now(), FailureClass(err))
 		return nil, err
 	}
 	ev := <-env.replyCh
+	// A group-forwarded envelope retires instead of recycling:
+	// stragglers may still write to its shared channel.
+	if !env.shared {
+		env.release()
+	}
 	if ev.err != nil {
 		p.clock.Advance(k.model.RetransmitTimeout)
 		err := fmt.Errorf("send to %v: %w", dst, ev.err)
@@ -298,11 +356,14 @@ func (p *Process) Reply(msg *proto.Message, to PID) error {
 	}
 	k := p.host.kernel
 	tr := k.Tracer()
-	parent := p.CurrentSpan()
-	if parent == 0 {
-		parent = env.span
+	var sp trace.SpanID
+	if tr != nil {
+		parent := p.CurrentSpan()
+		if parent == 0 {
+			parent = env.span
+		}
+		sp = tr.Start(parent, trace.KindReply, msg.Op.String()+" -> "+env.origin.String(), p.clock.Now(), p.TraceID())
 	}
-	sp := tr.Start(parent, trace.KindReply, msg.Op.String()+" -> "+env.origin.String(), p.clock.Now(), p.TraceID())
 	d, det, err := k.net.UnicastDetail(p.host.id, env.origin.Host(), msg.WireSize(), p.clock.Now())
 	if err != nil {
 		err = fmt.Errorf("reply to %v: %w", to, err)
@@ -331,11 +392,14 @@ func (p *Process) Forward(msg *proto.Message, from PID, to PID) error {
 	}
 	k := p.host.kernel
 	tr := k.Tracer()
-	parent := p.CurrentSpan()
-	if parent == 0 {
-		parent = env.span
+	var sp trace.SpanID
+	if tr != nil {
+		parent := p.CurrentSpan()
+		if parent == 0 {
+			parent = env.span
+		}
+		sp = tr.Start(parent, trace.KindForward, msg.Op.String()+" -> "+to.String(), p.clock.Now(), p.TraceID())
 	}
-	sp := tr.Start(parent, trace.KindForward, msg.Op.String()+" -> "+to.String(), p.clock.Now(), p.TraceID())
 	if to.IsGroup() {
 		return p.forwardGroup(env, msg, to, sp)
 	}
@@ -389,11 +453,13 @@ func (p *Process) MoveFrom(src PID, dst []byte, offset int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	parent := p.CurrentSpan()
-	if parent == 0 {
-		parent = env.span
+	if tr := p.Tracer(); tr != nil {
+		parent := p.CurrentSpan()
+		if parent == 0 {
+			parent = env.span
+		}
+		tr.Wire(parent, "move-from", p.clock.Now(), d, n, det, src.Host() == p.host.id, false)
 	}
-	p.Tracer().Wire(parent, "move-from", p.clock.Now(), d, n, det, src.Host() == p.host.id, false)
 	p.clock.Advance(d)
 	return n, nil
 }
@@ -416,11 +482,13 @@ func (p *Process) MoveTo(dst PID, offset int, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	parent := p.CurrentSpan()
-	if parent == 0 {
-		parent = env.span
+	if tr := p.Tracer(); tr != nil {
+		parent := p.CurrentSpan()
+		if parent == 0 {
+			parent = env.span
+		}
+		tr.Wire(parent, "move-to", p.clock.Now(), d, n, det, dst.Host() == p.host.id, false)
 	}
-	p.Tracer().Wire(parent, "move-to", p.clock.Now(), d, n, det, dst.Host() == p.host.id, false)
 	p.clock.Advance(d)
 	return n, nil
 }
@@ -438,7 +506,10 @@ func (p *Process) GetPid(service Service, scope Scope) (PID, error) {
 	k := p.host.kernel
 	m := k.model
 	tr := k.Tracer()
-	sp := tr.Start(p.CurrentSpan(), trace.KindGetPid, service.String(), p.clock.Now(), p.TraceID())
+	var sp trace.SpanID
+	if tr != nil {
+		sp = tr.Start(p.CurrentSpan(), trace.KindGetPid, service.String(), p.clock.Now(), p.TraceID())
+	}
 	if scope != ScopeRemote {
 		p.clock.Advance(m.GetPidLocalCost)
 		if pid, ok := p.host.lookupService(service, false); ok {
@@ -477,8 +548,8 @@ func (p *Process) GetPid(service Service, scope Scope) (PID, error) {
 func (p *Process) Destroy() {
 	h := p.host
 	h.mu.Lock()
-	if h.procs[p.pid.Local()] == p {
-		delete(h.procs, p.pid.Local())
+	if (*h.procs.Load())[p.pid.Local()] == p {
+		h.storeProcs(p.pid.Local(), nil)
 	}
 	h.mu.Unlock()
 	h.deregisterPid(p.pid)
@@ -512,6 +583,10 @@ func (p *Process) terminate(crashed bool) {
 	p.mu.Unlock()
 	close(p.done)
 	for _, env := range pend {
+		// This process's goroutine may still be touching the envelope
+		// (mid-MoveFrom/MoveTo); leave it to the GC instead of letting the
+		// sender recycle it out from under that access.
+		env.shared = true
 		env.fail(ErrNonexistentProcess)
 	}
 	p.drainMailbox()

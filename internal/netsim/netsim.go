@@ -11,8 +11,10 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/vtime"
@@ -67,17 +69,32 @@ type Stats struct {
 	WireBusyFor time.Duration
 }
 
+// statsCounters is the lock-free backing store for Stats: the wire path
+// bumps counters with atomic adds so readers never serialize senders.
+type statsCounters struct {
+	packets    atomic.Uint64
+	bytes      atomic.Uint64
+	broadcasts atomic.Uint64
+	multicasts atomic.Uint64
+	drops      atomic.Uint64
+	wireBusy   atomic.Int64 // nanoseconds of wire occupancy
+}
+
 // Network is the simulated shared Ethernet. The zero value is not usable;
 // construct with New.
 type Network struct {
 	model *vtime.CostModel
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	dropRate  float64
-	partition map[HostID]int // host -> partition group; absent means group 0
-	stats     Stats
-	recorder  FrameRecorder
+	// Counters, the loss probability and the partition map are read on
+	// every hop; they are atomics / copy-on-write so the common read
+	// never takes the wire mutex.
+	stats    statsCounters
+	dropBits atomic.Uint64                  // math.Float64bits of the drop rate
+	parts    atomic.Pointer[map[HostID]int] // host -> partition group; absent means group 0
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	recorder FrameRecorder
 	// wireFreeAt serializes the shared medium: a frame transmitted at
 	// virtual time t occupies the wire from max(t, wireFreeAt) for its
 	// wire time, so concurrent senders contend (CSMA-style, without
@@ -88,11 +105,13 @@ type Network struct {
 // New returns a network using the given cost model and a deterministic RNG
 // seed for loss injection.
 func New(model *vtime.CostModel, seed int64) *Network {
-	return &Network{
-		model:     model,
-		rng:       rand.New(rand.NewSource(seed)),
-		partition: make(map[HostID]int),
+	n := &Network{
+		model: model,
+		rng:   rand.New(rand.NewSource(seed)),
 	}
+	parts := make(map[HostID]int)
+	n.parts.Store(&parts)
+	return n
 }
 
 // Model returns the cost model the network charges against.
@@ -101,22 +120,18 @@ func (n *Network) Model() *vtime.CostModel { return n.model }
 // SetDropRate sets the probability that any individual frame is lost.
 // Lost frames are masked by kernel retransmission at a latency cost.
 func (n *Network) SetDropRate(p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if p < 0 {
 		p = 0
 	}
 	if p > 1 {
 		p = 1
 	}
-	n.dropRate = p
+	n.dropBits.Store(math.Float64bits(p))
 }
 
 // DropRate returns the current frame-loss probability.
 func (n *Network) DropRate() float64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropRate
+	return math.Float64frombits(n.dropBits.Load())
 }
 
 // Partition places host h into partition group g. Hosts in different
@@ -124,21 +139,27 @@ func (n *Network) DropRate() float64 {
 func (n *Network) Partition(h HostID, g int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.partition[h] = g
+	old := *n.parts.Load()
+	parts := make(map[HostID]int, len(old)+1)
+	for k, v := range old {
+		parts[k] = v
+	}
+	parts[h] = g
+	n.parts.Store(&parts)
 }
 
 // Heal returns every host to partition group 0.
 func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.partition = make(map[HostID]int)
+	parts := make(map[HostID]int)
+	n.parts.Store(&parts)
 }
 
 // Reachable reports whether frames can currently flow between a and b.
 func (n *Network) Reachable(a, b HostID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.partition[a] == n.partition[b]
+	parts := *n.parts.Load()
+	return parts[a] == parts[b]
 }
 
 // SetRecorder installs an observer for every frame the network carries.
@@ -159,9 +180,14 @@ func (n *Network) recordLocked(ev FrameEvent) {
 
 // Stats returns a snapshot of the cumulative traffic counters.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		Packets:     n.stats.packets.Load(),
+		Bytes:       n.stats.bytes.Load(),
+		Broadcasts:  n.stats.broadcasts.Load(),
+		Multicasts:  n.stats.multicasts.Load(),
+		Drops:       n.stats.drops.Load(),
+		WireBusyFor: time.Duration(n.stats.wireBusy.Load()),
+	}
 }
 
 // reserveWireLocked acquires the shared medium for a transfer of `bytes`
@@ -174,7 +200,7 @@ func (n *Network) reserveWireLocked(at vtime.Time, bytes int) time.Duration {
 		start = n.wireFreeAt
 	}
 	n.wireFreeAt = start + occupancy
-	n.stats.WireBusyFor += occupancy
+	n.stats.wireBusy.Add(int64(occupancy))
 	return start - at
 }
 
@@ -211,17 +237,18 @@ func (n *Network) UnicastDetail(a, b HostID, bytes int, at vtime.Time) (time.Dur
 	if a == b {
 		return n.model.LocalHop(bytes), HopDetail{}, nil
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.partition[a] != n.partition[b] {
+	if !n.Reachable(a, b) {
 		return 0, HopDetail{}, fmt.Errorf("%w: host %d and host %d are partitioned", ErrUnreachable, a, b)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	queue := n.reserveWireLocked(at, bytes)
 	d := queue + n.model.RemoteHop(bytes)
 	retries := 0
-	for n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+	dropRate := n.DropRate()
+	for dropRate > 0 && n.rng.Float64() < dropRate {
 		retries++
-		n.stats.Drops++
+		n.stats.drops.Add(1)
 		if retries > maxRetransmits {
 			return 0, HopDetail{Queue: queue, Retransmits: retries - 1},
 				fmt.Errorf("%w: %d retransmissions to host %d failed", ErrUnreachable, retries-1, b)
@@ -229,8 +256,8 @@ func (n *Network) UnicastDetail(a, b HostID, bytes int, at vtime.Time) (time.Dur
 		d += n.model.RetransmitTimeout + n.model.RemoteHop(bytes)
 	}
 	packets := packetsFor(bytes, n.model.MaxDataPerPacket)
-	n.stats.Packets += uint64(packets)
-	n.stats.Bytes += uint64(bytes)
+	n.stats.packets.Add(uint64(packets))
+	n.stats.bytes.Add(uint64(bytes))
 	det := HopDetail{Queue: queue, Packets: packets, Retransmits: retries}
 	n.recordLocked(FrameEvent{
 		Src: a, Dst: b, Cast: "unicast",
@@ -246,9 +273,9 @@ func (n *Network) UnicastDetail(a, b HostID, bytes int, at vtime.Time) (time.Dur
 func (n *Network) Broadcast(a HostID, bytes int, at vtime.Time) time.Duration {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.stats.Packets++
-	n.stats.Broadcasts++
-	n.stats.Bytes += uint64(bytes)
+	n.stats.packets.Add(1)
+	n.stats.broadcasts.Add(1)
+	n.stats.bytes.Add(uint64(bytes))
 	queue := n.reserveWireLocked(at, bytes)
 	d := queue + n.model.RemoteHop(bytes)
 	n.recordLocked(FrameEvent{
@@ -264,9 +291,9 @@ func (n *Network) Broadcast(a HostID, bytes int, at vtime.Time) time.Duration {
 func (n *Network) Multicast(a HostID, bytes int, at vtime.Time) time.Duration {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.stats.Packets++
-	n.stats.Multicasts++
-	n.stats.Bytes += uint64(bytes)
+	n.stats.packets.Add(1)
+	n.stats.multicasts.Add(1)
+	n.stats.bytes.Add(uint64(bytes))
 	queue := n.reserveWireLocked(at, bytes)
 	d := queue + n.model.RemoteHop(bytes)
 	n.recordLocked(FrameEvent{
@@ -278,9 +305,7 @@ func (n *Network) Multicast(a HostID, bytes int, at vtime.Time) time.Duration {
 
 // InPartition reports the partition group of h.
 func (n *Network) InPartition(h HostID) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.partition[h]
+	return (*n.parts.Load())[h]
 }
 
 // PacketsFor reports how many packets a payload of `bytes` fragments

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -119,10 +120,38 @@ type Server struct {
 
 	mu       sync.Mutex
 	bindings map[string]Binding
+	// sortedNames caches the prefix names in sorted order for the
+	// directory and inverse scans; it is invalidated (set nil) whenever a
+	// binding is added or deleted, so steady-state requests never re-sort
+	// the table. Wall-clock only: charged virtual costs are unchanged.
+	sortedNames []string
 	// lastResolved remembers, per dynamic prefix, the pid its last use
 	// resolved to, so rebinds (§4.2) are observable in Stats.
 	lastResolved map[string]kernel.PID
-	stats        Stats
+
+	// stats counters are atomics: team workers bump them concurrently.
+	stats statsCounters
+}
+
+// statsCounters is the lock-free backing store for Stats.
+type statsCounters struct {
+	forwards    atomic.Uint64
+	rebinds     atomic.Uint64
+	deadTargets atomic.Uint64
+}
+
+// sortedNamesLocked returns the cached sorted prefix names, rebuilding
+// the cache if a define/delete invalidated it. Caller holds s.mu.
+func (s *Server) sortedNamesLocked() []string {
+	if s.sortedNames == nil {
+		names := make([]string, 0, len(s.bindings))
+		for n := range s.bindings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		s.sortedNames = names
+	}
+	return s.sortedNames
 }
 
 // New creates a prefix server for the given user on proc. Call Run in the
@@ -195,6 +224,7 @@ func (s *Server) define(name string, b Binding) error {
 		return fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
 	}
 	s.bindings[name] = b
+	s.sortedNames = nil
 	return nil
 }
 
@@ -229,8 +259,11 @@ func (s *Server) Run() { s.team.Run() }
 // receptionist, or a team worker after a §3.1 handoff).
 func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID) {
 	tr := p.Tracer()
-	sp := tr.Start(p.PendingSpan(from), trace.KindServe, msg.Op.String(), p.Now(), p.TraceID())
-	p.SetCurrentSpan(sp)
+	var sp trace.SpanID
+	if tr != nil {
+		sp = tr.Start(p.PendingSpan(from), trace.KindServe, msg.Op.String(), p.Now(), p.TraceID())
+		p.SetCurrentSpan(sp)
+	}
 	model := p.Kernel().Model()
 	p.ChargeCompute(model.ServerDispatchCost)
 
@@ -249,19 +282,25 @@ func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID
 	}
 	if reply == nil {
 		// The request was forwarded along a prefix binding.
-		tr.End(sp, p.Now())
-		p.SetCurrentSpan(0)
+		if tr != nil {
+			tr.End(sp, p.Now())
+			p.SetCurrentSpan(0)
+		}
 		return
 	}
-	// Classify non-OK replies on the serve span and end it before the
-	// Reply unblocks the client (snapshot consistency — see core).
-	class := ""
-	if reply.Op != proto.ReplyOK {
-		class = reply.Op.String()
+	if tr != nil {
+		// Classify non-OK replies on the serve span and end it before the
+		// Reply unblocks the client (snapshot consistency — see core).
+		class := ""
+		if reply.Op != proto.ReplyOK {
+			class = reply.Op.String()
+		}
+		tr.Fail(sp, p.Now(), class)
 	}
-	tr.Fail(sp, p.Now(), class)
 	_ = p.Reply(reply, from)
-	p.SetCurrentSpan(0)
+	if tr != nil {
+		p.SetCurrentSpan(0)
+	}
 }
 
 // handleCSName routes any CSname request: a bracketed prefix selects a
@@ -317,19 +356,19 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 	if b.Dynamic {
 		if !p.Kernel().ProcessAlive(pair.Server) {
 			p.ChargeCompute(model.RetransmitTimeout)
-			s.countStat(func(st *Stats) { st.DeadTargets++ })
+			s.stats.deadTargets.Add(1)
 			return core.ErrorReplyMsg(fmt.Errorf("prefix %q: no live server for service %v: %w",
 				pfx, b.Service, proto.ErrTimeout))
 		}
-		s.countStat(func(st *Stats) {
-			if prev, ok := s.lastResolved[pfx]; ok && prev != pair.Server {
-				st.Rebinds++
-			}
-			s.lastResolved[pfx] = pair.Server
-		})
+		s.mu.Lock()
+		if prev, ok := s.lastResolved[pfx]; ok && prev != pair.Server {
+			s.stats.rebinds.Add(1)
+		}
+		s.lastResolved[pfx] = pair.Server
+		s.mu.Unlock()
 	}
 	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
-	s.countStat(func(st *Stats) { st.Forwards++ })
+	s.stats.forwards.Add(1)
 	// A failed forward already failed the client's transaction.
 	_ = p.Forward(msg, from, pair.Server)
 	return nil
@@ -337,15 +376,11 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 
 // Stats returns a snapshot of the forwarding and recovery counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-func (s *Server) countStat(update func(*Stats)) {
-	s.mu.Lock()
-	update(&s.stats)
-	s.mu.Unlock()
+	return Stats{
+		Forwards:    s.stats.forwards.Load(),
+		Rebinds:     s.stats.rebinds.Load(),
+		DeadTargets: s.stats.deadTargets.Load(),
+	}
 }
 
 // resolveBinding maps a binding to a concrete context pair; dynamic
@@ -424,11 +459,7 @@ func (s *Server) openDirectory(p *kernel.Process, msg *proto.Message) *proto.Mes
 	}
 	model := p.Kernel().Model()
 	s.mu.Lock()
-	names := make([]string, 0, len(s.bindings))
-	for n := range s.bindings {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := s.sortedNamesLocked()
 	records := make([]proto.Descriptor, 0, len(names))
 	for _, n := range names {
 		records = append(records, s.describe(n, s.bindings[n]))
@@ -514,6 +545,7 @@ func (s *Server) handleDelete(msg *proto.Message) *proto.Message {
 	}
 	delete(s.bindings, key)
 	delete(s.lastResolved, key)
+	s.sortedNames = nil
 	return core.OkReply()
 }
 
@@ -525,11 +557,7 @@ func (s *Server) handleDelete(msg *proto.Message) *proto.Message {
 func (s *Server) handleInverse(msg *proto.Message) *proto.Message {
 	target := core.ContextPair{Server: kernel.PID(msg.F[1]), Ctx: core.ContextID(msg.F[0])}
 	s.mu.Lock()
-	names := make([]string, 0, len(s.bindings))
-	for n := range s.bindings {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := s.sortedNamesLocked()
 	var found string
 	for _, n := range names {
 		b := s.bindings[n]

@@ -21,12 +21,14 @@ const (
 
 // SetCSName initializes the standard CSname fields of a request: the full
 // name in the segment, interpretation starting at index 0 in context ctx.
-// Any existing variant segment data is discarded.
+// Any existing variant segment data is discarded, but the segment's
+// backing array is reused when it has capacity, so re-encoding a request
+// into a recycled message does not allocate.
 func SetCSName(m *Message, ctx uint32, name string) {
 	m.F[fieldContext] = ctx
 	m.F[fieldIndex] = 0
 	m.F[fieldNameLen] = uint32(len(name))
-	m.Segment = []byte(name)
+	m.Segment = append(m.Segment[:0], name...)
 }
 
 // CSNameContext returns the context id field of a CSname request.

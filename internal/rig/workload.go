@@ -6,9 +6,20 @@
 // are no goroutine races in the driver, while the per-process virtual
 // clocks let a server team's workers overlap service in virtual time
 // (the §3.1 concurrency this repo's A11 experiment measures).
+//
+// RunWorkloadParallel extends this to real concurrency: clients are
+// partitioned into lanes, each lane runs the same deterministic
+// virtual-time-ordered loop, and lanes execute on real goroutines. When
+// lanes do not share substrate state whose outcome depends on real
+// execution order (the shared-wire ledger, the loss RNG, a common
+// server's clock), the per-lane schedules compose into exactly the
+// sequential driver's result — see DESIGN.md.
 package rig
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -27,6 +38,11 @@ type WorkloadClient struct {
 	Requests int
 	// Think is virtual think time charged before each iteration.
 	Think time.Duration
+	// Lane assigns the client to a parallel execution lane
+	// (RunWorkloadParallel). Clients in the same lane are stepped
+	// sequentially in virtual-time order relative to each other; distinct
+	// lanes run on real goroutines. The sequential driver ignores it.
+	Lane int
 }
 
 // ClientStats reports one client's outcome.
@@ -76,7 +92,65 @@ func (w *WorkloadResult) Throughput() float64 {
 // clock serializes it.
 func RunWorkload(clients []*WorkloadClient) *WorkloadResult {
 	res := &WorkloadResult{Clients: make([]ClientStats, len(clients))}
-	iters := make([]int, len(clients))
+	start := workloadStart(clients)
+	all := make([]int, len(clients))
+	for i := range clients {
+		all[i] = i
+	}
+	res.Requests = runLane(clients, all, res.Clients)
+	finishResult(res, start)
+	return res
+}
+
+// RunWorkloadParallel drives the clients with real concurrency: each
+// lane's clients are stepped by the identical deterministic loop the
+// sequential driver uses, and lanes run concurrently on a worker pool of
+// the given size (<=0 means GOMAXPROCS). Per-client stats, makespan and
+// throughput are identical to RunWorkload whenever the lanes are
+// substrate-disjoint — no shared servers and no shared-wire traffic —
+// because every virtual-time outcome is then a function of lane-local
+// state only, and the global virtual-time-ordered schedule restricted to
+// one lane is exactly that lane's own schedule.
+func RunWorkloadParallel(clients []*WorkloadClient, workers int) *WorkloadResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &WorkloadResult{Clients: make([]ClientStats, len(clients))}
+	start := workloadStart(clients)
+
+	// Partition into lanes, preserving original client order within each
+	// lane so the in-lane tie-break (lowest index) matches the sequential
+	// driver's.
+	laneOf := make(map[int][]int)
+	var laneOrder []int
+	for i, c := range clients {
+		if _, ok := laneOf[c.Lane]; !ok {
+			laneOrder = append(laneOrder, c.Lane)
+		}
+		laneOf[c.Lane] = append(laneOf[c.Lane], i)
+	}
+
+	var wg sync.WaitGroup
+	var requests atomic.Int64
+	sem := make(chan struct{}, workers)
+	for _, lane := range laneOrder {
+		idxs := laneOf[lane]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idxs []int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			requests.Add(int64(runLane(clients, idxs, res.Clients)))
+		}(idxs)
+	}
+	wg.Wait()
+	res.Requests = int(requests.Load())
+	finishResult(res, start)
+	return res
+}
+
+// workloadStart is the earliest client clock — the makespan origin.
+func workloadStart(clients []*WorkloadClient) time.Duration {
 	var start time.Duration
 	for i, c := range clients {
 		now := c.Session.Proc().Now()
@@ -84,29 +158,52 @@ func RunWorkload(clients []*WorkloadClient) *WorkloadResult {
 			start = now
 		}
 	}
+	return start
+}
+
+// finishResult computes the makespan from the per-client finish times.
+func finishResult(res *WorkloadResult, start time.Duration) {
+	for _, st := range res.Clients {
+		if st.Finish-start > res.Makespan {
+			res.Makespan = st.Finish - start
+		}
+	}
+}
+
+// runLane steps the clients selected by idxs with the deterministic
+// closed loop: the unfinished client with the smallest virtual clock
+// (ties broken by lowest position in idxs) issues its next request and
+// runs it to completion. out is indexed by original client index; the
+// lane writes only its own clients' slots. Returns the number of
+// requests issued.
+func runLane(clients []*WorkloadClient, idxs []int, out []ClientStats) int {
+	iters := make([]int, len(idxs))
+	requests := 0
 	for {
 		pick := -1
 		var best time.Duration
-		for i, c := range clients {
-			if iters[i] >= c.Requests {
+		for j, i := range idxs {
+			c := clients[i]
+			if iters[j] >= c.Requests {
 				continue
 			}
 			now := c.Session.Proc().Now()
 			if pick == -1 || now < best {
-				pick, best = i, now
+				pick, best = j, now
 			}
 		}
 		if pick == -1 {
 			break
 		}
-		c := clients[pick]
+		i := idxs[pick]
+		c := clients[i]
 		if c.Think > 0 {
 			c.Session.Proc().ChargeCompute(c.Think)
 		}
 		before := c.Session.Proc().Now()
 		err := c.Op(c.Session, iters[pick])
 		after := c.Session.Proc().Now()
-		st := &res.Clients[pick]
+		st := &out[i]
 		if err != nil {
 			st.Errors++
 		} else {
@@ -115,12 +212,7 @@ func RunWorkload(clients []*WorkloadClient) *WorkloadResult {
 		st.TotalLatency += after - before
 		st.Finish = after
 		iters[pick]++
-		res.Requests++
+		requests++
 	}
-	for _, st := range res.Clients {
-		if st.Finish-start > res.Makespan {
-			res.Makespan = st.Finish - start
-		}
-	}
-	return res
+	return requests
 }

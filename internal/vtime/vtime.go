@@ -17,7 +17,7 @@ package vtime
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,53 +26,62 @@ type Time = time.Duration
 
 // Clock is a monotonic virtual clock owned by one simulated process.
 // The zero value is a clock at virtual time zero, ready to use.
+//
+// The clock is lock-free: a process reads and advances its own clock on
+// every IPC primitive, so the hot path must not take a mutex. Advance
+// uses a single atomic add (the owner is the only advancer); Observe and
+// ObserveAndAdvance run a compare-and-swap max loop so concurrent
+// observers can never move the clock backwards.
 type Clock struct {
-	mu  sync.Mutex
-	now Time
+	now atomic.Int64
 }
 
 // Now returns the current virtual time.
 func (c *Clock) Now() Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return Time(c.now.Load())
 }
 
 // Advance moves the clock forward by d and returns the new time.
 // Advancing by a negative duration is a no-op.
 func (c *Clock) Advance(d time.Duration) Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if d > 0 {
-		c.now += d
+	if d <= 0 {
+		return Time(c.now.Load())
 	}
-	return c.now
+	return Time(c.now.Add(int64(d)))
 }
 
 // Observe moves the clock forward to t if t is later than the current
 // time, and returns the resulting time. It is used when a message stamped
 // with arrival time t is delivered to this clock's owner.
 func (c *Clock) Observe(t Time) Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return Time(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
 	}
-	return c.now
 }
 
 // ObserveAndAdvance is Observe(t) followed by Advance(d) as one atomic
 // step, returning the resulting time.
 func (c *Clock) ObserveAndAdvance(t Time, d time.Duration) Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
-		c.now = t
+	if d < 0 {
+		d = 0
 	}
-	if d > 0 {
-		c.now += d
+	for {
+		cur := c.now.Load()
+		next := cur
+		if int64(t) > next {
+			next = int64(t)
+		}
+		next += int64(d)
+		if c.now.CompareAndSwap(cur, next) {
+			return Time(next)
+		}
 	}
-	return c.now
 }
 
 // CostModel holds the calibrated virtual-time costs of the simulated
