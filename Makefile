@@ -10,7 +10,7 @@ FUZZTIME ?= 10s
 # lower it to make a regression pass.
 COVERAGE_FLOOR ?= 73.0
 
-.PHONY: all check test race bench bench-json bench-wallclock golden-guard vet fmt fuzz cover experiments examples clean
+.PHONY: all check test race bench bench-json bench-wallclock bench-metrics golden-guard vet fmt fuzz cover experiments examples clean
 
 all: vet test
 
@@ -20,8 +20,9 @@ all: vet test
 # (same schedule + seed must give byte-identical event logs, metrics,
 # and A11 team-sweep results), the trace-driven invariant harness
 # (golden canonical trace, trace determinism, per-server invariant
-# tier, traced workload driver, trace-under-chaos), and the coverage
-# floor.
+# tier, traced workload driver, trace-under-chaos), the metrics
+# contract (zero virtual cost + byte-deterministic document), and the
+# coverage floor.
 check: vet
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestTeamStress' ./internal/...
@@ -31,6 +32,7 @@ check: vet
 	$(GO) test -race -run 'TestWorkloadDriverTrace|TestTraceUnderChaos' ./internal/rig/
 	$(GO) test -race -run 'TestParallelDriverEquivalence' ./internal/rig/
 	$(GO) test -run 'TestSendZeroAllocUntraced' -count=1 ./internal/kernel/
+	$(GO) test -race -run 'TestMetricsZeroCost|TestMetricsDeterministic|TestA14Shape' ./internal/experiments/
 	$(MAKE) golden-guard
 	$(MAKE) cover
 
@@ -53,15 +55,25 @@ bench-json:
 bench-wallclock:
 	$(GO) run ./cmd/vbench -wallclock BENCH_wallclock.json
 
+# Deterministic metrics document (EXPERIMENTS.md A14): per-(server,op)
+# latency histograms, counters, per-tick series, and the chaos health
+# report, byte-identical across runs.
+bench-metrics:
+	$(GO) run ./cmd/vbench -metrics BENCH_metrics.json
+
 # Byte-identity guard for the committed golden outputs: the wall-clock
-# work must not perturb a single virtual-time result or trace span.
-# Regenerates both into a scratch dir and compares byte-for-byte.
+# work must not perturb a single virtual-time result, trace span, or
+# metrics quantile. Regenerating vbench_output.txt with the metrics
+# registry installed doubles as the zero-virtual-cost gate.
+# Regenerates each golden into a scratch dir and compares byte-for-byte.
 golden-guard:
 	@tmp=$$(mktemp -d); \
 	$(GO) run ./cmd/vbench > $$tmp/vbench_output.txt && \
 	cmp vbench_output.txt $$tmp/vbench_output.txt && \
 	$(GO) run ./cmd/vbench -trace $$tmp/golden_trace.json >/dev/null && \
 	cmp internal/experiments/testdata/golden_trace.json $$tmp/golden_trace.json && \
+	$(GO) run ./cmd/vbench -metrics $$tmp/BENCH_metrics.json >/dev/null && \
+	cmp BENCH_metrics.json $$tmp/BENCH_metrics.json && \
 	echo "golden outputs byte-identical" && rm -rf $$tmp || \
 	{ echo "golden outputs drifted from committed files"; rm -rf $$tmp; exit 1; }
 

@@ -10,6 +10,8 @@
 //	vbench -list                 # list experiment ids
 //	vbench -json BENCH.json      # also write results as JSON
 //	vbench -trace TRACE.json     # export the canonical single-client trace
+//	vbench -metrics METRICS.json # export the A14 metrics document (deterministic)
+//	vbench -wallclock W.json -cpuprofile cpu.pprof   # wall-clock run with profiling
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -37,6 +41,9 @@ func run(args []string, w io.Writer) error {
 	jsonPath := fs.String("json", "", "also write per-experiment results as JSON to this file")
 	tracePath := fs.String("trace", "", "export the canonical single-client trace (span tree + wire frames) as JSON to this file")
 	wallclockPath := fs.String("wallclock", "", "run the wall-clock benchmark harness (A13) and write its JSON to this file; skips the virtual-time experiments")
+	metricsPath := fs.String("metrics", "", "run the A14 metrics legs and write the deterministic metrics document (BENCH_metrics.json schema) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "with -wallclock: write a CPU profile to this file")
+	heapProfile := fs.String("heapprofile", "", "with -wallclock: write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,7 +63,20 @@ func run(args []string, w io.Writer) error {
 	if *wallclockPath != "" {
 		// Wall-clock results are machine-dependent by nature, so they are
 		// kept out of the experiments registry (and out of the byte-pinned
-		// vbench_output.txt): this mode runs only the A13 harness.
+		// vbench_output.txt): this mode runs only the A13 harness. The
+		// pprof flags profile exactly this mode — the virtual-time
+		// experiments measure nothing wall-clock-dependent.
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+			defer pprof.StopCPUProfile()
+		}
 		doc, err := experiments.WallClock()
 		if err != nil {
 			return fmt.Errorf("wallclock: %w", err)
@@ -81,7 +101,34 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  driver %-13s %9.0f req/s wall  (%.2fx vs sequential, makespan %s virtual)\n",
 				label, d.ReqPerSec, d.SpeedupVsSeq, d.VirtualMakespan)
 		}
+		if *heapProfile != "" {
+			f, err := os.Create(*heapProfile)
+			if err != nil {
+				return fmt.Errorf("heapprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heapprofile: %w", err)
+			}
+		}
 		return nil
+	}
+
+	if *metricsPath != "" {
+		data, err := experiments.MetricsJSON()
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := os.WriteFile(*metricsPath, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *metricsPath, err)
+		}
+		fmt.Fprintf(w, "wrote metrics document to %s\n", *metricsPath)
+		// -metrics alone exports the document without running every
+		// experiment (mirrors -trace).
+		if len(fs.Args()) == 0 && *tracePath == "" {
+			return nil
+		}
 	}
 
 	ids := fs.Args()

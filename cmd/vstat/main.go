@@ -1,0 +1,137 @@
+// Command vstat is the live exposition surface for the virtual-time
+// metrics registry: it boots the standard rig, drives a short canonical
+// workload (optionally under the A14 crash/restart chaos schedule), and
+// renders what the registry collected. Unlike `vbench -metrics` — whose
+// JSON document is deterministic and golden-pinned — vstat is the
+// operator's view: it includes volatile series (envelope-pool reuse)
+// and renders per-tick snapshot diffs.
+//
+// Usage:
+//
+//	vstat               # registry snapshot after the canonical workload
+//	vstat -chaos        # inject the FS1 crash/restart schedule first
+//	vstat -health       # also render the health/SLO report
+//	vstat -diff         # also render per-tick snapshot diffs
+//	vstat -prom         # Prometheus-style text exposition instead of tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/rig"
+	"repro/internal/vtime"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vstat:", err)
+		os.Exit(1)
+	}
+}
+
+// schedule is the A14 crash/restart schedule: two 500 ms FS1 outages.
+func schedule() []chaos.Event {
+	return []chaos.Event{
+		{At: 300 * time.Millisecond, Action: chaos.Crash, Host: "fs1", Note: "first outage"},
+		{At: 800 * time.Millisecond, Action: chaos.Restart, Host: "fs1"},
+		{At: 1600 * time.Millisecond, Action: chaos.Crash, Host: "fs1", Note: "second outage"},
+		{At: 2100 * time.Millisecond, Action: chaos.Restart, Host: "fs1"},
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vstat", flag.ContinueOnError)
+	prom := fs.Bool("prom", false, "render the snapshot as Prometheus-style text exposition")
+	health := fs.Bool("health", false, "render the health/SLO report")
+	diff := fs.Bool("diff", false, "render per-tick snapshot diffs (the sampler's series)")
+	withChaos := fs.Bool("chaos", false, "inject the FS1 crash/restart schedule during the workload")
+	ops := fs.Int("ops", 150, "workload operations to drive")
+	slo := fs.Float64("slo", 0.90, "availability SLO for -health")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policy := client.DefaultRetryPolicy()
+	r, err := rig.New(rig.Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true, Retry: &policy})
+	if err != nil {
+		return err
+	}
+	s := r.WS[0].Session
+
+	var eng *chaos.Engine
+	pump := func(now vtime.Time) { r.Sampler.AdvanceTo(now) }
+	if *withChaos {
+		// The A14 failover topology: FS2 replicates the standard-programs
+		// context; the client caches resolutions so outages are felt.
+		if err := r.FS2.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
+			return err
+		}
+		if err := r.FS2.WriteFile("/bin/hello", "system", []byte("hello image")); err != nil {
+			return err
+		}
+		s.EnableNameCache(true)
+		eng = r.NewChaos(schedule())
+		pump = func(now vtime.Time) {
+			eng.AdvanceTo(now)
+			r.Sampler.AdvanceTo(now)
+		}
+		s.SetRetryObserver(pump)
+	}
+
+	for i := 0; i < *ops; i++ {
+		if *withChaos && i > 0 && i%25 == 0 {
+			s.FlushNameCache()
+		}
+		pump(s.Proc().Now())
+		var opErr error
+		switch i % 3 {
+		case 0:
+			if f, err := s.Open("[bin]hello", proto.ModeRead); err == nil {
+				opErr = f.Close()
+			} else {
+				opErr = err
+			}
+		case 1:
+			_, opErr = s.ReadFile("[home]welcome.txt")
+		default:
+			_, opErr = s.Query("[home]notes/todo.txt")
+		}
+		_ = opErr // under chaos some operations legitimately fail
+		s.Proc().ChargeCompute(10 * time.Millisecond)
+	}
+	horizon := s.Proc().Now()
+	pump(horizon)
+
+	snap := r.Metrics.Snapshot()
+	if *prom {
+		metrics.WritePrometheus(w, snap)
+		return nil
+	}
+
+	fmt.Fprintf(w, "vstat: registry snapshot at %s virtual\n\n", vtime.Milliseconds(horizon))
+	snap.WriteText(w)
+	gets, news, _ := kernel.EnvPoolStats()
+	if gets > 0 {
+		fmt.Fprintf(w, "envelope pool: %d gets, %d allocs (%.1f%% reused)  (volatile)\n",
+			gets, news, 100*(1-float64(news)/float64(gets)))
+	}
+	if *diff {
+		fmt.Fprintf(w, "\nper-tick diffs (tick %s):\n", vtime.Milliseconds(r.Sampler.Tick()))
+		metrics.WriteDiffs(w, r.Sampler.Samples())
+	}
+	if *health {
+		fmt.Fprintln(w)
+		metrics.Health(snap, r.Sampler.Samples(), horizon, *slo).WriteText(w)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runVstat(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestVstatSnapshot(t *testing.T) {
+	out := runVstat(t, "-ops", "30")
+	for _, want := range []string{
+		"vstat: registry snapshot at",
+		"counters:",
+		"kernel_sends_total",
+		"histograms:",
+		"send_latency{server=",
+		"envelope pool:",
+		"(volatile)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVstatProm(t *testing.T) {
+	out := runVstat(t, "-ops", "30", "-prom")
+	for _, want := range []string{
+		"# TYPE kernel_sends_total counter",
+		"send_latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVstatChaosHealth(t *testing.T) {
+	out := runVstat(t, "-chaos", "-health", "-diff")
+	for _, want := range []string{
+		"chaos_events_total{class=\"crash\"}",
+		"server_up{host=\"fs1\"}",
+		"300.00 ms=0",
+		"800.00 ms=1",
+		"health over",
+		"outage",
+		"per-tick diffs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos/health output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
 
@@ -140,6 +141,11 @@ func (e *Engine) Finish() {
 // fireLocked executes one event and logs the outcome. Called with e.mu
 // held.
 func (e *Engine) fireLocked(ev Event) {
+	// Event times are exact virtual timestamps, which makes the engine the
+	// one place that can mark server up/down transitions deterministically
+	// on the health timeline.
+	reg := e.k.Metrics()
+	reg.Counter("chaos_events_total", metrics.Labels{Class: ev.Action.String()}).Inc()
 	var outcome string
 	switch ev.Action {
 	case SetLoss:
@@ -158,6 +164,7 @@ func (e *Engine) fireLocked(ev Event) {
 	case Crash:
 		if h := e.k.HostByName(ev.Host); h != nil {
 			h.Crash()
+			reg.Timeline(metrics.TimelineServerUp, metrics.Labels{Host: ev.Host}).Mark(ev.At, 0)
 			outcome = "host=" + ev.Host
 		} else {
 			outcome = fmt.Sprintf("host=%s unknown", ev.Host)
@@ -165,6 +172,7 @@ func (e *Engine) fireLocked(ev Event) {
 	case Restart:
 		if h := e.k.HostByName(ev.Host); h != nil {
 			h.Restart()
+			reg.Timeline(metrics.TimelineServerUp, metrics.Labels{Host: ev.Host}).Mark(ev.At, 1)
 			outcome = "host=" + ev.Host
 			if e.RestartHook != nil {
 				if err := e.RestartHook(ev.Host); err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/prefix"
 	"repro/internal/proto"
 	"repro/internal/vio"
@@ -122,6 +123,13 @@ func (s *Session) FlushNameCache() {
 // NameCacheStats returns the cache counters.
 func (s *Session) NameCacheStats() CacheStats { return s.cacheStats }
 
+// metric resolves a registry counter labelled with this session's process
+// name. Updates run on the client's own goroutine, so they are always
+// ordered before the operation's result is observed (metrics package doc).
+func (s *Session) metric(name string) *metrics.Counter {
+	return s.proc.Kernel().Metrics().Counter(name, metrics.Labels{Server: s.proc.Name()})
+}
+
 // send charges the client stub cost, routes, and performs the
 // transaction under the session's recovery policy: each attempt re-routes
 // the name, so a retry picks up re-resolved bindings.
@@ -177,6 +185,7 @@ func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bo
 	pair, ok := s.nameCache[pfx]
 	if !ok {
 		s.cacheStats.Misses++
+		s.metric("client_cache_misses_total").Inc()
 		mreq := &proto.Message{Op: proto.OpMapContext}
 		proto.SetCSName(mreq, uint32(core.CtxDefault), prefix.Quote(pfx))
 		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
@@ -192,6 +201,7 @@ func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bo
 		s.nameCache[pfx] = pair
 	} else {
 		s.cacheStats.Hits++
+		s.metric("client_cache_hits_total").Inc()
 	}
 	proto.SetCSName(req, uint32(pair.Ctx), name[rest:])
 	s.lastRouted = pair.Server
@@ -203,6 +213,7 @@ func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bo
 		// no way to know the failure was the cache's fault); the
 		// invalidate-and-retry variant drops it and re-resolves once.
 		s.cacheStats.Stale++
+		s.metric("client_cache_stale_total").Inc()
 		if s.cacheRetry && mayRetry {
 			delete(s.nameCache, pfx)
 			return s.sendCachedAttempt(name, req, false)

@@ -147,6 +147,7 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 		return err
 	}
 	r.stats.Ops++
+	s.metric("client_ops_total").Inc()
 	a := tr.Start(root, trace.KindAttempt, "attempt 1", s.proc.Now(), s.proc.TraceID())
 	s.proc.SetCurrentSpan(a)
 	err := attempt()
@@ -155,6 +156,7 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 	if err == nil || !Retryable(err) {
 		if err != nil {
 			r.stats.OpsFailed++
+			s.metric("client_op_failures_total").Inc()
 		}
 		tr.Fail(root, s.proc.Now(), failureClass(err))
 		return err
@@ -164,6 +166,7 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 		// Back off in virtual time. The observer (typically the chaos
 		// engine) sees the new clock before the retry routes.
 		r.stats.Retries++
+		s.metric("client_retries_total").Inc()
 		r.stats.Downtime += delay
 		b := tr.Start(root, trace.KindBackoff, fmt.Sprintf("backoff %d", try), s.proc.Now(), s.proc.TraceID())
 		s.proc.ChargeCompute(delay)
@@ -186,6 +189,7 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 		tr.Fail(a, s.proc.Now(), failureClass(err))
 		if err == nil {
 			r.stats.Failovers++
+			s.metric("client_failovers_total").Inc()
 			tr.End(root, s.proc.Now())
 			return nil
 		}
@@ -194,6 +198,7 @@ func (s *Session) withRecovery(name string, attempt func() error) error {
 		}
 	}
 	r.stats.OpsFailed++
+	s.metric("client_op_failures_total").Inc()
 	tr.Fail(root, s.proc.Now(), failureClass(err))
 	return err
 }
@@ -222,6 +227,7 @@ func (s *Session) rebind(name string) {
 				if _, ok := s.nameCache[pfx]; ok {
 					delete(s.nameCache, pfx)
 					s.recovery.stats.Rebinds++
+					s.metric("client_rebinds_total").Inc()
 				}
 			}
 		}
@@ -240,6 +246,7 @@ func (s *Session) rebind(name string) {
 		if pair, err := s.mapContextDirect(s.currentName); err == nil {
 			s.current = pair
 			s.recovery.stats.Rebinds++
+			s.metric("client_rebinds_total").Inc()
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/trace"
 )
@@ -118,6 +119,33 @@ type serverCounters struct {
 	handoffs  atomic.Uint64
 }
 
+func (c *serverCounters) load() ServerStats {
+	return ServerStats{
+		Requests:       c.requests.Load(),
+		CSNameRequests: c.csname.Load(),
+		Forwarded:      c.forwarded.Load(),
+		Failures:       c.failures.Load(),
+		Handoffs:       c.handoffs.Load(),
+	}
+}
+
+// Snapshot returns a torn-read-resistant copy of the counters: each
+// field is an atomic load, and the whole set is re-read until two
+// consecutive passes agree (bounded, falling back to the last read
+// under sustained traffic). A mid-run reader therefore never sees a
+// request counted whose CSname/failure classification is not.
+func (c *serverCounters) Snapshot() ServerStats {
+	prev := c.load()
+	for i := 0; i < 3; i++ {
+		cur := c.load()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
 // NewServer assembles a CSNH server from its process, store and handler.
 func NewServer(proc *kernel.Process, store ContextStore, handler Handler, opts ...Option) *Server {
 	var o serverOptions
@@ -126,6 +154,7 @@ func NewServer(proc *kernel.Process, store ContextStore, handler Handler, opts .
 	}
 	s := &Server{proc: proc, store: store, handler: handler}
 	stages := append([]Middleware{
+		s.instrumentServe,
 		s.chargeDispatch,
 		s.countRequests,
 		s.countFailures,
@@ -134,6 +163,8 @@ func NewServer(proc *kernel.Process, store ContextStore, handler Handler, opts .
 	s.serve = Chain(s.route, stages...)
 	s.team = NewTeam(proc, o.team, s.serveOne, func() {
 		s.stats.handoffs.Add(1)
+		s.proc.Kernel().Metrics().
+			Counter("server_handoffs_total", metrics.Labels{Server: s.proc.Name()}).Inc()
 	})
 	return s
 }
@@ -173,15 +204,10 @@ func (s *Server) Err() error { return s.team.Err() }
 // cause and trace event are recorded (see Team.Exited).
 func (s *Server) Exited() <-chan struct{} { return s.team.Exited() }
 
-// Stats returns a snapshot of the server's protocol counters.
+// Stats returns a stabilized snapshot of the server's protocol counters
+// (see serverCounters.Snapshot).
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
-		Requests:       s.stats.requests.Load(),
-		CSNameRequests: s.stats.csname.Load(),
-		Forwarded:      s.stats.forwarded.Load(),
-		Failures:       s.stats.failures.Load(),
-		Handoffs:       s.stats.handoffs.Load(),
-	}
+	return s.stats.Snapshot()
 }
 
 // serveOne processes a single request on the serving process p and
@@ -220,6 +246,34 @@ func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID
 	_ = p.Reply(reply, from)
 	if tr != nil {
 		p.SetCurrentSpan(0)
+	}
+}
+
+// instrumentServe is the outermost stage: when a metrics registry is
+// installed it records the per-(server, op) serve-latency histogram and
+// request/failure counters for every request this server answers
+// itself. Requests that are forwarded or answered inside a handler
+// (reply == nil) are deliberately not recorded here: their terminal
+// server records them, and any bump after the forward could race the
+// resumed client (the counters below always land before serveOne's
+// Reply unblocks it). Recording charges zero virtual time.
+func (s *Server) instrumentServe(next HandlerFunc) HandlerFunc {
+	return func(req *Request) *proto.Message {
+		reg := req.Proc().Kernel().Metrics()
+		if reg == nil {
+			return next(req)
+		}
+		start := req.Proc().Now()
+		reply := next(req)
+		if reply != nil {
+			lbl := metrics.Labels{Server: s.proc.Name(), Op: req.Msg.Op.String()}
+			reg.Histogram("serve_latency", lbl).Record(req.Proc().Now() - start)
+			reg.Counter("server_requests_total", lbl).Inc()
+			if reply.Op != proto.ReplyOK {
+				reg.Counter("server_failures_total", lbl).Inc()
+			}
+		}
+		return reply
 	}
 }
 
@@ -302,6 +356,10 @@ func (s *Server) serveCSName(req *Request) *proto.Message {
 	}
 	if fwd != nil {
 		s.stats.forwarded.Add(1)
+		// Counted before the Forward delivers: the terminal server may
+		// serve and unblock the client before this goroutine runs again.
+		req.Proc().Kernel().Metrics().
+			Counter("server_forwarded_total", metrics.Labels{Server: s.proc.Name(), Op: req.Msg.Op.String()}).Inc()
 		proto.RewriteCSName(req.Msg, uint32(fwd.Pair.Ctx), fwd.Index)
 		// A failed forward has already failed the sender's transaction.
 		_ = req.Proc().Forward(req.Msg, req.From, fwd.Pair.Server)

@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/rig"
+	"repro/internal/vtime"
+)
+
+// A14 turns the paper's §3.1 point estimates into full latency
+// distributions using the virtual-time metrics registry: the 2.56 ms
+// remote transaction as a histogram median, the A11 team sweep as
+// serve-latency percentiles, and an FS1 crash/restart schedule as a
+// health/SLO report with availability windows and client-visible
+// degradation intervals. Everything is virtual time, so the whole
+// document (BENCH_metrics.json) is byte-deterministic.
+
+// MetricsDoc is the BENCH_metrics.json schema: one leg per measurement,
+// each carrying the deterministic registry state it produced.
+type MetricsDoc struct {
+	Tool        string       `json:"tool"`
+	Description string       `json:"description"`
+	Legs        []MetricsLeg `json:"legs"`
+}
+
+// MetricsLeg is one A14 measurement leg.
+type MetricsLeg struct {
+	Label      string                 `json:"label"`
+	Histograms []metrics.HistPoint    `json:"histograms,omitempty"`
+	Counters   []metrics.CounterPoint `json:"counters,omitempty"`
+	// RequestsPerTick is the sampler-derived throughput series (counter
+	// deltas per tick), present when the leg pumped the sampler.
+	RequestsPerTick []metrics.SeriesPoint `json:"requests_per_tick,omitempty"`
+	FailuresPerTick []metrics.SeriesPoint `json:"failures_per_tick,omitempty"`
+	Health          *metrics.HealthReport `json:"health,omitempty"`
+}
+
+// a14TeamSizes is the serve-latency team sweep (a subset of A11's).
+var a14TeamSizes = []int{1, 2, 4}
+
+// usms renders a microsecond quantity in the paper's milliseconds unit.
+func usms(u int64) string { return vtime.Milliseconds(vtime.Time(u) * 1000) }
+
+// histPoints returns every histogram point with the given name.
+func histPoints(snap metrics.Snapshot, name string) []metrics.HistPoint {
+	var out []metrics.HistPoint
+	for _, h := range snap.Histograms {
+		if h.Name == name {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// findHist locates one histogram point by name and labels.
+func findHist(snap metrics.Snapshot, name string, l metrics.Labels) (metrics.HistPoint, bool) {
+	for _, h := range snap.Histograms {
+		if h.Name == name && h.Labels == l {
+			return h, true
+		}
+	}
+	return metrics.HistPoint{}, false
+}
+
+// counterPoints returns the counters whose names appear in names, in
+// snapshot (sorted) order.
+func counterPoints(snap metrics.Snapshot, names ...string) []metrics.CounterPoint {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []metrics.CounterPoint
+	for _, c := range snap.Counters {
+		if want[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// a14Uncontended reruns the E1 remote transaction with the registry
+// watching: one client, 100 32-byte Send-Receive-Reply transactions to
+// an echo process on the file-server host. Every transaction costs the
+// same, so the send_latency histogram is degenerate and its median is
+// the paper's 2.56 ms exactly.
+func a14Uncontended() (MetricsLeg, metrics.HistPoint, error) {
+	var leg MetricsLeg
+	r, err := rig.New(rig.Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true})
+	if err != nil {
+		return leg, metrics.HistPoint{}, err
+	}
+	echo, err := r.FS1Host.Spawn("echo", func(p *kernel.Process) {
+		for {
+			msg, from, err := p.Receive()
+			if err != nil {
+				return
+			}
+			reply := *msg
+			reply.Op = proto.ReplyOK
+			if err := p.Reply(&reply, from); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return leg, metrics.HistPoint{}, err
+	}
+	cli, err := r.WS[0].Host.NewProcess("a14-client")
+	if err != nil {
+		return leg, metrics.HistPoint{}, err
+	}
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		if _, err := cli.Send(&proto.Message{Op: proto.OpEcho}, echo.PID()); err != nil {
+			return leg, metrics.HistPoint{}, err
+		}
+	}
+	snap := r.Metrics.Snapshot().Deterministic()
+	p, ok := findHist(snap, "send_latency", metrics.Labels{Server: "echo", Op: proto.OpEcho.String()})
+	if !ok {
+		return leg, metrics.HistPoint{}, fmt.Errorf("a14: no send_latency{echo,%s} histogram", proto.OpEcho)
+	}
+	if p.Count != trials {
+		return leg, metrics.HistPoint{}, fmt.Errorf("a14: send_latency count = %d, want %d", p.Count, trials)
+	}
+	leg = MetricsLeg{
+		Label:      "uncontended remote transaction: 1 client, 100 x 32-byte echo, separate hosts",
+		Histograms: histPoints(snap, "send_latency"),
+		Counters: counterPoints(snap, "kernel_sends_total", "kernel_replies_total",
+			"wire_frames_total", "wire_bytes_total"),
+	}
+	return leg, p, nil
+}
+
+// a14Team drives the A11 cache-hit phase (8 co-resident clients
+// repeatedly querying a deep path) at the given file-server team size
+// and returns the serve-latency distribution the registry collected.
+func a14Team(team int) (MetricsLeg, metrics.HistPoint, error) {
+	var leg MetricsLeg
+	cfg := rig.DefaultConfig()
+	cfg.Users = []string{"mann"}
+	cfg.FileServerTeam = team
+	r, err := rig.New(cfg)
+	if err != nil {
+		return leg, metrics.HistPoint{}, err
+	}
+	if _, err := r.FS1.MkdirAll("/deep/a/b/c/d/e/f", "system"); err != nil {
+		return leg, metrics.HistPoint{}, err
+	}
+	if err := r.FS1.WriteFile("/"+a11HotPath, "system", make([]byte, 512)); err != nil {
+		return leg, metrics.HistPoint{}, err
+	}
+	clients := make([]*rig.WorkloadClient, 0, a11HotClients)
+	for i := 0; i < a11HotClients; i++ {
+		sess, err := a11Session(r, fmt.Sprintf("hot%d", i))
+		if err != nil {
+			return leg, metrics.HistPoint{}, err
+		}
+		clients = append(clients, &rig.WorkloadClient{
+			Session:  sess,
+			Requests: a11HotRequests,
+			Op: func(s *client.Session, iter int) error {
+				_, err := s.Query(a11HotPath)
+				return err
+			},
+			Tick: r.Sampler.AdvanceTo,
+		})
+	}
+	res := rig.RunWorkload(clients)
+	for i, st := range res.Clients {
+		if st.Errors > 0 {
+			return leg, metrics.HistPoint{}, fmt.Errorf("a14 team=%d: client %d: %d requests failed", team, i, st.Errors)
+		}
+	}
+	snap := r.Metrics.Snapshot().Deterministic()
+	// The client-observed transaction latency (send_latency) carries the
+	// contention story: with one serving process requests queue behind its
+	// clock, with a team they overlap. serve_latency (per-request service
+	// time on the worker) stays flat by construction and is kept in the
+	// document for that contrast.
+	lbl := metrics.Labels{Server: r.FS1.Proc().Name(), Op: proto.OpQueryObject.String()}
+	p, ok := findHist(snap, "send_latency", lbl)
+	if !ok {
+		return leg, metrics.HistPoint{}, fmt.Errorf("a14 team=%d: no send_latency histogram for %+v", team, lbl)
+	}
+	leg = MetricsLeg{
+		Label:      fmt.Sprintf("contended queries: %d clients, file-server team=%d", a11HotClients, team),
+		Histograms: append(histPoints(snap, "send_latency"), histPoints(snap, "serve_latency")...),
+		Counters: counterPoints(snap, "server_requests_total", "server_handoffs_total",
+			"kernel_forwards_total"),
+		RequestsPerTick: metrics.CounterSeries(r.Sampler.Samples(), "server_requests_total"),
+	}
+	return leg, p, nil
+}
+
+// a14ChaosSchedule is the FS1 crash/restart schedule the health report
+// is pinned against: two outages, 500 ms each.
+func a14ChaosSchedule() []chaos.Event {
+	return []chaos.Event{
+		{At: 300 * time.Millisecond, Action: chaos.Crash, Host: "fs1", Note: "first outage"},
+		{At: 800 * time.Millisecond, Action: chaos.Restart, Host: "fs1"},
+		{At: 1600 * time.Millisecond, Action: chaos.Crash, Host: "fs1", Note: "second outage"},
+		{At: 2100 * time.Millisecond, Action: chaos.Restart, Host: "fs1"},
+	}
+}
+
+// a14Chaos runs the A10 failover workload (dynamic [bin] binding, FS2
+// replica, recovery policy on) under the fixed crash/restart schedule
+// and derives the health report: FS1's availability windows must match
+// the schedule, and the degraded intervals must cover the outages the
+// client actually felt. The client runs the invalidate-and-retry name
+// cache and flushes it periodically (fresh program instances start with
+// empty caches), so each FS1 outage catches a cached resolution stale —
+// without the cache, the dynamic binding re-resolves per use and the
+// client never touches the dead pid.
+func a14Chaos() (MetricsLeg, float64, error) {
+	var leg MetricsLeg
+	policy := client.DefaultRetryPolicy()
+	r, err := rig.New(rig.Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true, Retry: &policy})
+	if err != nil {
+		return leg, 0, err
+	}
+	s := r.WS[0].Session
+	// FS2 replicates the standard-programs context so the dynamic binding
+	// has somewhere to fail over to during an FS1 outage.
+	if err := r.FS2.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
+		return leg, 0, err
+	}
+	if err := r.FS2.WriteFile("/bin/hello", "system", []byte("hello image")); err != nil {
+		return leg, 0, err
+	}
+	s.EnableNameCache(true)
+	eng := r.NewChaos(a14ChaosSchedule())
+	pump := func(now vtime.Time) {
+		eng.AdvanceTo(now)
+		r.Sampler.AdvanceTo(now)
+	}
+	// Faults and samples scheduled during a backoff fire while the client
+	// waits, exactly as in A10.
+	s.SetRetryObserver(pump)
+
+	const ops = 150
+	ok := 0
+	for i := 0; i < ops; i++ {
+		if i > 0 && i%25 == 0 {
+			s.FlushNameCache()
+		}
+		pump(s.Proc().Now())
+		if f, err := s.Open("[bin]hello", proto.ModeRead); err == nil {
+			if err := f.Close(); err == nil {
+				ok++
+			}
+		}
+		s.Proc().ChargeCompute(10 * time.Millisecond) // workload pacing
+	}
+	horizon := s.Proc().Now()
+	pump(horizon)
+
+	snap := r.Metrics.Snapshot().Deterministic()
+	health := metrics.Health(snap, r.Sampler.Samples(), horizon, 0.90)
+	leg = MetricsLeg{
+		Label:      "chaos: FS1 crash/restart schedule, dynamic binding + retry, FS2 replica",
+		Histograms: histPoints(snap, "send_latency"),
+		Counters: counterPoints(snap, "chaos_events_total", "client_ops_total",
+			"client_op_failures_total", "client_retries_total", "client_rebinds_total",
+			"client_failovers_total", "prefix_forwards_total", "prefix_rebinds_total",
+			"prefix_dead_targets_total", "kernel_send_failures_total"),
+		RequestsPerTick: metrics.CounterSeries(r.Sampler.Samples(), "client_ops_total"),
+		FailuresPerTick: metrics.CounterSeries(r.Sampler.Samples(), "client_op_failures_total"),
+		Health:          health,
+	}
+	return leg, float64(ok) / ops, nil
+}
+
+// a14Collect runs every leg once, producing both the JSON document and
+// the experiment rows from the same data.
+func a14Collect() (*MetricsDoc, []Row, error) {
+	doc := &MetricsDoc{
+		Tool:        "vbench -metrics",
+		Description: "virtual-time metrics: latency distributions, team scaling, health under faults",
+	}
+	var rows []Row
+
+	uleg, up, err := a14Uncontended()
+	if err != nil {
+		return nil, nil, err
+	}
+	doc.Legs = append(doc.Legs, uleg)
+	rows = append(rows,
+		Row{Label: "remote transaction, median", Paper: "2.56 ms", Measured: usms(up.P50US),
+			Note: "send_latency{echo,Echo} over 100 transactions"},
+		Row{Label: "remote transaction, p99 / max", Paper: "-",
+			Measured: usms(up.P99US) + " / " + usms(up.MaxUS),
+			Note:     "uncontended: the distribution is degenerate"},
+	)
+
+	for _, team := range a14TeamSizes {
+		leg, p, err := a14Team(team)
+		if err != nil {
+			return nil, nil, err
+		}
+		doc.Legs = append(doc.Legs, leg)
+		rows = append(rows, Row{
+			Label:    fmt.Sprintf("team=%d query latency, p50 / p99", team),
+			Paper:    a11PaperHot(team),
+			Measured: usms(p.P50US) + " / " + usms(p.P99US),
+			Note:     fmt.Sprintf("send_latency{fs1,QueryObject}, %d requests, 8 clients", p.Count),
+		})
+	}
+
+	cleg, frac, err := a14Chaos()
+	if err != nil {
+		return nil, nil, err
+	}
+	doc.Legs = append(doc.Legs, cleg)
+	var fs1 *metrics.ServerHealth
+	for i := range cleg.Health.Servers {
+		if cleg.Health.Servers[i].Host == "fs1" {
+			fs1 = &cleg.Health.Servers[i]
+		}
+	}
+	if fs1 == nil {
+		return nil, nil, fmt.Errorf("a14: health report has no fs1 entry")
+	}
+	rows = append(rows,
+		Row{Label: "fs1 availability under chaos", Paper: "-",
+			Measured: fmt.Sprintf("%.3f", fs1.Availability),
+			Note: fmt.Sprintf("%d outages, %d degraded windows, SLO %.0f%%",
+				len(fs1.Outages), len(cleg.Health.Degraded), cleg.Health.SLO*100)},
+		Row{Label: "operation success under chaos", Paper: "-",
+			Measured: fmt.Sprintf("%.2f", frac),
+			Note:     "dynamic binding + retry cache-free failover to FS2"},
+	)
+	return doc, rows, nil
+}
+
+// A14 reports the distribution view of the paper's latency tables.
+func A14() (Result, error) {
+	_, rows, err := a14Collect()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		ID:     "a14",
+		Title:  "metrics: latency distributions, team scaling, health under faults",
+		Source: "§3.1 latencies as distributions; §4.2 faults as an SLO report",
+		Rows:   rows,
+	}, nil
+}
+
+// MetricsJSON renders the BENCH_metrics.json document: the A14 legs'
+// deterministic registry state, byte-identical across runs.
+func MetricsJSON() ([]byte, error) {
+	doc, _, err := a14Collect()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

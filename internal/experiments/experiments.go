@@ -56,6 +56,7 @@ var registry = map[string]Runner{
 	"a10": A10,
 	"a11": A11,
 	"a12": A12,
+	"a14": A14,
 }
 
 // IDs returns the experiment ids in canonical order.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/vio"
 	"repro/internal/vtime"
@@ -600,9 +601,13 @@ func (fi *fileInstance) ReadAt(p *kernel.Process, off int64, buf []byte) (int, e
 		// Buffer cache hit: no disk time (§3.1's "already in the file
 		// server's memory buffers").
 		ready = now
+		p.Kernel().Metrics().
+			Counter("fs_cache_hits_total", metrics.Labels{Server: fi.fs.name}).Inc()
 	default:
 		ready = fi.fs.disk.Fetch(now)
 		fi.fs.cache.insert(fi.ino, block)
+		p.Kernel().Metrics().
+			Counter("fs_cache_misses_total", metrics.Labels{Server: fi.fs.name}).Inc()
 	}
 	clock.Observe(ready)
 	if fi.fs.readAhead {

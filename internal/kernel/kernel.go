@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -76,6 +77,11 @@ type Kernel struct {
 	// a virtual clock either way.
 	tracer atomic.Pointer[trace.Tracer]
 
+	// metrics caches the registry and the domain-wide instruments the
+	// send path bumps, behind one atomic load — same zero-virtual-cost
+	// contract as the tracer.
+	metrics atomic.Pointer[kernelMetrics]
+
 	// hosts is a copy-on-write snapshot: hosts are only ever added, so
 	// the send path (findProcess on every message) indexes it without a
 	// lock. Writers copy under mu and publish atomically.
@@ -108,6 +114,44 @@ func (k *Kernel) SetTracer(t *trace.Tracer) { k.tracer.Store(t) }
 // Tracer returns the installed tracer; nil means tracing is off, and a
 // nil *trace.Tracer accepts every recording call as a no-op.
 func (k *Kernel) Tracer() *trace.Tracer { return k.tracer.Load() }
+
+// kernelMetrics is the pre-resolved instrument set the IPC hot path
+// records into, so a send costs one atomic pointer load plus a few
+// atomic adds — no registry lookups.
+type kernelMetrics struct {
+	reg      *metrics.Registry
+	sends    *metrics.Counter
+	forwards *metrics.Counter
+	replies  *metrics.Counter
+	getpids  *metrics.Counter
+	inflight *metrics.Gauge
+}
+
+// SetMetrics installs (or, with nil, removes) the domain's metrics
+// registry. Recording charges zero virtual time.
+func (k *Kernel) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		k.metrics.Store(nil)
+		return
+	}
+	k.metrics.Store(&kernelMetrics{
+		reg:      reg,
+		sends:    reg.Counter("kernel_sends_total", metrics.Labels{}),
+		forwards: reg.Counter("kernel_forwards_total", metrics.Labels{}),
+		replies:  reg.Counter("kernel_replies_total", metrics.Labels{}),
+		getpids:  reg.Counter("kernel_getpid_total", metrics.Labels{}),
+		inflight: reg.Gauge("kernel_inflight", metrics.Labels{}),
+	})
+}
+
+// Metrics returns the installed registry, or nil. A nil *Registry (and
+// every instrument it hands out) accepts calls as no-ops.
+func (k *Kernel) Metrics() *metrics.Registry {
+	if km := k.metrics.Load(); km != nil {
+		return km.reg
+	}
+	return nil
+}
 
 // Model returns the cost model in force.
 func (k *Kernel) Model() *vtime.CostModel { return k.model }

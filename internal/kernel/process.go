@@ -3,8 +3,10 @@ package kernel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/proto"
 	"repro/internal/trace"
@@ -59,10 +61,33 @@ type envelope struct {
 // reuse. Envelopes whose channel was shared with group clones are
 // never recycled (see envelope.shared).
 var envPool = sync.Pool{
-	New: func() any { return &envelope{replyCh: make(chan replyEvent, 1)} },
+	New: func() any {
+		envPoolNews.Add(1)
+		return &envelope{replyCh: make(chan replyEvent, 1)}
+	},
 }
 
-func newEnvelope() *envelope { return envPool.Get().(*envelope) }
+// Envelope-pool telemetry: process-global (the pool is shared by every
+// kernel in the process) and wall-clock volatile — sync.Pool eviction
+// depends on GC, so the reuse rate is a live diagnostic, never part of
+// a deterministic document.
+var (
+	envPoolGets atomic.Uint64
+	envPoolNews atomic.Uint64
+	envPoolPuts atomic.Uint64
+)
+
+// EnvPoolStats reports the envelope pool's lifetime gets, fresh
+// allocations inside those gets, and returns to the pool. The hit rate
+// is (gets-news)/gets.
+func EnvPoolStats() (gets, news, puts uint64) {
+	return envPoolGets.Load(), envPoolNews.Load(), envPoolPuts.Load()
+}
+
+func newEnvelope() *envelope {
+	envPoolGets.Add(1)
+	return envPool.Get().(*envelope)
+}
 
 // release resets the envelope and returns it to the pool. Callers must
 // hold sole ownership: either the envelope was never delivered, or the
@@ -74,6 +99,7 @@ func (e *envelope) release() {
 	e.moveSrc = nil
 	e.moveDst = nil
 	e.span = 0
+	envPoolPuts.Add(1)
 	envPool.Put(e)
 }
 
@@ -216,6 +242,16 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 	if tr != nil {
 		sp = tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" -> "+dst.String(), p.clock.Now(), p.TraceID())
 	}
+	// Metrics, like the tracer, charge zero virtual time. The start time
+	// is read before any cost accrues so the histogram sees the full
+	// transaction latency.
+	km := k.metrics.Load()
+	var sendStart vtime.Time
+	if km != nil {
+		km.sends.Inc()
+		km.inflight.Add(1)
+		sendStart = p.clock.Now()
+	}
 	target, hostUp := k.findProcess(dst)
 	if target == nil {
 		p.chargeFailedSend(dst, hostUp)
@@ -226,6 +262,7 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 			err = fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
 		}
 		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		km.sendFailed(err)
 		return nil, err
 	}
 	d, det, err := k.net.UnicastDetail(p.host.id, dst.Host(), msg.WireSize(), p.clock.Now())
@@ -233,6 +270,7 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 		p.clock.Advance(time.Duration(failedSendRetries) * k.model.RetransmitTimeout)
 		err = fmt.Errorf("send to %v: %w", dst, err)
 		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		km.sendFailed(err)
 		return nil, err
 	}
 	tr.Wire(sp, "request", p.clock.Now(), d, msg.WireSize(), det, dst.Host() == p.host.id, false)
@@ -250,6 +288,7 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 		p.chargeFailedSend(dst, true)
 		err := fmt.Errorf("%w: %v", ErrNonexistentProcess, dst)
 		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		km.sendFailed(err)
 		return nil, err
 	}
 	ev := <-env.replyCh
@@ -262,11 +301,27 @@ func (p *Process) SendMove(msg *proto.Message, dst PID, moveSrc, moveDst []byte)
 		p.clock.Advance(k.model.RetransmitTimeout)
 		err := fmt.Errorf("send to %v: %w", dst, ev.err)
 		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		km.sendFailed(err)
 		return nil, err
 	}
 	p.clock.Observe(ev.at)
 	tr.End(sp, p.clock.Now())
+	if km != nil {
+		km.inflight.Add(-1)
+		km.reg.Histogram("send_latency", metrics.Labels{Server: target.name, Op: msg.Op.String()}).
+			Record(p.clock.Now() - sendStart)
+	}
 	return ev.msg, nil
+}
+
+// sendFailed records a failed send transaction, labeled by failure
+// class. Nil-safe (metrics off).
+func (km *kernelMetrics) sendFailed(err error) {
+	if km == nil {
+		return
+	}
+	km.inflight.Add(-1)
+	km.reg.Counter("kernel_send_failures_total", metrics.Labels{Class: FailureClass(err)}).Inc()
 }
 
 // chargeFailedSend charges the virtual cost of discovering that a send
@@ -373,8 +428,12 @@ func (p *Process) Reply(msg *proto.Message, to PID) error {
 	}
 	tr.Wire(sp, "reply", p.clock.Now(), d, msg.WireSize(), det, env.origin.Host() == p.host.id, false)
 	// End the span before unblocking the sender, so a snapshot taken
-	// the moment the sender resumes never sees a half-open reply.
+	// the moment the sender resumes never sees a half-open reply. The
+	// reply counter bumps before completion for the same reason.
 	tr.End(sp, p.clock.Now()+d)
+	if km := k.metrics.Load(); km != nil {
+		km.replies.Inc()
+	}
 	env.complete(msg, p.clock.Now()+d)
 	return nil
 }
@@ -418,6 +477,12 @@ func (p *Process) Forward(msg *proto.Message, from PID, to PID) error {
 		return err
 	}
 	tr.Wire(sp, "forward", p.clock.Now(), d, msg.WireSize(), det, to.Host() == p.host.id, false)
+	// Count before delivering: the recipient may serve and unblock the
+	// original sender before this goroutine runs again, and a sample
+	// taken then must already include this forward.
+	if km := k.metrics.Load(); km != nil {
+		km.forwards.Inc()
+	}
 	env.msg = msg
 	env.arrival = p.clock.Now() + d
 	env.span = sp
@@ -509,6 +574,9 @@ func (p *Process) GetPid(service Service, scope Scope) (PID, error) {
 	var sp trace.SpanID
 	if tr != nil {
 		sp = tr.Start(p.CurrentSpan(), trace.KindGetPid, service.String(), p.clock.Now(), p.TraceID())
+	}
+	if km := k.metrics.Load(); km != nil {
+		km.getpids.Inc()
 	}
 	if scope != ScopeRemote {
 		p.clock.Advance(m.GetPidLocalCost)

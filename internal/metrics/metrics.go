@@ -1,0 +1,459 @@
+// Package metrics is the virtual-time observability registry: atomic
+// counters, gauges, fixed-bucket latency histograms and up/down state
+// timelines keyed by a small label set. Like the tracer (PROTOCOL.md
+// §9), every instrument charges zero virtual time — recording never
+// touches a process clock, so a fully instrumented run is byte-identical
+// to an uninstrumented one in every virtual-time result. The registry is
+// safe for concurrent use from real goroutines: instrument lookup is a
+// lock-free read of a copy-on-write map (the same idiom as the kernel's
+// process tables), and the instruments themselves are plain atomics.
+//
+// Determinism contract: an instrument update is reproducible (safe to
+// include in golden-pinned output) only when it is ordered before the
+// workload driver's next step — i.e. it happens on the driving client's
+// goroutine, or on a server goroutine before the reply that unblocks the
+// client is delivered. Updates that depend on wall-clock behavior (GC,
+// goroutine scheduling) are registered as *volatile* and excluded from
+// deterministic documents; they still appear on live surfaces (vstat,
+// vsh stats, the Prometheus writer).
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vtime"
+)
+
+// Labels is the fixed label set. It is a comparable value so it can key
+// instrument maps directly without per-lookup allocation. Unused fields
+// stay empty.
+type Labels struct {
+	Server string `json:"server,omitempty"` // serving process name, e.g. "fs1"
+	Op     string `json:"op,omitempty"`     // protocol op, e.g. "CreateInstance"
+	Host   string `json:"host,omitempty"`   // host name, e.g. "ws-mann"
+	Class  string `json:"class,omitempty"`  // failure / event class
+}
+
+// less orders labels deterministically for snapshot output.
+func (l Labels) less(o Labels) bool {
+	if l.Server != o.Server {
+		return l.Server < o.Server
+	}
+	if l.Op != o.Op {
+		return l.Op < o.Op
+	}
+	if l.Host != o.Host {
+		return l.Host < o.Host
+	}
+	return l.Class < o.Class
+}
+
+type instKey struct {
+	name   string
+	labels Labels
+}
+
+func (k instKey) less(o instKey) bool {
+	if k.name != o.name {
+		return k.name < o.name
+	}
+	return k.labels.less(o.labels)
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-safe no-ops so instrument sites need no registry-presence checks.
+type Counter struct {
+	v        atomic.Uint64
+	volatile bool
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct {
+	v        atomic.Int64
+	volatile bool
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// StatePoint is one transition on a Timeline: at virtual time At the
+// tracked state became Value.
+type StatePoint struct {
+	At    vtime.Time `json:"at_us"`
+	Value int64      `json:"value"`
+}
+
+// Timeline records a small sequence of state transitions with exact
+// virtual timestamps — used for host up/down state, from which the
+// health report derives availability windows. The zero state (before the
+// first point) is implicitly "up" (1).
+type Timeline struct {
+	mu     sync.Mutex
+	points []StatePoint
+}
+
+// Mark appends a transition. Consecutive equal values collapse.
+func (t *Timeline) Mark(at vtime.Time, value int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.points); n > 0 && t.points[n-1].Value == value {
+		return
+	}
+	t.points = append(t.points, StatePoint{At: at, Value: value})
+}
+
+// Points returns a copy of the transitions in record order.
+func (t *Timeline) Points() []StatePoint {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StatePoint, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// Registry holds the instruments. Lookup is lock-free on the hit path;
+// creation copies the map under a mutex (instrument sets are tiny and
+// stabilize after the first request of each kind).
+type Registry struct {
+	mu        sync.Mutex
+	counters  atomic.Pointer[map[instKey]*Counter]
+	gauges    atomic.Pointer[map[instKey]*Gauge]
+	hists     atomic.Pointer[map[instKey]*Histogram]
+	timelines atomic.Pointer[map[instKey]*Timeline]
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string, l Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := instKey{name, l}
+	if m := r.counters.Load(); m != nil {
+		if c, ok := (*m)[k]; ok {
+			return c
+		}
+	}
+	return r.makeCounter(k, false)
+}
+
+// VolatileCounter is Counter for wall-clock-dependent series (e.g. pool
+// reuse): shown live, excluded from deterministic documents.
+func (r *Registry) VolatileCounter(name string, l Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := instKey{name, l}
+	if m := r.counters.Load(); m != nil {
+		if c, ok := (*m)[k]; ok {
+			return c
+		}
+	}
+	return r.makeCounter(k, true)
+}
+
+func (r *Registry) makeCounter(k instKey, volatile bool) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.counters.Load()
+	if old != nil {
+		if c, ok := (*old)[k]; ok {
+			return c
+		}
+	}
+	c := &Counter{volatile: volatile}
+	next := copyMap(old)
+	next[k] = c
+	r.counters.Store(&next)
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string, l Labels) *Gauge {
+	return r.gauge(name, l, false)
+}
+
+// VolatileGauge is Gauge for wall-clock-dependent values (e.g. live
+// mailbox depth).
+func (r *Registry) VolatileGauge(name string, l Labels) *Gauge {
+	return r.gauge(name, l, true)
+}
+
+func (r *Registry) gauge(name string, l Labels, volatile bool) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := instKey{name, l}
+	if m := r.gauges.Load(); m != nil {
+		if g, ok := (*m)[k]; ok {
+			return g
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.gauges.Load()
+	if old != nil {
+		if g, ok := (*old)[k]; ok {
+			return g
+		}
+	}
+	g := &Gauge{volatile: volatile}
+	next := copyMap(old)
+	next[k] = g
+	r.gauges.Store(&next)
+	return g
+}
+
+// Histogram returns (creating if needed) the named latency histogram.
+func (r *Registry) Histogram(name string, l Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := instKey{name, l}
+	if m := r.hists.Load(); m != nil {
+		if h, ok := (*m)[k]; ok {
+			return h
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.hists.Load()
+	if old != nil {
+		if h, ok := (*old)[k]; ok {
+			return h
+		}
+	}
+	h := NewHistogram()
+	next := copyMap(old)
+	next[k] = h
+	r.hists.Store(&next)
+	return h
+}
+
+// Timeline returns (creating if needed) the named state timeline.
+func (r *Registry) Timeline(name string, l Labels) *Timeline {
+	if r == nil {
+		return nil
+	}
+	k := instKey{name, l}
+	if m := r.timelines.Load(); m != nil {
+		if t, ok := (*m)[k]; ok {
+			return t
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.timelines.Load()
+	if old != nil {
+		if t, ok := (*old)[k]; ok {
+			return t
+		}
+	}
+	t := &Timeline{}
+	next := copyMap(old)
+	next[k] = t
+	r.timelines.Store(&next)
+	return t
+}
+
+func copyMap[V any](old *map[instKey]V) map[instKey]V {
+	next := make(map[instKey]V, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	return next
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name     string `json:"name"`
+	Labels   Labels `json:"labels"`
+	Value    uint64 `json:"value"`
+	Volatile bool   `json:"-"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name     string `json:"name"`
+	Labels   Labels `json:"labels"`
+	Value    int64  `json:"value"`
+	Volatile bool   `json:"-"`
+}
+
+// HistPoint is one histogram in a snapshot. Durations are microseconds
+// of virtual time (exact: every cost model constant is a whole number of
+// microseconds).
+type HistPoint struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels"`
+	Count  uint64 `json:"count"`
+	SumUS  int64  `json:"sum_us"`
+	P50US  int64  `json:"p50_us"`
+	P90US  int64  `json:"p90_us"`
+	P99US  int64  `json:"p99_us"`
+	MaxUS  int64  `json:"max_us"`
+}
+
+// TimelineSeries is one state timeline in a snapshot.
+type TimelineSeries struct {
+	Name   string       `json:"name"`
+	Labels Labels       `json:"labels"`
+	Points []StatePoint `json:"points"`
+}
+
+// Snapshot is a consistent-enough, deterministically ordered view of the
+// registry: instruments sorted by (name, labels). Each instrument value
+// is read atomically; the set as a whole is not a global atomic cut,
+// which is fine for the sequential driver (no update is in flight when
+// the driver samples) and for live surfaces (which only need freshness).
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistPoint      `json:"histograms,omitempty"`
+	Timelines  []TimelineSeries `json:"timelines,omitempty"`
+}
+
+// Snapshot captures the registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if m := r.counters.Load(); m != nil {
+		for k, c := range *m {
+			s.Counters = append(s.Counters, CounterPoint{Name: k.name, Labels: k.labels, Value: c.Value(), Volatile: c.volatile})
+		}
+		sort.Slice(s.Counters, func(i, j int) bool {
+			return instKey{s.Counters[i].Name, s.Counters[i].Labels}.less(instKey{s.Counters[j].Name, s.Counters[j].Labels})
+		})
+	}
+	if m := r.gauges.Load(); m != nil {
+		for k, g := range *m {
+			s.Gauges = append(s.Gauges, GaugePoint{Name: k.name, Labels: k.labels, Value: g.Value(), Volatile: g.volatile})
+		}
+		sort.Slice(s.Gauges, func(i, j int) bool {
+			return instKey{s.Gauges[i].Name, s.Gauges[i].Labels}.less(instKey{s.Gauges[j].Name, s.Gauges[j].Labels})
+		})
+	}
+	if m := r.hists.Load(); m != nil {
+		for k, h := range *m {
+			s.Histograms = append(s.Histograms, HistPoint{
+				Name:   k.name,
+				Labels: k.labels,
+				Count:  h.Count(),
+				SumUS:  us(h.Sum()),
+				P50US:  us(h.Quantile(0.50)),
+				P90US:  us(h.Quantile(0.90)),
+				P99US:  us(h.Quantile(0.99)),
+				MaxUS:  us(h.Max()),
+			})
+		}
+		sort.Slice(s.Histograms, func(i, j int) bool {
+			return instKey{s.Histograms[i].Name, s.Histograms[i].Labels}.less(instKey{s.Histograms[j].Name, s.Histograms[j].Labels})
+		})
+	}
+	if m := r.timelines.Load(); m != nil {
+		for k, t := range *m {
+			s.Timelines = append(s.Timelines, TimelineSeries{Name: k.name, Labels: k.labels, Points: t.Points()})
+		}
+		sort.Slice(s.Timelines, func(i, j int) bool {
+			return instKey{s.Timelines[i].Name, s.Timelines[i].Labels}.less(instKey{s.Timelines[j].Name, s.Timelines[j].Labels})
+		})
+	}
+	return s
+}
+
+// Deterministic strips volatile instruments, leaving only series that
+// are reproducible across runs (safe to golden-pin).
+func (s Snapshot) Deterministic() Snapshot {
+	out := Snapshot{Histograms: s.Histograms, Timelines: s.Timelines}
+	for _, c := range s.Counters {
+		if !c.Volatile {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if !g.Volatile {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	return out
+}
+
+// CounterTotal sums every counter with the given name across labels.
+func (s Snapshot) CounterTotal(name string) uint64 {
+	var total uint64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// GaugeTotal sums every gauge with the given name across labels.
+func (s Snapshot) GaugeTotal(name string) int64 {
+	var total int64
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			total += g.Value
+		}
+	}
+	return total
+}
+
+// us converts a virtual duration to whole microseconds.
+func us(d vtime.Time) int64 { return int64(d / 1000) }

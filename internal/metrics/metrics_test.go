@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotOrderAndTotals(t *testing.T) {
+	r := New()
+	r.Counter("ops_total", Labels{Server: "fs2"}).Add(3)
+	r.Counter("ops_total", Labels{Server: "fs1"}).Inc()
+	r.Counter("aaa_total", Labels{}).Add(7)
+	r.VolatileCounter("pool_total", Labels{}).Add(9)
+	r.Gauge("inflight", Labels{}).Set(2)
+	r.Histogram("lat", Labels{Server: "fs1", Op: "Echo"}).Record(2560 * time.Microsecond)
+	r.Timeline(TimelineServerUp, Labels{Host: "fs1"}).Mark(100*time.Millisecond, 0)
+
+	s := r.Snapshot()
+	var names []string
+	for _, c := range s.Counters {
+		names = append(names, c.Name+"/"+c.Labels.Server)
+	}
+	want := []string{"aaa_total/", "ops_total/fs1", "ops_total/fs2", "pool_total/"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("counter order = %v, want %v", names, want)
+	}
+	if got := s.CounterTotal("ops_total"); got != 4 {
+		t.Fatalf("CounterTotal(ops_total) = %d, want 4", got)
+	}
+	if got := s.GaugeTotal("inflight"); got != 2 {
+		t.Fatalf("GaugeTotal(inflight) = %d, want 2", got)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].P50US != 2560 {
+		t.Fatalf("histogram snapshot = %+v, want p50 2560us", s.Histograms)
+	}
+
+	det := s.Deterministic()
+	for _, c := range det.Counters {
+		if c.Name == "pool_total" {
+			t.Fatalf("volatile counter survived Deterministic(): %+v", det.Counters)
+		}
+	}
+	if len(det.Counters) != len(s.Counters)-1 {
+		t.Fatalf("Deterministic dropped wrong count: %d vs %d", len(det.Counters), len(s.Counters))
+	}
+
+	// Nil registry and nil instruments are no-ops throughout.
+	var nr *Registry
+	nr.Counter("x", Labels{}).Inc()
+	nr.Gauge("x", Labels{}).Add(1)
+	nr.Histogram("x", Labels{}).Record(1)
+	nr.Timeline("x", Labels{}).Mark(0, 0)
+	if got := nr.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", got)
+	}
+}
+
+func TestSamplerTicks(t *testing.T) {
+	r := New()
+	c := r.Counter("ops_total", Labels{})
+	s := NewSampler(r, 10*time.Millisecond)
+	s.AdvanceTo(5 * time.Millisecond) // before first tick
+	if len(s.Samples()) != 0 {
+		t.Fatalf("sample emitted before first tick")
+	}
+	c.Add(4)
+	s.AdvanceTo(10 * time.Millisecond) // exactly on tick
+	c.Add(6)
+	s.AdvanceTo(35 * time.Millisecond) // crosses ticks 20 and 30
+	got := s.Samples()
+	if len(got) != 3 {
+		t.Fatalf("got %d samples, want 3", len(got))
+	}
+	wantAt := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	wantTotals := []uint64{4, 10, 10}
+	for i, sm := range got {
+		if sm.At != wantAt[i] || sm.Total("ops_total") != wantTotals[i] {
+			t.Fatalf("sample %d = at %v total %d, want at %v total %d",
+				i, sm.At, sm.Total("ops_total"), wantAt[i], wantTotals[i])
+		}
+	}
+	series := CounterSeries(got, "ops_total")
+	if series[0].Value != 4 || series[1].Value != 6 || series[2].Value != 0 {
+		t.Fatalf("delta series wrong: %+v", series)
+	}
+}
+
+func TestHealthReportWindows(t *testing.T) {
+	r := New()
+	tl := r.Timeline(TimelineServerUp, Labels{Host: "fs1"})
+	tl.Mark(200*time.Millisecond, 0)
+	tl.Mark(300*time.Millisecond, 1)
+	tl.Mark(900*time.Millisecond, 0) // still down at horizon
+
+	samples := []Sample{
+		{At: 100 * time.Millisecond, Counters: []CounterPoint{{Name: "client_retries_total", Value: 0}}},
+		{At: 200 * time.Millisecond, Counters: []CounterPoint{{Name: "client_retries_total", Value: 0}}},
+		{At: 300 * time.Millisecond, Counters: []CounterPoint{{Name: "client_retries_total", Value: 5}}},
+		{At: 400 * time.Millisecond, Counters: []CounterPoint{{Name: "client_retries_total", Value: 7}}},
+		{At: 500 * time.Millisecond, Counters: []CounterPoint{{Name: "client_retries_total", Value: 7}}},
+	}
+	rep := Health(r.Snapshot(), samples, time.Second, 0.9)
+	if len(rep.Servers) != 1 {
+		t.Fatalf("got %d servers, want 1", len(rep.Servers))
+	}
+	sh := rep.Servers[0]
+	wantOutages := []Window{
+		{From: 200 * time.Millisecond, To: 300 * time.Millisecond},
+		{From: 900 * time.Millisecond, To: time.Second},
+	}
+	if !reflect.DeepEqual(sh.Outages, wantOutages) {
+		t.Fatalf("outages = %+v, want %+v", sh.Outages, wantOutages)
+	}
+	if sh.Up {
+		t.Fatalf("server marked up at horizon despite open outage")
+	}
+	if sh.DowntimeUS != 200_000 {
+		t.Fatalf("downtime = %dus, want 200000", sh.DowntimeUS)
+	}
+	if sh.Availability != 0.8 || sh.SLOMet {
+		t.Fatalf("availability %v sloMet %v, want 0.8 / violated", sh.Availability, sh.SLOMet)
+	}
+	// 10% budget over 1s = 100ms allowed; 200ms used => budget -1.0.
+	if diff := sh.ErrorBudgetLeft + 1.0; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("error budget = %v, want -1.0", sh.ErrorBudgetLeft)
+	}
+	wantDegraded := []Window{{From: 200 * time.Millisecond, To: 400 * time.Millisecond}}
+	if !reflect.DeepEqual(rep.Degraded, wantDegraded) {
+		t.Fatalf("degraded = %+v, want %+v", rep.Degraded, wantDegraded)
+	}
+	var buf strings.Builder
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "VIOLATED") || !strings.Contains(buf.String(), "outage") {
+		t.Fatalf("text report missing expected lines:\n%s", buf.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("ops_total", Labels{Server: "fs1", Op: "Echo"}).Add(2)
+	r.Gauge("inflight", Labels{}).Set(1)
+	r.Histogram("lat", Labels{Server: "fs1"}).Record(2560 * time.Microsecond)
+	r.Timeline(TimelineServerUp, Labels{Host: "fs1"}).Mark(time.Millisecond, 0)
+	var buf strings.Builder
+	WritePrometheus(&buf, r.Snapshot())
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{server="fs1",op="Echo"} 2`,
+		"# TYPE inflight gauge",
+		"inflight 1",
+		"# TYPE lat summary",
+		`lat{server="fs1",quantile="0.5"} 2560000`,
+		`lat_count{server="fs1"} 1`,
+		`server_up{host="fs1"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
 
@@ -80,6 +81,45 @@ type statsCounters struct {
 	wireBusy   atomic.Int64 // nanoseconds of wire occupancy
 }
 
+func (c *statsCounters) load() Stats {
+	return Stats{
+		Packets:     c.packets.Load(),
+		Bytes:       c.bytes.Load(),
+		Broadcasts:  c.broadcasts.Load(),
+		Multicasts:  c.multicasts.Load(),
+		Drops:       c.drops.Load(),
+		WireBusyFor: time.Duration(c.wireBusy.Load()),
+	}
+}
+
+// Snapshot returns a torn-read-resistant copy of the counters: each
+// field is loaded atomically, and the whole set is re-read until two
+// consecutive passes agree (bounded, falling back to the last read
+// under sustained traffic). Mid-run readers therefore never see, e.g.,
+// a packet counted whose bytes are not.
+func (c *statsCounters) Snapshot() Stats {
+	prev := c.load()
+	for i := 0; i < 3; i++ {
+		cur := c.load()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+// netMetrics is the pre-resolved instrument set the wire path records
+// into when a metrics registry is installed.
+type netMetrics struct {
+	frames     *metrics.Counter
+	bytes      *metrics.Counter
+	broadcasts *metrics.Counter
+	multicasts *metrics.Counter
+	drops      *metrics.Counter
+	queueWait  *metrics.Histogram
+}
+
 // Network is the simulated shared Ethernet. The zero value is not usable;
 // construct with New.
 type Network struct {
@@ -89,6 +129,7 @@ type Network struct {
 	// every hop; they are atomics / copy-on-write so the common read
 	// never takes the wire mutex.
 	stats    statsCounters
+	metrics  atomic.Pointer[netMetrics]
 	dropBits atomic.Uint64                  // math.Float64bits of the drop rate
 	parts    atomic.Pointer[map[HostID]int] // host -> partition group; absent means group 0
 
@@ -178,16 +219,28 @@ func (n *Network) recordLocked(ev FrameEvent) {
 	}
 }
 
-// Stats returns a snapshot of the cumulative traffic counters.
+// Stats returns a stabilized snapshot of the cumulative traffic
+// counters (see statsCounters.Snapshot).
 func (n *Network) Stats() Stats {
-	return Stats{
-		Packets:     n.stats.packets.Load(),
-		Bytes:       n.stats.bytes.Load(),
-		Broadcasts:  n.stats.broadcasts.Load(),
-		Multicasts:  n.stats.multicasts.Load(),
-		Drops:       n.stats.drops.Load(),
-		WireBusyFor: time.Duration(n.stats.wireBusy.Load()),
+	return n.stats.Snapshot()
+}
+
+// SetMetrics installs (or, with nil, removes) a metrics registry the
+// wire path mirrors its counters into, adding a wire-queueing-delay
+// histogram. Zero virtual cost, same contract as the frame recorder.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		n.metrics.Store(nil)
+		return
 	}
+	n.metrics.Store(&netMetrics{
+		frames:     reg.Counter("wire_frames_total", metrics.Labels{}),
+		bytes:      reg.Counter("wire_bytes_total", metrics.Labels{}),
+		broadcasts: reg.Counter("wire_broadcasts_total", metrics.Labels{}),
+		multicasts: reg.Counter("wire_multicasts_total", metrics.Labels{}),
+		drops:      reg.Counter("wire_drops_total", metrics.Labels{}),
+		queueWait:  reg.Histogram("wire_queue_wait", metrics.Labels{}),
+	})
 }
 
 // reserveWireLocked acquires the shared medium for a transfer of `bytes`
@@ -244,11 +297,15 @@ func (n *Network) UnicastDetail(a, b HostID, bytes int, at vtime.Time) (time.Dur
 	defer n.mu.Unlock()
 	queue := n.reserveWireLocked(at, bytes)
 	d := queue + n.model.RemoteHop(bytes)
+	nm := n.metrics.Load()
 	retries := 0
 	dropRate := n.DropRate()
 	for dropRate > 0 && n.rng.Float64() < dropRate {
 		retries++
 		n.stats.drops.Add(1)
+		if nm != nil {
+			nm.drops.Inc()
+		}
 		if retries > maxRetransmits {
 			return 0, HopDetail{Queue: queue, Retransmits: retries - 1},
 				fmt.Errorf("%w: %d retransmissions to host %d failed", ErrUnreachable, retries-1, b)
@@ -258,6 +315,11 @@ func (n *Network) UnicastDetail(a, b HostID, bytes int, at vtime.Time) (time.Dur
 	packets := packetsFor(bytes, n.model.MaxDataPerPacket)
 	n.stats.packets.Add(uint64(packets))
 	n.stats.bytes.Add(uint64(bytes))
+	if nm != nil {
+		nm.frames.Add(uint64(packets))
+		nm.bytes.Add(uint64(bytes))
+		nm.queueWait.Record(queue)
+	}
 	det := HopDetail{Queue: queue, Packets: packets, Retransmits: retries}
 	n.recordLocked(FrameEvent{
 		Src: a, Dst: b, Cast: "unicast",
@@ -278,6 +340,12 @@ func (n *Network) Broadcast(a HostID, bytes int, at vtime.Time) time.Duration {
 	n.stats.bytes.Add(uint64(bytes))
 	queue := n.reserveWireLocked(at, bytes)
 	d := queue + n.model.RemoteHop(bytes)
+	if nm := n.metrics.Load(); nm != nil {
+		nm.frames.Inc()
+		nm.broadcasts.Inc()
+		nm.bytes.Add(uint64(bytes))
+		nm.queueWait.Record(queue)
+	}
 	n.recordLocked(FrameEvent{
 		Src: a, Cast: "broadcast", Bytes: bytes, Packets: 1,
 		At: at, Queue: queue, Latency: d,
@@ -296,6 +364,12 @@ func (n *Network) Multicast(a HostID, bytes int, at vtime.Time) time.Duration {
 	n.stats.bytes.Add(uint64(bytes))
 	queue := n.reserveWireLocked(at, bytes)
 	d := queue + n.model.RemoteHop(bytes)
+	if nm := n.metrics.Load(); nm != nil {
+		nm.frames.Inc()
+		nm.multicasts.Inc()
+		nm.bytes.Add(uint64(bytes))
+		nm.queueWait.Record(queue)
+	}
 	n.recordLocked(FrameEvent{
 		Src: a, Cast: "multicast", Bytes: bytes, Packets: 1,
 		At: at, Queue: queue, Latency: d,

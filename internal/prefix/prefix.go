@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/vio"
@@ -138,6 +139,29 @@ type statsCounters struct {
 	forwards    atomic.Uint64
 	rebinds     atomic.Uint64
 	deadTargets atomic.Uint64
+}
+
+func (c *statsCounters) load() Stats {
+	return Stats{
+		Forwards:    c.forwards.Load(),
+		Rebinds:     c.rebinds.Load(),
+		DeadTargets: c.deadTargets.Load(),
+	}
+}
+
+// Snapshot returns a torn-read-resistant copy of the counters: each
+// field is an atomic load, re-read until two consecutive passes agree
+// (bounded, falling back to the last read under sustained traffic).
+func (c *statsCounters) Snapshot() Stats {
+	prev := c.load()
+	for i := 0; i < 3; i++ {
+		cur := c.load()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
 }
 
 // sortedNamesLocked returns the cached sorted prefix names, rebuilding
@@ -265,6 +289,8 @@ func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID
 		p.SetCurrentSpan(sp)
 	}
 	model := p.Kernel().Model()
+	reg := p.Kernel().Metrics()
+	serveStart := p.Now()
 	p.ChargeCompute(model.ServerDispatchCost)
 
 	var reply *proto.Message
@@ -296,6 +322,16 @@ func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID
 			class = reply.Op.String()
 		}
 		tr.Fail(sp, p.Now(), class)
+	}
+	if reg != nil {
+		// Mirrors core.Server.instrumentServe: recorded before the Reply
+		// unblocks the client, only for requests answered here.
+		lbl := metrics.Labels{Server: s.proc.Name(), Op: msg.Op.String()}
+		reg.Histogram("serve_latency", lbl).Record(p.Now() - serveStart)
+		reg.Counter("server_requests_total", lbl).Inc()
+		if reply.Op != proto.ReplyOK {
+			reg.Counter("server_failures_total", lbl).Inc()
+		}
 	}
 	_ = p.Reply(reply, from)
 	if tr != nil {
@@ -357,30 +393,38 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 		if !p.Kernel().ProcessAlive(pair.Server) {
 			p.ChargeCompute(model.RetransmitTimeout)
 			s.stats.deadTargets.Add(1)
+			p.Kernel().Metrics().
+				Counter("prefix_dead_targets_total", metrics.Labels{Server: s.proc.Name()}).Inc()
 			return core.ErrorReplyMsg(fmt.Errorf("prefix %q: no live server for service %v: %w",
 				pfx, b.Service, proto.ErrTimeout))
 		}
 		s.mu.Lock()
+		rebound := false
 		if prev, ok := s.lastResolved[pfx]; ok && prev != pair.Server {
 			s.stats.rebinds.Add(1)
+			rebound = true
 		}
 		s.lastResolved[pfx] = pair.Server
 		s.mu.Unlock()
+		if rebound {
+			p.Kernel().Metrics().
+				Counter("prefix_rebinds_total", metrics.Labels{Server: s.proc.Name()}).Inc()
+		}
 	}
 	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
 	s.stats.forwards.Add(1)
+	// Counted before the Forward delivers (see core.serveCSName).
+	p.Kernel().Metrics().
+		Counter("prefix_forwards_total", metrics.Labels{Server: s.proc.Name()}).Inc()
 	// A failed forward already failed the client's transaction.
 	_ = p.Forward(msg, from, pair.Server)
 	return nil
 }
 
-// Stats returns a snapshot of the forwarding and recovery counters.
+// Stats returns a stabilized snapshot of the forwarding and recovery
+// counters (see statsCounters.Snapshot).
 func (s *Server) Stats() Stats {
-	return Stats{
-		Forwards:    s.stats.forwards.Load(),
-		Rebinds:     s.stats.rebinds.Load(),
-		DeadTargets: s.stats.deadTargets.Load(),
-	}
+	return s.stats.Snapshot()
 }
 
 // resolveBinding maps a binding to a concrete context pair; dynamic

@@ -21,6 +21,7 @@ import (
 	"repro/internal/inetserver"
 	"repro/internal/kernel"
 	"repro/internal/mailserver"
+	"repro/internal/metrics"
 	"repro/internal/nameserver"
 	"repro/internal/netsim"
 	"repro/internal/pipeserver"
@@ -122,6 +123,15 @@ type Rig struct {
 	// Tracer is the domain tracer when Config.Trace was set, else nil.
 	Tracer *trace.Tracer
 
+	// Metrics is the rig's metrics registry. It is always installed:
+	// instruments charge zero virtual time (metrics package doc), so a
+	// metered run measures identically to the seed.
+	Metrics *metrics.Registry
+	// Sampler snapshots the registry on a fixed virtual-time tick.
+	// Workloads that want time-series pump it like the chaos engine:
+	// r.Sampler.AdvanceTo(session.Proc().Now()).
+	Sampler *metrics.Sampler
+
 	retry *client.RetryPolicy
 
 	sessMu   sync.Mutex
@@ -140,6 +150,14 @@ func New(cfg Config) (*Rig, error) {
 	net := netsim.New(model, cfg.Seed)
 	k := kernel.New(net)
 	r := &Rig{Net: net, Kernel: k, Model: model, retry: cfg.Retry}
+	r.Metrics = metrics.New()
+	k.SetMetrics(r.Metrics)
+	net.SetMetrics(r.Metrics)
+	r.Sampler = metrics.NewSampler(r.Metrics, 0)
+	r.Sampler.SetPoolSource(func() (gets, news uint64) {
+		g, n, _ := kernel.EnvPoolStats()
+		return g, n
+	})
 	if cfg.Trace {
 		r.Tracer = trace.New()
 		k.SetTracer(r.Tracer)

@@ -43,6 +43,10 @@ type WorkloadClient struct {
 	// sequentially in virtual-time order relative to each other; distinct
 	// lanes run on real goroutines. The sequential driver ignores it.
 	Lane int
+	// Tick, when non-nil, is called after each completed iteration with
+	// the client's virtual clock — the hook workloads use to pump
+	// virtual-time observers (the metrics sampler, the chaos engine).
+	Tick func(now time.Duration)
 }
 
 // ClientStats reports one client's outcome.
@@ -211,6 +215,9 @@ func runLane(clients []*WorkloadClient, idxs []int, out []ClientStats) int {
 		}
 		st.TotalLatency += after - before
 		st.Finish = after
+		if c.Tick != nil {
+			c.Tick(after)
+		}
 		iters[pick]++
 		requests++
 	}
