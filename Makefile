@@ -10,7 +10,7 @@ FUZZTIME ?= 10s
 # lower it to make a regression pass.
 COVERAGE_FLOOR ?= 73.0
 
-.PHONY: all check test race bench bench-json bench-wallclock bench-metrics golden-guard vet fmt fuzz cover experiments examples clean
+.PHONY: all check test race bench bench-json bench-wallclock bench-metrics bench-replica golden-guard vet fmt fuzz cover experiments examples clean
 
 all: vet test
 
@@ -33,6 +33,8 @@ check: vet
 	$(GO) test -race -run 'TestParallelDriverEquivalence' ./internal/rig/
 	$(GO) test -run 'TestSendZeroAllocUntraced' -count=1 ./internal/kernel/
 	$(GO) test -race -run 'TestMetricsZeroCost|TestMetricsDeterministic|TestA14Shape' ./internal/experiments/
+	$(GO) test -race -count=2 -run 'TestReplicaDeterministic' ./internal/rig/
+	$(GO) test -race -run 'TestA15Availability|TestReplicaJSONDeterministic' ./internal/experiments/
 	$(MAKE) golden-guard
 	$(MAKE) cover
 
@@ -61,6 +63,13 @@ bench-wallclock:
 bench-metrics:
 	$(GO) run ./cmd/vbench -metrics BENCH_metrics.json
 
+# Deterministic replication document (EXPERIMENTS.md A15): the A14
+# chaos schedule against a consensus-replicated fs1 — client-observed
+# availability, failover latency percentiles, and the group's event
+# log, byte-identical across runs.
+bench-replica:
+	$(GO) run ./cmd/vbench -replica BENCH_replica.json
+
 # Byte-identity guard for the committed golden outputs: the wall-clock
 # work must not perturb a single virtual-time result, trace span, or
 # metrics quantile. Regenerating vbench_output.txt with the metrics
@@ -74,6 +83,8 @@ golden-guard:
 	cmp internal/experiments/testdata/golden_trace.json $$tmp/golden_trace.json && \
 	$(GO) run ./cmd/vbench -metrics $$tmp/BENCH_metrics.json >/dev/null && \
 	cmp BENCH_metrics.json $$tmp/BENCH_metrics.json && \
+	$(GO) run ./cmd/vbench -replica $$tmp/BENCH_replica.json >/dev/null && \
+	cmp BENCH_replica.json $$tmp/BENCH_replica.json && \
 	echo "golden outputs byte-identical" && rm -rf $$tmp || \
 	{ echo "golden outputs drifted from committed files"; rm -rf $$tmp; exit 1; }
 

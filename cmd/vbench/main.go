@@ -11,6 +11,7 @@
 //	vbench -json BENCH.json      # also write results as JSON
 //	vbench -trace TRACE.json     # export the canonical single-client trace
 //	vbench -metrics METRICS.json # export the A14 metrics document (deterministic)
+//	vbench -replica REPLICA.json # export the A15 replication document (deterministic)
 //	vbench -wallclock W.json -cpuprofile cpu.pprof   # wall-clock run with profiling
 package main
 
@@ -42,6 +43,7 @@ func run(args []string, w io.Writer) error {
 	tracePath := fs.String("trace", "", "export the canonical single-client trace (span tree + wire frames) as JSON to this file")
 	wallclockPath := fs.String("wallclock", "", "run the wall-clock benchmark harness (A13) and write its JSON to this file; skips the virtual-time experiments")
 	metricsPath := fs.String("metrics", "", "run the A14 metrics legs and write the deterministic metrics document (BENCH_metrics.json schema) to this file")
+	replicaPath := fs.String("replica", "", "run the A15 replicated chaos leg and write the deterministic replication document (BENCH_replica.json schema) to this file")
 	cpuProfile := fs.String("cpuprofile", "", "with -wallclock: write a CPU profile to this file")
 	heapProfile := fs.String("heapprofile", "", "with -wallclock: write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +128,22 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote metrics document to %s\n", *metricsPath)
 		// -metrics alone exports the document without running every
 		// experiment (mirrors -trace).
+		if len(fs.Args()) == 0 && *tracePath == "" && *replicaPath == "" {
+			return nil
+		}
+	}
+
+	if *replicaPath != "" {
+		data, err := experiments.ReplicaJSON()
+		if err != nil {
+			return fmt.Errorf("replica: %w", err)
+		}
+		if err := os.WriteFile(*replicaPath, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *replicaPath, err)
+		}
+		fmt.Fprintf(w, "wrote replication document to %s\n", *replicaPath)
+		// -replica alone exports the document without running every
+		// experiment (mirrors -metrics).
 		if len(fs.Args()) == 0 && *tracePath == "" {
 			return nil
 		}

@@ -94,6 +94,14 @@ type Engine struct {
 	// host's name, to re-create the servers that lived there (the engine
 	// can restart a host kernel, but only the rig knows what ran on it).
 	RestartHook func(host string) error
+	// CrashHook, if set, is called after a Crash event with the event's
+	// exact virtual time — how a replication group's monitor learns the
+	// leader-death instant deterministically (PROTOCOL.md §11.4).
+	CrashHook func(host string, at vtime.Time)
+	// RestartedHook, if set, is called after a Restart event (and after
+	// RestartHook) with the event's exact virtual time; the replicated
+	// rig re-creates and rejoins the host's replica here.
+	RestartedHook func(host string, at vtime.Time) error
 
 	k      *kernel.Kernel
 	mu     sync.Mutex
@@ -166,6 +174,9 @@ func (e *Engine) fireLocked(ev Event) {
 			h.Crash()
 			reg.Timeline(metrics.TimelineServerUp, metrics.Labels{Host: ev.Host}).Mark(ev.At, 0)
 			outcome = "host=" + ev.Host
+			if e.CrashHook != nil {
+				e.CrashHook(ev.Host, ev.At)
+			}
 		} else {
 			outcome = fmt.Sprintf("host=%s unknown", ev.Host)
 		}
@@ -176,6 +187,11 @@ func (e *Engine) fireLocked(ev Event) {
 			outcome = "host=" + ev.Host
 			if e.RestartHook != nil {
 				if err := e.RestartHook(ev.Host); err != nil {
+					outcome += " hook-error=" + err.Error()
+				}
+			}
+			if e.RestartedHook != nil {
+				if err := e.RestartedHook(ev.Host, ev.At); err != nil {
 					outcome += " hook-error=" + err.Error()
 				}
 			}

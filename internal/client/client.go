@@ -49,6 +49,10 @@ type Session struct {
 	// so the recovery policy can re-map the context if its server dies
 	// (resilience.go). Empty when the context was installed directly.
 	currentName string
+	// leaderHint is the successor pid carried by the most recent
+	// ReplyNotLeader redirect from a replication-group front (PROTOCOL.md
+	// §11); the recovery policy's rebind consumes it (resilience.go).
+	leaderHint kernel.PID
 	// recovery, when non-nil, applies the session's retry/rebind policy
 	// to every operation (resilience.go).
 	recovery *resilience
@@ -123,6 +127,17 @@ func (s *Session) FlushNameCache() {
 // NameCacheStats returns the cache counters.
 func (s *Session) NameCacheStats() CacheStats { return s.cacheStats }
 
+// replyErr converts a reply message into an operation error, first
+// capturing the leader hint a ReplyNotLeader redirect carries so the next
+// attempt can re-route to the successor without rediscovery
+// (resilience.go). Every reply-inspecting routine funnels through it.
+func (s *Session) replyErr(reply *proto.Message) error {
+	if reply.Op == proto.ReplyNotLeader {
+		s.leaderHint = kernel.PID(proto.LeaderHint(reply))
+	}
+	return core.ReplyToError(reply)
+}
+
 // metric resolves a registry counter labelled with this session's process
 // name. Updates run on the client's own goroutine, so they are always
 // ordered before the operation's result is observed (metrics package doc).
@@ -155,7 +170,7 @@ func (s *Session) sendOnce(name string, req *proto.Message) (*proto.Message, err
 	if err != nil {
 		return nil, fmt.Errorf("%q: %w", name, err)
 	}
-	if err := core.ReplyToError(reply); err != nil {
+	if err := s.replyErr(reply); err != nil {
 		return nil, fmt.Errorf("%q: %w", name, err)
 	}
 	return reply, nil
@@ -193,7 +208,7 @@ func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bo
 		if err != nil {
 			return nil, fmt.Errorf("%q: %w", name, err)
 		}
-		if err := core.ReplyToError(mreply); err != nil {
+		if err := s.replyErr(mreply); err != nil {
 			return nil, fmt.Errorf("%q: %w", name, err)
 		}
 		pid, ctx := proto.GetMapContextReply(mreply)
@@ -220,7 +235,7 @@ func (s *Session) sendCachedAttempt(name string, req *proto.Message, mayRetry bo
 		}
 		return nil, fmt.Errorf("%q (stale cached resolution): %w", name, err)
 	}
-	if err := core.ReplyToError(reply); err != nil {
+	if err := s.replyErr(reply); err != nil {
 		return nil, fmt.Errorf("%q: %w", name, err)
 	}
 	return reply, nil
@@ -244,7 +259,7 @@ func (s *Session) sendToOnce(server kernel.PID, req *proto.Message) (*proto.Mess
 	if err != nil {
 		return nil, err
 	}
-	if err := core.ReplyToError(reply); err != nil {
+	if err := s.replyErr(reply); err != nil {
 		return nil, err
 	}
 	return reply, nil
@@ -315,7 +330,7 @@ func (s *Session) ListPattern(name, pattern string) ([]proto.Descriptor, error) 
 		if err != nil {
 			return fmt.Errorf("%q: %w", name, err)
 		}
-		if err := core.ReplyToError(r); err != nil {
+		if err := s.replyErr(r); err != nil {
 			return fmt.Errorf("%q: %w", name, err)
 		}
 		reply = r
@@ -402,7 +417,7 @@ func (s *Session) Modify(name string, d proto.Descriptor) error {
 		if err != nil {
 			return fmt.Errorf("%q: %w", name, err)
 		}
-		return core.ReplyToError(reply)
+		return s.replyErr(reply)
 	})
 }
 
@@ -441,7 +456,7 @@ func (s *Session) Rename(oldName, newName string) error {
 		if err != nil {
 			return fmt.Errorf("%q: %w", oldName, err)
 		}
-		return core.ReplyToError(reply)
+		return s.replyErr(reply)
 	})
 }
 
@@ -482,7 +497,7 @@ func (s *Session) Link(oldName, newName string) error {
 		if err != nil {
 			return fmt.Errorf("%q: %w", oldName, err)
 		}
-		return core.ReplyToError(reply)
+		return s.replyErr(reply)
 	})
 }
 
@@ -570,7 +585,7 @@ func (s *Session) LoadProgram(name string, buf []byte) (int, error) {
 		if err != nil {
 			return fmt.Errorf("%q: %w", name, err)
 		}
-		if err := core.ReplyToError(reply); err != nil {
+		if err := s.replyErr(reply); err != nil {
 			return fmt.Errorf("%q: %w", name, err)
 		}
 		n = int(reply.F[3])
@@ -596,7 +611,7 @@ func (s *Session) Exec(name string) (progName string, pid kernel.PID, err error)
 		if err != nil {
 			return fmt.Errorf("%q: %w", name, err)
 		}
-		if err := core.ReplyToError(reply); err != nil {
+		if err := s.replyErr(reply); err != nil {
 			return fmt.Errorf("%q: %w", name, err)
 		}
 		progName, pid = string(reply.Segment), kernel.PID(reply.F[1])

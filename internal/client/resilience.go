@@ -123,7 +123,12 @@ func Retryable(err error) bool {
 		errors.Is(err, kernel.ErrHostDown) ||
 		errors.Is(err, netsim.ErrUnreachable) ||
 		errors.Is(err, proto.ErrNonexistentProcess) ||
-		errors.Is(err, proto.ErrTimeout)
+		errors.Is(err, proto.ErrTimeout) ||
+		// A replication-group redirect: the contacted member is not (or no
+		// longer) the leader. Waiting covers the leaderless election
+		// window, and the redirect's hint re-routes the next attempt
+		// (PROTOCOL.md §11).
+		errors.Is(err, proto.ErrNotLeader)
 }
 
 // withRecovery runs attempt under the session's policy. Each attempt is
@@ -221,6 +226,34 @@ func failureClass(err error) string {
 // resolution is invalidated, and a current context that has no prefix
 // to fall back on is re-mapped from the name it was entered by.
 func (s *Session) rebind(name string) {
+	// A ReplyNotLeader redirect named the successor: re-point whatever
+	// routing state sent the failed attempt to the deposed member. Context
+	// ids stay valid across a failover — the group replicates the name
+	// space, and i-node allocation is deterministic (PROTOCOL.md §11.5) —
+	// so only the server half of the pair moves.
+	if hint := s.leaderHint; hint != kernel.NilPID {
+		s.leaderHint = kernel.NilPID
+		if s.proc.Kernel().ProcessAlive(hint) {
+			applied := false
+			if name != "" && prefix.HasPrefix(name) && s.nameCache != nil {
+				if pfx, _, err := cacheKey(name); err == nil {
+					if pair, ok := s.nameCache[pfx]; ok && pair.Server != hint {
+						pair.Server = hint
+						s.nameCache[pfx] = pair
+						applied = true
+					}
+				}
+			} else if name != "" && !prefix.HasPrefix(name) && s.current.Server != hint {
+				s.current.Server = hint
+				applied = true
+			}
+			if applied {
+				s.recovery.stats.Rebinds++
+				s.metric("client_rebinds_total").Inc()
+				return
+			}
+		}
+	}
 	if name != "" && prefix.HasPrefix(name) {
 		if s.nameCache != nil {
 			if pfx, _, err := cacheKey(name); err == nil {
@@ -262,7 +295,7 @@ func (s *Session) mapContextDirect(name string) (core.ContextPair, error) {
 	if err != nil {
 		return core.ContextPair{}, err
 	}
-	if err := core.ReplyToError(reply); err != nil {
+	if err := s.replyErr(reply); err != nil {
 		return core.ContextPair{}, err
 	}
 	pid, c := proto.GetMapContextReply(reply)

@@ -57,6 +57,7 @@ var registry = map[string]Runner{
 	"a11": A11,
 	"a12": A12,
 	"a14": A14,
+	"a15": A15,
 }
 
 // IDs returns the experiment ids in canonical order.

@@ -79,6 +79,15 @@ func (c *blockCache) invalidate(ino uint32) {
 	}
 }
 
+// clear drops every buffered page (snapshot restore replaces the whole
+// volume, so the cache describes contents that no longer exist).
+func (c *blockCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pages = make(map[pageKey]*list.Element, c.cap)
+	c.lru.Init()
+}
+
 // size returns the number of buffered pages.
 func (c *blockCache) size() int {
 	c.mu.Lock()

@@ -1,0 +1,457 @@
+package fileserver
+
+// Replication adapter (ISSUE 6; PROTOCOL.md §11): a file server becomes a
+// replication-group member by fronting it with a ReplicaService. The front
+// is the pid clients talk to (the rig registers it as the storage
+// service); the member-local FileServer behind it keeps its normal serving
+// team and I/O path. The front routes on leadership:
+//
+//   - name-space mutations (remove, rename, link, add/delete context
+//     name, modify) are proposed through the group log as wrapped
+//     messages and applied — via the local server's ordinary handler — on
+//     every member, so all volumes hold the same name-space structure and
+//     file contents;
+//   - context mapping is proxied through the local server with the reply's
+//     server pid rewritten to the front, so cached context pairs keep
+//     naming the group;
+//   - everything else (opens, instance I/O setup, queries) is forwarded to
+//     the local server on the leader and redirected with a leader hint on
+//     followers.
+//
+// Opens with ModeCreate/ModeTruncate mutate the leader's volume without a
+// log entry; a rejoining member picks them up from the leader's snapshot
+// (§11.5 notes the tradeoff). Descriptor mtimes are server-local virtual
+// times and may differ across members; the replicated invariant is the
+// name-space structure and file bytes, which the snapshot codec encodes
+// canonically (nodes and directory entries in sorted order).
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/replica"
+	"repro/internal/vtime"
+)
+
+// --- uvarint encoding helpers (snapshot and command codecs) ---
+
+type enc struct{ b []byte }
+
+func (e *enc) u64(x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	e.b = append(e.b, tmp[:n]...)
+}
+
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) bytes(p []byte) {
+	e.u64(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) u64() uint64 {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) take() []byte {
+	n := d.u64()
+	if d.bad || uint64(len(d.b)) < n {
+		d.bad = true
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *dec) str() string { return string(d.take()) }
+
+// --- volume snapshot codec ---
+
+// encode serializes the volume canonically: nodes in i-node order,
+// directory entries and well-known aliases in sorted order. Two volumes
+// with the same name-space structure and file contents encode to the same
+// bytes (mtimes are carried but server-local; see the package note above).
+func (v *volume) encode() []byte {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e := &enc{}
+	ids := make([]ino, 0, len(v.nodes))
+	for id := range v.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.u64(uint64(len(ids)))
+	for _, id := range ids {
+		n := v.nodes[id]
+		e.u64(uint64(n.id))
+		e.u64(uint64(n.kind))
+		e.u64(uint64(n.parent))
+		e.str(n.name)
+		e.str(n.owner)
+		e.u64(uint64(n.perms))
+		e.u64(uint64(n.mtime))
+		e.u64(uint64(n.nlink))
+		if n.kind == kindDir {
+			names := make([]string, 0, len(n.names))
+			for nm := range n.names {
+				names = append(names, nm)
+			}
+			sort.Strings(names)
+			e.u64(uint64(len(names)))
+			for _, nm := range names {
+				de := n.names[nm]
+				e.str(nm)
+				if de.remote != nil {
+					e.u64(1)
+					e.u64(uint64(de.remote.Server))
+					e.u64(uint64(de.remote.Ctx))
+				} else {
+					e.u64(0)
+					e.u64(uint64(de.child))
+				}
+			}
+		} else {
+			e.bytes(n.data)
+		}
+	}
+	wks := make([]core.ContextID, 0, len(v.wellKnown))
+	for ctx := range v.wellKnown {
+		wks = append(wks, ctx)
+	}
+	sort.Slice(wks, func(i, j int) bool { return wks[i] < wks[j] })
+	e.u64(uint64(len(wks)))
+	for _, ctx := range wks {
+		e.u64(uint64(ctx))
+		e.u64(uint64(v.wellKnown[ctx]))
+	}
+	e.u64(uint64(v.next))
+	return e.b
+}
+
+// decodeVolume parses an encoded volume image.
+func decodeVolume(data []byte) (map[ino]*node, ino, map[core.ContextID]ino, error) {
+	d := &dec{b: data}
+	cnt := d.u64()
+	nodes := make(map[ino]*node, cnt)
+	for i := uint64(0); i < cnt && !d.bad; i++ {
+		n := &node{}
+		n.id = ino(d.u64())
+		n.kind = nodeKind(d.u64())
+		n.parent = ino(d.u64())
+		n.name = d.str()
+		n.owner = d.str()
+		n.perms = uint16(d.u64())
+		n.mtime = vtime.Time(d.u64())
+		n.nlink = int(d.u64())
+		if n.kind == kindDir {
+			m := d.u64()
+			n.names = make(map[string]dirent, m)
+			for j := uint64(0); j < m && !d.bad; j++ {
+				nm := d.str()
+				if d.u64() == 1 {
+					pair := core.ContextPair{}
+					pair.Server = kernel.PID(d.u64())
+					pair.Ctx = core.ContextID(d.u64())
+					n.names[nm] = dirent{remote: &pair}
+				} else {
+					n.names[nm] = dirent{child: ino(d.u64())}
+				}
+			}
+		} else {
+			n.data = append([]byte(nil), d.take()...)
+		}
+		nodes[n.id] = n
+	}
+	wkCnt := d.u64()
+	wk := make(map[core.ContextID]ino, wkCnt)
+	for i := uint64(0); i < wkCnt && !d.bad; i++ {
+		ctx := core.ContextID(d.u64())
+		wk[ctx] = ino(d.u64())
+	}
+	next := ino(d.u64())
+	if d.bad || len(d.b) != 0 {
+		return nil, 0, nil, errors.New("fileserver: corrupt volume snapshot")
+	}
+	return nodes, next, wk, nil
+}
+
+// restoreVolume replaces the volume's state with a decoded snapshot and
+// drops every buffered page (the cache describes the old contents).
+func (fs *FileServer) restoreVolume(data []byte) error {
+	nodes, next, wk, err := decodeVolume(data)
+	if err != nil {
+		return err
+	}
+	v := fs.vol
+	v.mu.Lock()
+	v.nodes, v.next, v.wellKnown = nodes, next, wk
+	v.mu.Unlock()
+	fs.cache.clear()
+	return nil
+}
+
+// --- replicated command codec ---
+
+// Command kinds. cmdMessage wraps a client mutation verbatim; the rest are
+// the boot-seeding helpers, so a rig can seed a group through the log.
+const (
+	cmdMessage byte = iota + 1
+	cmdMkdirAll
+	cmdWriteFile
+	cmdWellKnown
+	cmdAddLink
+)
+
+// CmdMessage wraps a protocol mutation as a log command; applying it runs
+// the message through the member-local server's ordinary handler.
+func CmdMessage(m *proto.Message) ([]byte, error) {
+	buf, err := m.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{cmdMessage}, buf...), nil
+}
+
+// CmdMkdirAll builds the log command for MkdirAll. The apply reply carries
+// the created context id in F[2].
+func CmdMkdirAll(path, owner string) []byte {
+	e := &enc{b: []byte{cmdMkdirAll}}
+	e.str(path)
+	e.str(owner)
+	return e.b
+}
+
+// CmdWriteFile builds the log command for WriteFile (create or replace).
+func CmdWriteFile(path, owner string, contents []byte) []byte {
+	e := &enc{b: []byte{cmdWriteFile}}
+	e.str(path)
+	e.str(owner)
+	e.bytes(contents)
+	return e.b
+}
+
+// CmdSetWellKnown builds the log command for SetWellKnown.
+func CmdSetWellKnown(ctx core.ContextID, path string) []byte {
+	e := &enc{b: []byte{cmdWellKnown}}
+	e.u64(uint64(ctx))
+	e.str(path)
+	return e.b
+}
+
+// CmdAddLink builds the log command for AddLink.
+func CmdAddLink(dirPath, name string, target core.ContextPair) []byte {
+	e := &enc{b: []byte{cmdAddLink}}
+	e.str(dirPath)
+	e.str(name)
+	e.u64(uint64(target.Server))
+	e.u64(uint64(target.Ctx))
+	return e.b
+}
+
+// --- the replicated front ---
+
+// ReplicaService fronts a member-local FileServer as a replication-group
+// state machine (see the package note for the routing table).
+type ReplicaService struct {
+	fs *FileServer
+}
+
+// NewReplicaService builds the front over the member-local server.
+func NewReplicaService(fs *FileServer) *ReplicaService {
+	return &ReplicaService{fs: fs}
+}
+
+// FileServer returns the member-local server behind the front.
+func (rs *ReplicaService) FileServer() *FileServer { return rs.fs }
+
+// replicatedMutation reports whether op changes the name space and so must
+// go through the group log.
+func replicatedMutation(op proto.Code) bool {
+	switch op {
+	case proto.OpRemoveObject, proto.OpRenameObject, proto.OpLinkObject,
+		proto.OpAddContextName, proto.OpDeleteContextName, proto.OpModifyObject:
+		return true
+	}
+	return false
+}
+
+// forwardsElsewhere reports whether the mutation's name resolves into
+// another server: such a mutation belongs to that server's state, not this
+// group's log, so the front hands it to the local server to forward on
+// (§5.4) instead of replicating it.
+func (rs *ReplicaService) forwardsElsewhere(p *kernel.Process, msg *proto.Message) bool {
+	name, _, err := proto.CSName(msg)
+	if err != nil {
+		return false
+	}
+	interp := core.Interpret
+	if msg.Op == proto.OpDeleteContextName {
+		interp = core.InterpretBinding
+	}
+	_, fwd, err := interp(rs.fs.vol, p, name, proto.CSNameIndex(msg), core.ContextID(proto.CSNameContext(msg)))
+	return err == nil && fwd != nil
+}
+
+// Serve implements replica.Service.
+func (rs *ReplicaService) Serve(p *kernel.Process, r *replica.Replica, msg *proto.Message, from kernel.PID) {
+	if !r.Leading() {
+		// A follower keeps the service available by passing the whole
+		// transaction to the live leader's front (§5.4 forwarding); during
+		// a leaderless window the client gets the redirect and retries.
+		if lead := r.LeaderHint(); lead != kernel.NilPID && lead != p.PID() {
+			if err := p.Forward(msg, from, lead); err == nil {
+				return
+			}
+		}
+		_ = p.Reply(r.NotLeaderReply(), from)
+		return
+	}
+	switch {
+	case msg.Op == proto.OpMapContext:
+		rs.proxyMapContext(p, msg, from)
+	case replicatedMutation(msg.Op):
+		if rs.forwardsElsewhere(p, msg) {
+			rs.forwardLocal(p, msg, from)
+			return
+		}
+		cmd, err := CmdMessage(msg)
+		if err != nil {
+			_ = p.Reply(core.ErrorReplyMsg(err), from)
+			return
+		}
+		rep, err := r.Propose(p, cmd)
+		switch {
+		case errors.Is(err, proto.ErrNotLeader):
+			_ = p.Reply(r.NotLeaderReply(), from)
+		case err != nil:
+			_ = p.Reply(core.ErrorReplyMsg(err), from)
+		default:
+			_ = p.Reply(rep, from)
+		}
+	default:
+		rs.forwardLocal(p, msg, from)
+	}
+}
+
+// forwardLocal hands the pending transaction to the member-local server.
+func (rs *ReplicaService) forwardLocal(p *kernel.Process, msg *proto.Message, from kernel.PID) {
+	if err := p.Forward(msg, from, rs.fs.PID()); err != nil {
+		_ = p.Reply(core.ErrorReplyMsg(err), from)
+	}
+}
+
+// proxyMapContext resolves a context mapping through the local server and
+// rewrites a pair naming the local server to name the front instead, so
+// clients cache the replicated service, not one member (§5.3).
+func (rs *ReplicaService) proxyMapContext(p *kernel.Process, msg *proto.Message, from kernel.PID) {
+	rep, err := p.Send(msg, rs.fs.PID())
+	if err != nil {
+		_ = p.Reply(core.ErrorReplyMsg(err), from)
+		return
+	}
+	if rep.Op == proto.ReplyOK {
+		if pid, ctx := proto.GetMapContextReply(rep); pid == uint32(rs.fs.PID()) {
+			proto.SetMapContextReply(rep, uint32(p.PID()), ctx)
+		}
+	}
+	_ = p.Reply(rep, from)
+}
+
+// Apply implements replica.Service: run one committed command against the
+// member-local server.
+func (rs *ReplicaService) Apply(p *kernel.Process, cmd []byte) *proto.Message {
+	if len(cmd) == 0 {
+		return core.ErrorReplyMsg(proto.ErrBadArgs)
+	}
+	body := cmd[1:]
+	switch cmd[0] {
+	case cmdMessage:
+		m, err := proto.Unmarshal(body)
+		if err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		rep, err := p.Send(m, rs.fs.PID())
+		if err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return rep
+	case cmdMkdirAll:
+		d := &dec{b: body}
+		path, owner := d.str(), d.str()
+		if d.bad {
+			return core.ErrorReplyMsg(proto.ErrBadArgs)
+		}
+		ctx, err := rs.fs.MkdirAll(path, owner)
+		if err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		rep := core.OkReply()
+		rep.F[2] = uint32(ctx)
+		return rep
+	case cmdWriteFile:
+		d := &dec{b: body}
+		path, owner, contents := d.str(), d.str(), d.take()
+		if d.bad {
+			return core.ErrorReplyMsg(proto.ErrBadArgs)
+		}
+		if err := rs.fs.WriteFile(path, owner, contents); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+	case cmdWellKnown:
+		d := &dec{b: body}
+		ctx := core.ContextID(d.u64())
+		path := d.str()
+		if d.bad {
+			return core.ErrorReplyMsg(proto.ErrBadArgs)
+		}
+		if err := rs.fs.SetWellKnown(ctx, path); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+	case cmdAddLink:
+		d := &dec{b: body}
+		dirPath, name := d.str(), d.str()
+		target := core.ContextPair{}
+		target.Server = kernel.PID(d.u64())
+		target.Ctx = core.ContextID(d.u64())
+		if d.bad {
+			return core.ErrorReplyMsg(proto.ErrBadArgs)
+		}
+		if err := rs.fs.AddLink(dirPath, name, target); err != nil {
+			return core.ErrorReplyMsg(err)
+		}
+		return core.OkReply()
+	}
+	return core.ErrorReplyMsg(proto.ErrBadArgs)
+}
+
+// Snapshot implements replica.Service.
+func (rs *ReplicaService) Snapshot() []byte { return rs.fs.vol.encode() }
+
+// Restore implements replica.Service.
+func (rs *ReplicaService) Restore(p *kernel.Process, data []byte) error {
+	return rs.fs.restoreVolume(data)
+}
+
+var _ replica.Service = (*ReplicaService)(nil)

@@ -1,0 +1,279 @@
+package fileserver
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/replica"
+	"repro/internal/vtime"
+)
+
+// seedVolume builds a small but representative name space: nested
+// directories, two files, a well-known binding, and a remote link.
+func seedVolume(t *testing.T, fs *FileServer) {
+	t.Helper()
+	if _, err := fs.MkdirAll("/users/mann/notes", "mann"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkdirAll("/bin", "system"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/users/mann/notes/todo.txt", "mann", []byte("ship it")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/bin/hello", "system", []byte("hello image")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddLink("/users/mann", "shared", core.ContextPair{Server: 42, Ctx: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVolumeSnapshotRoundTrip pins the snapshot codec: restoring an
+// encoded volume reproduces the name space exactly, and the canonical
+// encoding makes the round trip byte-stable.
+func TestVolumeSnapshotRoundTrip(t *testing.T) {
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	src, err := Start(k.NewHost("src"), "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedVolume(t, src)
+	img := src.vol.encode()
+
+	dst, err := Start(k.NewHost("dst"), "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-populate the destination with divergent state the restore must
+	// wipe out.
+	if err := dst.WriteFile("/stale/junk.txt", "nobody", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.restoreVolume(img); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.vol.encode(); !bytes.Equal(got, img) {
+		t.Fatalf("restored volume re-encodes differently (%d vs %d bytes)", len(got), len(img))
+	}
+	d, err := dst.Describe("/users/mann/notes/todo.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size != uint32(len("ship it")) {
+		t.Fatalf("restored file size = %d", d.Size)
+	}
+	if _, err := dst.Describe("/stale/junk.txt"); err == nil {
+		t.Fatalf("pre-restore state survived the restore")
+	}
+}
+
+// TestVolumeSnapshotCorrupt: every truncation of a valid image must be
+// rejected, never half-applied.
+func TestVolumeSnapshotCorrupt(t *testing.T) {
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	fs, err := Start(k.NewHost("fs"), "fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedVolume(t, fs)
+	img := fs.vol.encode()
+	for _, cut := range []int{0, 1, len(img) / 2, len(img) - 1} {
+		if _, _, _, err := decodeVolume(img[:cut]); err == nil {
+			t.Fatalf("decodeVolume accepted a %d-byte truncation", cut)
+		}
+	}
+	if _, _, _, err := decodeVolume(append(append([]byte(nil), img...), 0)); err == nil {
+		t.Fatalf("decodeVolume accepted trailing garbage")
+	}
+}
+
+// replicatedFS is one group member: a local file server fronted by a
+// replica running its ReplicaService.
+type replicatedFS struct {
+	fs  *FileServer
+	rep *replica.Replica
+}
+
+// startReplicatedFS boots an n-member file-server replication group plus
+// a client process, mirroring the rig's topology at package scale.
+func startReplicatedFS(t *testing.T, n int) (*replica.Group, []replicatedFS, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	g, err := replica.NewGroup(k.NewHost("mon"), replica.Config{Name: "fs", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]replicatedFS, n)
+	for i := 0; i < n; i++ {
+		host := k.NewHost(string(rune('a' + i)))
+		fs, err := Start(host, "fs"+string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := NewReplicaService(fs)
+		rep, err := replica.Start(host, "front", func(p *kernel.Process) replica.Service { return svc })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Add(host.Name(), rep); err != nil {
+			t.Fatal(err)
+		}
+		members[i] = replicatedFS{fs: fs, rep: rep}
+	}
+	if err := g.Bootstrap(0); err != nil {
+		t.Fatal(err)
+	}
+	client, err := k.NewHost("ws").NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, members, client
+}
+
+// proposeOK proposes a boot command and requires an OK reply.
+func proposeOK(t *testing.T, g *replica.Group, cmd []byte) *proto.Message {
+	t.Helper()
+	rep, err := g.Propose(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != proto.ReplyOK {
+		t.Fatalf("propose reply %v", rep.Op)
+	}
+	return rep
+}
+
+// TestReplicatedFileServer drives the full front: boot seeding through
+// the log, client mutations on leader and follower, context-map
+// proxying, and snapshot equality across members.
+func TestReplicatedFileServer(t *testing.T) {
+	g, members, client := startReplicatedFS(t, 3)
+
+	// Boot-seed through the log: every command kind once.
+	rep := proposeOK(t, g, CmdMkdirAll("/users/mann/notes", "mann"))
+	if rep.F[2] == 0 {
+		t.Fatalf("CmdMkdirAll reply carries no context id")
+	}
+	proposeOK(t, g, CmdMkdirAll("/bin", "system"))
+	proposeOK(t, g, CmdWriteFile("/users/mann/notes/todo.txt", "mann", []byte("ship it")))
+	proposeOK(t, g, CmdWriteFile("/bin/hello", "system", []byte("hello image")))
+	proposeOK(t, g, CmdSetWellKnown(core.CtxStdPrograms, "/bin"))
+	proposeOK(t, g, CmdAddLink("/users/mann", "shared", core.ContextPair{Server: 42, Ctx: 7}))
+
+	// A client mutation sent to the leader front replicates everywhere.
+	req := &proto.Message{Op: proto.OpRemoveObject}
+	proto.SetCSName(req, uint32(core.CtxDefault), "users/mann/notes/todo.txt")
+	r, err := client.Send(req, members[0].rep.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != proto.ReplyOK {
+		t.Fatalf("leader Remove reply %v", r.Op)
+	}
+	for i, m := range members {
+		if _, err := m.fs.Describe("/users/mann/notes/todo.txt"); err == nil {
+			t.Fatalf("member %d still holds the removed file", i)
+		}
+	}
+
+	// The same mutation through a follower front forwards to the leader
+	// (the client never sees NotLeader while a leader exists).
+	req2 := &proto.Message{Op: proto.OpRemoveObject}
+	proto.SetCSName(req2, uint32(core.CtxDefault), "bin/hello")
+	r2, err := client.Send(req2, members[1].rep.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Op != proto.ReplyOK {
+		t.Fatalf("follower Remove reply %v", r2.Op)
+	}
+	for i, m := range members {
+		if _, err := m.fs.Describe("/bin/hello"); err == nil {
+			t.Fatalf("member %d still holds the file removed via follower", i)
+		}
+	}
+
+	// MapContext through the front names the front, not the local server:
+	// cached pairs must keep routing through the group.
+	mc := &proto.Message{Op: proto.OpMapContext}
+	proto.SetCSName(mc, uint32(core.CtxDefault), "users/mann")
+	r3, err := client.Send(mc, members[0].rep.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Op != proto.ReplyOK {
+		t.Fatalf("MapContext reply %v", r3.Op)
+	}
+	if pid, _ := proto.GetMapContextReply(r3); pid != uint32(members[0].rep.PID()) {
+		t.Fatalf("MapContext names pid %d, want the front %d", pid, members[0].rep.PID())
+	}
+
+	// A read forwarded to the local server works through the front.
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, uint32(core.CtxDefault), "users/mann")
+	r4, err := client.Send(q, members[0].rep.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Op != proto.ReplyOK {
+		t.Fatalf("QueryObject via front reply %v", r4.Op)
+	}
+
+	// After the mutation stream, every member holds the same name-space
+	// structure and file bytes — the replicated invariant. Mtimes are
+	// server-local (each member applies at its own virtual arrival time,
+	// §11.5), so the comparison is modulo timestamps.
+	img := structuralImage(t, members[0].fs)
+	for i, m := range members[1:] {
+		if !bytes.Equal(structuralImage(t, m.fs), img) {
+			t.Fatalf("member %d volume diverged from member 0", i+1)
+		}
+	}
+
+	// The service snapshot is the volume image; a fresh front over the
+	// same member serves it unchanged (the rejoin path reads this).
+	svc := NewReplicaService(members[0].fs)
+	if !bytes.Equal(svc.Snapshot(), members[0].fs.vol.encode()) {
+		t.Fatalf("service snapshot differs from the volume encoding")
+	}
+}
+
+// structuralImage encodes a volume with every mtime zeroed: the bytes two
+// replicas must agree on.
+func structuralImage(t *testing.T, fs *FileServer) []byte {
+	t.Helper()
+	nodes, next, wk, err := decodeVolume(fs.vol.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		n.mtime = 0
+	}
+	v := &volume{nodes: nodes, next: next, wellKnown: wk}
+	return v.encode()
+}
+
+// TestReplicaApplyRejectsGarbage: malformed log commands must come back
+// as errors, not crashes or silent corruption.
+func TestReplicaApplyRejectsGarbage(t *testing.T) {
+	_, members, _ := startReplicatedFS(t, 1)
+	svc := NewReplicaService(members[0].fs)
+	p := members[0].fs.Proc()
+	for _, cmd := range [][]byte{nil, {}, {0xFF}, {cmdMkdirAll}, {cmdWriteFile, 0x02, 'x'}, {cmdWellKnown}, {cmdAddLink, 0x01}} {
+		rep := svc.Apply(p, cmd)
+		if rep.Op == proto.ReplyOK {
+			t.Fatalf("Apply(%v) succeeded", cmd)
+		}
+	}
+	if rep := svc.Apply(p, append([]byte{cmdMessage}, 0xFF)); rep.Op == proto.ReplyOK {
+		t.Fatalf("Apply accepted an unparsable wrapped message")
+	}
+}

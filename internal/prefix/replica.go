@@ -1,0 +1,185 @@
+package prefix
+
+// Replication adapter (ISSUE 6; PROTOCOL.md §11): a prefix server becomes
+// a replication-group member by fronting it with a ReplicaService. Prefix
+// tables are tiny and read-mostly, so the routing is simple: table
+// mutations (bracket-less add/delete-context-name, §5.7) are proposed
+// through the group log and applied on every member; every other request —
+// prefix forwards, directory reads, inverse queries — is served by the
+// member-local table directly, on any member, since all members hold the
+// same committed table. Directory-record writebacks (redefining a prefix
+// through an open context directory) stay member-local, like open
+// instances themselves; the replicated invariant is the define/delete
+// stream.
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/proto"
+	"repro/internal/replica"
+)
+
+// ReplicaService fronts a member-local prefix server (built with New, not
+// Start — the replica process is the serving process) as a
+// replication-group state machine.
+type ReplicaService struct {
+	s *Server
+}
+
+// NewReplicaService builds the front over the member-local server.
+func NewReplicaService(s *Server) *ReplicaService { return &ReplicaService{s: s} }
+
+// Server returns the member-local prefix server behind the front.
+func (rs *ReplicaService) Server() *Server { return rs.s }
+
+// tableMutation reports whether msg defines or deletes a prefix in this
+// server's own table — the operations that must go through the group log.
+// Bracketed add/delete requests are destined for another server's name
+// space and are forwarded along the binding like any other CSname.
+func tableMutation(msg *proto.Message) bool {
+	if msg.Op != proto.OpAddContextName && msg.Op != proto.OpDeleteContextName {
+		return false
+	}
+	name, index, err := proto.CSName(msg)
+	if err != nil {
+		return false
+	}
+	return index >= len(name) || name[index] != Marker
+}
+
+// Serve implements replica.Service.
+func (rs *ReplicaService) Serve(p *kernel.Process, r *replica.Replica, msg *proto.Message, from kernel.PID) {
+	if tableMutation(msg) {
+		if !r.Leading() {
+			_ = p.Reply(r.NotLeaderReply(), from)
+			return
+		}
+		cmd, err := msg.Marshal()
+		if err != nil {
+			_ = p.Reply(core.ErrorReplyMsg(err), from)
+			return
+		}
+		rep, err := r.Propose(p, cmd)
+		switch {
+		case errors.Is(err, proto.ErrNotLeader):
+			_ = p.Reply(r.NotLeaderReply(), from)
+		case err != nil:
+			_ = p.Reply(core.ErrorReplyMsg(err), from)
+		default:
+			_ = p.Reply(rep, from)
+		}
+		return
+	}
+	rs.s.serveOne(p, msg, from)
+}
+
+// Apply implements replica.Service: commands are the marshaled mutation
+// messages, applied straight to the member-local table (no transaction
+// needed — the handlers only touch the table).
+func (rs *ReplicaService) Apply(p *kernel.Process, cmd []byte) *proto.Message {
+	m, err := proto.Unmarshal(cmd)
+	if err != nil {
+		return core.ErrorReplyMsg(err)
+	}
+	switch m.Op {
+	case proto.OpAddContextName:
+		return rs.s.handleAdd(m)
+	case proto.OpDeleteContextName:
+		return rs.s.handleDelete(m)
+	}
+	return core.ErrorReplyMsg(proto.ErrBadArgs)
+}
+
+// Snapshot implements replica.Service: the prefix table, canonically
+// encoded in sorted name order. Runtime state (open instances, rebind
+// tracking, stats) is member-local and not part of the replicated state.
+func (rs *ReplicaService) Snapshot() []byte {
+	s := rs.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.bindings))
+	for n := range s.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	u64 := func(x uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], x)]...) }
+	str := func(v string) { u64(uint64(len(v))); buf = append(buf, v...) }
+	u64(uint64(len(names)))
+	for _, n := range names {
+		b := s.bindings[n]
+		str(n)
+		if b.Dynamic {
+			u64(1)
+			u64(uint64(b.Service))
+			u64(uint64(b.WellKnown))
+		} else {
+			u64(0)
+			u64(uint64(b.Pair.Server))
+			u64(uint64(b.Pair.Ctx))
+		}
+	}
+	return buf
+}
+
+// Restore implements replica.Service.
+func (rs *ReplicaService) Restore(p *kernel.Process, data []byte) error {
+	bad := errors.New("prefix: corrupt table snapshot")
+	u64 := func() (uint64, bool) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, false
+		}
+		data = data[n:]
+		return v, true
+	}
+	str := func() (string, bool) {
+		n, ok := u64()
+		if !ok || uint64(len(data)) < n {
+			return "", false
+		}
+		v := string(data[:n])
+		data = data[n:]
+		return v, true
+	}
+	cnt, ok := u64()
+	if !ok {
+		return bad
+	}
+	table := make(map[string]Binding, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		name, ok1 := str()
+		dyn, ok2 := u64()
+		a, ok3 := u64()
+		b, ok4 := u64()
+		if !(ok1 && ok2 && ok3 && ok4) {
+			return bad
+		}
+		bind := Binding{}
+		if dyn == 1 {
+			bind.Dynamic = true
+			bind.Service = kernel.Service(a)
+			bind.WellKnown = core.ContextID(b)
+		} else {
+			bind.Pair = core.ContextPair{Server: kernel.PID(a), Ctx: core.ContextID(b)}
+		}
+		table[name] = bind
+	}
+	if len(data) != 0 {
+		return bad
+	}
+	s := rs.s
+	s.mu.Lock()
+	s.bindings = table
+	s.sortedNames = nil
+	s.lastResolved = make(map[string]kernel.PID)
+	s.mu.Unlock()
+	return nil
+}
+
+var _ replica.Service = (*ReplicaService)(nil)

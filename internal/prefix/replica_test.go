@@ -1,0 +1,156 @@
+package prefix
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/replica"
+	"repro/internal/vtime"
+)
+
+// startReplicatedPrefix boots an n-member prefix replication group (each
+// member a New-built server whose serving process is its replica front)
+// plus a client process.
+func startReplicatedPrefix(t *testing.T, n int) (*replica.Group, []*Server, []*replica.Replica, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	g, err := replica.NewGroup(k.NewHost("mon"), replica.Config{Name: "prefix", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvs := make([]*Server, n)
+	reps := make([]*replica.Replica, n)
+	for i := 0; i < n; i++ {
+		host := k.NewHost(string(rune('a' + i)))
+		rep, err := replica.Start(host, "front", func(p *kernel.Process) replica.Service {
+			srv := New(p, "mann")
+			srvs[i] = srv
+			return NewReplicaService(srv)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Add(host.Name(), rep); err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	if err := g.Bootstrap(0); err != nil {
+		t.Fatal(err)
+	}
+	client, err := k.NewHost("ws").NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, srvs, reps, client
+}
+
+// TestReplicatedPrefixTable drives the replicated prefix front: table
+// mutations commit on every member, reads are served member-locally,
+// and followers redirect mutations with a leader hint.
+func TestReplicatedPrefixTable(t *testing.T) {
+	_, srvs, reps, client := startReplicatedPrefix(t, 3)
+
+	// A bracket-less add through the leader front defines the prefix on
+	// every member's table.
+	add := &proto.Message{Op: proto.OpAddContextName}
+	proto.SetCSName(add, 0, "storage")
+	proto.SetAddContextTarget(add, 42, 7)
+	rep, err := client.Send(add, reps[0].PID())
+	if err != nil || rep.Op != proto.ReplyOK {
+		t.Fatalf("add reply = %v, %v", rep, err)
+	}
+	dyn := &proto.Message{Op: proto.OpAddContextName}
+	proto.SetCSName(dyn, 0, "bin")
+	proto.SetAddContextDynamicTarget(dyn, uint32(kernel.ServiceStorage), uint32(core.CtxStdPrograms))
+	if rep, err = client.Send(dyn, reps[0].PID()); err != nil || rep.Op != proto.ReplyOK {
+		t.Fatalf("dynamic add reply = %v, %v", rep, err)
+	}
+	want := map[string]Binding{
+		"storage": {Pair: core.ContextPair{Server: 42, Ctx: 7}},
+		"bin":     {Dynamic: true, Service: kernel.ServiceStorage, WellKnown: core.CtxStdPrograms},
+	}
+	for i, s := range srvs {
+		if got := s.Bindings(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("member %d table = %+v, want %+v", i, got, want)
+		}
+	}
+
+	// A table mutation sent to a follower is refused with a leader hint —
+	// tiny tables make redirect cheaper than forwarding here.
+	del := &proto.Message{Op: proto.OpDeleteContextName}
+	proto.SetCSName(del, 0, "storage")
+	rep, err = client.Send(del, reps[1].PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != proto.ReplyNotLeader {
+		t.Fatalf("follower mutation reply = %v, want NotLeader", rep.Op)
+	}
+	if hint := proto.LeaderHint(rep); hint != uint32(reps[0].PID()) {
+		t.Fatalf("leader hint = %d, want %d", hint, reps[0].PID())
+	}
+
+	// Redirected to the leader, the delete commits everywhere.
+	if rep, err = client.Send(del, reps[0].PID()); err != nil || rep.Op != proto.ReplyOK {
+		t.Fatalf("leader delete reply = %v, %v", rep, err)
+	}
+	for i, s := range srvs {
+		if _, ok := s.Bindings()["storage"]; ok {
+			t.Fatalf("member %d still holds the deleted prefix", i)
+		}
+	}
+
+	// Non-mutating requests are served by any member's local table.
+	q := &proto.Message{Op: proto.OpQueryObject}
+	proto.SetCSName(q, 0, "[bin")
+	rep, err = client.Send(q, reps[2].PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op == proto.ReplyNotLeader {
+		t.Fatalf("follower redirected a read")
+	}
+}
+
+// TestPrefixSnapshotRoundTrip pins the table codec: snapshot and
+// restore reproduce static and dynamic bindings exactly, and corrupt
+// images are rejected whole.
+func TestPrefixSnapshotRoundTrip(t *testing.T) {
+	_, srvs, _, _ := startReplicatedPrefix(t, 2)
+	src := NewReplicaService(srvs[0])
+	if err := srvs[0].Define("storage", core.ContextPair{Server: 42, Ctx: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvs[0].DefineDynamic("bin", kernel.ServiceStorage, core.CtxStdPrograms); err != nil {
+		t.Fatal(err)
+	}
+	img := src.Snapshot()
+
+	dst := NewReplicaService(srvs[1])
+	if err := srvs[1].Define("stale", core.ContextPair{Server: 9, Ctx: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(nil, img); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(srvs[1].Bindings(), srvs[0].Bindings()) {
+		t.Fatalf("restored table %+v != source %+v", srvs[1].Bindings(), srvs[0].Bindings())
+	}
+	if !bytes.Equal(dst.Snapshot(), img) {
+		t.Fatalf("restored table re-encodes differently")
+	}
+	for _, cut := range []int{1, len(img) - 1} {
+		if err := dst.Restore(nil, img[:cut]); err == nil {
+			t.Fatalf("Restore accepted a %d-byte truncation", cut)
+		}
+	}
+	if err := dst.Restore(nil, append(append([]byte(nil), img...), 0)); err == nil {
+		t.Fatalf("Restore accepted trailing garbage")
+	}
+}

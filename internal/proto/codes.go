@@ -25,6 +25,11 @@ const (
 	ReplyDuplicateName
 	ReplyNotEmpty
 	ReplyRetry
+	// ReplyNotLeader is returned by a replication-group member asked to
+	// perform an operation only the group leader may serve. F[1] carries a
+	// leader hint: the pid of the member the replier believes is leader,
+	// or 0 when no live leader is known (§11 of PROTOCOL.md).
+	ReplyNotLeader
 )
 
 // Request codes carrying a character-string name (CSname requests, §5.1).
@@ -105,6 +110,41 @@ const (
 	OpRemoveByUID
 )
 
+// Request codes of the replication substrate (internal/replica): the
+// Raft-style consensus messages that keep a group of name servers
+// byte-identical. They ride the ordinary Send/Receive/Reply transaction,
+// so they are costed, traced and metered like any other V message.
+const (
+	// OpReplicaAppend replicates log entries (and commit state) from the
+	// leader to a follower; an empty-entry append is the leader's
+	// announcement/heartbeat.
+	OpReplicaAppend Code = iota + 0x0400
+	// OpReplicaVote requests an election vote from a peer.
+	OpReplicaVote
+	// OpReplicaElect instructs a member (from the group monitor) to stand
+	// for election; the member runs the vote rounds synchronously.
+	OpReplicaElect
+	// OpReplicaSync instructs the leader (from the group monitor) to
+	// bring a rejoined member up to date via snapshot install.
+	OpReplicaSync
+	// OpReplicaSnapshot installs one chunk of a state-machine snapshot on
+	// a follower.
+	OpReplicaSnapshot
+	// OpReplicaPropose submits a state-machine command to the leader for
+	// replication; the reply is the command's apply result.
+	OpReplicaPropose
+	// OpReplicaStatus reports a member's term, role, commit index and
+	// leader view (diagnostics and tests).
+	OpReplicaStatus
+)
+
+// SetLeaderHint records a leader hint on a ReplyNotLeader message.
+func SetLeaderHint(m *Message, pid uint32) { m.F[1] = pid }
+
+// LeaderHint returns the leader hint of a ReplyNotLeader message, 0 when
+// the replier knew no live leader.
+func LeaderHint(m *Message) uint32 { return m.F[1] }
+
 // IsReply reports whether c is a reply code.
 func (c Code) IsReply() bool { return c < 0x0100 }
 
@@ -139,6 +179,7 @@ var codeNames = map[Code]string{
 	ReplyDuplicateName:      "DuplicateName",
 	ReplyNotEmpty:           "NotEmpty",
 	ReplyRetry:              "Retry",
+	ReplyNotLeader:          "NotLeader",
 
 	OpMapContext:        "MapContext",
 	OpQueryObject:       "QueryObject",
@@ -167,6 +208,14 @@ var codeNames = map[Code]string{
 	OpNSList:       "NSList",
 	OpOpenByUID:    "OpenByUID",
 	OpRemoveByUID:  "RemoveByUID",
+
+	OpReplicaAppend:   "ReplicaAppend",
+	OpReplicaVote:     "ReplicaVote",
+	OpReplicaElect:    "ReplicaElect",
+	OpReplicaSync:     "ReplicaSync",
+	OpReplicaSnapshot: "ReplicaSnapshot",
+	OpReplicaPropose:  "ReplicaPropose",
+	OpReplicaStatus:   "ReplicaStatus",
 }
 
 // Standard error values corresponding to the standard failure replies,
@@ -187,6 +236,7 @@ var (
 	ErrDuplicateName      = errors.New("duplicate name")
 	ErrNotEmpty           = errors.New("context not empty")
 	ErrRetry              = errors.New("retry")
+	ErrNotLeader          = errors.New("not the replication-group leader")
 )
 
 var replyErrors = map[Code]error{
@@ -205,6 +255,7 @@ var replyErrors = map[Code]error{
 	ReplyDuplicateName:      ErrDuplicateName,
 	ReplyNotEmpty:           ErrNotEmpty,
 	ReplyRetry:              ErrRetry,
+	ReplyNotLeader:          ErrNotLeader,
 }
 
 // ReplyError maps a reply code to a standard error, or nil for ReplyOK.

@@ -1,0 +1,55 @@
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Log entry wire format (PROTOCOL.md §11.2): each entry is
+//
+//	uvarint term | uvarint len(cmd) | cmd bytes
+//
+// concatenated in log order. The encoding is deterministic, so two
+// replicas that apply the same append stream hold byte-identical logs.
+
+type entry struct {
+	Term uint32
+	Cmd  []byte
+}
+
+func encodeEntries(ents []entry) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	for _, e := range ents {
+		n := binary.PutUvarint(tmp[:], uint64(e.Term))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(len(e.Cmd)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, e.Cmd...)
+	}
+	return buf
+}
+
+func decodeEntries(buf []byte, count int) ([]entry, error) {
+	ents := make([]entry, 0, count)
+	for i := 0; i < count; i++ {
+		term, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("replica: truncated entry %d term", i)
+		}
+		buf = buf[n:]
+		ln, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < ln {
+			return nil, fmt.Errorf("replica: truncated entry %d command", i)
+		}
+		buf = buf[n:]
+		cmd := make([]byte, ln)
+		copy(cmd, buf[:ln])
+		buf = buf[ln:]
+		ents = append(ents, entry{Term: uint32(term), Cmd: cmd})
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("replica: %d trailing bytes after %d entries", len(buf), count)
+	}
+	return ents, nil
+}

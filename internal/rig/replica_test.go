@@ -1,0 +1,174 @@
+package rig
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/proto"
+	"repro/internal/replica"
+	"repro/internal/vtime"
+)
+
+// replicaRetryPolicy is the fast recovery policy replicated runs use:
+// elections complete within tens of virtual milliseconds, so short
+// backoffs keep the leaderless window — the only client-visible
+// downtime — small (EXPERIMENTS.md A15).
+func replicaRetryPolicy() client.RetryPolicy {
+	return client.RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+}
+
+func TestReplicatedBoot(t *testing.T) {
+	r := MustNew(Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true, Replicas: 3})
+	host, pid := r.FSR.Group.Leader()
+	if host != "fs1" || pid != r.FSR.Members[0].Rep.PID() {
+		t.Fatalf("bootstrap leader = %s/%v, want fs1 slot 0", host, pid)
+	}
+	if got := len(r.FSR.Members); got != 3 {
+		t.Fatalf("fs members = %d, want 3", got)
+	}
+	if r.WS[0].PrefixRep == nil || len(r.WS[0].PrefixRep.Members) != 3 {
+		t.Fatalf("prefix group missing or wrong size")
+	}
+
+	s := r.WS[0].Session
+	data, err := s.ReadFile("[home]welcome.txt")
+	if err != nil {
+		t.Fatalf("ReadFile via replicated fronts: %v", err)
+	}
+	if !bytes.Contains(data, []byte("mann")) {
+		t.Fatalf("welcome.txt = %q", data)
+	}
+	if _, err := s.Open("[bin]hello", proto.ModeRead); err != nil {
+		t.Fatalf("Open [bin]hello: %v", err)
+	}
+
+	// A name-space mutation must commit on a majority before the reply.
+	if err := s.Remove("[home]notes/todo.txt"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	for i, st := range r.FSR.Group.Statuses() {
+		if st.Commit == 0 {
+			t.Errorf("member %d commit = 0 after replicated Remove", i)
+		}
+	}
+}
+
+// TestReplicatedFailoverInFlight crashes the leader in the middle of a
+// closed-loop workload: every operation must still succeed (retry +
+// leader-hint rebinding), and the committed mutations must survive on
+// the failed-over leader.
+func TestReplicatedFailoverInFlight(t *testing.T) {
+	policy := replicaRetryPolicy()
+	r := MustNew(Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true, Replicas: 3, Retry: &policy})
+	s := r.WS[0].Session
+	s.EnableNameCache(true)
+
+	eng := r.NewChaos([]chaos.Event{
+		{At: 60 * time.Millisecond, Action: chaos.Crash, Host: "fs1"},
+		{At: 400 * time.Millisecond, Action: chaos.Restart, Host: "fs1"},
+	})
+	pump := func(now vtime.Time) {
+		eng.AdvanceTo(now)
+		r.PumpGroups(now)
+	}
+	s.SetRetryObserver(pump)
+
+	// Pre-crash replicated mutation: the failed-over leader must have it.
+	if err := s.Remove("[home]notes/todo.txt"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+
+	const ops = 60
+	for i := 0; i < ops; i++ {
+		if i > 0 && i%10 == 0 {
+			s.FlushNameCache()
+		}
+		pump(s.Proc().Now())
+		f, err := s.Open("[bin]hello", proto.ModeRead)
+		if err != nil {
+			t.Fatalf("op %d: Open failed across failover: %v", i, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("op %d: Close: %v", i, err)
+		}
+		s.Proc().ChargeCompute(10 * time.Millisecond)
+	}
+	pump(s.Proc().Now())
+
+	sum := r.ResilienceSummary()
+	if sum.Client.OpsFailed != 0 {
+		t.Fatalf("OpsFailed = %d, want 0", sum.Client.OpsFailed)
+	}
+	if len(r.FSR.Group.Failovers()) == 0 {
+		t.Fatalf("no failover recorded; events:\n%v", r.FSR.Group.Events())
+	}
+	// The schedule's restart rejoined fs1 and transferred leadership back
+	// to slot 0 (lowest live slot = the kernel's GetPid preference).
+	if host, _ := r.FSR.Group.Leader(); host != "fs1" {
+		t.Fatalf("post-rejoin leader = %s, want fs1", host)
+	}
+	// The pre-crash Remove survived the crash via the group log.
+	if _, err := s.Open("[home]notes/todo.txt", proto.ModeRead); err == nil {
+		t.Fatalf("todo.txt still opens after replicated Remove + failover")
+	}
+}
+
+// replicatedScenario runs a fixed crash/restart schedule against a
+// replicated rig and returns everything determinism can be judged by.
+func replicatedScenario(t *testing.T) (events []string, statuses []replica.Status, failed int) {
+	t.Helper()
+	policy := replicaRetryPolicy()
+	r := MustNew(Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true, Replicas: 3, Retry: &policy})
+	s := r.WS[0].Session
+	s.EnableNameCache(true)
+	eng := r.NewChaos([]chaos.Event{
+		{At: 50 * time.Millisecond, Action: chaos.Crash, Host: "fs1"},
+		{At: 300 * time.Millisecond, Action: chaos.Restart, Host: "fs1"},
+		{At: 500 * time.Millisecond, Action: chaos.Crash, Host: "fs1b"},
+		{At: 700 * time.Millisecond, Action: chaos.Restart, Host: "fs1b"},
+	})
+	pump := func(now vtime.Time) {
+		eng.AdvanceTo(now)
+		r.PumpGroups(now)
+	}
+	s.SetRetryObserver(pump)
+	for i := 0; i < 80; i++ {
+		if i > 0 && i%10 == 0 {
+			s.FlushNameCache()
+		}
+		pump(s.Proc().Now())
+		if f, err := s.Open("[bin]hello", proto.ModeRead); err == nil {
+			_ = f.Close()
+		}
+		s.Proc().ChargeCompute(10 * time.Millisecond)
+	}
+	pump(s.Proc().Now())
+	return r.FSR.Group.Events(), r.FSR.Group.Statuses(), r.ResilienceSummary().Client.OpsFailed
+}
+
+// TestReplicaDeterministic pins the replication machinery to the
+// virtual clock: the same seed and schedule must produce byte-identical
+// group event logs and identical member statuses, run after run.
+func TestReplicaDeterministic(t *testing.T) {
+	ev1, st1, failed1 := replicatedScenario(t)
+	ev2, st2, failed2 := replicatedScenario(t)
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("group event logs differ between runs:\n%v\n---\n%v", ev1, ev2)
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("member statuses differ: %+v vs %+v", st1, st2)
+	}
+	if failed1 != failed2 {
+		t.Fatalf("failed-op counts differ: %d vs %d", failed1, failed2)
+	}
+	if failed1 != 0 {
+		t.Fatalf("scenario failed %d ops, want 0", failed1)
+	}
+	if len(ev1) == 0 {
+		t.Fatalf("scenario produced no group events")
+	}
+}

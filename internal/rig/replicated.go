@@ -1,0 +1,432 @@
+// Replicated topology (PROTOCOL.md §11): with Config.Replicas > 1 the
+// fs1 file service and every workstation's prefix table are
+// consensus-replicated, so no single host owns a name. Member hosts
+// fs1, fs1b, fs1c, … each run a member-local file server plus a replica
+// front; the fronts register the storage service, so the kernel's
+// lowest-live-host GetPid selection (§4.2) and the group's
+// transfer-on-rejoin rule agree on the same steady-state leader (slot
+// 0). Prefix members live on the workstation itself plus the services
+// and fs2 machines. The groups have no clocks of their own: workloads
+// pump them — chaos engine first, then PumpGroups, then the samplers
+// (§11.4) — and crash/restart instants reach them through the chaos
+// hooks NewChaos wires up.
+package rig
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/fileserver"
+	"repro/internal/kernel"
+	"repro/internal/prefix"
+	"repro/internal/replica"
+	"repro/internal/vtime"
+)
+
+// FSMember is one slot of the replicated fs1 service: the member host,
+// the member-local file server behind the front, and the replica front
+// clients address.
+type FSMember struct {
+	Name string
+	Host *kernel.Host
+	FS   *fileserver.FileServer
+	Svc  *fileserver.ReplicaService
+	Rep  *replica.Replica
+}
+
+// ReplicatedFS is the consensus-replicated fs1 service.
+type ReplicatedFS struct {
+	Group   *replica.Group
+	Members []*FSMember // slot order: fs1, fs1b, fs1c, …
+
+	fsOpts []fileserver.Option
+}
+
+// Member returns the member on the named host, or nil.
+func (rf *ReplicatedFS) Member(host string) *FSMember {
+	for _, m := range rf.Members {
+		if m.Name == host {
+			return m
+		}
+	}
+	return nil
+}
+
+// PrefixMember is one slot of a replicated prefix group.
+type PrefixMember struct {
+	Name string
+	Host *kernel.Host
+	Srv  *prefix.Server
+	Rep  *replica.Replica
+}
+
+// ReplicatedPrefix is one workstation's consensus-replicated prefix
+// table.
+type ReplicatedPrefix struct {
+	Group   *replica.Group
+	Members []*PrefixMember // slot order: workstation, services, fs2
+}
+
+// Member returns the member on the named host, or nil.
+func (rp *ReplicatedPrefix) Member(host string) *PrefixMember {
+	for _, m := range rp.Members {
+		if m.Name == host {
+			return m
+		}
+	}
+	return nil
+}
+
+// fsMemberHost names slot i's host: fs1, fs1b, fs1c, …
+func fsMemberHost(i int) string {
+	if i == 0 {
+		return "fs1"
+	}
+	return fmt.Sprintf("fs1%c", 'a'+i)
+}
+
+// bootReplicatedFileServers is bootFileServers for Replicas > 1: the
+// member hosts come first (so the fronts win GetPid's lowest-host
+// preference over fs2), every member volume is seeded identically in a
+// deterministic order, and the group bootstraps with slot 0 leading.
+func (r *Rig) bootReplicatedFileServers(cfg Config) error {
+	fsOpts := []fileserver.Option{fileserver.WithReadAhead(cfg.ReadAhead)}
+	if cfg.FileServerTeam > 1 {
+		fsOpts = append(fsOpts, fileserver.WithTeam(cfg.FileServerTeam))
+	}
+	r.FSR = &ReplicatedFS{fsOpts: fsOpts}
+	for i := 0; i < cfg.Replicas; i++ {
+		m, err := r.startFSMember(r.Kernel.NewHost(fsMemberHost(i)))
+		if err != nil {
+			return err
+		}
+		r.FSR.Members = append(r.FSR.Members, m)
+	}
+	r.FS1Host = r.FSR.Members[0].Host
+	r.FS1 = r.FSR.Members[0].FS
+
+	var err error
+	r.FS2Host = r.Kernel.NewHost("fs2")
+	r.FS2, err = fileserver.Start(r.FS2Host, "fs2", fsOpts...)
+	if err != nil {
+		return err
+	}
+	if err := r.FS2.Proc().SetPid(kernel.ServiceStorage, r.FS2.PID(), kernel.ScopeBoth); err != nil {
+		return err
+	}
+	if err := r.FS2.WriteFile("/archive/2026/paper.mss", "system",
+		[]byte("Uniform Access to Distributed Name Interpretation\n")); err != nil {
+		return err
+	}
+	archiveCtx, err := r.FS2.MkdirAll("/archive", "system")
+	if err != nil {
+		return err
+	}
+
+	// Seed every member volume with the identical helper sequence:
+	// i-node allocation is deterministic, so the volumes — and the
+	// context ids they hand out — are byte-identical across members.
+	binCtx := core.CtxDefault
+	for i, m := range r.FSR.Members {
+		ctx, err := seedFS1Volume(m.FS, cfg.Users, r.FS2.PID(), archiveCtx)
+		if err != nil {
+			return fmt.Errorf("seed %s: %w", m.Name, err)
+		}
+		if i == 0 {
+			binCtx = ctx
+		} else if ctx != binCtx {
+			return fmt.Errorf("seed %s: /bin context %d diverged from slot 0's %d", m.Name, ctx, binCtx)
+		}
+	}
+	r.BinCtx = core.ContextPair{Server: r.FSR.Members[0].Rep.PID(), Ctx: binCtx}
+
+	// The group monitor lives on fs2 — a host the fault schedules never
+	// take down.
+	g, err := replica.NewGroup(r.FS2Host, replica.Config{Name: "fs1", Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	for _, m := range r.FSR.Members {
+		if err := g.Add(m.Name, m.Rep); err != nil {
+			return err
+		}
+	}
+	if err := g.Bootstrap(0); err != nil {
+		return err
+	}
+	r.FSR.Group = g
+	return nil
+}
+
+// startFSMember boots one member: the local file server plus the
+// replica front, which registers as the storage service.
+func (r *Rig) startFSMember(host *kernel.Host) (*FSMember, error) {
+	fs, err := fileserver.Start(host, host.Name(), r.FSR.fsOpts...)
+	if err != nil {
+		return nil, err
+	}
+	svc := fileserver.NewReplicaService(fs)
+	rep, err := replica.Start(host, "fs-replica["+host.Name()+"]",
+		func(p *kernel.Process) replica.Service { return svc })
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Proc().SetPid(kernel.ServiceStorage, rep.PID(), kernel.ScopeBoth); err != nil {
+		return nil, err
+	}
+	return &FSMember{Name: host.Name(), Host: host, FS: fs, Svc: svc, Rep: rep}, nil
+}
+
+// seedFS1Volume writes the standard fs1 contents (bootFileServers'
+// sequence, in a fixed order) into one member volume and returns the
+// /bin context.
+func seedFS1Volume(fs *fileserver.FileServer, users []string, fs2 kernel.PID, archiveCtx core.ContextID) (core.ContextID, error) {
+	binCtx, err := fs.MkdirAll("/bin", "system")
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
+		return 0, err
+	}
+	if err := fs.SetWellKnown(core.CtxPublic, "/"); err != nil {
+		return 0, err
+	}
+	progs := []struct {
+		name string
+		size int
+	}{{"compiler", 64 * 1024}, {"editor", 64 * 1024}, {"hello", 2 * 1024}}
+	for _, pr := range progs {
+		if err := fs.WriteFile("/bin/"+pr.name, "system", programImage(pr.name, pr.size)); err != nil {
+			return 0, err
+		}
+	}
+	for _, user := range users {
+		base := "/users/" + user
+		if err := fs.WriteFile(base+"/welcome.txt", user,
+			[]byte(fmt.Sprintf("Welcome to the V-System, %s.\n", user))); err != nil {
+			return 0, err
+		}
+		if err := fs.WriteFile(base+"/notes/todo.txt", user,
+			[]byte("- finish the naming paper\n- measure Open latency\n")); err != nil {
+			return 0, err
+		}
+	}
+	if err := fs.SetWellKnown(core.CtxHome, "/users/"+users[0]); err != nil {
+		return 0, err
+	}
+	if err := fs.AddLink("/shared", "archive",
+		core.ContextPair{Server: fs2, Ctx: archiveCtx}); err != nil {
+		return 0, err
+	}
+	return binCtx, nil
+}
+
+// bootReplicatedPrefix builds the workstation's replicated prefix group:
+// slot 0 on the workstation itself (the member its session addresses),
+// the standbys on the services and fs2 machines. Prefix replication is
+// capped at those three hosts.
+func (r *Rig) bootReplicatedPrefix(cfg Config, ws *Workstation) error {
+	hosts := []*kernel.Host{ws.Host, r.ServicesHost, r.FS2Host}
+	n := cfg.Replicas
+	if n > len(hosts) {
+		n = len(hosts)
+	}
+	pr := &ReplicatedPrefix{}
+	for i := 0; i < n; i++ {
+		m, err := startPrefixMember(hosts[i], ws.User, i == 0)
+		if err != nil {
+			return err
+		}
+		pr.Members = append(pr.Members, m)
+	}
+	g, err := replica.NewGroup(r.ServicesHost, replica.Config{Name: "prefix-" + ws.User, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	for _, m := range pr.Members {
+		if err := g.Add(m.Name, m.Rep); err != nil {
+			return err
+		}
+	}
+	if err := g.Bootstrap(0); err != nil {
+		return err
+	}
+	pr.Group = g
+	ws.PrefixRep = pr
+	ws.Prefix = pr.Members[0].Srv
+	return nil
+}
+
+// startPrefixMember boots one prefix member: the replica front process
+// is the serving process (prefix.New, not Start — the front calls the
+// member-local table directly). Only the workstation's own member
+// registers the local context-prefix service.
+func startPrefixMember(host *kernel.Host, user string, local bool) (*PrefixMember, error) {
+	var srv *prefix.Server
+	rep, err := replica.Start(host, "prefix-replica["+user+"]",
+		func(p *kernel.Process) replica.Service {
+			srv = prefix.New(p, user)
+			return prefix.NewReplicaService(srv)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if local {
+		if err := rep.Proc().SetPid(kernel.ServiceContextPrefix, rep.PID(), kernel.ScopeLocal); err != nil {
+			return nil, err
+		}
+	}
+	return &PrefixMember{Name: host.Name(), Host: host, Srv: srv, Rep: rep}, nil
+}
+
+// prefixServers lists the prefix tables to boot-seed: every replica
+// member, or just the single server.
+func (ws *Workstation) prefixServers() []*prefix.Server {
+	if ws.PrefixRep == nil {
+		return []*prefix.Server{ws.Prefix}
+	}
+	out := make([]*prefix.Server, len(ws.PrefixRep.Members))
+	for i, m := range ws.PrefixRep.Members {
+		out[i] = m.Srv
+	}
+	return out
+}
+
+// fs1PID returns the pid clients should address for the fs1 service:
+// the current leader front when replicated (slot 0 at boot and in
+// steady state), the single server otherwise.
+func (r *Rig) fs1PID() kernel.PID {
+	if r.FSR != nil {
+		if _, pid := r.FSR.Group.Leader(); pid != kernel.NilPID {
+			return pid
+		}
+		return r.FSR.Members[0].Rep.PID()
+	}
+	return r.FS1.PID()
+}
+
+// fs1RootPair is RootPair for the fs1 service, naming the front when
+// replicated.
+func (r *Rig) fs1RootPair() core.ContextPair {
+	pair := r.FS1.RootPair()
+	if r.FSR != nil {
+		pair.Server = r.fs1PID()
+	}
+	return pair
+}
+
+// fs1MkdirAll applies MkdirAll to the fs1 service: every member volume
+// when replicated (the deterministic i-node allocator keeps the
+// returned context identical across members), the single server
+// otherwise.
+func (r *Rig) fs1MkdirAll(path, owner string) (core.ContextID, error) {
+	if r.FSR == nil {
+		return r.FS1.MkdirAll(path, owner)
+	}
+	ctx := core.CtxDefault
+	for i, m := range r.FSR.Members {
+		c, err := m.FS.MkdirAll(path, owner)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		if i == 0 {
+			ctx = c
+		} else if c != ctx {
+			return 0, fmt.Errorf("%s: context %d diverged from slot 0's %d", m.Name, c, ctx)
+		}
+	}
+	return ctx, nil
+}
+
+// PumpGroups drives every replication group's election timer from a
+// workload clock. Pump order is fixed — the fs group, then each
+// workstation's prefix group in creation order — and callers pump the
+// chaos engine before and the samplers after (§11.4).
+func (r *Rig) PumpGroups(now vtime.Time) {
+	if r.FSR != nil {
+		r.FSR.Group.Pump(now)
+	}
+	for _, ws := range r.WS {
+		if ws.PrefixRep != nil {
+			ws.PrefixRep.Group.Pump(now)
+		}
+	}
+}
+
+// wireReplicaHooks connects a chaos engine to the replication groups:
+// crashes turn into NoteDown at their exact virtual instant (after the
+// dying teams' exits are recorded, so traces stay deterministic), and
+// restarts re-create the member and rejoin it — snapshot-sync plus the
+// transfer election that restores slot order.
+func (r *Rig) wireReplicaHooks(e *chaos.Engine) {
+	e.CrashHook = func(host string, at vtime.Time) {
+		if m := r.FSR.Member(host); m != nil {
+			<-m.FS.Exited()
+			<-m.Rep.Exited()
+			r.FSR.Group.NoteDown(host, at)
+		}
+		for _, ws := range r.WS {
+			if ws.PrefixRep == nil {
+				continue
+			}
+			if m := ws.PrefixRep.Member(host); m != nil {
+				<-m.Rep.Exited()
+				ws.PrefixRep.Group.NoteDown(host, at)
+			}
+		}
+	}
+	e.RestartedHook = func(host string, at vtime.Time) error {
+		if m := r.FSR.Member(host); m != nil {
+			if err := r.RecreateServer(host, ServerFile); err != nil {
+				return err
+			}
+			if err := r.FSR.Group.Rejoin(host, m.Rep, at); err != nil {
+				return err
+			}
+		}
+		for _, ws := range r.WS {
+			if ws.PrefixRep == nil {
+				continue
+			}
+			if m := ws.PrefixRep.Member(host); m != nil {
+				if err := r.RecreateServer(host, ServerPrefix); err != nil {
+					return err
+				}
+				if err := ws.PrefixRep.Group.Rejoin(host, m.Rep, at); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// recreateFSMember replaces a crashed member in place: a cold local
+// file server (its volume arrives with the rejoin snapshot-sync) and a
+// fresh front registered as the storage service.
+func (r *Rig) recreateFSMember(m *FSMember) error {
+	nm, err := r.startFSMember(m.Host)
+	if err != nil {
+		return err
+	}
+	m.FS, m.Svc, m.Rep = nm.FS, nm.Svc, nm.Rep
+	if m == r.FSR.Members[0] {
+		r.FS1 = m.FS
+	}
+	return nil
+}
+
+// recreatePrefixMember replaces a crashed prefix member in place; its
+// table arrives with the rejoin snapshot-sync.
+func (r *Rig) recreatePrefixMember(ws *Workstation, m *PrefixMember) error {
+	nm, err := startPrefixMember(m.Host, ws.User, m == ws.PrefixRep.Members[0])
+	if err != nil {
+		return err
+	}
+	m.Srv, m.Rep = nm.Srv, nm.Rep
+	if m == ws.PrefixRep.Members[0] {
+		ws.Prefix = m.Srv
+	}
+	return nil
+}

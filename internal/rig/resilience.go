@@ -4,6 +4,9 @@
 package rig
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/chaos"
 	"repro/internal/client"
 	"repro/internal/core"
@@ -16,9 +19,15 @@ import (
 // hook re-creates the fs1 file server whenever a scripted Restart brings
 // the fs1 host back — the engine can restart a host kernel, but only the
 // rig knows what ran on it. Schedules targeting other hosts restart bare
-// kernels unless the caller replaces the hook.
+// kernels unless the caller replaces the hook. On a replicated rig the
+// hooks instead feed the replication groups: crashes become NoteDown,
+// restarts re-create the member and rejoin it (replicated.go).
 func (r *Rig) NewChaos(events []chaos.Event) *chaos.Engine {
 	e := chaos.New(r.Kernel, events)
+	if r.FSR != nil {
+		r.wireReplicaHooks(e)
+		return e
+	}
 	e.RestartHook = func(host string) error {
 		if host == "fs1" {
 			// The dying team notices the crash asynchronously (its
@@ -47,28 +56,113 @@ func (r *Rig) DrainFS1() {
 	}
 }
 
+// ServerKind names what RecreateServer rebuilds on a restarted host.
+type ServerKind string
+
+const (
+	// ServerFile is a file server: fs1/fs2, or a replicated fs1 member.
+	ServerFile ServerKind = "fileserver"
+	// ServerPrefix is a prefix server: a workstation's own, or a
+	// replicated prefix-group member.
+	ServerPrefix ServerKind = "prefix"
+)
+
+// RecreateServer starts a replacement server of the given kind on the
+// (restarted) host and re-registers its services. Unreplicated
+// replacements are cold servers: a new pid (the §4.2 rebinding
+// scenario) and minimally re-seeded state — fs1 keeps only /bin/hello,
+// fs2 only the archive paper, a workstation prefix server its old
+// table. Replicated members come back empty and receive their state
+// from the group's rejoin snapshot-sync instead.
+func (r *Rig) RecreateServer(host string, kind ServerKind) error {
+	switch kind {
+	case ServerFile:
+		if r.FSR != nil {
+			if m := r.FSR.Member(host); m != nil {
+				return r.recreateFSMember(m)
+			}
+		}
+		switch host {
+		case "fs1":
+			fs, err := fileserver.Start(r.FS1Host, "fs1")
+			if err != nil {
+				return err
+			}
+			if err := fs.Proc().SetPid(kernel.ServiceStorage, fs.PID(), kernel.ScopeBoth); err != nil {
+				return err
+			}
+			if err := fs.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
+				return err
+			}
+			if err := fs.WriteFile("/bin/hello", "system", programImage("hello", 2048)); err != nil {
+				return err
+			}
+			r.FS1 = fs
+			return nil
+		case "fs2":
+			fs, err := fileserver.Start(r.FS2Host, "fs2")
+			if err != nil {
+				return err
+			}
+			if err := fs.Proc().SetPid(kernel.ServiceStorage, fs.PID(), kernel.ScopeBoth); err != nil {
+				return err
+			}
+			if err := fs.WriteFile("/archive/2026/paper.mss", "system",
+				[]byte("Uniform Access to Distributed Name Interpretation\n")); err != nil {
+				return err
+			}
+			r.FS2 = fs
+			return nil
+		}
+		return fmt.Errorf("rig: no file server to recreate on host %q", host)
+	case ServerPrefix:
+		for _, ws := range r.WS {
+			if ws.PrefixRep != nil {
+				if m := ws.PrefixRep.Member(host); m != nil {
+					return r.recreatePrefixMember(ws, m)
+				}
+				continue
+			}
+			if ws.Host.Name() != host {
+				continue
+			}
+			old := ws.Prefix.Bindings()
+			srv, err := prefix.Start(ws.Host, ws.User)
+			if err != nil {
+				return err
+			}
+			names := make([]string, 0, len(old))
+			for name := range old {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				b := old[name]
+				if b.Dynamic {
+					err = srv.DefineDynamic(name, b.Service, b.WellKnown)
+				} else {
+					err = srv.Define(name, b.Pair)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			ws.Prefix = srv
+			return nil
+		}
+		return fmt.Errorf("rig: no prefix server to recreate on host %q", host)
+	}
+	return fmt.Errorf("rig: unknown server kind %q", kind)
+}
+
 // RecreateFS1 starts a replacement fs1 file server on the (restarted)
-// fs1 host and re-registers its service and well-known contexts. The
-// replacement is a cold server: it gets a new pid (the §4.2 rebinding
-// scenario) and an empty file system seeded with /bin/hello, so dynamic
-// bindings and program loads recover while static bindings to the old
-// pid dangle.
+// fs1 host — RecreateServer for the common case, returning the new
+// server.
 func (r *Rig) RecreateFS1() (*fileserver.FileServer, error) {
-	fs, err := fileserver.Start(r.FS1Host, "fs1")
-	if err != nil {
+	if err := r.RecreateServer("fs1", ServerFile); err != nil {
 		return nil, err
 	}
-	if err := fs.Proc().SetPid(kernel.ServiceStorage, fs.PID(), kernel.ScopeBoth); err != nil {
-		return nil, err
-	}
-	if err := fs.SetWellKnown(core.CtxStdPrograms, "/bin"); err != nil {
-		return nil, err
-	}
-	if err := fs.WriteFile("/bin/hello", "system", programImage("hello", 2048)); err != nil {
-		return nil, err
-	}
-	r.FS1 = fs
-	return fs, nil
+	return r.FS1, nil
 }
 
 // ResilienceSummary aggregates the recovery record of a run: every

@@ -57,6 +57,14 @@ type Config struct {
 	// ones.
 	Trace bool
 
+	// Replicas consensus-replicates the fs1 file service and every
+	// workstation's prefix table across a replication group of this many
+	// members (PROTOCOL.md §11): member hosts fs1, fs1b, fs1c, … carry
+	// identical volumes, clients talk to the replica fronts, and the
+	// chaos hooks drive failover. 0 or 1 keeps the single-server
+	// topology untouched.
+	Replicas int
+
 	// FileServerTeam sets how many serving processes each file server
 	// runs (§3.1 server teams). 0 or 1 keeps the single-process server.
 	FileServerTeam int
@@ -92,6 +100,11 @@ type Workstation struct {
 	Exec    *execserver.Server
 	Session *client.Session
 	HomeCtx core.ContextPair
+
+	// PrefixRep is the user's replicated prefix group when
+	// Config.Replicas > 1, else nil. Prefix then aliases the
+	// workstation-local member.
+	PrefixRep *ReplicatedPrefix
 }
 
 // Rig is the assembled topology.
@@ -104,6 +117,11 @@ type Rig struct {
 	FS1     *fileserver.FileServer
 	FS2Host *kernel.Host
 	FS2     *fileserver.FileServer
+
+	// FSR is the consensus-replicated fs1 service when Config.Replicas
+	// > 1, else nil. FS1Host/FS1 then alias slot 0's host and
+	// member-local server.
+	FSR *ReplicatedFS
 
 	ServicesHost *kernel.Host
 	Print        *printserver.Server
@@ -190,6 +208,9 @@ func MustNew(cfg Config) *Rig {
 }
 
 func (r *Rig) bootFileServers(cfg Config) error {
+	if cfg.Replicas > 1 {
+		return r.bootReplicatedFileServers(cfg)
+	}
 	var err error
 	r.FS1Host = r.Kernel.NewHost("fs1")
 	fsOpts := []fileserver.Option{fileserver.WithReadAhead(cfg.ReadAhead)}
@@ -306,12 +327,18 @@ func (r *Rig) bootWorkstation(cfg Config, user string) (*Workstation, error) {
 	ws := &Workstation{Host: host, User: user}
 
 	var err error
-	prefixOpts := []prefix.Option{}
-	if cfg.PrefixTeam > 1 {
-		prefixOpts = append(prefixOpts, prefix.WithTeam(cfg.PrefixTeam))
-	}
-	if ws.Prefix, err = prefix.Start(host, user, prefixOpts...); err != nil {
-		return nil, err
+	if cfg.Replicas > 1 {
+		if err = r.bootReplicatedPrefix(cfg, ws); err != nil {
+			return nil, err
+		}
+	} else {
+		prefixOpts := []prefix.Option{}
+		if cfg.PrefixTeam > 1 {
+			prefixOpts = append(prefixOpts, prefix.WithTeam(cfg.PrefixTeam))
+		}
+		if ws.Prefix, err = prefix.Start(host, user, prefixOpts...); err != nil {
+			return nil, err
+		}
 	}
 	if ws.Term, err = termserver.Start(host); err != nil {
 		return nil, err
@@ -320,46 +347,50 @@ func (r *Rig) bootWorkstation(cfg Config, user string) (*Workstation, error) {
 		return nil, err
 	}
 
-	homeCtx, err := r.FS1.MkdirAll("/users/"+user, user)
+	homeCtx, err := r.fs1MkdirAll("/users/"+user, user)
 	if err != nil {
 		return nil, err
 	}
-	ws.HomeCtx = core.ContextPair{Server: r.FS1.PID(), Ctx: homeCtx}
+	ws.HomeCtx = core.ContextPair{Server: r.fs1PID(), Ctx: homeCtx}
 
 	// The standard per-user context prefixes (§6): some refer to file
 	// servers, some to special contexts within them, some to generic
 	// services via dynamic (service, well-known-context) bindings.
 	defs := []struct {
 		name string
-		bind func() error
+		bind func(ps *prefix.Server) error
 	}{
-		{"storage", func() error { return ws.Prefix.Define("storage", r.FS1.RootPair()) }},
-		{"storage2", func() error { return ws.Prefix.Define("storage2", r.FS2.RootPair()) }},
-		{"home", func() error { return ws.Prefix.Define("home", ws.HomeCtx) }},
-		{"bin", func() error {
-			return ws.Prefix.DefineDynamic("bin", kernel.ServiceStorage, core.CtxStdPrograms)
+		{"storage", func(ps *prefix.Server) error { return ps.Define("storage", r.fs1RootPair()) }},
+		{"storage2", func(ps *prefix.Server) error { return ps.Define("storage2", r.FS2.RootPair()) }},
+		{"home", func(ps *prefix.Server) error { return ps.Define("home", ws.HomeCtx) }},
+		{"bin", func(ps *prefix.Server) error {
+			return ps.DefineDynamic("bin", kernel.ServiceStorage, core.CtxStdPrograms)
 		}},
-		{"tty", func() error { return ws.Prefix.Define("tty", ws.Term.RootPair()) }},
-		{"exec", func() error { return ws.Prefix.Define("exec", ws.Exec.RootPair()) }},
-		{"print", func() error {
-			return ws.Prefix.DefineDynamic("print", kernel.ServicePrinter, core.CtxDefault)
+		{"tty", func(ps *prefix.Server) error { return ps.Define("tty", ws.Term.RootPair()) }},
+		{"exec", func(ps *prefix.Server) error { return ps.Define("exec", ws.Exec.RootPair()) }},
+		{"print", func(ps *prefix.Server) error {
+			return ps.DefineDynamic("print", kernel.ServicePrinter, core.CtxDefault)
 		}},
-		{"tcp", func() error {
-			return ws.Prefix.DefineDynamic("tcp", kernel.ServiceInternet, core.CtxDefault)
+		{"tcp", func(ps *prefix.Server) error {
+			return ps.DefineDynamic("tcp", kernel.ServiceInternet, core.CtxDefault)
 		}},
-		{"mail", func() error {
-			return ws.Prefix.DefineDynamic("mail", kernel.ServiceMail, core.CtxDefault)
+		{"mail", func(ps *prefix.Server) error {
+			return ps.DefineDynamic("mail", kernel.ServiceMail, core.CtxDefault)
 		}},
-		{"time", func() error {
-			return ws.Prefix.DefineDynamic("time", kernel.ServiceTime, core.CtxDefault)
+		{"time", func(ps *prefix.Server) error {
+			return ps.DefineDynamic("time", kernel.ServiceTime, core.CtxDefault)
 		}},
-		{"pipe", func() error {
-			return ws.Prefix.DefineDynamic("pipe", kernel.ServicePipe, core.CtxDefault)
+		{"pipe", func(ps *prefix.Server) error {
+			return ps.DefineDynamic("pipe", kernel.ServicePipe, core.CtxDefault)
 		}},
 	}
-	for _, d := range defs {
-		if err := d.bind(); err != nil {
-			return nil, fmt.Errorf("prefix %q: %w", d.name, err)
+	// Prefix tables are boot-seeded identically on every replica member
+	// (a single server is its own one-member list).
+	for _, ps := range ws.prefixServers() {
+		for _, d := range defs {
+			if err := d.bind(ps); err != nil {
+				return nil, fmt.Errorf("prefix %q: %w", d.name, err)
+			}
 		}
 	}
 
