@@ -10,7 +10,7 @@ FUZZTIME ?= 10s
 # lower it to make a regression pass.
 COVERAGE_FLOOR ?= 73.0
 
-.PHONY: all check test race bench bench-json bench-wallclock bench-metrics bench-replica golden-guard vet fmt fuzz cover experiments examples clean
+.PHONY: all check test race bench bench-json bench-wallclock bench-metrics bench-replica bench-shard golden-guard vet fmt fuzz cover experiments examples clean
 
 all: vet test
 
@@ -31,6 +31,9 @@ check: vet
 	$(GO) test -race -run 'TestTraceInvariants' ./internal/...
 	$(GO) test -race -run 'TestWorkloadDriverTrace|TestTraceUnderChaos' ./internal/rig/
 	$(GO) test -race -run 'TestParallelDriverEquivalence' ./internal/rig/
+	GOMAXPROCS=1 $(GO) test -race -run 'TestShardedEquivalence' ./internal/rig/
+	$(GO) test -race -run 'TestShardedEquivalence|TestShardedUnderChaos|TestShardedPartitionMidFlight' ./internal/rig/
+	$(GO) test -race -run 'TestShardedByteIdenticalToSeed|TestShardJSONDeterministic' ./internal/experiments/
 	$(GO) test -run 'TestSendZeroAllocUntraced' -count=1 ./internal/kernel/
 	$(GO) test -race -run 'TestMetricsZeroCost|TestMetricsDeterministic|TestA14Shape' ./internal/experiments/
 	$(GO) test -race -count=2 -run 'TestReplicaDeterministic' ./internal/rig/
@@ -70,6 +73,15 @@ bench-metrics:
 bench-replica:
 	$(GO) run ./cmd/vbench -replica BENCH_replica.json
 
+# Deterministic sharded-engine document (EXPERIMENTS.md A16): the
+# conservative engine's shard-count sweep on the shared-prefix topology,
+# each point verified deeply equal to the sequential driver, with the
+# lookahead bound and the confined/shared operation mix. Byte-identical
+# across runs (all virtual time; wall-clock scaling lives in
+# bench-wallclock).
+bench-shard:
+	$(GO) run ./cmd/vbench -shard BENCH_shard.json
+
 # Byte-identity guard for the committed golden outputs: the wall-clock
 # work must not perturb a single virtual-time result, trace span, or
 # metrics quantile. Regenerating vbench_output.txt with the metrics
@@ -85,6 +97,8 @@ golden-guard:
 	cmp BENCH_metrics.json $$tmp/BENCH_metrics.json && \
 	$(GO) run ./cmd/vbench -replica $$tmp/BENCH_replica.json >/dev/null && \
 	cmp BENCH_replica.json $$tmp/BENCH_replica.json && \
+	$(GO) run ./cmd/vbench -shard $$tmp/BENCH_shard.json >/dev/null && \
+	cmp BENCH_shard.json $$tmp/BENCH_shard.json && \
 	echo "golden outputs byte-identical" && rm -rf $$tmp || \
 	{ echo "golden outputs drifted from committed files"; rm -rf $$tmp; exit 1; }
 

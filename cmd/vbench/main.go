@@ -12,6 +12,8 @@
 //	vbench -trace TRACE.json     # export the canonical single-client trace
 //	vbench -metrics METRICS.json # export the A14 metrics document (deterministic)
 //	vbench -replica REPLICA.json # export the A15 replication document (deterministic)
+//	vbench -shard SHARD.json     # export the A16 sharded-engine document (deterministic)
+//	vbench -wallclock W.json -engine sharded         # wall-clock run, one engine's rows
 //	vbench -wallclock W.json -cpuprofile cpu.pprof   # wall-clock run with profiling
 package main
 
@@ -42,6 +44,8 @@ func run(args []string, w io.Writer) error {
 	jsonPath := fs.String("json", "", "also write per-experiment results as JSON to this file")
 	tracePath := fs.String("trace", "", "export the canonical single-client trace (span tree + wire frames) as JSON to this file")
 	wallclockPath := fs.String("wallclock", "", "run the wall-clock benchmark harness (A13) and write its JSON to this file; skips the virtual-time experiments")
+	engine := fs.String("engine", "all", "with -wallclock: restrict driver rows to one engine (sequential, lanes, sharded)")
+	shardPath := fs.String("shard", "", "run the A16 sharded-engine sweep and write the deterministic shard document (BENCH_shard.json schema) to this file")
 	metricsPath := fs.String("metrics", "", "run the A14 metrics legs and write the deterministic metrics document (BENCH_metrics.json schema) to this file")
 	replicaPath := fs.String("replica", "", "run the A15 replicated chaos leg and write the deterministic replication document (BENCH_replica.json schema) to this file")
 	cpuProfile := fs.String("cpuprofile", "", "with -wallclock: write a CPU profile to this file")
@@ -79,7 +83,7 @@ func run(args []string, w io.Writer) error {
 			}
 			defer pprof.StopCPUProfile()
 		}
-		doc, err := experiments.WallClock()
+		doc, err := experiments.WallClock(*engine)
 		if err != nil {
 			return fmt.Errorf("wallclock: %w", err)
 		}
@@ -96,12 +100,12 @@ func run(args []string, w io.Writer) error {
 				hp.Name, hp.NsPerOp, hp.BytesPerOp, hp.AllocsPerOp, doc.Baseline.E1AllocsPerOp)
 		}
 		for _, d := range doc.Driver {
-			label := d.Mode
+			label := d.Engine
 			if d.Workers > 0 {
-				label = fmt.Sprintf("%s/%d", d.Mode, d.Workers)
+				label = fmt.Sprintf("%s/%d", d.Engine, d.Workers)
 			}
-			fmt.Fprintf(w, "  driver %-13s %9.0f req/s wall  (%.2fx vs sequential, makespan %s virtual)\n",
-				label, d.ReqPerSec, d.SpeedupVsSeq, d.VirtualMakespan)
+			fmt.Fprintf(w, "  driver %-15s %-15s %9.0f req/s wall  (%.2fx vs sequential, makespan %s virtual)\n",
+				d.Topology, label, d.ReqPerSec, d.SpeedupVsSeq, d.VirtualMakespan)
 		}
 		if *heapProfile != "" {
 			f, err := os.Create(*heapProfile)
@@ -128,7 +132,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote metrics document to %s\n", *metricsPath)
 		// -metrics alone exports the document without running every
 		// experiment (mirrors -trace).
-		if len(fs.Args()) == 0 && *tracePath == "" && *replicaPath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *replicaPath == "" && *shardPath == "" {
 			return nil
 		}
 	}
@@ -143,6 +147,22 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "wrote replication document to %s\n", *replicaPath)
 		// -replica alone exports the document without running every
+		// experiment (mirrors -metrics).
+		if len(fs.Args()) == 0 && *tracePath == "" && *shardPath == "" {
+			return nil
+		}
+	}
+
+	if *shardPath != "" {
+		data, err := experiments.ShardJSON()
+		if err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		if err := os.WriteFile(*shardPath, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *shardPath, err)
+		}
+		fmt.Fprintf(w, "wrote sharded-engine document to %s\n", *shardPath)
+		// -shard alone exports the document without running every
 		// experiment (mirrors -metrics).
 		if len(fs.Args()) == 0 && *tracePath == "" {
 			return nil

@@ -226,6 +226,20 @@ func (e *Engine) Log() []string {
 	return out
 }
 
+// NextEventAt returns the fire time of the earliest event that has not
+// fired yet, and whether one remains. The sharded workload drivers use
+// it as a fence source (PROTOCOL.md §12): each pending event time
+// becomes a global barrier, so the event fires at a deterministic
+// quiescent cut instead of whenever some lane's pump happens past it.
+func (e *Engine) NextEventAt() (vtime.Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.next >= len(e.events) {
+		return 0, false
+	}
+	return e.events[e.next].At, true
+}
+
 // Fired returns how many events have fired so far.
 func (e *Engine) Fired() int {
 	e.mu.Lock()

@@ -127,6 +127,25 @@ func (s *Session) FlushNameCache() {
 // NameCacheStats returns the cache counters.
 func (s *Session) NameCacheStats() CacheStats { return s.cacheStats }
 
+// CachedRoute reports where a prefixed name would be routed right now if
+// the name cache resolves it: the cached (server, context) pair and
+// whether the cache holds the name's prefix. It performs no IPC and
+// charges no virtual time — it is the probe the sharded workload
+// drivers' operation classifiers use to predict whether the next request
+// stays on a cached direct route (a candidate for lane-confined
+// execution) or must walk the prefix server (shared substrate).
+func (s *Session) CachedRoute(name string) (core.ContextPair, bool) {
+	if s.nameCache == nil {
+		return core.ContextPair{}, false
+	}
+	pfx, _, err := cacheKey(name)
+	if err != nil {
+		return core.ContextPair{}, false
+	}
+	pair, ok := s.nameCache[pfx]
+	return pair, ok
+}
+
 // replyErr converts a reply message into an operation error, first
 // capturing the leader hint a ReplyNotLeader redirect carries so the next
 // attempt can re-route to the successor without rediscovery

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+const la = time.Millisecond // a positive lookahead for tests
+
+// TestSharedCommitsInKeyOrder drives two lanes of Shared ops from real
+// goroutines and asserts the commit order is the global key order, not
+// the (deliberately perturbed) goroutine arrival order.
+func TestSharedCommitsInKeyOrder(t *testing.T) {
+	s := NewSync(2, la, Fences{})
+	var mu sync.Mutex
+	var order []Key
+	run := func(id int, keys []Key, delay time.Duration) {
+		for _, k := range keys {
+			time.Sleep(delay) // perturb arrival order
+			s.Gate(id, k, Shared)
+			mu.Lock()
+			order = append(order, k)
+			mu.Unlock()
+		}
+		s.Done(id)
+	}
+	lane0 := []Key{{T: 1, Seq: 0}, {T: 3, Seq: 0}, {T: 5, Seq: 0}}
+	lane1 := []Key{{T: 2, Seq: 1}, {T: 4, Seq: 1}, {T: 6, Seq: 1}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); run(0, lane0, 0) }()
+	go func() { defer wg.Done(); run(1, lane1, 200*time.Microsecond) }()
+	wg.Wait()
+	want := []Key{{1, 0}, {2, 1}, {3, 0}, {4, 1}, {5, 0}, {6, 1}}
+	for i, k := range want {
+		if order[i] != k {
+			t.Fatalf("commit order[%d] = %+v, want %+v (full: %+v)", i, order[i], k, order)
+		}
+	}
+}
+
+// TestConfinedRunsAhead asserts a Confined lane is not blocked by a
+// Shared peer stuck far in its past.
+func TestConfinedRunsAhead(t *testing.T) {
+	s := NewSync(2, la, Fences{})
+	// Lane 1 parks on an early shared op and never clears while lane 0
+	// has not promised past it; lane 0 must still stream confined ops.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s.Gate(0, Key{T: vtime.Time(i + 1), Seq: 0}, Confined)
+		}
+		s.Done(0)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("confined lane blocked behind an idle peer")
+	}
+	s.Done(1)
+}
+
+// TestZeroLookaheadDemotesConfined asserts the soundness guard: with no
+// positive lookahead, Confined gates behave as Shared and therefore wait
+// for peers.
+func TestZeroLookaheadDemotesConfined(t *testing.T) {
+	s := NewSync(2, 0, Fences{})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	go func() {
+		s.Gate(0, Key{T: 10, Seq: 0}, Confined) // demoted: must wait for lane 1
+		close(ran)
+	}()
+	select {
+	case <-ran:
+		t.Fatal("confined op ran without peer clearance despite zero lookahead")
+	case <-time.After(50 * time.Millisecond):
+	}
+	go func() {
+		s.Gate(1, Key{T: 20, Seq: 1}, Shared)
+		<-release
+		s.Done(1)
+	}()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("demoted op never cleared after peer promised past it")
+	}
+	close(release)
+	s.Done(0)
+}
+
+// TestFenceFiresAtQuiescentCut asserts a fence fires exactly once, after
+// every op keyed before it and before every op keyed at or after it,
+// with no op in flight.
+func TestFenceFiresAtQuiescentCut(t *testing.T) {
+	var mu sync.Mutex
+	var log []string
+	var running int
+	fired := false
+	fences := Fences{
+		Next: func(after vtime.Time) (vtime.Time, bool) {
+			if after < 50 {
+				return 50, true
+			}
+			return 0, false
+		},
+		Fire: func(at vtime.Time) {
+			mu.Lock()
+			defer mu.Unlock()
+			if running != 0 {
+				t.Errorf("fence fired with %d ops in flight", running)
+			}
+			log = append(log, "fence@50")
+			fired = true
+		},
+	}
+	s := NewSync(2, la, fences)
+	op := func(id int, k Key, cls Class) {
+		s.Gate(id, k, cls)
+		mu.Lock()
+		running++
+		if k.T >= 50 && !fired {
+			t.Errorf("op %+v ran before the fence at 50", k)
+		}
+		if k.T < 50 && fired {
+			t.Errorf("op %+v ran after the fence at 50", k)
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		mu.Lock()
+		running--
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, tt := range []vtime.Time{10, 30, 60, 80} {
+			op(0, Key{T: tt, Seq: 0}, Confined)
+		}
+		s.Done(0)
+	}()
+	go func() {
+		defer wg.Done()
+		for _, tt := range []vtime.Time{20, 40, 55, 90} {
+			op(1, Key{T: tt, Seq: 1}, Shared)
+		}
+		s.Done(1)
+	}()
+	wg.Wait()
+	if len(log) != 1 {
+		t.Fatalf("fence fired %d times, want 1", len(log))
+	}
+	if s.FencesFired() != 1 {
+		t.Fatalf("FencesFired = %d, want 1", s.FencesFired())
+	}
+}
+
+// TestFenceBeyondHorizonDoesNotFire asserts fences past every lane's
+// last op never fire (matching a sequential run whose clock stops short
+// of the schedule tail).
+func TestFenceBeyondHorizonDoesNotFire(t *testing.T) {
+	fences := Fences{
+		Next: func(after vtime.Time) (vtime.Time, bool) {
+			if after < 1000 {
+				return 1000, true
+			}
+			return 0, false
+		},
+		Fire: func(at vtime.Time) { t.Errorf("fence at %v fired beyond the horizon", at) },
+	}
+	s := NewSync(1, la, fences)
+	s.Gate(0, Key{T: 5, Seq: 0}, Shared)
+	s.Done(0)
+	if s.FencesFired() != 0 {
+		t.Fatalf("FencesFired = %d, want 0", s.FencesFired())
+	}
+}
+
+// TestGatePanicsOnRegressingKey pins the monotone-promise invariant.
+func TestGatePanicsOnRegressingKey(t *testing.T) {
+	s := NewSync(1, la, Fences{})
+	s.Gate(0, Key{T: 10, Seq: 0}, Confined)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gate accepted a regressing key")
+		}
+	}()
+	s.Gate(0, Key{T: 5, Seq: 0}, Confined)
+}

@@ -59,6 +59,12 @@ func a11Phase(res *rig.WorkloadResult) a11Stats {
 	}
 }
 
+// a11Driver runs one A11 phase's workload. It defaults to the sequential
+// reference driver; the sharded golden-guard test swaps in the
+// conservative engine to prove team=1 output stays byte-identical to the
+// seed when every client rides its own engine lane.
+var a11Driver = rig.RunWorkload
+
 // a11Session creates a client session on the file server's own host with
 // the server's root as current context.
 func a11Session(r *rig.Rig, name string) (*client.Session, error) {
@@ -114,7 +120,7 @@ func a11Run(team int) (hot, cold a11Stats, err error) {
 			},
 		})
 	}
-	hotRes := rig.RunWorkload(hotClients)
+	hotRes := a11Driver(hotClients)
 	if err := a11Check(hotRes, "cache-hit"); err != nil {
 		return hot, cold, err
 	}
@@ -138,7 +144,7 @@ func a11Run(team int) (hot, cold a11Stats, err error) {
 			},
 		})
 	}
-	coldRes := rig.RunWorkload(coldClients)
+	coldRes := a11Driver(coldClients)
 	if err := a11Check(coldRes, "cold-stream"); err != nil {
 		return hot, cold, err
 	}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/rig"
 )
 
 func TestA11TeamScaling(t *testing.T) {
@@ -74,5 +76,34 @@ func TestTeamOneByteIdenticalToSeed(t *testing.T) {
 		if !bytes.Contains(seed, buf.Bytes()) {
 			t.Errorf("experiment %s no longer renders its seed section byte-identically:\n%s", id, buf.String())
 		}
+	}
+}
+
+// TestShardedByteIdenticalToSeed is the conservative engine's
+// golden-guard: A11's workloads rerun with every client on its own
+// engine lane — all operations Shared, since the clients contend on one
+// file server — must render the committed seed section byte for byte.
+// Shared operations commit in global (virtual-time, slot) key order,
+// which is exactly the sequential driver's pick-min order, so handing
+// the engine a maximally sharded lane layout may not move a single
+// byte of output.
+func TestShardedByteIdenticalToSeed(t *testing.T) {
+	seed, err := os.ReadFile("../../vbench_output.txt")
+	if err != nil {
+		t.Skipf("no seed output: %v", err)
+	}
+	prev := a11Driver
+	defer func() { a11Driver = prev }()
+	a11Driver = func(clients []*rig.WorkloadClient) *rig.WorkloadResult {
+		for i, c := range clients {
+			c.Lane = i
+		}
+		return rig.RunWorkloadParallel(clients, 0)
+	}
+	res := runExp(t, "a11")
+	var buf bytes.Buffer
+	Print(&buf, res)
+	if !bytes.Contains(seed, buf.Bytes()) {
+		t.Fatalf("sharded A11 no longer renders its seed section byte-identically:\n%s", buf.String())
 	}
 }

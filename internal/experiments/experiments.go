@@ -58,6 +58,7 @@ var registry = map[string]Runner{
 	"a12": A12,
 	"a14": A14,
 	"a15": A15,
+	"a16": A16,
 }
 
 // IDs returns the experiment ids in canonical order.

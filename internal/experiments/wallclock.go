@@ -37,14 +37,27 @@ type HotPathResult struct {
 
 // DriverResult is one measured workload-driver run.
 type DriverResult struct {
-	Mode         string  `json:"mode"` // "sequential" or "parallel"
-	Workers      int     `json:"workers,omitempty"`
-	Requests     int     `json:"requests"`
-	WallNs       int64   `json:"wall_ns"`
-	ReqPerSec    float64 `json:"req_per_sec"`
-	SpeedupVsSeq float64 `json:"speedup_vs_sequential"`
-	// VirtualMakespan must be identical across every run of this table —
-	// the drivers differ only in wall-clock execution.
+	// Engine selects the driver: "sequential" (the reference pick-min
+	// loop), "lanes" (PR 4's semaphore driver, disjoint topologies only),
+	// or "sharded" (the conservative engine, PROTOCOL.md §12).
+	Engine string `json:"engine"`
+	// Topology is "disjoint-shards" (no cross-lane substrate) or
+	// "shared-prefix" (central prefix server every cache miss crosses).
+	Topology string `json:"topology"`
+	// Workers is the lanes driver's goroutine cap, or the GOMAXPROCS the
+	// sharded engine ran under; 0 for the sequential driver.
+	Workers int `json:"workers,omitempty"`
+	// Shards is the topology's shard count (= engine lane count).
+	Shards   int   `json:"shards"`
+	Requests int   `json:"requests"`
+	WallNs   int64 `json:"wall_ns"`
+	// EventsPerEngine is each per-lane engine's completed operation
+	// count (sharded engine only) — deterministic, summing to Requests.
+	EventsPerEngine []int   `json:"events_per_engine,omitempty"`
+	ReqPerSec       float64 `json:"req_per_sec"`
+	SpeedupVsSeq    float64 `json:"speedup_vs_sequential"`
+	// VirtualMakespan must be identical across every run on the same
+	// topology — the drivers differ only in wall-clock execution.
 	VirtualMakespan string `json:"virtual_makespan"`
 }
 
@@ -60,15 +73,20 @@ type WallClockBaseline struct {
 	VirtualMakespan string  `json:"driver_virtual_makespan"`
 }
 
-// WallClockDoc is the BENCH_wallclock.json schema.
+// WallClockDoc is the BENCH_wallclock.json schema. SchemaVersion 2
+// added the engine/topology columns and the shared-prefix rows; the v1
+// baseline block is preserved verbatim as the regression reference.
 type WallClockDoc struct {
-	Tool        string            `json:"tool"`
-	Description string            `json:"description"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	NumCPU      int               `json:"num_cpu"`
-	Baseline    WallClockBaseline `json:"baseline_pre_pr"`
-	HotPath     []HotPathResult   `json:"hot_path"`
-	Driver      []DriverResult    `json:"driver"`
+	Tool          string `json:"tool"`
+	SchemaVersion int    `json:"schema_version"`
+	Description   string `json:"description"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+	// Note explains a flat speedup column when the host cannot show one.
+	Note     string            `json:"note,omitempty"`
+	Baseline WallClockBaseline `json:"baseline_pre_pr"`
+	HotPath  []HotPathResult   `json:"hot_path"`
+	Driver   []DriverResult    `json:"driver"`
 }
 
 // wallClockBaseline is the recorded pre-PR reference (commit 2345bb5,
@@ -86,20 +104,51 @@ var wallClockBaseline = WallClockBaseline{
 	VirtualMakespan: "262.03995ms",
 }
 
-// wallClockShards is the driver workload shape: 8 substrate-disjoint
-// shards x 8 clients x 25 deep queries = 1600 requests.
+// wallClockShards is the disjoint driver workload shape: 8
+// substrate-disjoint shards x 8 clients x 25 deep queries = 1600
+// requests.
 var wallClockShards = rig.ShardConfig{
 	Shards: 8, ClientsPerShard: 8, Requests: 25, Team: 1, Seed: 42,
 }
 
+// wallClockShared is the shared-prefix driver workload shape: the same
+// 8x8x25 = 1600 requests, but with every shard's prefix bound on one
+// central prefix server and caches flushed every 6 queries, so the
+// lanes periodically contend on shared substrate. PR 4's lanes driver
+// cannot run this topology at all; only the sharded engine can go wide
+// on it.
+var wallClockShared = rig.SharedPrefixConfig{
+	Shards: 8, ClientsPerShard: 8, Requests: 25, Seed: 42, FlushEvery: 6,
+}
+
+// wallClockWorkers is the width sweep for the parallel drivers.
+var wallClockWorkers = []int{1, 2, 4, 8}
+
+// WallClockEngines are the -engine selector values ("" and "all" run
+// every engine).
+var WallClockEngines = []string{"sequential", "lanes", "sharded"}
+
 // WallClock runs the wall-clock harness and returns the document.
-func WallClock() (*WallClockDoc, error) {
+// engine restricts the driver table to one engine's rows ("" or "all"
+// runs everything); the sequential reference always runs, since it
+// anchors every speedup column.
+func WallClock(engine string) (*WallClockDoc, error) {
+	switch engine {
+	case "", "all", "sequential", "lanes", "sharded":
+	default:
+		return nil, fmt.Errorf("wallclock: unknown engine %q (have sequential, lanes, sharded)", engine)
+	}
+	want := func(e string) bool { return engine == "" || engine == "all" || engine == e }
 	doc := &WallClockDoc{
-		Tool:        "vbench -wallclock",
-		Description: "wall-clock (real time) performance of the implementation; virtual-time results are unaffected and identical across all driver modes",
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Baseline:    wallClockBaseline,
+		Tool:          "vbench -wallclock",
+		SchemaVersion: 2,
+		Description:   "wall-clock (real time) performance of the implementation; virtual-time results are unaffected and identical across all driver engines on the same topology",
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Baseline:      wallClockBaseline,
+	}
+	if doc.NumCPU == 1 {
+		doc.Note = "single-CPU host: concurrent lanes time-slice one core, so wall-clock speedup stays ~1.0x by construction; the sharded engine's correctness (virtual results identical to sequential) is what these rows certify here, and speedup > 1.0 requires num_cpu > 1"
 	}
 	for _, remote := range []bool{false, true} {
 		hp, err := benchHotPath(remote)
@@ -108,17 +157,38 @@ func WallClock() (*WallClockDoc, error) {
 		}
 		doc.HotPath = append(doc.HotPath, hp)
 	}
-	seq, err := benchDriver(0, 0)
-	if err != nil {
-		return nil, err
-	}
-	doc.Driver = append(doc.Driver, seq)
-	for _, w := range []int{1, 2, 4, 8} {
-		par, err := benchDriver(w, seq.ReqPerSec)
+	for _, topology := range []string{"disjoint-shards", "shared-prefix"} {
+		seq, err := benchDriver(driverSpec{topology: topology, engine: "sequential"}, 0)
 		if err != nil {
 			return nil, err
 		}
-		doc.Driver = append(doc.Driver, par)
+		// The sequential reference row is always emitted: it anchors the
+		// speedup column whichever engine was selected.
+		doc.Driver = append(doc.Driver, seq)
+		if topology == "disjoint-shards" && want("lanes") {
+			for _, w := range wallClockWorkers {
+				par, err := benchDriver(driverSpec{topology: topology, engine: "lanes", workers: w}, seq.ReqPerSec)
+				if err != nil {
+					return nil, err
+				}
+				doc.Driver = append(doc.Driver, par)
+			}
+		}
+		if want("sharded") {
+			for _, w := range wallClockWorkers {
+				par, err := benchDriver(driverSpec{topology: topology, engine: "sharded", workers: w}, seq.ReqPerSec)
+				if err != nil {
+					return nil, err
+				}
+				doc.Driver = append(doc.Driver, par)
+			}
+		}
+		for _, d := range doc.Driver {
+			if d.Topology == topology && d.VirtualMakespan != seq.VirtualMakespan {
+				return nil, fmt.Errorf("wallclock: %s/%s makespan %s differs from sequential's %s",
+					d.Topology, d.Engine, d.VirtualMakespan, seq.VirtualMakespan)
+			}
+		}
 	}
 	return doc, nil
 }
@@ -190,50 +260,104 @@ func benchHotPath(remote bool) (HotPathResult, error) {
 	}, nil
 }
 
-// benchDriver times one run of the sharded workload under the selected
-// driver (workers == 0 means the sequential driver), averaging over a
-// few fresh topologies.
-func benchDriver(workers int, seqReqPerSec float64) (DriverResult, error) {
+// driverSpec selects one driver-table row: which topology to boot and
+// which engine to push it through. workers caps the lanes driver's
+// goroutines, or sets GOMAXPROCS for the sharded engine's run (the
+// engine always runs one goroutine per lane; the OS-thread budget is
+// the knob that maps lanes onto cores).
+type driverSpec struct {
+	topology string // "disjoint-shards" or "shared-prefix"
+	engine   string // "sequential", "lanes" or "sharded"
+	workers  int
+}
+
+// benchDriver times one driver-table row, averaging over a few fresh
+// topologies.
+func benchDriver(spec driverSpec, seqReqPerSec float64) (DriverResult, error) {
 	const rounds = 5
 	var elapsed time.Duration
 	var requests int
 	var makespan time.Duration
+	var perLane []int
 	for i := 0; i < rounds; i++ {
-		sw, err := rig.NewShardedWorkload(wallClockShards)
-		if err != nil {
-			return DriverResult{}, err
+		var clients []*rig.WorkloadClient
+		var hosts []*kernel.Host
+		switch spec.topology {
+		case "disjoint-shards":
+			sw, err := rig.NewShardedWorkload(wallClockShards)
+			if err != nil {
+				return DriverResult{}, err
+			}
+			clients, hosts = sw.Clients, sw.Hosts
+		case "shared-prefix":
+			sw, err := rig.NewSharedPrefixWorkload(wallClockShared)
+			if err != nil {
+				return DriverResult{}, err
+			}
+			clients = sw.Clients
+			hosts = append(append([]*kernel.Host{}, sw.Hosts...), sw.PrefixHost)
+		default:
+			return DriverResult{}, fmt.Errorf("driver: unknown topology %q", spec.topology)
 		}
 		start := time.Now()
 		var res *rig.WorkloadResult
-		if workers == 0 {
-			res = rig.RunWorkload(sw.Clients)
-		} else {
-			res = rig.RunWorkloadParallel(sw.Clients, workers)
+		switch spec.engine {
+		case "sequential":
+			res = rig.RunWorkload(clients)
+		case "lanes":
+			res = rig.RunWorkloadLanes(clients, spec.workers)
+		case "sharded":
+			prev := runtime.GOMAXPROCS(spec.workers)
+			res = rig.RunWorkloadParallel(clients, 0)
+			runtime.GOMAXPROCS(prev)
+		default:
+			return DriverResult{}, fmt.Errorf("driver: unknown engine %q", spec.engine)
 		}
 		elapsed += time.Since(start)
 		requests += res.Requests
 		if i == 0 {
 			makespan = res.Makespan
+			if spec.engine == "sharded" {
+				perLane = laneEventCounts(clients, res)
+			}
 		} else if res.Makespan != makespan {
-			return DriverResult{}, fmt.Errorf("driver workers=%d: virtual makespan varied across runs: %v vs %v", workers, res.Makespan, makespan)
+			return DriverResult{}, fmt.Errorf("driver %s/%s/%d: virtual makespan varied across runs: %v vs %v",
+				spec.topology, spec.engine, spec.workers, res.Makespan, makespan)
 		}
-		for _, h := range sw.Hosts {
+		for _, h := range hosts {
 			h.Crash()
 		}
 	}
 	out := DriverResult{
-		Mode:            "sequential",
-		Workers:         workers,
+		Engine:          spec.engine,
+		Topology:        spec.topology,
+		Workers:         spec.workers,
+		Shards:          wallClockShards.Shards,
 		Requests:        requests / rounds,
 		WallNs:          int64(elapsed) / rounds,
+		EventsPerEngine: perLane,
 		ReqPerSec:       float64(requests) / elapsed.Seconds(),
 		VirtualMakespan: makespan.String(),
 	}
-	if workers > 0 {
-		out.Mode = "parallel"
-		out.SpeedupVsSeq = out.ReqPerSec / seqReqPerSec
-	} else {
+	if spec.engine == "sequential" {
 		out.SpeedupVsSeq = 1
+	} else {
+		out.SpeedupVsSeq = out.ReqPerSec / seqReqPerSec
 	}
 	return out, nil
+}
+
+// laneEventCounts sums completed operations per engine lane.
+func laneEventCounts(clients []*rig.WorkloadClient, res *rig.WorkloadResult) []int {
+	lanes := 0
+	for _, c := range clients {
+		if c.Lane+1 > lanes {
+			lanes = c.Lane + 1
+		}
+	}
+	counts := make([]int, lanes)
+	for i, c := range clients {
+		counts[c.Lane] += res.Clients[i].Completed
+	}
+	return counts
 }

@@ -5,11 +5,15 @@ import "testing"
 // TestWallClockHarness runs the A13 harness end to end and checks its
 // structural invariants. The absolute numbers are machine-dependent and
 // deliberately unasserted; what must hold anywhere is the shape — and
-// that every driver mode reports the identical virtual makespan.
+// that every driver engine reports the identical virtual makespan on
+// its topology.
 func TestWallClockHarness(t *testing.T) {
-	doc, err := WallClock()
+	doc, err := WallClock("all")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if doc.SchemaVersion != 2 {
+		t.Fatalf("schema version = %d, want 2", doc.SchemaVersion)
 	}
 	if len(doc.HotPath) != 2 {
 		t.Fatalf("hot path rows: got %d, want 2", len(doc.HotPath))
@@ -19,20 +23,80 @@ func TestWallClockHarness(t *testing.T) {
 			t.Errorf("%s: ns/op %d, want > 0", hp.Name, hp.NsPerOp)
 		}
 	}
-	if len(doc.Driver) != 5 {
-		t.Fatalf("driver rows: got %d, want 5", len(doc.Driver))
+	// disjoint: sequential + 4 lanes + 4 sharded; shared-prefix:
+	// sequential + 4 sharded (the lanes driver cannot run it).
+	if len(doc.Driver) != 14 {
+		t.Fatalf("driver rows: got %d, want 14", len(doc.Driver))
 	}
 	want := wallClockShards.Shards * wallClockShards.ClientsPerShard * wallClockShards.Requests
+	makespans := map[string]string{}
 	for _, d := range doc.Driver {
 		if d.Requests != want {
-			t.Errorf("driver %s/%d: %d requests, want %d", d.Mode, d.Workers, d.Requests, want)
+			t.Errorf("driver %s/%s/%d: %d requests, want %d", d.Topology, d.Engine, d.Workers, d.Requests, want)
 		}
-		if d.VirtualMakespan != doc.Driver[0].VirtualMakespan {
-			t.Errorf("driver %s/%d: virtual makespan %s differs from sequential's %s",
-				d.Mode, d.Workers, d.VirtualMakespan, doc.Driver[0].VirtualMakespan)
+		if d.Engine == "sequential" {
+			makespans[d.Topology] = d.VirtualMakespan
 		}
+	}
+	if makespans["disjoint-shards"] == makespans["shared-prefix"] {
+		t.Errorf("both topologies report makespan %s; the shared wire should cost something", makespans["disjoint-shards"])
+	}
+	lanesRows, sharedTopoSharded := 0, 0
+	for _, d := range doc.Driver {
+		if d.VirtualMakespan != makespans[d.Topology] {
+			t.Errorf("driver %s/%s/%d: virtual makespan %s differs from its topology's sequential %s",
+				d.Topology, d.Engine, d.Workers, d.VirtualMakespan, makespans[d.Topology])
+		}
+		if d.Engine == "lanes" {
+			lanesRows++
+			if d.Topology != "disjoint-shards" {
+				t.Errorf("lanes driver ran on %s; its disjointness precondition forbids that", d.Topology)
+			}
+		}
+		if d.Engine == "sharded" {
+			if len(d.EventsPerEngine) != d.Shards {
+				t.Errorf("driver %s/sharded/%d: %d per-engine counts, want %d", d.Topology, d.Workers, len(d.EventsPerEngine), d.Shards)
+			}
+			sum := 0
+			for _, n := range d.EventsPerEngine {
+				sum += n
+			}
+			if sum != d.Requests {
+				t.Errorf("driver %s/sharded/%d: per-engine events sum %d, want %d", d.Topology, d.Workers, sum, d.Requests)
+			}
+			if d.Topology == "shared-prefix" {
+				sharedTopoSharded++
+			}
+		}
+	}
+	if lanesRows != 4 {
+		t.Errorf("lanes rows: got %d, want 4", lanesRows)
+	}
+	if sharedTopoSharded != 4 {
+		t.Errorf("shared-prefix sharded rows: got %d, want 4", sharedTopoSharded)
 	}
 	if doc.Baseline.E1AllocsPerOp != 11 {
 		t.Errorf("recorded baseline allocs/op: got %d, want 11", doc.Baseline.E1AllocsPerOp)
+	}
+}
+
+// TestWallClockEngineSelector checks the -engine filter keeps only the
+// selected engine's rows plus the sequential reference.
+func TestWallClockEngineSelector(t *testing.T) {
+	doc, err := WallClock("lanes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sequential on both topologies + 4 lanes rows on the disjoint one.
+	if len(doc.Driver) != 6 {
+		t.Fatalf("driver rows: got %d, want 6", len(doc.Driver))
+	}
+	for _, d := range doc.Driver {
+		if d.Engine != "lanes" && d.Engine != "sequential" {
+			t.Errorf("unexpected engine row %s under -engine lanes", d.Engine)
+		}
+	}
+	if _, err := WallClock("warp"); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }

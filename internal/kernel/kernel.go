@@ -172,6 +172,7 @@ func (k *Kernel) NewHost(name string) *Host {
 		nextLocal: uint16(id)*2657 + 100,
 	}
 	h.alive.Store(true)
+	h.shard.Store(-1)
 	procs := make(map[uint16]*Process)
 	h.procs.Store(&procs)
 	services := make(map[Service]svcEntry)
@@ -276,6 +277,12 @@ type Host struct {
 	procs    atomic.Pointer[map[uint16]*Process]
 	services atomic.Pointer[map[Service]svcEntry]
 
+	// shard labels the host with the execution-engine lane that owns its
+	// local traffic under the sharded workload drivers (PROTOCOL.md §12).
+	// Hosts start unsharded (-1): their traffic is never classified as
+	// lane-confined.
+	shard atomic.Int64
+
 	mu        sync.Mutex // serializes writers of the tables above
 	nextLocal uint16
 }
@@ -292,6 +299,25 @@ func (h *Host) Kernel() *Kernel { return h.kernel }
 // Alive reports whether the host is up.
 func (h *Host) Alive() bool {
 	return h.alive.Load()
+}
+
+// SetShard labels the host with the execution-engine lane that owns its
+// local traffic (negative clears the label). Sharded topologies label
+// each shard's host so operation classifiers can prove co-residency
+// instead of assuming it.
+func (h *Host) SetShard(lane int) { h.shard.Store(int64(lane)) }
+
+// Shard returns the host's engine-lane label, or -1 when unsharded.
+func (h *Host) Shard() int { return int(h.shard.Load()) }
+
+// HostOf returns the host a pid lives on, whether or not the process
+// (or the host) is still alive — pids encode their host, so this is a
+// pure table lookup. Returns nil for unknown hosts and group pids.
+func (k *Kernel) HostOf(pid PID) *Host {
+	if pid == NilPID || pid.IsGroup() {
+		return nil
+	}
+	return (*k.hosts.Load())[pid.Host()]
 }
 
 // storeProcs publishes a fresh copy of the process table with local pid

@@ -158,6 +158,15 @@ func New(model *vtime.CostModel, seed int64) *Network {
 // Model returns the cost model the network charges against.
 func (n *Network) Model() *vtime.CostModel { return n.model }
 
+// Lookahead is the network's conservative-PDES lookahead bound: the
+// minimum virtual delay of any cross-host message (PROTOCOL.md §12).
+// Per-host engines use it to justify running host-confined work ahead of
+// their peers — a peer quiet until time T cannot be heard from before
+// T + Lookahead.
+func (n *Network) Lookahead() time.Duration {
+	return n.model.MinRemoteDelay()
+}
+
 // SetDropRate sets the probability that any individual frame is lost.
 // Lost frames are masked by kernel retransmission at a latency cost.
 func (n *Network) SetDropRate(p float64) {
@@ -177,6 +186,14 @@ func (n *Network) DropRate() float64 {
 
 // Partition places host h into partition group g. Hosts in different
 // groups cannot exchange frames. All hosts start in group 0.
+//
+// Concurrency: the partition map is copy-on-write — writers copy under
+// n.mu and publish atomically, readers (Reachable, on every hop) load
+// the snapshot lock-free — so a partition event may fire while other
+// engines' sends are in flight without a data race. Under the sharded
+// driver the chaos engine additionally fires Partition only at a global
+// fence (every lane quiescent), so *which* sends observe the new map is
+// deterministic, not merely race-free.
 func (n *Network) Partition(h HostID, g int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()

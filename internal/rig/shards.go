@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/client"
+	"repro/internal/engine"
 	"repro/internal/fileserver"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
@@ -66,6 +67,7 @@ func NewShardedWorkload(cfg ShardConfig) (*ShardedWorkload, error) {
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		host := k.NewHost(fmt.Sprintf("shard%d", s))
+		host.SetShard(s)
 		opts := []fileserver.Option{}
 		if cfg.Team > 1 {
 			opts = append(opts, fileserver.WithTeam(cfg.Team))
@@ -96,6 +98,10 @@ func NewShardedWorkload(cfg ShardConfig) (*ShardedWorkload, error) {
 					_, err := s.Query(ShardHotPath)
 					return err
 				},
+				// Every request is a co-resident query of the lane's own
+				// file server: a local hop that never touches the wire
+				// ledger, the loss RNG, or another lane's servers.
+				Classify: func(*client.Session, int) engine.Class { return engine.Confined },
 			})
 		}
 	}

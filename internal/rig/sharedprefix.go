@@ -1,0 +1,160 @@
+// Shared-prefix-server workload topology: the rig PR 4's parallel
+// driver could not go wide on, and the conservative engine's reason to
+// exist.
+//
+// Every shard keeps its file server and clients co-resident (as in
+// shards.go), but name resolution is centralized: one prefix server on
+// its own host maps every shard's context prefix. A client's first use
+// of its prefix walks the shared wire to that server — substrate state
+// whose outcome depends on operation order, so those requests are
+// classified Shared and commit in global virtual-time order. Once the
+// client's name cache holds the resolution, requests route directly to
+// the co-resident shard server — provably lane-confined (the classifier
+// checks the cached route's host shard label rather than assuming
+// co-residency) — and the lanes genuinely overlap. The topology thereby
+// exercises both halves of the conservative protocol in one workload,
+// with the paper's own mechanism (the §2.3 per-client name cache)
+// deciding which half each request falls in.
+package rig
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/fileserver"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/prefix"
+	"repro/internal/vtime"
+)
+
+// SharedPrefixConfig shapes a shared-prefix workload.
+type SharedPrefixConfig struct {
+	// Shards is the number of file-server shards (= engine lanes).
+	Shards int
+	// ClientsPerShard is the number of co-resident clients per shard.
+	ClientsPerShard int
+	// Requests is each client's quota of Query iterations.
+	Requests int
+	// Team is each shard file server's team size (0/1 = single process).
+	Team int
+	// Seed drives the network's deterministic RNG.
+	Seed int64
+	// FlushEvery, when positive, flushes each client's name cache every
+	// FlushEvery iterations (fresh program instances start cold, §2.3),
+	// forcing periodic Shared re-resolutions through the prefix server.
+	// Zero means only iteration 0 misses.
+	FlushEvery int
+}
+
+// SharedPrefixWorkload is the booted topology.
+type SharedPrefixWorkload struct {
+	Kernel     *kernel.Kernel
+	Net        *netsim.Network
+	PrefixHost *kernel.Host
+	Prefix     *prefix.Server
+	Hosts      []*kernel.Host
+	Shards     []*fileserver.FileServer
+	Clients    []*WorkloadClient
+}
+
+// NewSharedPrefixWorkload boots the topology: one prefix host, Shards
+// file-server hosts with ClientsPerShard co-resident clients each, every
+// shard's root bound to the context prefix [shard<i>] on the central
+// prefix server, and every client running the invalidate-and-retry name
+// cache. Clients carry Lane = shard index and a classifier that proves
+// cache-hit queries lane-confined via the host shard labels.
+func NewSharedPrefixWorkload(cfg SharedPrefixConfig) (*SharedPrefixWorkload, error) {
+	if cfg.Shards <= 0 || cfg.ClientsPerShard <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("shared-prefix workload: shards, clients and requests must be positive")
+	}
+	net := netsim.New(vtime.DefaultModel(), cfg.Seed)
+	k := kernel.New(net)
+	sw := &SharedPrefixWorkload{Kernel: k, Net: net}
+
+	sw.PrefixHost = k.NewHost("nexus")
+	ps, err := prefix.Start(sw.PrefixHost, "bench")
+	if err != nil {
+		return nil, fmt.Errorf("prefix server: %w", err)
+	}
+	sw.Prefix = ps
+
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		host := k.NewHost(fmt.Sprintf("shard%d", s))
+		host.SetShard(s)
+		opts := []fileserver.Option{}
+		if cfg.Team > 1 {
+			opts = append(opts, fileserver.WithTeam(cfg.Team))
+		}
+		fs, err := fileserver.Start(host, fmt.Sprintf("fs%d", s), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if _, err := fs.MkdirAll("/deep/a/b/c/d/e/f", "bench"); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if err := fs.WriteFile("/"+ShardHotPath, "bench", payload); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if err := ps.Define(fmt.Sprintf("shard%d", s), fs.RootPair()); err != nil {
+			return nil, fmt.Errorf("shard %d prefix: %w", s, err)
+		}
+		sw.Hosts = append(sw.Hosts, host)
+		sw.Shards = append(sw.Shards, fs)
+
+		name := fmt.Sprintf("[shard%d]%s", s, ShardHotPath)
+		for c := 0; c < cfg.ClientsPerShard; c++ {
+			proc, err := host.NewProcess(fmt.Sprintf("bench%d-%d", s, c))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d client %d: %w", s, c, err)
+			}
+			sess := client.New(proc, ps.PID(), fs.RootPair(), "bench")
+			sess.EnableNameCache(true)
+			flush := cfg.FlushEvery
+			sw.Clients = append(sw.Clients, &WorkloadClient{
+				Session:  sess,
+				Requests: cfg.Requests,
+				Lane:     s,
+				Op: func(s *client.Session, iter int) error {
+					if flush > 0 && iter > 0 && iter%flush == 0 {
+						s.FlushNameCache()
+					}
+					_, err := s.Query(name)
+					return err
+				},
+				Classify: confinedOnCachedLocalRoute(k, host, name, flush),
+			})
+		}
+	}
+	return sw, nil
+}
+
+// confinedOnCachedLocalRoute classifies a client's next query of `name`:
+// Confined exactly when the name cache will route it to a server whose
+// host carries the same shard label as the client's own host (a local
+// hop touching no cross-lane substrate), Shared otherwise — including
+// every iteration that will first flush its cache and therefore walk the
+// prefix server. The shard-label proof keeps the classifier honest if
+// the topology is ever rewired: an unlabeled or foreign host never
+// classifies as confined.
+func confinedOnCachedLocalRoute(k *kernel.Kernel, clientHost *kernel.Host, name string, flushEvery int) func(*client.Session, int) engine.Class {
+	return func(s *client.Session, iter int) engine.Class {
+		if flushEvery > 0 && iter > 0 && iter%flushEvery == 0 {
+			return engine.Shared // this iteration flushes, then re-resolves
+		}
+		pair, ok := s.CachedRoute(name)
+		if !ok {
+			return engine.Shared
+		}
+		h := k.HostOf(pair.Server)
+		if h == nil || h.Shard() < 0 || h.Shard() != clientHost.Shard() {
+			return engine.Shared
+		}
+		return engine.Confined
+	}
+}

@@ -9,11 +9,14 @@
 //
 // RunWorkloadParallel extends this to real concurrency: clients are
 // partitioned into lanes, each lane runs the same deterministic
-// virtual-time-ordered loop, and lanes execute on real goroutines. When
-// lanes do not share substrate state whose outcome depends on real
-// execution order (the shared-wire ledger, the loss RNG, a common
-// server's clock), the per-lane schedules compose into exactly the
-// sequential driver's result — see DESIGN.md.
+// virtual-time-ordered loop, and lanes execute on real goroutines,
+// synchronized by the conservative engine (internal/engine, PROTOCOL.md
+// §12). Operations that touch execution-order-sensitive substrate state
+// (the shared-wire ledger, the loss RNG, a server another lane also
+// talks to) commit in global key order — exactly the sequential
+// driver's order — while lane-confined operations run ahead freely, so
+// the result is deeply equal to RunWorkload's on any topology, not just
+// substrate-disjoint ones.
 package rig
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/engine"
 )
 
 // WorkloadClient is one closed-loop client: it issues Requests
@@ -43,6 +47,14 @@ type WorkloadClient struct {
 	// sequentially in virtual-time order relative to each other; distinct
 	// lanes run on real goroutines. The sequential driver ignores it.
 	Lane int
+	// Classify, when non-nil, classifies the client's next operation for
+	// the conservative engine before it runs: engine.Confined operations
+	// touch only lane-local substrate state (plus order-independent
+	// atomics) and run ahead of other lanes; engine.Shared operations
+	// commit in global virtual-time order. Nil means every operation is
+	// Shared — always safe, fully serialized. The sequential driver
+	// ignores it.
+	Classify func(s *client.Session, iter int) engine.Class
 	// Tick, when non-nil, is called after each completed iteration with
 	// the client's virtual clock — the hook workloads use to pump
 	// virtual-time observers (the metrics sampler, the chaos engine).
@@ -106,39 +118,39 @@ func RunWorkload(clients []*WorkloadClient) *WorkloadResult {
 	return res
 }
 
-// RunWorkloadParallel drives the clients with real concurrency: each
-// lane's clients are stepped by the identical deterministic loop the
-// sequential driver uses, and lanes run concurrently on a worker pool of
-// the given size (<=0 means GOMAXPROCS). Per-client stats, makespan and
-// throughput are identical to RunWorkload whenever the lanes are
-// substrate-disjoint — no shared servers and no shared-wire traffic —
-// because every virtual-time outcome is then a function of lane-local
-// state only, and the global virtual-time-ordered schedule restricted to
-// one lane is exactly that lane's own schedule.
+// RunWorkloadParallel drives the clients with real concurrency through
+// the conservative engine: lanes run on real goroutines, shared-substrate
+// operations commit in global virtual-time order, lane-confined ones run
+// ahead. The result is deeply equal to RunWorkload's on any topology —
+// the disjointness precondition the pre-engine driver carried is retired
+// (unclassified operations are simply serialized). workers is retained
+// for call-site compatibility and treated as a hint: the engine runs one
+// goroutine per lane (a bounded pool could hold a runnable lane out of
+// the schedule while a pooled lane blocks on it), and real parallelism
+// is bounded by GOMAXPROCS.
 func RunWorkloadParallel(clients []*WorkloadClient, workers int) *WorkloadResult {
+	_ = workers
+	return RunWorkloadEngine(clients, EngineOptions{})
+}
+
+// RunWorkloadLanes is the pre-engine parallel driver, kept for the
+// wall-clock benchmark's engine comparison: lanes run the deterministic
+// loop on a worker pool of the given size (<=0 means GOMAXPROCS) with no
+// cross-lane synchronization at all. Its equivalence guarantee therefore
+// still carries the PR 4 precondition: lanes must be substrate-disjoint
+// (no shared servers, no shared-wire traffic), or results depend on real
+// execution order. New callers want RunWorkloadParallel.
+func RunWorkloadLanes(clients []*WorkloadClient, workers int) *WorkloadResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	res := &WorkloadResult{Clients: make([]ClientStats, len(clients))}
 	start := workloadStart(clients)
 
-	// Partition into lanes, preserving original client order within each
-	// lane so the in-lane tie-break (lowest index) matches the sequential
-	// driver's.
-	laneOf := make(map[int][]int)
-	var laneOrder []int
-	for i, c := range clients {
-		if _, ok := laneOf[c.Lane]; !ok {
-			laneOrder = append(laneOrder, c.Lane)
-		}
-		laneOf[c.Lane] = append(laneOf[c.Lane], i)
-	}
-
 	var wg sync.WaitGroup
 	var requests atomic.Int64
 	sem := make(chan struct{}, workers)
-	for _, lane := range laneOrder {
-		idxs := laneOf[lane]
+	for _, idxs := range partitionLanes(clients) {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(idxs []int) {
@@ -151,6 +163,71 @@ func RunWorkloadParallel(clients []*WorkloadClient, workers int) *WorkloadResult
 	res.Requests = int(requests.Load())
 	finishResult(res, start)
 	return res
+}
+
+// EngineOptions parameterizes RunWorkloadEngine.
+type EngineOptions struct {
+	// Fences is the global fence schedule (chaos event times, sampler
+	// ticks) fired at quiescent cuts between operations; see
+	// rig.EngineFences for the standard chaos → groups → sampler wiring.
+	Fences engine.Fences
+	// Lookahead overrides the conservative lookahead bound. Zero derives
+	// it from the clients' own network (netsim.Network.Lookahead); the
+	// engine demotes Confined operations to Shared if the bound is not
+	// positive.
+	Lookahead time.Duration
+}
+
+// RunWorkloadEngine is the conservative-engine driver with explicit
+// options. Each lane is one engine owning its clients' virtual clocks
+// and run queue; before every operation the lane gates on the shared
+// Sync with the operation's key (virtual start time, client index) and
+// class. See internal/engine and PROTOCOL.md §12 for the protocol and
+// the equivalence argument.
+func RunWorkloadEngine(clients []*WorkloadClient, opts EngineOptions) *WorkloadResult {
+	res := &WorkloadResult{Clients: make([]ClientStats, len(clients))}
+	if len(clients) == 0 {
+		return res
+	}
+	start := workloadStart(clients)
+	if opts.Lookahead == 0 {
+		opts.Lookahead = clients[0].Session.Proc().Kernel().Network().Lookahead()
+	}
+	lanes := partitionLanes(clients)
+	es := engine.NewSync(len(lanes), opts.Lookahead, opts.Fences)
+
+	var wg sync.WaitGroup
+	var requests atomic.Int64
+	for laneID, idxs := range lanes {
+		wg.Add(1)
+		go func(laneID int, idxs []int) {
+			defer wg.Done()
+			requests.Add(int64(runLaneGated(clients, idxs, res.Clients, es, laneID)))
+		}(laneID, idxs)
+	}
+	wg.Wait()
+	res.Requests = int(requests.Load())
+	finishResult(res, start)
+	return res
+}
+
+// partitionLanes splits clients into lanes by their Lane field,
+// preserving original client order within each lane (so the in-lane
+// tie-break, lowest index, matches the sequential driver's) and first
+// appearance order across lanes.
+func partitionLanes(clients []*WorkloadClient) [][]int {
+	laneOf := make(map[int]int)
+	var lanes [][]int
+	for i, c := range clients {
+		li, ok := laneOf[c.Lane]
+		if !ok {
+			li = len(lanes)
+			laneOf[c.Lane] = li
+			lanes = append(lanes, nil)
+		}
+		lanes[li] = append(lanes[li], i)
+	}
+	return lanes
 }
 
 // workloadStart is the earliest client clock — the makespan origin.
@@ -221,5 +298,63 @@ func runLane(clients []*WorkloadClient, idxs []int, out []ClientStats) int {
 		iters[pick]++
 		requests++
 	}
+	return requests
+}
+
+// runLaneGated is runLane with every operation gated through the
+// conservative engine: the lane publishes the picked operation's key
+// (its client's pre-think clock, the same instant the pick compared,
+// plus the client's global index as the deterministic tie-break) and its
+// class, and blocks until the engine clears it. The pick-min loop makes
+// successive keys non-decreasing, which is what lets the published key
+// stand as the lane's promise of no earlier future activity.
+//
+// Tick hooks are not called here: under concurrent lanes a per-op pump
+// would observe nondeterministic interleavings, so virtual-time
+// observers are pumped by the engine's fences instead (EngineOptions).
+func runLaneGated(clients []*WorkloadClient, idxs []int, out []ClientStats, es *engine.Sync, lane int) int {
+	iters := make([]int, len(idxs))
+	requests := 0
+	for {
+		pick := -1
+		var best time.Duration
+		for j, i := range idxs {
+			c := clients[i]
+			if iters[j] >= c.Requests {
+				continue
+			}
+			now := c.Session.Proc().Now()
+			if pick == -1 || now < best {
+				pick, best = j, now
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		i := idxs[pick]
+		c := clients[i]
+		cls := engine.Shared
+		if c.Classify != nil {
+			cls = c.Classify(c.Session, iters[pick])
+		}
+		es.Gate(lane, engine.Key{T: best, Seq: i}, cls)
+		if c.Think > 0 {
+			c.Session.Proc().ChargeCompute(c.Think)
+		}
+		before := c.Session.Proc().Now()
+		err := c.Op(c.Session, iters[pick])
+		after := c.Session.Proc().Now()
+		st := &out[i]
+		if err != nil {
+			st.Errors++
+		} else {
+			st.Completed++
+		}
+		st.TotalLatency += after - before
+		st.Finish = after
+		iters[pick]++
+		requests++
+	}
+	es.Done(lane)
 	return requests
 }

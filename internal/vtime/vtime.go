@@ -251,6 +251,17 @@ func (m *CostModel) RemoteHopFloor(n int) time.Duration {
 	}
 }
 
+// MinRemoteDelay is the smallest possible cross-host one-way latency
+// under this model: the per-packet driver floor and protocol cost plus
+// the wire occupancy of a minimum-size frame. No message between
+// distinct hosts can arrive sooner, which makes it the conservative
+// lookahead bound the sharded execution engine synchronizes on
+// (PROTOCOL.md §12): a lane known to be quiet until virtual time T
+// cannot affect any other host before T + MinRemoteDelay.
+func (m *CostModel) MinRemoteDelay() time.Duration {
+	return m.RemoteDriverFloor + m.RemoteProtocolExtra + m.WireTime(0)
+}
+
 // LocalHop returns the one-way latency of delivering a message of n bytes
 // between two processes on the same host.
 func (m *CostModel) LocalHop(n int) time.Duration {
