@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,5 +61,31 @@ func TestVbenchScorecard(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "scorecard") || strings.Contains(out, "DEVIATES") {
 		t.Fatalf("scorecard output:\n%s", out)
+	}
+}
+
+// TestVbenchCacheGolden regenerates the A17 lease-coherence document
+// through the CLI path and byte-compares it with the committed golden,
+// so BENCH_cache.json drift is caught by plain `go test` as well as by
+// `make golden-guard`.
+func TestVbenchCacheGolden(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "BENCH_cache.json")
+	var sb strings.Builder
+	if err := run([]string{"-cache", tmp}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote lease-coherence document") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../../BENCH_cache.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("regenerated cache document differs from committed BENCH_cache.json; run `make bench-cache` if the change is intended")
 	}
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// TestExampleRuns smoke-tests the example end to end on the virtual
+// testbed, with its stdout captured (the printed walkthrough is the
+// example's UI, not the test's).
+func TestExampleRuns(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, r)
+		done <- err
+	}()
+	runErr := run()
+	w.Close()
+	os.Stdout = old
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}

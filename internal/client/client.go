@@ -38,6 +38,11 @@ type Session struct {
 	cacheRetry bool
 	cacheStats CacheStats
 
+	// leases, when non-nil, is the lease-coherent cache (lease.go): the
+	// answer to the §2.2 inconsistency objection the naive nameCache
+	// embodies. It takes precedence over nameCache for prefixed names.
+	leases *leaseCache
+
 	// lastRouted records the server pid the most recent send()-routed
 	// attempt actually targeted. With the name cache on, a prefixed
 	// request goes straight to the cached pair's server — not the prefix
@@ -117,7 +122,14 @@ func (s *Session) EnableNameCache(retryOnError bool) {
 // DisableNameCache turns the cache off.
 func (s *Session) DisableNameCache() { s.nameCache = nil }
 
-// FlushNameCache drops all cached resolutions.
+// FlushNameCache drops every resolution of the plain (non-leased) name
+// cache — the blind flush-by-timer staleness bound workloads used before
+// leases. The lease cache (EnableLeaseCache) never needs it: leased
+// entries revalidate individually when their lease lapses and are
+// dropped by callback invalidation when a binding changes, so this
+// routine deliberately leaves them alone. It survives as the compat knob
+// behind SharedPrefixConfig.FlushEvery and the A8/A14 ablations that
+// quantify what flush-by-timer costs.
 func (s *Session) FlushNameCache() {
 	if s.nameCache != nil {
 		s.nameCache = make(map[string]core.ContextPair)
@@ -178,6 +190,9 @@ func (s *Session) send(name string, req *proto.Message) (*proto.Message, error) 
 
 // sendOnce is one attempt of send.
 func (s *Session) sendOnce(name string, req *proto.Message) (*proto.Message, error) {
+	if s.leases != nil && prefix.HasPrefix(name) {
+		return s.sendLeased(name, req, true)
+	}
 	if s.nameCache != nil && prefix.HasPrefix(name) {
 		return s.sendCached(name, req)
 	}

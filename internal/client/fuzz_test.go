@@ -15,6 +15,45 @@ import (
 // be the parsed prefix verbatim, and agree with the prefix syntax's own
 // parser — a key mismatch would make the cache serve another prefix's
 // binding.
+// FuzzNegativeCacheKey fuzzes the negative-cache coherence key: a failed
+// lookup of any prefixed name stores its NotFound under the parsed
+// prefix, and a later define of that prefix invalidates holders under
+// the server's add-key (the bracket-trimmed CSname). For every definable
+// prefix the two keys must coincide — a mismatch would strand a negative
+// entry past the define, serving NotFound for a name that now exists
+// until the lease lapses.
+func FuzzNegativeCacheKey(f *testing.F) {
+	f.Add("[nosuch]x")
+	f.Add("[home]welcome.txt")
+	f.Add("[a[]x")
+	f.Add("[ [] ]gap")
+	f.Add("[\x00]nul")
+	f.Add("[b]")
+	f.Fuzz(func(t *testing.T, name string) {
+		pfx, _, err := cacheKey(name)
+		if err != nil {
+			return // unprefixed or malformed: never reaches the lease cache
+		}
+		// The server's define path computes its invalidation key by
+		// trimming the bracket syntax from the CSname (prefix.handleAdd),
+		// and rejects keys containing "[]/" — those prefixes can never be
+		// defined, so their negative entries are bounded by expiry alone.
+		addKey := strings.Trim(prefix.Quote(pfx), "[]")
+		if strings.ContainsAny(pfx, "[]/") {
+			return
+		}
+		if addKey != pfx {
+			t.Fatalf("define key %q diverges from cache key %q", addKey, pfx)
+		}
+		// And the callback path drops exactly that entry.
+		lc := &leaseCache{entries: map[string]leaseEntry{pfx: {negative: true}}}
+		lc.drop(addKey)
+		if len(lc.entries) != 0 {
+			t.Fatalf("invalidation of %q stranded negative entry %q", addKey, pfx)
+		}
+	})
+}
+
 func FuzzCacheKey(f *testing.F) {
 	f.Add("[home]welcome.txt")
 	f.Add("[storage]/shared/archive/2026/paper.mss")

@@ -264,6 +264,13 @@ func (s *Session) rebind(name string) {
 				}
 			}
 		}
+		// A leased resolution the failed attempt may have used is dropped
+		// the same way: the next attempt revalidates and re-leases.
+		if s.leases != nil {
+			if pfx, _, err := cacheKey(name); err == nil {
+				s.leases.drop(pfx)
+			}
+		}
 		// Prefixed names re-route through the prefix server on the next
 		// attempt; its dynamic bindings re-resolve by GetPid per use.
 		return

@@ -59,6 +59,7 @@ var registry = map[string]Runner{
 	"a14": A14,
 	"a15": A15,
 	"a16": A16,
+	"a17": A17,
 }
 
 // IDs returns the experiment ids in canonical order.

@@ -231,3 +231,81 @@ func (p *Process) sendGroup(msg *proto.Message, gid PID, moveSrc, moveDst []byte
 	tr.Fail(sp, p.clock.Now(), FailureClass(err))
 	return nil, err
 }
+
+// SendGroupAll multicasts msg to every member of a group and waits for
+// EVERY delivered reply, observing the latest reply time. Where sendGroup
+// is first-reply-wins (a query answered by whichever member is fastest),
+// SendGroupAll is a barrier: when it returns, every member that was alive
+// and reachable at send time has received, processed, and replied to the
+// message. Lease invalidation uses it so that a name redefinition commits
+// only after all reachable cache holders have dropped the stale entry;
+// unreachable holders are skipped and bounded by their lease expiry
+// instead (PROTOCOL.md §13). Returns the number of members that replied.
+// A group with no reachable members is not an error — there is simply
+// nobody to wait for.
+func (p *Process) SendGroupAll(msg *proto.Message, gid PID) (int, error) {
+	k := p.host.kernel
+	tr := k.Tracer()
+	var sp trace.SpanID
+	if tr != nil {
+		sp = tr.Start(p.CurrentSpan(), trace.KindSend, msg.Op.String()+" ->* "+gid.String(), p.clock.Now(), p.TraceID())
+		tr.SetGroup(sp)
+	}
+	members, err := k.GroupMembers(gid)
+	if err != nil {
+		tr.Fail(sp, p.clock.Now(), FailureClass(err))
+		return 0, err
+	}
+	if len(members) == 0 {
+		// Classified rather than plain-ended: a group send span with no
+		// reply in its subtree would otherwise trip the send-termination
+		// invariant (check.go #3).
+		tr.Fail(sp, p.clock.Now(), "no-holders")
+		return 0, nil
+	}
+	now := p.clock.Now()
+	mcast := k.net.Multicast(p.host.id, msg.WireSize(), now)
+	tr.Wire(sp, "multicast", now, mcast, msg.WireSize(), netsim.HopDetail{Packets: 1}, false, true)
+
+	replyCh := make(chan replyEvent, len(members)+1)
+	delivered := 0
+	for _, m := range members {
+		target, _ := k.findProcess(m)
+		if target == nil {
+			continue
+		}
+		if !k.net.Reachable(p.host.id, m.Host()) {
+			continue
+		}
+		arrival := now + mcast
+		if m.Host() == p.host.id {
+			arrival = now + k.model.LocalHop(msg.WireSize())
+		}
+		env := &envelope{
+			origin:  p.pid,
+			msg:     msg.Clone(),
+			arrival: arrival,
+			replyCh: replyCh,
+			span:    sp,
+		}
+		if target.deliver(env) {
+			delivered++
+		}
+	}
+	replies := 0
+	for i := 0; i < delivered; i++ {
+		ev := <-replyCh
+		if ev.err == nil {
+			p.clock.Observe(ev.at)
+			replies++
+		}
+	}
+	// Members that died mid-transaction surface as errored events; they
+	// are equivalent to unreachable members — bounded by lease expiry.
+	if replies == 0 {
+		tr.Fail(sp, p.clock.Now(), "no-holders")
+	} else {
+		tr.End(sp, p.clock.Now())
+	}
+	return replies, nil
+}

@@ -1,0 +1,126 @@
+package ncache_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/rig"
+)
+
+// bootTiered builds the shared-prefix topology with the lease hierarchy
+// and the intermediate tier interposed: every client addresses the tier,
+// which holds the upstream leases.
+func bootTiered(t *testing.T, lease time.Duration) *rig.SharedPrefixWorkload {
+	t.Helper()
+	sw, err := rig.NewSharedPrefixWorkload(rig.SharedPrefixConfig{
+		Shards: 2, ClientsPerShard: 3, Requests: 8, Seed: 11,
+		Lease: lease, CacheTier: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// TestTierAmortizesUpstreamLeases drives the tiered workload and checks
+// the amortization the tier exists for: every client's first lookup of
+// its shard prefix reaches the tier, but only the first per prefix walks
+// on to the prefix server — one upstream lease serves all co-tier
+// clients.
+func TestTierAmortizesUpstreamLeases(t *testing.T) {
+	sw := bootTiered(t, 500*time.Millisecond)
+	res := rig.RunWorkload(sw.Clients)
+	for i, st := range res.Clients {
+		if st.Errors != 0 {
+			t.Fatalf("client %d: %d errors", i, st.Errors)
+		}
+	}
+	ts := sw.Tier.Stats()
+	if ts.Misses != 2 {
+		t.Fatalf("tier misses = %d, want one per shard prefix: %+v", ts.Misses, ts)
+	}
+	if want := uint64(2*3 - 2); ts.Hits != want {
+		t.Fatalf("tier hits = %d, want %d (every later client's first lookup): %+v", ts.Hits, want, ts)
+	}
+	if srv := sw.Prefix.LeaseStats(); srv.Grants != 2 {
+		t.Fatalf("upstream grants = %d, want exactly one per prefix: %+v", srv.Grants, srv)
+	}
+	// Clients never re-walked within the lease window: one miss each,
+	// everything else answered by their own lease caches.
+	for i, wc := range sw.Clients {
+		cs := wc.Session.LeaseCacheStats()
+		if cs.Misses != 1 || cs.Hits != wc.Requests-1 {
+			t.Fatalf("client %d lease stats: %+v", i, cs)
+		}
+	}
+}
+
+// TestTierSubLeaseBounded checks the hierarchy's staleness contract: the
+// sub-lease a client holds never outlives the configured lease length
+// from its own grant observation, even though it was cut from an
+// upstream lease granted earlier.
+func TestTierSubLeaseBounded(t *testing.T) {
+	lease := 300 * time.Millisecond
+	sw := bootTiered(t, lease)
+	rig.RunWorkload(sw.Clients)
+	name := "[shard0]" + rig.ShardHotPath
+	for i, wc := range sw.Clients[:3] {
+		exp, ok := wc.Session.LeaseExpiry(name)
+		if !ok {
+			t.Fatalf("client %d holds no lease", i)
+		}
+		if exp > wc.Session.Proc().Now()+lease {
+			t.Fatalf("client %d sub-lease expiry %v exceeds now+%v", i, exp, lease)
+		}
+	}
+}
+
+// TestTierInvalidationChain deletes a prefix through the tier and checks
+// the full callback chain: the prefix server notifies the tier's
+// upstream callback, the tier drops its entry and propagates to every
+// downstream holder, and only then does the delete return — all three
+// cache levels coherent at the mutation's commit.
+func TestTierInvalidationChain(t *testing.T) {
+	sw := bootTiered(t, 500*time.Millisecond)
+	rig.RunWorkload(sw.Clients)
+
+	proc, err := sw.PrefixHost.NewProcess("admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := client.New(proc, sw.Tier.PID(), sw.Shards[0].RootPair(), "admin")
+	if err := admin.DeleteName("shard0"); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := sw.Tier.Stats()
+	if ts.Invalidations != 1 {
+		t.Fatalf("tier invalidations = %d: %+v", ts.Invalidations, ts)
+	}
+	if ts.Propagated != 3 {
+		t.Fatalf("tier propagated to %d holders, want the 3 shard0 clients: %+v", ts.Propagated, ts)
+	}
+	// The delete itself was a non-lease request: forwarded upstream.
+	if ts.Forwards != 1 {
+		t.Fatalf("tier forwards = %d: %+v", ts.Forwards, ts)
+	}
+	if srv := sw.Prefix.LeaseStats(); srv.Invalidations != 1 || srv.HoldersNotified != 1 {
+		t.Fatalf("upstream lease stats: %+v", srv)
+	}
+	name := "[shard0]" + rig.ShardHotPath
+	for i := 0; i < 3; i++ {
+		s := sw.Clients[i].Session
+		if s.LeaseCacheStats().Invalidations != 1 {
+			t.Fatalf("shard0 client %d not called back: %+v", i, s.LeaseCacheStats())
+		}
+		if _, ok := s.LeaseExpiry(name); ok {
+			t.Fatalf("shard0 client %d still holds the deleted lease", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if sw.Clients[i].Session.LeaseCacheStats().Invalidations != 0 {
+			t.Fatalf("shard1 client %d wrongly called back", i)
+		}
+	}
+}

@@ -130,8 +130,25 @@ type Server struct {
 	// resolved to, so rebinds (§4.2) are observable in Stats.
 	lastResolved map[string]kernel.PID
 
+	// Lease state (lease.go). leaseLen > 0 enables lease granting;
+	// holders maps each prefix name to the kernel group of callback pids
+	// leasing it; dirty queues names a directory-record write modified,
+	// invalidated by the serve loop before the write's reply.
+	leaseLen time.Duration
+	holders  map[string]kernel.PID
+	dirty    []string
+
 	// stats counters are atomics: team workers bump them concurrently.
-	stats statsCounters
+	stats    statsCounters
+	leaseCtr leaseCounters
+}
+
+// leaseCounters is the lock-free backing store for LeaseStats.
+type leaseCounters struct {
+	grants        atomic.Uint64
+	negatives     atomic.Uint64
+	invalidations atomic.Uint64
+	notified      atomic.Uint64
 }
 
 // statsCounters is the lock-free backing store for Stats.
@@ -188,6 +205,7 @@ func New(proc *kernel.Process, owner string, opts ...Option) *Server {
 		teamSize:     1,
 		bindings:     make(map[string]Binding),
 		lastResolved: make(map[string]kernel.PID),
+		holders:      make(map[string]kernel.PID),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -306,6 +324,9 @@ func (s *Server) serveOne(p *kernel.Process, msg *proto.Message, from kernel.PID
 			reply = proto.NewReply(proto.ReplyIllegalRequest)
 		}
 	}
+	// A directory-record write may have redefined prefixes: invalidate
+	// their lease holders before the write's reply commits it.
+	s.drainDirty(p)
 	if reply == nil {
 		// The request was forwarded along a prefix binding.
 		if tr != nil {
@@ -355,9 +376,9 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 	if index >= len(name) || name[index] != Marker {
 		switch msg.Op {
 		case proto.OpAddContextName:
-			return s.handleAdd(msg)
+			return s.handleAdd(p, msg)
 		case proto.OpDeleteContextName:
-			return s.handleDelete(msg)
+			return s.handleDelete(p, msg)
 		default:
 			return s.handleOwnName(p, msg, name[index:])
 		}
@@ -375,8 +396,16 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 	s.mu.Lock()
 	b, ok := s.bindings[pfx]
 	s.mu.Unlock()
+	cb, wantLease := s.leaseWanted(msg, name, rest)
 	if !ok {
-		return core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", pfx, proto.ErrNotFound))
+		reply := core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", pfx, proto.ErrNotFound))
+		if wantLease {
+			// Unknown prefix, lease requested: grant a negative lease so
+			// the holder answers repeated lookups locally until a define
+			// invalidates it (lease.go).
+			s.stampLease(p, reply, pfx, cb, true)
+		}
+		return reply
 	}
 	pair, err := s.resolveBinding(p, b)
 	if err != nil {
@@ -410,6 +439,16 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 			p.Kernel().Metrics().
 				Counter("prefix_rebinds_total", metrics.Labels{Server: s.proc.Name()}).Inc()
 		}
+	}
+	if wantLease {
+		// A bare-prefix MapContext asking for a lease is answered directly
+		// from the table — the server knows the pair and must be the one
+		// stamping the expiry and tracking the holder — where the plain
+		// protocol would forward it to the target server (lease.go).
+		reply := core.OkReply()
+		proto.SetMapContextReply(reply, uint32(pair.Server), uint32(pair.Ctx))
+		s.stampLease(p, reply, pfx, cb, false)
+		return reply
 	}
 	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
 	s.stats.forwards.Add(1)
@@ -550,12 +589,18 @@ func (s *Server) modifyFromRecord(d proto.Descriptor) error {
 		return fmt.Errorf("prefix %q: %w", d.Name, proto.ErrNotFound)
 	}
 	s.bindings[d.Name] = b
+	// The vio write handler has no process context: queue the name and
+	// let the serve loop invalidate holders before the write's reply.
+	s.dirty = append(s.dirty, d.Name)
 	return nil
 }
 
 // handleAdd implements OpAddContextName, one of the optional operations
-// ordinarily implemented only by context prefix servers (§5.7).
-func (s *Server) handleAdd(msg *proto.Message) *proto.Message {
+// ordinarily implemented only by context prefix servers (§5.7). Defining
+// a name invalidates its lease holders — negative caches of the
+// previously-absent name — before the reply, so the define commits as a
+// coherence barrier (lease.go).
+func (s *Server) handleAdd(p *kernel.Process, msg *proto.Message) *proto.Message {
 	name, index, err := proto.CSName(msg)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
@@ -569,27 +614,32 @@ func (s *Server) handleAdd(msg *proto.Message) *proto.Message {
 	} else {
 		b.Pair = core.ContextPair{Server: kernel.PID(pidOrService), Ctx: core.ContextID(ctx)}
 	}
-	if err := s.define(name[index:], b); err != nil {
+	key := strings.Trim(name[index:], "[]")
+	if err := s.define(key, b); err != nil {
 		return core.ErrorReplyMsg(err)
 	}
+	s.invalidateName(p, key)
 	return core.OkReply()
 }
 
-// handleDelete implements OpDeleteContextName.
-func (s *Server) handleDelete(msg *proto.Message) *proto.Message {
+// handleDelete implements OpDeleteContextName. Deleting a name
+// invalidates its lease holders before the reply (lease.go).
+func (s *Server) handleDelete(p *kernel.Process, msg *proto.Message) *proto.Message {
 	name, index, err := proto.CSName(msg)
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
 	key := strings.Trim(name[index:], "[]")
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.bindings[key]; !ok {
+		s.mu.Unlock()
 		return core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", key, proto.ErrNotFound))
 	}
 	delete(s.bindings, key)
 	delete(s.lastResolved, key)
 	s.sortedNames = nil
+	s.mu.Unlock()
+	s.invalidateName(p, key)
 	return core.OkReply()
 }
 

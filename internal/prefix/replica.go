@@ -87,9 +87,9 @@ func (rs *ReplicaService) Apply(p *kernel.Process, cmd []byte) *proto.Message {
 	}
 	switch m.Op {
 	case proto.OpAddContextName:
-		return rs.s.handleAdd(m)
+		return rs.s.handleAdd(p, m)
 	case proto.OpDeleteContextName:
-		return rs.s.handleDelete(m)
+		return rs.s.handleDelete(p, m)
 	}
 	return core.ErrorReplyMsg(proto.ErrBadArgs)
 }

@@ -93,6 +93,10 @@ const (
 	OpEcho
 	// OpKillProgram terminates a program by object id (program manager).
 	OpKillProgram
+	// OpCacheInvalidate is the lease-callback message (see lease.go): a
+	// granting server tells a cache holder that a name's binding changed.
+	// The segment carries the name; F[4]/F[5] the commit time.
+	OpCacheInvalidate
 )
 
 // Request codes of the baseline centralized name server (§2.1-2.2
@@ -201,6 +205,7 @@ var codeNames = map[Code]string{
 	OpReleaseInstance: "ReleaseInstance",
 	OpEcho:            "Echo",
 	OpKillProgram:     "KillProgram",
+	OpCacheInvalidate: "CacheInvalidate",
 
 	OpNSRegister:   "NSRegister",
 	OpNSLookup:     "NSLookup",

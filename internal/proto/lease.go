@@ -1,0 +1,81 @@
+package proto
+
+import "fmt"
+
+// Lease-stamped resolution (PROTOCOL.md §13). A client that keeps a name
+// cache may ask the prefix server to answer an OpMapContext directly and
+// stamp the reply with a virtual-time lease: the cached pair is valid
+// until the absolute expiry time, and the server promises to send an
+// OpCacheInvalidate to the holder's callback process if the binding
+// changes before then. Failure replies (ReplyNotFound) may carry the same
+// stamp as a *negative* lease, authorizing the client to answer repeated
+// lookups of the absent name locally until expiry or invalidation.
+//
+// Field usage (all free positions on OpMapContext and its replies):
+//
+//	request   Flags |= FlagLeaseRequest, F[3] = callback pid
+//	reply     Flags |= FlagLeaseGrant, F[4]/F[5] = expiry (ns, high/low)
+//
+// The expiry rides F[4]/F[5] rather than F[1]/F[2] so the stamp coexists
+// with the name-fault details of a failure reply (csname.go).
+const (
+	// FlagLeaseRequest marks an OpMapContext request asking for a
+	// lease-stamped direct reply; F[3] carries the requester's
+	// invalidation-callback pid.
+	FlagLeaseRequest uint16 = 1 << 1
+	// FlagLeaseGrant marks a reply carrying a lease expiry in F[4]/F[5].
+	FlagLeaseGrant uint16 = 1 << 2
+)
+
+// SetLeaseRequest marks a CSname request as wanting a lease-stamped
+// reply, naming the process that will receive OpCacheInvalidate
+// callbacks.
+func SetLeaseRequest(m *Message, callback uint32) {
+	m.Flags |= FlagLeaseRequest
+	m.F[3] = callback
+}
+
+// LeaseRequest reports whether the request asks for a lease, and the
+// callback pid when it does.
+func LeaseRequest(m *Message) (callback uint32, ok bool) {
+	if m.Flags&FlagLeaseRequest == 0 {
+		return 0, false
+	}
+	return m.F[3], true
+}
+
+// SetLeaseGrant stamps a reply with an absolute virtual-time lease
+// expiry.
+func SetLeaseGrant(m *Message, expire int64) {
+	m.Flags |= FlagLeaseGrant
+	m.F[4] = uint32(uint64(expire) >> 32)
+	m.F[5] = uint32(uint64(expire))
+}
+
+// LeaseGrant extracts the lease expiry from a stamped reply.
+func LeaseGrant(m *Message) (expire int64, ok bool) {
+	if m.Flags&FlagLeaseGrant == 0 {
+		return 0, false
+	}
+	return int64(uint64(m.F[4])<<32 | uint64(m.F[5])), true
+}
+
+// SetCacheInvalidate encodes an OpCacheInvalidate callback: the affected
+// name in the segment, and the virtual time at which the granting server
+// committed the change that invalidates it in F[4]/F[5].
+func SetCacheInvalidate(m *Message, name string, commit int64) {
+	m.Op = OpCacheInvalidate
+	m.F[2] = uint32(len(name))
+	m.F[4] = uint32(uint64(commit) >> 32)
+	m.F[5] = uint32(uint64(commit))
+	m.Segment = append(m.Segment[:0], name...)
+}
+
+// CacheInvalidate decodes an OpCacheInvalidate callback.
+func CacheInvalidate(m *Message) (name string, commit int64, err error) {
+	n := int(m.F[2])
+	if n > len(m.Segment) {
+		return "", 0, fmt.Errorf("%w: invalidate name length %d exceeds segment %d", ErrBadArgs, n, len(m.Segment))
+	}
+	return string(m.Segment[:n]), int64(uint64(m.F[4])<<32 | uint64(m.F[5])), nil
+}

@@ -13,6 +13,7 @@ package rig
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -73,6 +74,11 @@ type Config struct {
 	ServicesTeam int
 	// PrefixTeam does the same for each workstation's prefix server.
 	PrefixTeam int
+
+	// Lease, when positive, enables lease granting of this length on
+	// every workstation's prefix server (PROTOCOL.md §13). Sessions opt
+	// into the lease cache individually with EnableLeaseCache.
+	Lease time.Duration
 }
 
 // teamOpt returns the core option list for a team-size knob: empty for
@@ -335,6 +341,9 @@ func (r *Rig) bootWorkstation(cfg Config, user string) (*Workstation, error) {
 		prefixOpts := []prefix.Option{}
 		if cfg.PrefixTeam > 1 {
 			prefixOpts = append(prefixOpts, prefix.WithTeam(cfg.PrefixTeam))
+		}
+		if cfg.Lease > 0 {
+			prefixOpts = append(prefixOpts, prefix.WithLease(cfg.Lease))
 		}
 		if ws.Prefix, err = prefix.Start(host, user, prefixOpts...); err != nil {
 			return nil, err

@@ -20,12 +20,16 @@ package rig
 import (
 	"fmt"
 
+	"time"
+
 	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/fileserver"
 	"repro/internal/kernel"
+	"repro/internal/ncache"
 	"repro/internal/netsim"
 	"repro/internal/prefix"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -44,8 +48,22 @@ type SharedPrefixConfig struct {
 	// FlushEvery, when positive, flushes each client's name cache every
 	// FlushEvery iterations (fresh program instances start cold, §2.3),
 	// forcing periodic Shared re-resolutions through the prefix server.
-	// Zero means only iteration 0 misses.
+	// Zero means only iteration 0 misses. It is the pre-lease compat
+	// knob: with Lease set, flushes are skipped — lease coherence makes
+	// the blind flush redundant (PROTOCOL.md §13).
 	FlushEvery int
+	// Lease, when positive, replaces the invalidate-and-retry name cache
+	// with the lease-coherent hierarchy: the prefix server grants leases
+	// of this length, clients run the lease cache with callback
+	// invalidation, and expired entries revalidate instead of flushing.
+	Lease time.Duration
+	// CacheTier, when true (requires Lease), interposes a shared ncache
+	// tier co-resident with the prefix host: clients address the tier,
+	// which holds upstream leases and re-grants bounded sub-leases.
+	CacheTier bool
+	// Trace installs a domain tracer on the kernel and network. Tracing
+	// charges zero virtual time, so traced runs measure identically.
+	Trace bool
 }
 
 // SharedPrefixWorkload is the booted topology.
@@ -54,9 +72,13 @@ type SharedPrefixWorkload struct {
 	Net        *netsim.Network
 	PrefixHost *kernel.Host
 	Prefix     *prefix.Server
-	Hosts      []*kernel.Host
-	Shards     []*fileserver.FileServer
-	Clients    []*WorkloadClient
+	// Tier is the shared intermediate cache (nil unless CacheTier).
+	Tier *ncache.Tier
+	// Tracer is the installed tracer (nil unless Trace).
+	Tracer  *trace.Tracer
+	Hosts   []*kernel.Host
+	Shards  []*fileserver.FileServer
+	Clients []*WorkloadClient
 }
 
 // NewSharedPrefixWorkload boots the topology: one prefix host, Shards
@@ -72,13 +94,38 @@ func NewSharedPrefixWorkload(cfg SharedPrefixConfig) (*SharedPrefixWorkload, err
 	net := netsim.New(vtime.DefaultModel(), cfg.Seed)
 	k := kernel.New(net)
 	sw := &SharedPrefixWorkload{Kernel: k, Net: net}
+	if cfg.Trace {
+		sw.Tracer = trace.New()
+		k.SetTracer(sw.Tracer)
+		net.SetRecorder(sw.Tracer)
+	}
 
 	sw.PrefixHost = k.NewHost("nexus")
-	ps, err := prefix.Start(sw.PrefixHost, "bench")
+	var popts []prefix.Option
+	if cfg.Lease > 0 {
+		popts = append(popts, prefix.WithLease(cfg.Lease))
+	}
+	ps, err := prefix.Start(sw.PrefixHost, "bench", popts...)
 	if err != nil {
 		return nil, fmt.Errorf("prefix server: %w", err)
 	}
 	sw.Prefix = ps
+
+	// Clients address the resolver: the prefix server itself, or — with
+	// the cache tier interposed — the co-resident ncache front, which
+	// forwards everything it cannot answer from its own leases.
+	resolver := ps.PID()
+	if cfg.CacheTier {
+		if cfg.Lease <= 0 {
+			return nil, fmt.Errorf("shared-prefix workload: CacheTier requires Lease")
+		}
+		tier, err := ncache.Start(sw.PrefixHost, "ncache", ps.PID(), cfg.Lease)
+		if err != nil {
+			return nil, fmt.Errorf("cache tier: %w", err)
+		}
+		sw.Tier = tier
+		resolver = tier.PID()
+	}
 
 	payload := make([]byte, 512)
 	for i := range payload {
@@ -113,9 +160,19 @@ func NewSharedPrefixWorkload(cfg SharedPrefixConfig) (*SharedPrefixWorkload, err
 			if err != nil {
 				return nil, fmt.Errorf("shard %d client %d: %w", s, c, err)
 			}
-			sess := client.New(proc, ps.PID(), fs.RootPair(), "bench")
+			sess := client.New(proc, resolver, fs.RootPair(), "bench")
 			sess.EnableNameCache(true)
 			flush := cfg.FlushEvery
+			classify := confinedOnCachedLocalRoute(k, host, name, flush)
+			if cfg.Lease > 0 {
+				if err := sess.EnableLeaseCache(); err != nil {
+					return nil, fmt.Errorf("shard %d client %d lease cache: %w", s, c, err)
+				}
+				// Lease coherence retires the blind flush: expiry and
+				// callbacks bound staleness instead (PROTOCOL.md §13).
+				flush = 0
+				classify = confinedOnLeasedLocalRoute(k, host, name)
+			}
 			sw.Clients = append(sw.Clients, &WorkloadClient{
 				Session:  sess,
 				Requests: cfg.Requests,
@@ -127,7 +184,7 @@ func NewSharedPrefixWorkload(cfg SharedPrefixConfig) (*SharedPrefixWorkload, err
 					_, err := s.Query(name)
 					return err
 				},
-				Classify: confinedOnCachedLocalRoute(k, host, name, flush),
+				Classify: classify,
 			})
 		}
 	}
@@ -142,6 +199,29 @@ func NewSharedPrefixWorkload(cfg SharedPrefixConfig) (*SharedPrefixWorkload, err
 // prefix server. The shard-label proof keeps the classifier honest if
 // the topology is ever rewired: an unlabeled or foreign host never
 // classifies as confined.
+// confinedOnLeasedLocalRoute is the lease-cache analogue of
+// confinedOnCachedLocalRoute: Confined exactly when the client holds a
+// positive lease on the name's prefix that will still be valid when the
+// operation runs, routing to a co-shard server. The probe time is the
+// client's clock at classification — the engine publishes that instant
+// as the operation's key and the session re-checks validity at the same
+// clock on entry (client.LeasedRoute), so classifier and operation agree
+// on expiry exactly. A lapsed or absent lease classifies Shared: the
+// revalidation walks the shared wire to the resolver.
+func confinedOnLeasedLocalRoute(k *kernel.Kernel, clientHost *kernel.Host, name string) func(*client.Session, int) engine.Class {
+	return func(s *client.Session, iter int) engine.Class {
+		pair, ok := s.LeasedRoute(name, s.Proc().Now())
+		if !ok {
+			return engine.Shared
+		}
+		h := k.HostOf(pair.Server)
+		if h == nil || h.Shard() < 0 || h.Shard() != clientHost.Shard() {
+			return engine.Shared
+		}
+		return engine.Confined
+	}
+}
+
 func confinedOnCachedLocalRoute(k *kernel.Kernel, clientHost *kernel.Host, name string, flushEvery int) func(*client.Session, int) engine.Class {
 	return func(s *client.Session, iter int) engine.Class {
 		if flushEvery > 0 && iter > 0 && iter%flushEvery == 0 {

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/vtime"
@@ -16,6 +19,12 @@ type CheckOptions struct {
 	// (default 16 — far above the two rewrite hops the prefix design
 	// ever produces, but low enough to catch a forwarding loop).
 	MaxForwardDepth int
+	// LeaseBound, when positive, enables the lease staleness invariant
+	// (#7): no lease outlives the bound, no cache hit is served at or
+	// after its lease's expiry, and after an invalidation commit for a
+	// name, no hit backed by a lease granted at or before the commit
+	// occurs more than LeaseBound past it (PROTOCOL.md §13).
+	LeaseBound time.Duration
 }
 
 // Check asserts the protocol-level invariants of a recorded trace:
@@ -35,7 +44,12 @@ type CheckOptions struct {
 //     ends at or after it starts;
 //  6. wire accounting matches the netsim cost model: local hops carry
 //     zero packets, broadcast/multicast frames exactly one, and every
-//     remote unicast hop exactly PacketsFor(bytes) packets.
+//     remote unicast hop exactly PacketsFor(bytes) packets;
+//  7. (with LeaseBound set) lease staleness is bounded: every lease
+//     stamp spans at most LeaseBound, every cache hit starts strictly
+//     before its lease's expiry, and for every invalidation commit of a
+//     name at time Ti, every hit of that name backed by a lease granted
+//     at or before Ti starts at or before Ti+LeaseBound.
 //
 // A nil error means the trace is protocol-clean.
 func Check(spans []Span, opt CheckOptions) error {
@@ -130,7 +144,121 @@ func Check(spans []Span, opt CheckOptions) error {
 			return fmt.Errorf("trace: send span %d (%q) succeeded with %d successful replies, want exactly 1", sp.ID, sp.Name, replies)
 		}
 	}
+	// (7) lease staleness.
+	if opt.LeaseBound > 0 {
+		if err := checkLeases(spans, opt.LeaseBound); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkLeases enforces invariant (7): the staleness of every lease-served
+// read is bounded by the lease length.
+func checkLeases(spans []Span, bound time.Duration) error {
+	// Invalidation commits per name, in span order (creation order, which
+	// is not necessarily time order across processes — each hit is checked
+	// against every commit).
+	commits := make(map[string][]int64)
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Kind != KindLease {
+			continue
+		}
+		if ev, name := leaseEvent(sp); ev == "invalidate" {
+			commits[name] = append(commits[name], sp.Start)
+		}
+	}
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Kind != KindLease {
+			continue
+		}
+		ev, name := leaseEvent(sp)
+		if sp.LeaseExpire != 0 && sp.LeaseExpire-sp.LeaseGrant > int64(bound) {
+			return fmt.Errorf("trace: lease span %d (%q) spans %dns, beyond the %v bound",
+				sp.ID, sp.Name, sp.LeaseExpire-sp.LeaseGrant, bound)
+		}
+		if ev != "hit" && ev != "negative-hit" {
+			continue
+		}
+		if sp.LeaseExpire != 0 && sp.Start >= sp.LeaseExpire {
+			return fmt.Errorf("trace: lease hit span %d (%q) at %dns served at or after its expiry %dns",
+				sp.ID, sp.Name, sp.Start, sp.LeaseExpire)
+		}
+		for _, ti := range commits[name] {
+			if sp.LeaseGrant <= ti && sp.Start > ti+int64(bound) {
+				return fmt.Errorf("trace: stale read: span %d (%q) at %dns serves a lease granted at %dns, %dns after the invalidation commit at %dns (bound %v)",
+					sp.ID, sp.Name, sp.Start, sp.LeaseGrant, sp.Start-ti, ti, bound)
+			}
+		}
+	}
+	return nil
+}
+
+// StaleWindow is one lease-served read that observed a mapping after an
+// invalidation of its name committed: the cached pair was granted at or
+// before the commit, yet a hit served it Window nanoseconds past the
+// commit. The staleness invariant bounds every Window by the lease
+// length; A17 reports the maxima.
+type StaleWindow struct {
+	Name   string `json:"name"`
+	Commit int64  `json:"commit_ns"`
+	Hit    int64  `json:"hit_ns"`
+	Window int64  `json:"window_ns"`
+}
+
+// StaleWindows scans a trace for lease hits that served a mapping after
+// an invalidation of the name committed, returning the widest window per
+// name in name order. An empty result means every read after every
+// invalidation resolved fresh.
+func StaleWindows(spans []Span) []StaleWindow {
+	commits := make(map[string][]int64)
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Kind != KindLease {
+			continue
+		}
+		if ev, name := leaseEvent(sp); ev == "invalidate" {
+			commits[name] = append(commits[name], sp.Start)
+		}
+	}
+	widest := make(map[string]StaleWindow)
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Kind != KindLease {
+			continue
+		}
+		ev, name := leaseEvent(sp)
+		if ev != "hit" && ev != "negative-hit" {
+			continue
+		}
+		for _, ti := range commits[name] {
+			if sp.LeaseGrant <= ti && sp.Start > ti {
+				w := StaleWindow{Name: name, Commit: ti, Hit: sp.Start, Window: sp.Start - ti}
+				if prev, ok := widest[name]; !ok || w.Window > prev.Window {
+					widest[name] = w
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(widest))
+	for n := range widest {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]StaleWindow, 0, len(names))
+	for _, n := range names {
+		out = append(out, widest[n])
+	}
+	return out
+}
+
+// leaseEvent splits a KindLease span name ("hit [bin]hello") into its
+// event and the affected name.
+func leaseEvent(sp *Span) (event, name string) {
+	ev, rest, _ := strings.Cut(sp.Name, " ")
+	return ev, rest
 }
 
 // tallyReplies counts successful reply spans in the transaction rooted

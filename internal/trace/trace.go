@@ -71,6 +71,13 @@ const (
 	// for a crash (the classification Server.Err carries, made
 	// distinguishable from the trace alone).
 	KindServerExit Kind = "server-exit"
+	// KindLease is a lease-protocol event (PROTOCOL.md §13): named
+	// "grant [p]", "renew [p]", "hit [p]", "negative-hit [p]",
+	// "expired [p]", "invalidate [p]" or "callback [p]". Grant, renew
+	// and hit events carry the lease stamp in LeaseGrant/LeaseExpire;
+	// invalidate events record the commit time as their Start, which is
+	// what the staleness invariant in check.go keys on.
+	KindLease Kind = "lease"
 )
 
 // ProcID names the process a span ran on. The zero value marks spans
@@ -110,6 +117,12 @@ type Span struct {
 	// Group marks a send/forward addressed to a process group, where
 	// first-reply-wins allows more than one reply span in the subtree.
 	Group bool `json:"group,omitempty"`
+	// LeaseGrant/LeaseExpire carry the lease stamp of KindLease spans:
+	// the virtual time the lease was granted (or renewed) and its
+	// absolute expiry. Zero on every other kind, so the golden traces
+	// predating leases render unchanged.
+	LeaseGrant  int64 `json:"lease_grant_ns,omitempty"`
+	LeaseExpire int64 `json:"lease_expire_ns,omitempty"`
 	// Incomplete marks a span that was never ended — a leak the
 	// invariant checker rejects.
 	Incomplete bool `json:"incomplete,omitempty"`
@@ -219,6 +232,20 @@ func (t *Tracer) SetGroup(id SpanID) {
 	defer t.mu.Unlock()
 	if sp := t.span(id); sp != nil {
 		sp.Group = true
+	}
+}
+
+// SetLease annotates a span with a lease stamp: grant time and absolute
+// expiry (virtual nanoseconds).
+func (t *Tracer) SetLease(id SpanID, grant, expire vtime.Time) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp := t.span(id); sp != nil {
+		sp.LeaseGrant = int64(grant)
+		sp.LeaseExpire = int64(expire)
 	}
 }
 
