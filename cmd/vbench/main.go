@@ -14,6 +14,7 @@
 //	vbench -replica REPLICA.json # export the A15 replication document (deterministic)
 //	vbench -shard SHARD.json     # export the A16 sharded-engine document (deterministic)
 //	vbench -cache CACHE.json     # export the A17 lease-coherence document (deterministic)
+//	vbench -zipf ZIPF.json       # export the A18 population-scale document (deterministic)
 //	vbench -wallclock W.json -engine sharded         # wall-clock run, one engine's rows
 //	vbench -wallclock W.json -cpuprofile cpu.pprof   # wall-clock run with profiling
 package main
@@ -48,6 +49,7 @@ func run(args []string, w io.Writer) error {
 	engine := fs.String("engine", "all", "with -wallclock: restrict driver rows to one engine (sequential, lanes, sharded)")
 	shardPath := fs.String("shard", "", "run the A16 sharded-engine sweep and write the deterministic shard document (BENCH_shard.json schema) to this file")
 	cachePath := fs.String("cache", "", "run the A17 lease-coherence legs and write the deterministic cache document (BENCH_cache.json schema) to this file")
+	zipfPath := fs.String("zipf", "", "run the A18 population-scale legs and write the deterministic zipf document (BENCH_zipf.json schema) to this file")
 	metricsPath := fs.String("metrics", "", "run the A14 metrics legs and write the deterministic metrics document (BENCH_metrics.json schema) to this file")
 	replicaPath := fs.String("replica", "", "run the A15 replicated chaos leg and write the deterministic replication document (BENCH_replica.json schema) to this file")
 	cpuProfile := fs.String("cpuprofile", "", "with -wallclock: write a CPU profile to this file")
@@ -134,7 +136,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote metrics document to %s\n", *metricsPath)
 		// -metrics alone exports the document without running every
 		// experiment (mirrors -trace).
-		if len(fs.Args()) == 0 && *tracePath == "" && *replicaPath == "" && *shardPath == "" && *cachePath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *replicaPath == "" && *shardPath == "" && *cachePath == "" && *zipfPath == "" {
 			return nil
 		}
 	}
@@ -150,7 +152,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote replication document to %s\n", *replicaPath)
 		// -replica alone exports the document without running every
 		// experiment (mirrors -metrics).
-		if len(fs.Args()) == 0 && *tracePath == "" && *shardPath == "" && *cachePath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *shardPath == "" && *cachePath == "" && *zipfPath == "" {
 			return nil
 		}
 	}
@@ -166,7 +168,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote sharded-engine document to %s\n", *shardPath)
 		// -shard alone exports the document without running every
 		// experiment (mirrors -metrics).
-		if len(fs.Args()) == 0 && *tracePath == "" && *cachePath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *cachePath == "" && *zipfPath == "" {
 			return nil
 		}
 	}
@@ -181,6 +183,22 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "wrote lease-coherence document to %s\n", *cachePath)
 		// -cache alone exports the document without running every
+		// experiment (mirrors -metrics).
+		if len(fs.Args()) == 0 && *tracePath == "" && *zipfPath == "" {
+			return nil
+		}
+	}
+
+	if *zipfPath != "" {
+		data, err := experiments.ZipfJSON()
+		if err != nil {
+			return fmt.Errorf("zipf: %w", err)
+		}
+		if err := os.WriteFile(*zipfPath, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *zipfPath, err)
+		}
+		fmt.Fprintf(w, "wrote population-scale document to %s\n", *zipfPath)
+		// -zipf alone exports the document without running every
 		// experiment (mirrors -metrics).
 		if len(fs.Args()) == 0 && *tracePath == "" {
 			return nil

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/nametree"
 	"repro/internal/prefix"
 	"repro/internal/proto"
 )
@@ -46,9 +47,10 @@ func FuzzNegativeCacheKey(f *testing.F) {
 			t.Fatalf("define key %q diverges from cache key %q", addKey, pfx)
 		}
 		// And the callback path drops exactly that entry.
-		lc := &leaseCache{entries: map[string]leaseEntry{pfx: {negative: true}}}
+		lc := &leaseCache{entries: nametree.New[leaseEntry]()}
+		lc.entries.Insert(pfx, leaseEntry{negative: true})
 		lc.drop(addKey)
-		if len(lc.entries) != 0 {
+		if lc.entries.Len() != 0 {
 			t.Fatalf("invalidation of %q stranded negative entry %q", addKey, pfx)
 		}
 	})

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/nametree"
 	"repro/internal/prefix"
 	"repro/internal/proto"
 	"repro/internal/trace"
@@ -54,12 +55,15 @@ type leaseEntry struct {
 	negative bool
 }
 
-// leaseCache is a session's lease-coherent name cache. The mutex covers
-// entries and stats: the session's own goroutine reads and refills the
-// cache while the callback process applies invalidations concurrently.
+// leaseCache is a session's lease-coherent name cache, keyed on the
+// shared radix index (PROTOCOL.md §14): the session goroutine, the
+// callback process and the engine classifiers (LeasedRoute/LeaseExpiry)
+// all read lock-free off the COW root, so a classifier probing tens of
+// thousands of draws never serializes against invalidations. The mutex
+// covers only stats.
 type leaseCache struct {
+	entries *nametree.Tree[leaseEntry]
 	mu      sync.Mutex
-	entries map[string]leaseEntry
 	stats   LeaseStats
 	// callback receives OpCacheInvalidate from granting servers; its pid
 	// rides every lease request so servers know whom to call back.
@@ -85,7 +89,7 @@ func (s *Session) EnableLeaseCache() error {
 	if s.leases != nil {
 		return nil
 	}
-	lc := &leaseCache{entries: make(map[string]leaseEntry)}
+	lc := &leaseCache{entries: nametree.New[leaseEntry]()}
 	cb, err := s.proc.Host().Spawn(s.proc.Name()+"/lease-cb", func(p *kernel.Process) {
 		lc.serveCallbacks(p)
 	})
@@ -143,9 +147,7 @@ func (s *Session) LeasedRoute(name string, at time.Duration) (core.ContextPair, 
 	if err != nil {
 		return core.ContextPair{}, false
 	}
-	s.leases.mu.Lock()
-	defer s.leases.mu.Unlock()
-	e, ok := s.leases.entries[pfx]
+	e, ok := s.leases.entries.Get(pfx)
 	if !ok || e.negative || at >= e.expire {
 		return core.ContextPair{}, false
 	}
@@ -164,9 +166,7 @@ func (s *Session) LeaseExpiry(name string) (time.Duration, bool) {
 	if err != nil {
 		return 0, false
 	}
-	s.leases.mu.Lock()
-	defer s.leases.mu.Unlock()
-	e, ok := s.leases.entries[pfx]
+	e, ok := s.leases.entries.Get(pfx)
 	if !ok {
 		return 0, false
 	}
@@ -190,8 +190,8 @@ func (lc *leaseCache) serveCallbacks(p *kernel.Process) {
 			if derr != nil {
 				reply.Op = proto.ReplyBadArgs
 			} else {
+				lc.entries.Delete(name)
 				lc.mu.Lock()
-				delete(lc.entries, name)
 				lc.stats.Invalidations++
 				lc.mu.Unlock()
 				if tr := p.Kernel().Tracer(); tr != nil {
@@ -213,29 +213,23 @@ func (lc *leaseCache) serveCallbacks(p *kernel.Process) {
 // dropping entries whose lease has lapsed (they are either re-granted by
 // the revalidation that follows or gone).
 func (lc *leaseCache) lookup(pfx string, now time.Duration) (leaseEntry, leaseState) {
-	lc.mu.Lock()
-	defer lc.mu.Unlock()
-	e, ok := lc.entries[pfx]
+	e, ok := lc.entries.Get(pfx)
 	if !ok {
 		return leaseEntry{}, leaseMiss
 	}
 	if now >= e.expire {
-		delete(lc.entries, pfx)
+		lc.entries.Delete(pfx)
 		return e, leaseExpired
 	}
 	return e, leaseHit
 }
 
 func (lc *leaseCache) store(pfx string, e leaseEntry) {
-	lc.mu.Lock()
-	lc.entries[pfx] = e
-	lc.mu.Unlock()
+	lc.entries.Insert(pfx, e)
 }
 
 func (lc *leaseCache) drop(pfx string) {
-	lc.mu.Lock()
-	delete(lc.entries, pfx)
-	lc.mu.Unlock()
+	lc.entries.Delete(pfx)
 }
 
 func (lc *leaseCache) bump(f func(*LeaseStats)) {

@@ -28,7 +28,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"reflect"
-	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -389,10 +388,9 @@ func CacheJSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// a17SectionGuard asserts at test time that the A17 registry entry
-// appends after every pre-existing experiment id (vbench_output.txt's
-// earlier sections must stay byte-identical when A17 lands).
+// a17SectionGuard asserts at test time that the A17 registry entry is
+// followed only by later experiments (vbench_output.txt's sections up
+// through A17 must stay byte-identical as new experiments land).
 func a17SectionGuard() bool {
-	ids := IDs()
-	return len(ids) > 0 && strings.EqualFold(ids[len(ids)-1], "a17")
+	return sectionGuard("a17")
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,6 +61,39 @@ var registry = map[string]Runner{
 	"a15": A15,
 	"a16": A16,
 	"a17": A17,
+	"a18": A18,
+}
+
+// sectionGuard reports whether experiment id is followed only by
+// later-numbered a-series experiments in canonical order — the
+// condition under which the byte-pinned vbench_output.txt sections
+// preceding (and including) id cannot shift when new experiments land.
+func sectionGuard(id string) bool {
+	ids := IDs()
+	pos := -1
+	for i, have := range ids {
+		if have == id {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	num, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return false
+	}
+	for _, later := range ids[pos+1:] {
+		if later[0] != 'a' {
+			return false
+		}
+		n, err := strconv.Atoi(later[1:])
+		if err != nil || n <= num {
+			return false
+		}
+	}
+	return true
 }
 
 // IDs returns the experiment ids in canonical order.

@@ -1,0 +1,92 @@
+package nametree
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzNametreeLookup feeds arbitrary key material (seeded from the
+// client cacheKey corpus — bracketed V-System context names) through
+// insert/lookup/LPM/delete and cross-checks every answer against a
+// plain map. The input is split on '|' into up to 8 keys; every prefix
+// of every key is used as a lookup probe so the LPM path is exercised
+// at each divergence point.
+func FuzzNametreeLookup(f *testing.F) {
+	f.Add("[storage]/shared/archive/2026/paper.mss")
+	f.Add("[]x")
+	f.Add("[home]welcome.txt")
+	f.Add("[a][b]nested")
+	f.Add("[unterminated")
+	f.Add("a|ab|abc|b")
+	f.Add("[home]|[home]sub|[h")
+	f.Fuzz(func(t *testing.T, input string) {
+		keys := strings.Split(input, "|")
+		if len(keys) > 8 {
+			keys = keys[:8]
+		}
+		tr := New[int]()
+		ref := map[string]int{}
+		for i, k := range keys {
+			replaced := tr.Insert(k, i)
+			if _, had := ref[k]; had != replaced {
+				t.Fatalf("Insert(%q) replaced=%v, map had=%v", k, replaced, had)
+			}
+			ref[k] = i
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len=%d, map %d", tr.Len(), len(ref))
+		}
+		lpm := func(q string) (int, int, bool) {
+			for n := len(q); n >= 0; n-- {
+				if v, ok := ref[q[:n]]; ok {
+					return n, v, true
+				}
+			}
+			return 0, 0, false
+		}
+		for _, k := range keys {
+			for cut := 0; cut <= len(k); cut++ {
+				q := k[:cut]
+				got, ok := tr.Get(q)
+				want, wantOK := ref[q]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("Get(%q) = (%d,%v), map (%d,%v)", q, got, ok, want, wantOK)
+				}
+				n, v, ok := tr.LongestPrefix(q)
+				wn, wv, wok := lpm(q)
+				if n != wn || ok != wok || (ok && v != wv) {
+					t.Fatalf("LongestPrefix(%q) = (%d,%d,%v), map (%d,%d,%v)", q, n, v, ok, wn, wv, wok)
+				}
+			}
+		}
+		// Walk must visit the map's keys in sorted order.
+		var walked []string
+		tr.Walk(func(k string, _ int) bool { walked = append(walked, k); return true })
+		wantKeys := make([]string, 0, len(ref))
+		for k := range ref {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		if len(walked) != len(wantKeys) {
+			t.Fatalf("Walk visited %d, map has %d", len(walked), len(wantKeys))
+		}
+		for i := range walked {
+			if walked[i] != wantKeys[i] {
+				t.Fatalf("Walk[%d]=%q, want %q", i, walked[i], wantKeys[i])
+			}
+		}
+		// Delete everything; the tree must drain to empty.
+		for _, k := range keys {
+			removed := tr.Delete(k)
+			_, had := ref[k]
+			if removed != had {
+				t.Fatalf("Delete(%q)=%v, map had=%v", k, removed, had)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != 0 || tr.KeyBytes() != 0 {
+			t.Fatalf("drained tree: Len=%d KeyBytes=%d", tr.Len(), tr.KeyBytes())
+		}
+	})
+}

@@ -1,0 +1,291 @@
+package nametree
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// model is the naive reference: a plain map plus a sort on demand.
+type model map[string]int
+
+func (m model) longestPrefix(q string) (int, int, bool) {
+	for n := len(q); n >= 0; n-- {
+		if v, ok := m[q[:n]]; ok {
+			return n, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (m model) sortedKeys() []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// genKey builds a hierarchical dot-separated key from a small vocabulary
+// so generated keys share prefixes — the shape the radix tree exists to
+// compress.
+func genKey(r *rand.Rand) string {
+	vocab := []string{"storage", "home", "pub", "mail", "shared", "archive", "s", "st", "stor", ""}
+	depth := 1 + r.Intn(4)
+	parts := make([]string, depth)
+	for i := range parts {
+		parts[i] = vocab[r.Intn(len(vocab))]
+	}
+	return strings.Join(parts, ".")
+}
+
+// TestPropertyVsModel drives the same randomized insert/delete/lookup
+// stream through the tree and the naive sorted-map reference and
+// requires exact agreement: membership, values, longest-prefix match,
+// walk order, and the Len/KeyBytes counters.
+func TestPropertyVsModel(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tr := New[int]()
+	ref := model{}
+	for step := 0; step < 20000; step++ {
+		key := genKey(r)
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4: // insert
+			replaced := tr.Insert(key, step)
+			_, had := ref[key]
+			if replaced != had {
+				t.Fatalf("step %d: Insert(%q) replaced=%v, model had=%v", step, key, replaced, had)
+			}
+			ref[key] = step
+		case 5, 6: // delete
+			removed := tr.Delete(key)
+			_, had := ref[key]
+			if removed != had {
+				t.Fatalf("step %d: Delete(%q) removed=%v, model had=%v", step, key, removed, had)
+			}
+			delete(ref, key)
+		default: // lookup + LPM on a fresh query
+			q := genKey(r)
+			got, ok := tr.Get(q)
+			want, wantOK := ref[q]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: Get(%q) = (%d,%v), model (%d,%v)", step, q, got, ok, want, wantOK)
+			}
+			n, v, ok := tr.LongestPrefix(q)
+			wn, wv, wok := ref.longestPrefix(q)
+			if n != wn || ok != wok || (ok && v != wv) {
+				t.Fatalf("step %d: LongestPrefix(%q) = (%d,%d,%v), model (%d,%d,%v)", step, q, n, v, ok, wn, wv, wok)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d, model %d", step, tr.Len(), len(ref))
+		}
+	}
+	// Final structural agreement: walk order and key-byte accounting.
+	var walked []string
+	bytes := 0
+	tr.Walk(func(k string, v int) bool {
+		if want := ref[k]; v != want {
+			t.Fatalf("Walk(%q) = %d, model %d", k, v, want)
+		}
+		walked = append(walked, k)
+		bytes += len(k)
+		return true
+	})
+	wantKeys := ref.sortedKeys()
+	if len(walked) != len(wantKeys) {
+		t.Fatalf("Walk visited %d keys, model has %d", len(walked), len(wantKeys))
+	}
+	for i, k := range walked {
+		if k != wantKeys[i] {
+			t.Fatalf("Walk order[%d] = %q, want %q", i, k, wantKeys[i])
+		}
+	}
+	if tr.KeyBytes() != bytes {
+		t.Fatalf("KeyBytes = %d, walked total %d", tr.KeyBytes(), bytes)
+	}
+}
+
+// TestGetStepsAgreesWithGet pins that the instrumented descent is the
+// same lookup, and that steps on hits are bounded by the key's node
+// depth (≤ len(key)+1).
+func TestGetStepsAgreesWithGet(t *testing.T) {
+	tr := New[int]()
+	keys := []string{"", "a", "ab", "abc", "abd", "b.c.d", "b.c", "zig"}
+	for i, k := range keys {
+		tr.Insert(k, i)
+	}
+	for _, q := range append(keys, "abcd", "zag", "b.", "c") {
+		v1, ok1 := tr.Get(q)
+		v2, ok2, steps := tr.GetSteps(q)
+		if v1 != v2 || ok1 != ok2 {
+			t.Fatalf("GetSteps(%q) = (%d,%v), Get = (%d,%v)", q, v2, ok2, v1, ok1)
+		}
+		if steps < 1 || steps > len(q)+1 {
+			t.Fatalf("GetSteps(%q): implausible step count %d", q, steps)
+		}
+	}
+}
+
+// TestWalkEarlyStop pins that a false return halts the walk.
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i, k := range []string{"a", "b", "c", "d"} {
+		tr.Insert(k, i)
+	}
+	var seen []string
+	tr.Walk(func(k string, _ int) bool {
+		seen = append(seen, k)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "b" {
+		t.Fatalf("early-stopped walk saw %v", seen)
+	}
+}
+
+// TestConcurrentReaders hammers lock-free reads while a writer churns
+// the tree; run under -race this is the COW publication safety test.
+func TestConcurrentReaders(t *testing.T) {
+	tr := New[int]()
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = genKey(rand.New(rand.NewSource(int64(i))))
+		tr.Insert(keys[i], i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := keys[r.Intn(len(keys))]
+				if v, ok := tr.Get(q); ok && (v < 0 || v >= 1<<20) {
+					t.Errorf("Get(%q) observed torn value %d", q, v)
+					return
+				}
+				tr.LongestPrefix(q)
+			}
+		}(int64(g))
+	}
+	for i := 0; i < 5000; i++ {
+		k := keys[i%len(keys)]
+		if i%3 == 0 {
+			tr.Delete(k)
+		} else {
+			tr.Insert(k, i%(1<<20))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestReverseFirstMatchesSortedScan checks the O(1) inverse index gives
+// exactly the answer a linear first-match scan over the sorted name
+// table would, through adds and removes (including removing the min).
+func TestReverseFirstMatchesSortedScan(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	rev := NewReverse[int]()
+	ref := map[int]map[string]bool{}
+	check := func() {
+		t.Helper()
+		for k, set := range ref {
+			var names []string
+			for n := range set {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			got, ok := rev.First(k)
+			if len(names) == 0 {
+				if ok {
+					t.Fatalf("First(%d) = %q, want none", k, got)
+				}
+				continue
+			}
+			if !ok || got != names[0] {
+				t.Fatalf("First(%d) = (%q,%v), want %q", k, got, ok, names[0])
+			}
+			if rev.Count(k) != len(names) {
+				t.Fatalf("Count(%d) = %d, want %d", k, rev.Count(k), len(names))
+			}
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		k := r.Intn(5)
+		name := genKey(r)
+		if ref[k] == nil {
+			ref[k] = map[string]bool{}
+		}
+		if r.Intn(3) == 0 {
+			rev.Remove(k, name)
+			delete(ref[k], name)
+		} else {
+			rev.Add(k, name)
+			ref[k][name] = true
+		}
+		if step%100 == 0 {
+			check()
+		}
+	}
+	check()
+	if rev.Count(99) != 0 {
+		t.Fatal("Count of unknown key should be 0")
+	}
+	rev.Remove(99, "x") // no-op on unknown key
+}
+
+// TestEmptyKey pins that the empty string is a legal key (the root).
+func TestEmptyKey(t *testing.T) {
+	tr := New[string]()
+	if _, ok := tr.Get(""); ok {
+		t.Fatal("empty tree claims to hold the empty key")
+	}
+	tr.Insert("", "root")
+	if v, ok := tr.Get(""); !ok || v != "root" {
+		t.Fatalf("Get(\"\") = (%q,%v)", v, ok)
+	}
+	if n, v, ok := tr.LongestPrefix("anything"); !ok || n != 0 || v != "root" {
+		t.Fatalf("LongestPrefix = (%d,%q,%v), want (0,root,true)", n, v, ok)
+	}
+	if !tr.Delete("") || tr.Len() != 0 {
+		t.Fatal("Delete(\"\") failed")
+	}
+}
+
+// TestReverseEdges exercises the non-min removal fast path, removal of
+// unknown names/keys, and First on an unbound key.
+func TestReverseEdges(t *testing.T) {
+	r := NewReverse[int]()
+	if _, ok := r.First(7); ok {
+		t.Fatal("First on an unbound key")
+	}
+	r.Add(7, "b")
+	r.Add(7, "a")
+	r.Add(7, "c")
+	r.Remove(7, "c") // non-min removal: no rescan
+	if got, ok := r.First(7); !ok || got != "a" {
+		t.Fatalf("First = %q, %v", got, ok)
+	}
+	r.Remove(7, "zzz") // absent name: no-op
+	r.Remove(9, "a")   // absent key: no-op
+	if got, ok := r.First(7); !ok || got != "a" {
+		t.Fatalf("First after no-ops = %q, %v", got, ok)
+	}
+	r.Remove(7, "a") // min removal: rescan finds "b"
+	if got, ok := r.First(7); !ok || got != "b" {
+		t.Fatalf("First after min removal = %q, %v", got, ok)
+	}
+	r.Remove(7, "b")
+	if _, ok := r.First(7); ok || r.Count(7) != 0 {
+		t.Fatal("key not drained")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package nametree
+
+const raceEnabled = false

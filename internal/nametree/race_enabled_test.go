@@ -1,0 +1,8 @@
+//go:build race
+
+package nametree
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation assertions are skipped under -race because the
+// detector's instrumentation allocates on every synchronization op.
+const raceEnabled = true

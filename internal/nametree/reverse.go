@@ -1,0 +1,83 @@
+package nametree
+
+// Reverse is the binding→names side of the index: for each value key K
+// (a context pair, a server id, …) it tracks the set of names bound to
+// it and the lexicographically smallest of them. First answers the
+// inverse-resolution question — "which name maps to this binding?" —
+// with the exact sorted-order tie-break the linear first-match scan
+// over a sorted name table used to give, in O(1) instead of O(n).
+//
+// Add is O(1). Remove is O(1) unless it removes the current minimum, in
+// which case the set is rescanned (deletes are rare on name servers;
+// population setup must not be quadratic). Reverse is not safe for
+// concurrent use — callers guard it with the same mutex that serializes
+// their tree writes.
+type Reverse[K comparable] struct {
+	m map[K]*revSet
+}
+
+type revSet struct {
+	names map[string]struct{}
+	min   string
+}
+
+// NewReverse returns an empty reverse index.
+func NewReverse[K comparable]() *Reverse[K] {
+	return &Reverse[K]{m: make(map[K]*revSet)}
+}
+
+// Add records that name is bound to k.
+func (r *Reverse[K]) Add(k K, name string) {
+	s := r.m[k]
+	if s == nil {
+		s = &revSet{names: make(map[string]struct{})}
+		r.m[k] = s
+	}
+	if len(s.names) == 0 || name < s.min {
+		s.min = name
+	}
+	s.names[name] = struct{}{}
+}
+
+// Remove drops name from k's set (a no-op if absent).
+func (r *Reverse[K]) Remove(k K, name string) {
+	s := r.m[k]
+	if s == nil {
+		return
+	}
+	if _, ok := s.names[name]; !ok {
+		return
+	}
+	delete(s.names, name)
+	if len(s.names) == 0 {
+		delete(r.m, k)
+		return
+	}
+	if name == s.min {
+		first := true
+		for n := range s.names {
+			if first || n < s.min {
+				s.min = n
+				first = false
+			}
+		}
+	}
+}
+
+// First returns the lexicographically smallest name bound to k.
+func (r *Reverse[K]) First(k K) (string, bool) {
+	s := r.m[k]
+	if s == nil {
+		return "", false
+	}
+	return s.min, true
+}
+
+// Count returns how many names are bound to k.
+func (r *Reverse[K]) Count(k K) int {
+	s := r.m[k]
+	if s == nil {
+		return 0
+	}
+	return len(s.names)
+}

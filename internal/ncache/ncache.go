@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/nametree"
 	"repro/internal/prefix"
 	"repro/internal/proto"
 	"repro/internal/trace"
@@ -76,8 +77,12 @@ type Tier struct {
 	upstream kernel.PID
 	leaseLen time.Duration
 
+	// entries is the tier's lease table on the shared radix index
+	// (PROTOCOL.md §14): the hit-path lookup is a lock-free descent, so
+	// the serving process never contends with the callback process
+	// dropping entries. mu guards only the holders map.
+	entries *nametree.Tree[entry]
 	mu      sync.Mutex
-	entries map[string]entry
 	// holders maps each prefix name to the kernel group of downstream
 	// callback pids holding a sub-lease on it.
 	holders map[string]kernel.PID
@@ -97,7 +102,7 @@ func Start(host *kernel.Host, name string, upstream kernel.PID, leaseLen time.Du
 		name:     name,
 		upstream: upstream,
 		leaseLen: leaseLen,
-		entries:  make(map[string]entry),
+		entries:  nametree.New[entry](),
 		holders:  make(map[string]kernel.PID),
 	}
 	cb, err := host.Spawn(name+"/upstream-cb", t.serveUpstream)
@@ -219,14 +224,12 @@ func (t *Tier) leaseWanted(msg *proto.Message) (string, kernel.PID, bool) {
 func (t *Tier) serveLease(p *kernel.Process, pfx string, cb kernel.PID) *proto.Message {
 	p.ChargeCompute(p.Kernel().Model().PrefixRewriteCost)
 	now := p.Now()
-	t.mu.Lock()
-	e, found := t.entries[pfx]
+	e, found := t.entries.Get(pfx)
 	if found && now >= e.expire {
-		delete(t.entries, pfx)
+		t.entries.Delete(pfx)
 		found = false
 		t.ctr.renewals.Add(1)
 	}
-	t.mu.Unlock()
 
 	if found {
 		if e.negative {
@@ -276,9 +279,7 @@ func (t *Tier) serveLease(p *kernel.Process, pfx string, cb kernel.PID) *proto.M
 	default:
 		return mreply // stamped but not cacheable: relay as-is
 	}
-	t.mu.Lock()
-	t.entries[pfx] = ne
-	t.mu.Unlock()
+	t.entries.Insert(pfx, ne)
 	t.leaseEvent(p, "grant", pfx, granted, ne)
 	t.subGrant(p, mreply, pfx, cb, granted, ne)
 	return mreply
@@ -326,8 +327,8 @@ func (t *Tier) serveUpstream(p *kernel.Process) {
 			if derr != nil {
 				reply.Op = proto.ReplyBadArgs
 			} else {
+				t.entries.Delete(name)
 				t.mu.Lock()
-				delete(t.entries, name)
 				gid, held := t.holders[name]
 				t.mu.Unlock()
 				t.ctr.invalidations.Add(1)

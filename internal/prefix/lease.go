@@ -76,12 +76,15 @@ func (s *Server) leaseWanted(msg *proto.Message, name string, rest int) (kernel.
 
 // stampLease stamps reply with a lease expiring leaseLen from p's
 // current clock and registers the callback as a holder of pfx. negative
-// marks a NotFound stamp.
-func (s *Server) stampLease(p *kernel.Process, reply *proto.Message, pfx string, cb kernel.PID, negative bool) {
+// marks a NotFound stamp. hint is the holder group read off the index
+// node during the resolution descent (NilPID when the node has none
+// yet, or on a negative stamp): when set, the grant needs no second
+// table lookup — grant+lookup is one descent.
+func (s *Server) stampLease(p *kernel.Process, reply *proto.Message, pfx string, cb kernel.PID, negative bool, hint kernel.PID) {
 	now := p.Now()
 	expire := now + s.leaseLen
 	proto.SetLeaseGrant(reply, int64(expire))
-	s.joinHolders(p, pfx, cb)
+	s.joinHolders(p, pfx, cb, hint)
 	if negative {
 		s.leaseCtr.negatives.Add(1)
 		s.leaseMetric(p, "prefix_lease_negatives_total").Inc()
@@ -98,16 +101,31 @@ func (s *Server) stampLease(p *kernel.Process, reply *proto.Message, pfx string,
 // joinHolders adds cb to pfx's holder group, creating the group on first
 // use. Membership is idempotent and survives invalidations: a holder
 // that re-leases after a callback is already in the group, and destroyed
-// processes leave every group via the kernel's destroy path.
-func (s *Server) joinHolders(p *kernel.Process, pfx string, cb kernel.PID) {
+// processes leave every group via the kernel's destroy path. With a
+// non-nil hint (the group read off the index node during resolution)
+// the fast path takes no lock; the slow path creates the group on the
+// node — or in the orphan map when the name has no binding — under mu.
+func (s *Server) joinHolders(p *kernel.Process, pfx string, cb kernel.PID, hint kernel.PID) {
 	k := p.Kernel()
-	s.mu.Lock()
-	gid, ok := s.holders[pfx]
-	if !ok {
-		gid = k.CreateGroup()
-		s.holders[pfx] = gid
+	gid := hint
+	if gid == kernel.NilPID {
+		s.mu.Lock()
+		if e, ok := s.index.Get(pfx); ok {
+			if e.holders == kernel.NilPID {
+				e.holders = k.CreateGroup()
+				s.index.Insert(pfx, e)
+			}
+			gid = e.holders
+		} else {
+			g, ok := s.orphans[pfx]
+			if !ok {
+				g = k.CreateGroup()
+				s.orphans[pfx] = g
+			}
+			gid = g
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	_ = k.JoinGroup(gid, cb)
 }
 
@@ -129,9 +147,14 @@ func (s *Server) invalidateName(p *kernel.Process, name string) {
 		tr.Event(p.CurrentSpan(), trace.KindLease, "invalidate "+name, commit, p.TraceID(), "")
 	}
 	s.mu.Lock()
-	gid, ok := s.holders[name]
+	gid := kernel.NilPID
+	if e, ok := s.index.Get(name); ok && e.holders != kernel.NilPID {
+		gid = e.holders
+	} else if g, ok := s.orphans[name]; ok {
+		gid = g
+	}
 	s.mu.Unlock()
-	if !ok {
+	if gid == kernel.NilPID {
 		return
 	}
 	msg := &proto.Message{}

@@ -1,0 +1,216 @@
+package prefix
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+// newLeaseRig boots a lease-enabled prefix server, a toy target server,
+// a client process, and a callback process that acknowledges every
+// OpCacheInvalidate it receives and records the invalidated names.
+func newLeaseRig(t *testing.T) (*Server, *kernel.Process, *kernel.Process, chan string) {
+	t.Helper()
+	k := kernel.New(netsim.New(vtime.DefaultModel(), 1))
+	ws := k.NewHost("ws")
+	srvHost := k.NewHost("srv")
+
+	target, err := srvHost.Spawn("target", func(p *kernel.Process) {
+		for {
+			msg, from, err := p.Receive()
+			if err != nil {
+				return
+			}
+			reply := proto.NewReply(proto.ReplyOK)
+			reply.F[0] = msg.F[0]
+			if err := p.Reply(reply, from); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	invalidated := make(chan string, 16)
+	callback, err := ws.Spawn("callback", func(p *kernel.Process) {
+		for {
+			msg, from, err := p.Receive()
+			if err != nil {
+				return
+			}
+			if name, _, err := proto.CacheInvalidate(msg); err == nil {
+				invalidated <- name
+			}
+			if err := p.Reply(proto.NewReply(proto.ReplyOK), from); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ps, err := Start(ws, "mann", WithLease(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ws.NewProcess("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ps.Proc().Destroy()
+		target.Destroy()
+		callback.Destroy()
+		client.Destroy()
+	})
+	if err := ps.Define("tgt", core.ContextPair{Server: target.PID(), Ctx: 42}); err != nil {
+		t.Fatal(err)
+	}
+	return ps, client, callback, invalidated
+}
+
+// leaseMap sends a bare-prefix MapContext with a lease request and
+// returns the reply.
+func leaseMap(t *testing.T, client *kernel.Process, ps *Server, cb kernel.PID, name string) *proto.Message {
+	t.Helper()
+	req := &proto.Message{Op: proto.OpMapContext}
+	proto.SetCSName(req, 0, name)
+	proto.SetLeaseRequest(req, uint32(cb))
+	reply, err := client.Send(req, ps.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+// TestLeaseGrantAndInvalidate walks the whole holder-group life cycle
+// through the radix index: grant onto the node (slow path creating the
+// group, then the descent-hint fast path), deletion parking the group
+// in the orphan map with the callback barrier reaching the holder, and
+// redefinition re-adopting the orphan group so the re-grant reuses it.
+func TestLeaseGrantAndInvalidate(t *testing.T) {
+	ps, client, callback, invalidated := newLeaseRig(t)
+
+	reply := leaseMap(t, client, ps, callback.PID(), "[tgt]")
+	if reply.Op != proto.ReplyOK {
+		t.Fatalf("MapContext ret %v", reply.Op)
+	}
+	if _, ok := proto.LeaseGrant(reply); !ok {
+		t.Fatal("reply not lease-stamped")
+	}
+	// Second grant: the holder group now lives on the index node, so the
+	// stamp takes the descent-hint fast path.
+	leaseMap(t, client, ps, callback.PID(), "[tgt]")
+	if st := ps.LeaseStats(); st.Grants != 2 {
+		t.Fatalf("grants = %d, want 2", st.Grants)
+	}
+
+	// Deleting the binding must run the callback barrier before the
+	// reply: the holder hears the invalidation, and the group is parked
+	// for the name's next life.
+	del := &proto.Message{Op: proto.OpDeleteContextName}
+	proto.SetCSName(del, 0, "tgt")
+	if reply, err := client.Send(del, ps.PID()); err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("delete: op=%v err=%v", reply.Op, err)
+	}
+	select {
+	case name := <-invalidated:
+		if name != "tgt" {
+			t.Fatalf("invalidated %q, want tgt", name)
+		}
+	default:
+		t.Fatal("holder never heard the invalidation")
+	}
+	st := ps.LeaseStats()
+	if st.Invalidations == 0 || st.HoldersNotified == 0 {
+		t.Fatalf("lease stats after delete: %+v", st)
+	}
+
+	// Redefine and re-grant: the parked group is re-adopted, so the
+	// holder (still a member) hears the next invalidation too.
+	add := &proto.Message{Op: proto.OpAddContextName}
+	proto.SetCSName(add, 0, "tgt")
+	proto.SetAddContextTarget(add, uint32(ps.PID()), 7)
+	if reply, err := client.Send(add, ps.PID()); err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("add: op=%v err=%v", reply.Op, err)
+	}
+	leaseMap(t, client, ps, callback.PID(), "[tgt]")
+	del2 := &proto.Message{Op: proto.OpDeleteContextName}
+	proto.SetCSName(del2, 0, "tgt")
+	if _, err := client.Send(del2, ps.PID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-invalidated:
+	default:
+		t.Fatal("re-adopted group lost the holder")
+	}
+}
+
+// TestNegativeLeaseOrphans pins the orphan path: a lease request for an
+// undefined name is answered NotFound with a negative stamp, the holder
+// group lives in the orphan map, and defining the name both adopts the
+// group and fires the callback barrier at the negative holders.
+func TestNegativeLeaseOrphans(t *testing.T) {
+	ps, client, callback, invalidated := newLeaseRig(t)
+
+	reply := leaseMap(t, client, ps, callback.PID(), "[ghost]")
+	if reply.Op != proto.ReplyNotFound {
+		t.Fatalf("undefined name ret %v", reply.Op)
+	}
+	if _, ok := proto.LeaseGrant(reply); !ok {
+		t.Fatal("NotFound reply not negatively stamped")
+	}
+	// Second negative: the orphan group already exists.
+	leaseMap(t, client, ps, callback.PID(), "[ghost]")
+	if st := ps.LeaseStats(); st.Negatives != 2 {
+		t.Fatalf("negatives = %d, want 2", st.Negatives)
+	}
+
+	add := &proto.Message{Op: proto.OpAddContextName}
+	proto.SetCSName(add, 0, "ghost")
+	proto.SetAddContextTarget(add, uint32(ps.PID()), 9)
+	if reply, err := client.Send(add, ps.PID()); err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("define ghost: op=%v err=%v", reply.Op, err)
+	}
+	select {
+	case name := <-invalidated:
+		if name != "ghost" {
+			t.Fatalf("invalidated %q, want ghost", name)
+		}
+	default:
+		t.Fatal("negative holders never heard the definition")
+	}
+
+	// The adopted group serves the positive grant now.
+	if reply := leaseMap(t, client, ps, callback.PID(), "[ghost]"); reply.Op != proto.ReplyOK {
+		t.Fatalf("post-define MapContext ret %v", reply.Op)
+	}
+}
+
+// TestInvalidateWithoutHolders covers the commit path for names nobody
+// leased: the mutation commits, the invalidation counter ticks, and no
+// callback is attempted.
+func TestInvalidateWithoutHolders(t *testing.T) {
+	ps, client, _, invalidated := newLeaseRig(t)
+	del := &proto.Message{Op: proto.OpDeleteContextName}
+	proto.SetCSName(del, 0, "tgt")
+	if reply, err := client.Send(del, ps.PID()); err != nil || reply.Op != proto.ReplyOK {
+		t.Fatalf("delete: op=%v err=%v", reply.Op, err)
+	}
+	if st := ps.LeaseStats(); st.Invalidations != 1 || st.HoldersNotified != 0 {
+		t.Fatalf("lease stats: %+v", st)
+	}
+	select {
+	case name := <-invalidated:
+		t.Fatalf("unexpected callback for %q", name)
+	default:
+	}
+}

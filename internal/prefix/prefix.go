@@ -18,7 +18,6 @@ package prefix
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/nametree"
 	"repro/internal/proto"
 	"repro/internal/trace"
 	"repro/internal/vio"
@@ -119,23 +119,30 @@ type Server struct {
 	team     *core.Team
 	teamSize int
 
-	mu       sync.Mutex
-	bindings map[string]Binding
-	// sortedNames caches the prefix names in sorted order for the
-	// directory and inverse scans; it is invalidated (set nil) whenever a
-	// binding is added or deleted, so steady-state requests never re-sort
-	// the table. Wall-clock only: charged virtual costs are unchanged.
-	sortedNames []string
+	// index is the prefix table: a COW radix tree (PROTOCOL.md §14)
+	// whose reads — resolution, classifier probes, directory walks,
+	// table snapshots — are lock-free against one immutable root. Each
+	// entry carries the binding and the name's lease-holder group, so a
+	// lease grant stamps off the same node the resolution descended:
+	// grant+lookup is one descent. mu serializes mutations of the index
+	// and guards the plain maps below; it is never taken on the
+	// resolution hit path.
+	index *nametree.Tree[tableEntry]
+	mu    sync.Mutex
+	// reverse answers the inverse (binding→name) query with the sorted
+	// first-match semantics the linear scan used to give (§6).
+	reverse *nametree.Reverse[core.ContextPair]
 	// lastResolved remembers, per dynamic prefix, the pid its last use
 	// resolved to, so rebinds (§4.2) are observable in Stats.
 	lastResolved map[string]kernel.PID
 
 	// Lease state (lease.go). leaseLen > 0 enables lease granting;
-	// holders maps each prefix name to the kernel group of callback pids
-	// leasing it; dirty queues names a directory-record write modified,
-	// invalidated by the serve loop before the write's reply.
+	// orphans holds the holder groups of names with no current binding
+	// (negative leases, and groups parked across a delete so identity
+	// survives a redefine); dirty queues names a directory-record write
+	// modified, invalidated by the serve loop before the write's reply.
 	leaseLen time.Duration
-	holders  map[string]kernel.PID
+	orphans  map[string]kernel.PID
 	dirty    []string
 
 	// stats counters are atomics: team workers bump them concurrently.
@@ -181,18 +188,12 @@ func (c *statsCounters) Snapshot() Stats {
 	return prev
 }
 
-// sortedNamesLocked returns the cached sorted prefix names, rebuilding
-// the cache if a define/delete invalidated it. Caller holds s.mu.
-func (s *Server) sortedNamesLocked() []string {
-	if s.sortedNames == nil {
-		names := make([]string, 0, len(s.bindings))
-		for n := range s.bindings {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		s.sortedNames = names
-	}
-	return s.sortedNames
+// tableEntry is one prefix table slot: the binding plus the name's
+// lease-holder group (NilPID until the first grant), co-located on the
+// index node so resolution and lease stamping share one descent.
+type tableEntry struct {
+	b       Binding
+	holders kernel.PID
 }
 
 // New creates a prefix server for the given user on proc. Call Run in the
@@ -203,9 +204,10 @@ func New(proc *kernel.Process, owner string, opts ...Option) *Server {
 		owner:        owner,
 		reg:          vio.NewRegistry(),
 		teamSize:     1,
-		bindings:     make(map[string]Binding),
+		index:        nametree.New[tableEntry](),
+		reverse:      nametree.NewReverse[core.ContextPair](),
 		lastResolved: make(map[string]kernel.PID),
-		holders:      make(map[string]kernel.PID),
+		orphans:      make(map[string]kernel.PID),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -262,35 +264,42 @@ func (s *Server) define(name string, b Binding) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.bindings[name]; dup {
+	if _, dup := s.index.Get(name); dup {
 		return fmt.Errorf("%q: %w", name, proto.ErrDuplicateName)
 	}
-	s.bindings[name] = b
-	s.sortedNames = nil
+	// A holder group parked by a negative lease or an earlier delete
+	// moves onto the new node, so the define's invalidation (and every
+	// later grant) keeps the group identity.
+	gid := kernel.NilPID
+	if g, ok := s.orphans[name]; ok {
+		gid = g
+		delete(s.orphans, name)
+	}
+	s.index.Insert(name, tableEntry{b: b, holders: gid})
+	if !b.Dynamic {
+		s.reverse.Add(b.Pair, name)
+	}
 	return nil
 }
 
-// Bindings returns a sorted snapshot of the prefix table.
+// Bindings returns a snapshot of the prefix table, read from the
+// immutable radix root — no copy is made under the server mutex, so a
+// monitor calling this at population scale never stalls resolution.
 func (s *Server) Bindings() map[string]Binding {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]Binding, len(s.bindings))
-	for k, v := range s.bindings {
-		out[k] = v
-	}
+	out := make(map[string]Binding, s.index.Len())
+	s.index.Walk(func(name string, e tableEntry) bool {
+		out[name] = e.b
+		return true
+	})
 	return out
 }
 
 // TableBytes approximates the in-memory size of the prefix table — the
-// figure reported against the paper's 2.6 KB of MC68000 data (§6).
+// figure reported against the paper's 2.6 KB of MC68000 data (§6). Two
+// atomic counter loads; the old implementation scanned the table under
+// the server mutex.
 func (s *Server) TableBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	total := 0
-	for name := range s.bindings {
-		total += len(name) + int(unsafe.Sizeof(Binding{}))
-	}
-	return total
+	return s.index.KeyBytes() + s.index.Len()*int(unsafe.Sizeof(Binding{}))
 }
 
 // Run is the server main loop; team workers, if configured, are spawned
@@ -393,9 +402,10 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
-	s.mu.Lock()
-	b, ok := s.bindings[pfx]
-	s.mu.Unlock()
+	// The resolution fast path: one lock-free descent of the radix index
+	// yields the binding and the node's holder group together.
+	e, ok := s.index.Get(pfx)
+	b := e.b
 	cb, wantLease := s.leaseWanted(msg, name, rest)
 	if !ok {
 		reply := core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", pfx, proto.ErrNotFound))
@@ -403,7 +413,7 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 			// Unknown prefix, lease requested: grant a negative lease so
 			// the holder answers repeated lookups locally until a define
 			// invalidates it (lease.go).
-			s.stampLease(p, reply, pfx, cb, true)
+			s.stampLease(p, reply, pfx, cb, true, kernel.NilPID)
 		}
 		return reply
 	}
@@ -447,7 +457,7 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 		// protocol would forward it to the target server (lease.go).
 		reply := core.OkReply()
 		proto.SetMapContextReply(reply, uint32(pair.Server), uint32(pair.Ctx))
-		s.stampLease(p, reply, pfx, cb, false)
+		s.stampLease(p, reply, pfx, cb, false, e.holders)
 		return reply
 	}
 	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
@@ -491,15 +501,13 @@ func (s *Server) handleOwnName(p *kernel.Process, msg *proto.Message, rest strin
 		}
 		return s.openDirectory(p, msg)
 	case proto.OpQueryObject:
-		s.mu.Lock()
-		b, ok := s.bindings[rest]
-		s.mu.Unlock()
+		e, ok := s.index.Get(rest)
 		if !ok {
 			return core.ErrorReplyMsg(proto.ErrNotFound)
 		}
 		p.ChargeCompute(p.Kernel().Model().DescriptorFabricateCost)
 		reply := core.OkReply()
-		d := s.describe(rest, b)
+		d := s.describe(rest, e.b)
 		reply.Segment = d.AppendEncoded(nil)
 		return reply
 	case proto.OpMapContext:
@@ -541,13 +549,12 @@ func (s *Server) openDirectory(p *kernel.Process, msg *proto.Message) *proto.Mes
 		return core.ErrorReplyMsg(err)
 	}
 	model := p.Kernel().Model()
-	s.mu.Lock()
-	names := s.sortedNamesLocked()
-	records := make([]proto.Descriptor, 0, len(names))
-	for _, n := range names {
-		records = append(records, s.describe(n, s.bindings[n]))
-	}
-	s.mu.Unlock()
+	// Walk one immutable snapshot in sorted order — no lock, no re-sort.
+	records := make([]proto.Descriptor, 0, s.index.Len())
+	s.index.Walk(func(n string, e tableEntry) bool {
+		records = append(records, s.describe(n, e.b))
+		return true
+	})
 	records = core.FilterRecords(records, pattern)
 	p.ChargeCompute(time.Duration(len(records)) * model.DescriptorFabricateCost)
 
@@ -585,10 +592,18 @@ func (s *Server) modifyFromRecord(d proto.Descriptor) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.bindings[d.Name]; !ok {
+	e, ok := s.index.Get(d.Name)
+	if !ok {
 		return fmt.Errorf("prefix %q: %w", d.Name, proto.ErrNotFound)
 	}
-	s.bindings[d.Name] = b
+	if !e.b.Dynamic {
+		s.reverse.Remove(e.b.Pair, d.Name)
+	}
+	e.b = b
+	s.index.Insert(d.Name, e)
+	if !b.Dynamic {
+		s.reverse.Add(b.Pair, d.Name)
+	}
 	// The vio write handler has no process context: queue the name and
 	// let the serve loop invalidate holders before the write's reply.
 	s.dirty = append(s.dirty, d.Name)
@@ -631,13 +646,21 @@ func (s *Server) handleDelete(p *kernel.Process, msg *proto.Message) *proto.Mess
 	}
 	key := strings.Trim(name[index:], "[]")
 	s.mu.Lock()
-	if _, ok := s.bindings[key]; !ok {
+	e, ok := s.index.Get(key)
+	if !ok {
 		s.mu.Unlock()
 		return core.ErrorReplyMsg(fmt.Errorf("prefix %q: %w", key, proto.ErrNotFound))
 	}
-	delete(s.bindings, key)
+	s.index.Delete(key)
+	if e.holders != kernel.NilPID {
+		// Park the holder group so the delete's invalidation reaches it
+		// and a later redefine re-adopts the same group.
+		s.orphans[key] = e.holders
+	}
+	if !e.b.Dynamic {
+		s.reverse.Remove(e.b.Pair, key)
+	}
 	delete(s.lastResolved, key)
-	s.sortedNames = nil
 	s.mu.Unlock()
 	s.invalidateName(p, key)
 	return core.OkReply()
@@ -646,22 +669,16 @@ func (s *Server) handleDelete(p *kernel.Process, msg *proto.Message) *proto.Mess
 // handleInverse implements OpGetContextName for the prefix server: given
 // a (server-pid, context-id) pair (F[1], F[0]), return a prefix that
 // names it, in bracketed syntax. As §6 observes this inverts a
-// many-to-one mapping: the first matching prefix in sorted order is
-// returned, and there may be none.
+// many-to-one mapping: the first matching (non-dynamic) prefix in sorted
+// order is returned, and there may be none. The reverse index answers
+// with that exact tie-break in O(1) where the old code scanned the
+// sorted name table.
 func (s *Server) handleInverse(msg *proto.Message) *proto.Message {
 	target := core.ContextPair{Server: kernel.PID(msg.F[1]), Ctx: core.ContextID(msg.F[0])}
 	s.mu.Lock()
-	names := s.sortedNamesLocked()
-	var found string
-	for _, n := range names {
-		b := s.bindings[n]
-		if !b.Dynamic && b.Pair == target {
-			found = n
-			break
-		}
-	}
+	found, ok := s.reverse.First(target)
 	s.mu.Unlock()
-	if found == "" {
+	if !ok {
 		return core.ErrorReplyMsg(proto.ErrNotFound)
 	}
 	reply := core.OkReply()

@@ -15,7 +15,6 @@ package prefix
 import (
 	"encoding/binary"
 	"errors"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -98,21 +97,23 @@ func (rs *ReplicaService) Apply(p *kernel.Process, cmd []byte) *proto.Message {
 // encoded in sorted name order. Runtime state (open instances, rebind
 // tracking, stats) is member-local and not part of the replicated state.
 func (rs *ReplicaService) Snapshot() []byte {
+	// The radix walk visits one immutable snapshot in sorted name order,
+	// so the canonical encoding falls straight out — no lock, no sort.
 	s := rs.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.bindings))
-	for n := range s.bindings {
+	names := make([]string, 0, s.index.Len())
+	binds := make([]Binding, 0, s.index.Len())
+	s.index.Walk(func(n string, e tableEntry) bool {
 		names = append(names, n)
-	}
-	sort.Strings(names)
+		binds = append(binds, e.b)
+		return true
+	})
 	var buf []byte
 	var tmp [binary.MaxVarintLen64]byte
 	u64 := func(x uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], x)]...) }
 	str := func(v string) { u64(uint64(len(v))); buf = append(buf, v...) }
 	u64(uint64(len(names)))
-	for _, n := range names {
-		b := s.bindings[n]
+	for i, n := range names {
+		b := binds[i]
 		str(n)
 		if b.Dynamic {
 			u64(1)
@@ -151,7 +152,8 @@ func (rs *ReplicaService) Restore(p *kernel.Process, data []byte) error {
 	if !ok {
 		return bad
 	}
-	table := make(map[string]Binding, cnt)
+	names := make([]string, 0, cnt)
+	binds := make([]Binding, 0, cnt)
 	for i := uint64(0); i < cnt; i++ {
 		name, ok1 := str()
 		dyn, ok2 := u64()
@@ -168,17 +170,44 @@ func (rs *ReplicaService) Restore(p *kernel.Process, data []byte) error {
 		} else {
 			bind.Pair = core.ContextPair{Server: kernel.PID(a), Ctx: core.ContextID(b)}
 		}
-		table[name] = bind
+		names = append(names, name)
+		binds = append(binds, bind)
 	}
 	if len(data) != 0 {
 		return bad
 	}
 	s := rs.s
 	s.mu.Lock()
-	s.bindings = table
-	s.sortedNames = nil
+	defer s.mu.Unlock()
+	// Drop the current table in place (the index pointer itself is
+	// stable for lock-free readers), parking holder groups so
+	// invalidation identity survives the install.
+	var oldNames []string
+	s.index.Walk(func(n string, e tableEntry) bool {
+		if e.holders != kernel.NilPID {
+			s.orphans[n] = e.holders
+		}
+		if !e.b.Dynamic {
+			s.reverse.Remove(e.b.Pair, n)
+		}
+		oldNames = append(oldNames, n)
+		return true
+	})
+	for _, n := range oldNames {
+		s.index.Delete(n)
+	}
+	for i, name := range names {
+		gid := kernel.NilPID
+		if g, ok := s.orphans[name]; ok {
+			gid = g
+			delete(s.orphans, name)
+		}
+		s.index.Insert(name, tableEntry{b: binds[i], holders: gid})
+		if !binds[i].Dynamic {
+			s.reverse.Add(binds[i].Pair, name)
+		}
+	}
 	s.lastResolved = make(map[string]kernel.PID)
-	s.mu.Unlock()
 	return nil
 }
 

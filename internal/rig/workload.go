@@ -42,6 +42,17 @@ type WorkloadClient struct {
 	Requests int
 	// Think is virtual think time charged before each iteration.
 	Think time.Duration
+	// Arrive, when non-nil, makes the client open-loop: iteration iter
+	// is not eligible to start before the absolute virtual time
+	// Arrive(iter), independent of when earlier operations completed —
+	// arrivals model offered load, not a closed think loop, so queueing
+	// delay shows up in observed latency instead of throttling the
+	// arrival process. The driver advances the client's clock to the
+	// arrival time before Think/Op when the client is idle at arrival.
+	// Arrive must be non-decreasing in iter (the drivers' pick-min order
+	// and the engine's non-decreasing key promise depend on it). Nil
+	// preserves the closed-loop behavior exactly.
+	Arrive func(iter int) time.Duration
 	// Lane assigns the client to a parallel execution lane
 	// (RunWorkloadParallel). Clients in the same lane are stepped
 	// sequentially in virtual-time order relative to each other; distinct
@@ -230,6 +241,30 @@ func partitionLanes(clients []*WorkloadClient) [][]int {
 	return lanes
 }
 
+// effectiveStart is the virtual time client c's iteration iter can
+// start: its clock, or its open-loop arrival time if that is later.
+func effectiveStart(c *WorkloadClient, iter int) time.Duration {
+	now := c.Session.Proc().Now()
+	if c.Arrive != nil {
+		if arr := c.Arrive(iter); arr > now {
+			return arr
+		}
+	}
+	return now
+}
+
+// waitForArrival advances an idle open-loop client's clock to the picked
+// operation's effective start, so Think/Op (and the classifier, and the
+// engine key) all see the arrival instant as "now".
+func waitForArrival(c *WorkloadClient, start time.Duration) {
+	if c.Arrive == nil {
+		return
+	}
+	if proc := c.Session.Proc(); start > proc.Now() {
+		proc.ChargeCompute(start - proc.Now())
+	}
+}
+
 // workloadStart is the earliest client clock — the makespan origin.
 func workloadStart(clients []*WorkloadClient) time.Duration {
 	var start time.Duration
@@ -268,7 +303,7 @@ func runLane(clients []*WorkloadClient, idxs []int, out []ClientStats) int {
 			if iters[j] >= c.Requests {
 				continue
 			}
-			now := c.Session.Proc().Now()
+			now := effectiveStart(c, iters[j])
 			if pick == -1 || now < best {
 				pick, best = j, now
 			}
@@ -278,6 +313,7 @@ func runLane(clients []*WorkloadClient, idxs []int, out []ClientStats) int {
 		}
 		i := idxs[pick]
 		c := clients[i]
+		waitForArrival(c, best)
 		if c.Think > 0 {
 			c.Session.Proc().ChargeCompute(c.Think)
 		}
@@ -323,7 +359,7 @@ func runLaneGated(clients []*WorkloadClient, idxs []int, out []ClientStats, es *
 			if iters[j] >= c.Requests {
 				continue
 			}
-			now := c.Session.Proc().Now()
+			now := effectiveStart(c, iters[j])
 			if pick == -1 || now < best {
 				pick, best = j, now
 			}
@@ -333,6 +369,7 @@ func runLaneGated(clients []*WorkloadClient, idxs []int, out []ClientStats, es *
 		}
 		i := idxs[pick]
 		c := clients[i]
+		waitForArrival(c, best)
 		cls := engine.Shared
 		if c.Classify != nil {
 			cls = c.Classify(c.Session, iters[pick])

@@ -1,0 +1,268 @@
+// Population-scale Zipf resolution workload (PROTOCOL.md §14): the
+// open-loop counterpart of the shared-prefix topology, driving
+// resolution against a prefix table of 10³–10⁶ names instead of one
+// hot name per shard.
+//
+// One central prefix server holds a popgen population, every name bound
+// statically to one of the shard file servers (round-robin by
+// popularity rank). Each shard hosts co-resident clients that draw
+// Zipf-distributed ranks over the whole population, snapped to the
+// nearest co-shard rank — popularity skew is preserved, the resolution
+// control plane (misses, lease grants) is fully shared at the central
+// server, but the resolved data route always lands on the co-resident
+// shard server. That last property is the engine-equivalence invariant
+// sharedprefix.go established: a shard's file server receives traffic
+// from its own lane only, so lease-hit operations proved Confined can
+// run ahead without reordering any server another lane observes. The
+// head of the popularity distribution lives in client lease caches
+// while the tail misses to the prefix server (or the interposed ncache
+// tier). Arrivals
+// are open-loop: each client follows a pre-generated virtual-time
+// arrival schedule (WorkloadClient.Arrive), and the recorded latency of
+// an operation is completion minus scheduled arrival — queueing delay
+// included — which is the population-scale latency a closed think loop
+// structurally cannot observe.
+package rig
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/fileserver"
+	"repro/internal/kernel"
+	"repro/internal/ncache"
+	"repro/internal/netsim"
+	"repro/internal/popgen"
+	"repro/internal/prefix"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// ZipfConfig shapes a population-scale resolution workload.
+type ZipfConfig struct {
+	// Population is the number of names bound on the prefix server.
+	Population int
+	// Skew is the Zipf popularity exponent (0 = uniform; may be < 1).
+	Skew float64
+	// Pop, when non-nil, supplies a pre-generated population (so
+	// several legs over the same population share one generation pass).
+	// It must have been built with NewPopulation(Population, Skew, seed
+	// PopSeed).
+	Pop *popgen.Population
+	// PopSeed selects the population's name-shape stream.
+	PopSeed uint64
+	// Shards is the number of file-server shards (= engine lanes).
+	Shards int
+	// ClientsPerShard is the number of co-resident clients per shard.
+	ClientsPerShard int
+	// Arrivals is each client's open-loop arrival quota.
+	Arrivals int
+	// Interarrival is the mean per-client virtual inter-arrival gap.
+	Interarrival time.Duration
+	// Lease is the prefix server's lease length (must be positive: the
+	// workload resolves through the lease cache).
+	Lease time.Duration
+	// CacheTier interposes the shared ncache tier on the prefix host.
+	CacheTier bool
+	// Seed drives the network's deterministic RNG.
+	Seed int64
+	// Trace installs a domain tracer on the kernel and network.
+	Trace bool
+}
+
+// ZipfWorkload is the booted population-scale topology.
+type ZipfWorkload struct {
+	Kernel     *kernel.Kernel
+	Net        *netsim.Network
+	PrefixHost *kernel.Host
+	Prefix     *prefix.Server
+	// Tier is the shared intermediate cache (nil unless CacheTier).
+	Tier *ncache.Tier
+	// Tracer is the installed tracer (nil unless Trace).
+	Tracer  *trace.Tracer
+	Hosts   []*kernel.Host
+	Shards  []*fileserver.FileServer
+	Clients []*WorkloadClient
+	// Pop is the bound population (rank order).
+	Pop *popgen.Population
+	// Draws[c][i] is client c's i-th drawn name in bracketed syntax.
+	Draws [][]string
+	// Schedule[c][i] is client c's i-th scheduled virtual arrival.
+	Schedule [][]time.Duration
+	// Latencies[c][i] is the open-loop latency (virtual completion
+	// minus scheduled arrival) of client c's i-th operation, filled in
+	// as the workload runs.
+	Latencies [][]time.Duration
+}
+
+// Sessions returns the clients' naming sessions in client order.
+func (zw *ZipfWorkload) Sessions() []*client.Session {
+	out := make([]*client.Session, len(zw.Clients))
+	for i, c := range zw.Clients {
+		out[i] = c.Session
+	}
+	return out
+}
+
+// OpenLoopSpan returns the workload's observed span: the first
+// scheduled arrival and the latest virtual completion.
+func (zw *ZipfWorkload) OpenLoopSpan() (first, last time.Duration) {
+	for c := range zw.Schedule {
+		for i, arr := range zw.Schedule[c] {
+			if (c == 0 && i == 0) || arr < first {
+				first = arr
+			}
+			if done := arr + zw.Latencies[c][i]; done > last {
+				last = done
+			}
+		}
+	}
+	return first, last
+}
+
+// NewZipfWorkload boots the topology: one prefix host carrying the full
+// population (plus the optional ncache tier), Shards file-server hosts
+// with ClientsPerShard lease-caching clients each, and per-client draw
+// and arrival schedules pre-generated on deterministic streams keyed by
+// global client index — so the sequential and sharded-engine drivers
+// consume identical workloads.
+func NewZipfWorkload(cfg ZipfConfig) (*ZipfWorkload, error) {
+	if cfg.Population <= 0 || cfg.Shards <= 0 || cfg.ClientsPerShard <= 0 || cfg.Arrivals <= 0 {
+		return nil, fmt.Errorf("zipf workload: population, shards, clients and arrivals must be positive")
+	}
+	if cfg.Population < cfg.Shards {
+		return nil, fmt.Errorf("zipf workload: population %d smaller than %d shards", cfg.Population, cfg.Shards)
+	}
+	if cfg.Lease <= 0 {
+		return nil, fmt.Errorf("zipf workload: lease length must be positive")
+	}
+	if cfg.Interarrival <= 0 {
+		return nil, fmt.Errorf("zipf workload: interarrival must be positive")
+	}
+	pop := cfg.Pop
+	if pop == nil {
+		pop = popgen.NewPopulation(cfg.Population, cfg.Skew, cfg.PopSeed)
+	} else if len(pop.Names) != cfg.Population || pop.Skew != cfg.Skew {
+		return nil, fmt.Errorf("zipf workload: supplied population is %d names skew %v, config wants %d skew %v",
+			len(pop.Names), pop.Skew, cfg.Population, cfg.Skew)
+	}
+
+	net := netsim.New(vtime.DefaultModel(), cfg.Seed)
+	k := kernel.New(net)
+	zw := &ZipfWorkload{Kernel: k, Net: net, Pop: pop}
+	if cfg.Trace {
+		zw.Tracer = trace.New()
+		k.SetTracer(zw.Tracer)
+		net.SetRecorder(zw.Tracer)
+	}
+
+	zw.PrefixHost = k.NewHost("nexus")
+	ps, err := prefix.Start(zw.PrefixHost, "pop", prefix.WithLease(cfg.Lease))
+	if err != nil {
+		return nil, fmt.Errorf("prefix server: %w", err)
+	}
+	zw.Prefix = ps
+	resolver := ps.PID()
+	if cfg.CacheTier {
+		tier, err := ncache.Start(zw.PrefixHost, "ncache", ps.PID(), cfg.Lease)
+		if err != nil {
+			return nil, fmt.Errorf("cache tier: %w", err)
+		}
+		zw.Tier = tier
+		resolver = tier.PID()
+	}
+
+	for s := 0; s < cfg.Shards; s++ {
+		host := k.NewHost(fmt.Sprintf("shard%d", s))
+		host.SetShard(s)
+		fs, err := fileserver.Start(host, fmt.Sprintf("fs%d", s))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		zw.Hosts = append(zw.Hosts, host)
+		zw.Shards = append(zw.Shards, fs)
+	}
+	// Bind the whole population: rank r lives on shard r mod Shards, so
+	// every shard carries its share of the popularity head and tail.
+	for r, name := range pop.Names {
+		if err := ps.Define(name, zw.Shards[r%cfg.Shards].RootPair()); err != nil {
+			return nil, fmt.Errorf("rank %d (%q): %w", r, name, err)
+		}
+	}
+
+	nclients := cfg.Shards * cfg.ClientsPerShard
+	zw.Draws = make([][]string, nclients)
+	zw.Schedule = make([][]time.Duration, nclients)
+	zw.Latencies = make([][]time.Duration, nclients)
+	for s := 0; s < cfg.Shards; s++ {
+		host := zw.Hosts[s]
+		fs := zw.Shards[s]
+		for c := 0; c < cfg.ClientsPerShard; c++ {
+			ci := s*cfg.ClientsPerShard + c
+			proc, err := host.NewProcess(fmt.Sprintf("pop%d-%d", s, c))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d client %d: %w", s, c, err)
+			}
+			sess := client.New(proc, resolver, fs.RootPair(), "pop")
+			if err := sess.EnableLeaseCache(); err != nil {
+				return nil, fmt.Errorf("shard %d client %d lease cache: %w", s, c, err)
+			}
+			// Draw and arrival streams are keyed by global client index:
+			// identical across hierarchy variants and driver engines.
+			sampler := pop.Sampler(uint64(ci) + 1)
+			draws := make([]string, cfg.Arrivals)
+			for i := range draws {
+				// Snap the drawn rank to this shard's congruence class:
+				// rank r and its snapped neighbor have near-identical
+				// popularity, so the skew survives, and every draw's
+				// binding is the co-resident shard server (see the
+				// package comment for why equivalence needs this).
+				r := sampler.NextRank()
+				idx := r - r%cfg.Shards + s
+				if idx >= cfg.Population {
+					idx -= cfg.Shards
+				}
+				draws[i] = prefix.Quote(pop.Names[idx])
+			}
+			sched := popgen.Arrivals(cfg.Arrivals, 0, cfg.Interarrival, uint64(ci)+1)
+			lats := make([]time.Duration, cfg.Arrivals)
+			zw.Draws[ci] = draws
+			zw.Schedule[ci] = sched
+			zw.Latencies[ci] = lats
+			zw.Clients = append(zw.Clients, &WorkloadClient{
+				Session:  sess,
+				Requests: cfg.Arrivals,
+				Lane:     s,
+				Arrive:   func(iter int) time.Duration { return sched[iter] },
+				Op: func(s *client.Session, iter int) error {
+					_, err := s.MapContext(draws[iter])
+					lats[iter] = s.Proc().Now() - sched[iter]
+					return err
+				},
+				Classify: confinedOnLeasedDrawRoute(k, host, draws),
+			})
+		}
+	}
+	return zw, nil
+}
+
+// confinedOnLeasedDrawRoute is confinedOnLeasedLocalRoute for a
+// per-iteration drawn name: Confined exactly when the client holds a
+// positive lease on the draw's prefix, still valid at the operation's
+// effective start (the driver has already advanced the clock to the
+// arrival instant when this runs), routing to a co-shard server.
+func confinedOnLeasedDrawRoute(k *kernel.Kernel, clientHost *kernel.Host, draws []string) func(*client.Session, int) engine.Class {
+	return func(s *client.Session, iter int) engine.Class {
+		pair, ok := s.LeasedRoute(draws[iter], s.Proc().Now())
+		if !ok {
+			return engine.Shared
+		}
+		h := k.HostOf(pair.Server)
+		if h == nil || h.Shard() < 0 || h.Shard() != clientHost.Shard() {
+			return engine.Shared
+		}
+		return engine.Confined
+	}
+}

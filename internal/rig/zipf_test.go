@@ -1,0 +1,193 @@
+package rig
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/popgen"
+)
+
+func zipfTestConfig() ZipfConfig {
+	return ZipfConfig{
+		Population:      500,
+		Skew:            0.99,
+		PopSeed:         1,
+		Shards:          3,
+		ClientsPerShard: 2,
+		Arrivals:        40,
+		Interarrival:    2 * time.Millisecond,
+		Lease:           80 * time.Millisecond,
+		Seed:            42,
+	}
+}
+
+// TestZipfWorkloadSmoke boots the population topology and runs it
+// sequentially: every arrival resolves (the whole population is bound),
+// latencies are positive and completions respect the arrival schedule.
+func TestZipfWorkloadSmoke(t *testing.T) {
+	zw, err := NewZipfWorkload(zipfTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunWorkload(zw.Clients)
+	if res.Requests != 3*2*40 {
+		t.Fatalf("ran %d requests, want %d", res.Requests, 3*2*40)
+	}
+	for i, st := range res.Clients {
+		if st.Errors != 0 {
+			t.Fatalf("client %d: %d errors", i, st.Errors)
+		}
+		if st.Completed != 40 {
+			t.Fatalf("client %d completed %d, want 40", i, st.Completed)
+		}
+	}
+	hits := 0
+	for _, s := range zw.Sessions() {
+		st := s.LeaseCacheStats()
+		hits += st.Hits + st.NegativeHits
+		if st.NegativeHits != 0 {
+			t.Fatalf("negative hits on a fully-bound population: %+v", st)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("zipf head never hit the lease cache")
+	}
+	for c := range zw.Latencies {
+		for i, lat := range zw.Latencies[c] {
+			if lat <= 0 {
+				t.Fatalf("client %d op %d: non-positive open-loop latency %v", c, i, lat)
+			}
+		}
+	}
+	first, last := zw.OpenLoopSpan()
+	if first <= 0 || last <= first {
+		t.Fatalf("bad open-loop span [%v, %v]", first, last)
+	}
+}
+
+// TestOpenLoopEquivalence is the sharded-equivalence gate for the
+// open-loop Zipf workload: the conservative-engine run is deeply equal
+// to the sequential run — same per-client stats and the same per-op
+// open-loop latencies.
+func TestOpenLoopEquivalence(t *testing.T) {
+	cfg := zipfTestConfig()
+	seq, err := NewZipfWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes := RunWorkload(seq.Clients)
+
+	par, err := NewZipfWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes := RunWorkloadEngine(par.Clients, EngineOptions{})
+
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatalf("engine result differs from sequential:\nseq: %+v\npar: %+v", seqRes, parRes)
+	}
+	if !reflect.DeepEqual(seq.Latencies, par.Latencies) {
+		for c := range seq.Latencies {
+			for i := range seq.Latencies[c] {
+				if seq.Latencies[c][i] != par.Latencies[c][i] {
+					t.Fatalf("latency[%d][%d]: seq %v, engine %v", c, i, seq.Latencies[c][i], par.Latencies[c][i])
+				}
+			}
+		}
+		t.Fatal("latency matrices differ")
+	}
+}
+
+// TestOpenLoopEquivalenceTiered repeats the equivalence check with the
+// ncache tier interposed.
+func TestOpenLoopEquivalenceTiered(t *testing.T) {
+	cfg := zipfTestConfig()
+	cfg.CacheTier = true
+	seq, err := NewZipfWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes := RunWorkload(seq.Clients)
+	par, err := NewZipfWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes := RunWorkloadEngine(par.Clients, EngineOptions{})
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatalf("tiered engine result differs from sequential:\nseq: %+v\npar: %+v", seqRes, parRes)
+	}
+	if !reflect.DeepEqual(seq.Latencies, par.Latencies) {
+		t.Fatal("tiered latency matrices differ")
+	}
+}
+
+// TestOpenLoopArriveHonored pins the driver contract for open-loop
+// clients: an operation never starts before its scheduled arrival, so
+// completion is always at or after arrival + service, and a client left
+// idle between sparse arrivals does not compress the schedule.
+func TestOpenLoopArriveHonored(t *testing.T) {
+	cfg := zipfTestConfig()
+	cfg.Shards = 1
+	cfg.ClientsPerShard = 1
+	cfg.Arrivals = 10
+	cfg.Interarrival = 50 * time.Millisecond // far sparser than service time
+	zw, err := NewZipfWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunWorkload(zw.Clients)
+	sched, lats := zw.Schedule[0], zw.Latencies[0]
+	for i := range sched {
+		if lats[i] <= 0 {
+			t.Fatalf("op %d: latency %v", i, lats[i])
+		}
+		// With arrivals far apart the client is idle at each arrival:
+		// latency is pure service time, far below the interarrival gap.
+		if lats[i] >= cfg.Interarrival {
+			t.Fatalf("op %d: latency %v should be far below the %v gap", i, lats[i], cfg.Interarrival)
+		}
+	}
+}
+
+// TestZipfConfigValidation pins the constructor's error contract.
+func TestZipfConfigValidation(t *testing.T) {
+	base := zipfTestConfig()
+	bad := func(name string, mutate func(*ZipfConfig)) {
+		cfg := base
+		mutate(&cfg)
+		if _, err := NewZipfWorkload(cfg); err == nil {
+			t.Fatalf("%s: config accepted", name)
+		}
+	}
+	bad("zero population", func(c *ZipfConfig) { c.Population = 0 })
+	bad("population below shards", func(c *ZipfConfig) { c.Population = 2 })
+	bad("zero lease", func(c *ZipfConfig) { c.Lease = 0 })
+	bad("zero interarrival", func(c *ZipfConfig) { c.Interarrival = 0 })
+	bad("mismatched shared population", func(c *ZipfConfig) {
+		c.Pop = popgen.NewPopulation(10, c.Skew, c.PopSeed)
+	})
+}
+
+// TestZipfStats covers the result accessors on a real run.
+func TestZipfStats(t *testing.T) {
+	zw, err := NewZipfWorkload(zipfTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunWorkload(zw.Clients)
+	if res.Throughput() <= 0 {
+		t.Fatalf("throughput %v", res.Throughput())
+	}
+	for _, st := range res.Clients {
+		if st.MeanLatency() <= 0 {
+			t.Fatalf("mean latency %v", st.MeanLatency())
+		}
+	}
+	if (ClientStats{}).MeanLatency() != 0 {
+		t.Fatal("mean latency of an empty client")
+	}
+	if (&WorkloadResult{}).Throughput() != 0 {
+		t.Fatal("throughput of an empty result")
+	}
+}
