@@ -15,8 +15,10 @@
 //	vbench -shard SHARD.json     # export the A16 sharded-engine document (deterministic)
 //	vbench -cache CACHE.json     # export the A17 lease-coherence document (deterministic)
 //	vbench -zipf ZIPF.json       # export the A18 population-scale document (deterministic)
+//	vbench -obs OBS.json         # export the A19 observability document (deterministic)
+//	vbench -zipf Z.json -trace T.json  # also export a sampled 10⁶-name population trace
 //	vbench -wallclock W.json -engine sharded         # wall-clock run, one engine's rows
-//	vbench -wallclock W.json -cpuprofile cpu.pprof   # wall-clock run with profiling
+//	vbench -zipf Z.json -cpuprofile cpu.pprof        # any mode can be profiled
 package main
 
 import (
@@ -49,13 +51,43 @@ func run(args []string, w io.Writer) error {
 	engine := fs.String("engine", "all", "with -wallclock: restrict driver rows to one engine (sequential, lanes, sharded)")
 	shardPath := fs.String("shard", "", "run the A16 sharded-engine sweep and write the deterministic shard document (BENCH_shard.json schema) to this file")
 	cachePath := fs.String("cache", "", "run the A17 lease-coherence legs and write the deterministic cache document (BENCH_cache.json schema) to this file")
-	zipfPath := fs.String("zipf", "", "run the A18 population-scale legs and write the deterministic zipf document (BENCH_zipf.json schema) to this file")
+	zipfPath := fs.String("zipf", "", "run the A18 population-scale legs and write the deterministic zipf document (BENCH_zipf.json schema) to this file; with -trace, also export a sampled million-name population trace")
+	obsPath := fs.String("obs", "", "run the A19 observability legs and write the deterministic obs document (BENCH_obs.json schema) to this file")
+	popTrace := fs.Int("population", 1_000_000, "with -zipf and -trace together: population of the sampled trace export")
 	metricsPath := fs.String("metrics", "", "run the A14 metrics legs and write the deterministic metrics document (BENCH_metrics.json schema) to this file")
 	replicaPath := fs.String("replica", "", "run the A15 replicated chaos leg and write the deterministic replication document (BENCH_replica.json schema) to this file")
-	cpuProfile := fs.String("cpuprofile", "", "with -wallclock: write a CPU profile to this file")
-	heapProfile := fs.String("heapprofile", "", "with -wallclock: write a heap profile to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	heapProfile := fs.String("heapprofile", "", "write a heap profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The profile flags cover every mode (the ISSUE-10 profiling loop
+	// cares about -zipf and -obs specifically): CPU from here to exit,
+	// heap after the last workload retires.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *heapProfile != "" {
+		defer func() {
+			f, err := os.Create(*heapProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vbench: heapprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vbench: heapprofile:", err)
+			}
+		}()
 	}
 	if *list {
 		fmt.Fprintln(w, strings.Join(experiments.IDs(), "\n"))
@@ -73,20 +105,7 @@ func run(args []string, w io.Writer) error {
 	if *wallclockPath != "" {
 		// Wall-clock results are machine-dependent by nature, so they are
 		// kept out of the experiments registry (and out of the byte-pinned
-		// vbench_output.txt): this mode runs only the A13 harness. The
-		// pprof flags profile exactly this mode — the virtual-time
-		// experiments measure nothing wall-clock-dependent.
-		if *cpuProfile != "" {
-			f, err := os.Create(*cpuProfile)
-			if err != nil {
-				return fmt.Errorf("cpuprofile: %w", err)
-			}
-			defer f.Close()
-			if err := pprof.StartCPUProfile(f); err != nil {
-				return fmt.Errorf("cpuprofile: %w", err)
-			}
-			defer pprof.StopCPUProfile()
-		}
+		// vbench_output.txt): this mode runs only the A13 harness.
 		doc, err := experiments.WallClock(*engine)
 		if err != nil {
 			return fmt.Errorf("wallclock: %w", err)
@@ -111,17 +130,6 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  driver %-15s %-15s %9.0f req/s wall  (%.2fx vs sequential, makespan %s virtual)\n",
 				d.Topology, label, d.ReqPerSec, d.SpeedupVsSeq, d.VirtualMakespan)
 		}
-		if *heapProfile != "" {
-			f, err := os.Create(*heapProfile)
-			if err != nil {
-				return fmt.Errorf("heapprofile: %w", err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("heapprofile: %w", err)
-			}
-		}
 		return nil
 	}
 
@@ -136,7 +144,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote metrics document to %s\n", *metricsPath)
 		// -metrics alone exports the document without running every
 		// experiment (mirrors -trace).
-		if len(fs.Args()) == 0 && *tracePath == "" && *replicaPath == "" && *shardPath == "" && *cachePath == "" && *zipfPath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *replicaPath == "" && *shardPath == "" && *cachePath == "" && *zipfPath == "" && *obsPath == "" {
 			return nil
 		}
 	}
@@ -152,7 +160,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote replication document to %s\n", *replicaPath)
 		// -replica alone exports the document without running every
 		// experiment (mirrors -metrics).
-		if len(fs.Args()) == 0 && *tracePath == "" && *shardPath == "" && *cachePath == "" && *zipfPath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *shardPath == "" && *cachePath == "" && *zipfPath == "" && *obsPath == "" {
 			return nil
 		}
 	}
@@ -168,7 +176,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote sharded-engine document to %s\n", *shardPath)
 		// -shard alone exports the document without running every
 		// experiment (mirrors -metrics).
-		if len(fs.Args()) == 0 && *tracePath == "" && *cachePath == "" && *zipfPath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *cachePath == "" && *zipfPath == "" && *obsPath == "" {
 			return nil
 		}
 	}
@@ -184,7 +192,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote lease-coherence document to %s\n", *cachePath)
 		// -cache alone exports the document without running every
 		// experiment (mirrors -metrics).
-		if len(fs.Args()) == 0 && *tracePath == "" && *zipfPath == "" {
+		if len(fs.Args()) == 0 && *tracePath == "" && *zipfPath == "" && *obsPath == "" {
 			return nil
 		}
 	}
@@ -199,6 +207,23 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "wrote population-scale document to %s\n", *zipfPath)
 		// -zipf alone exports the document without running every
+		// experiment (mirrors -metrics). With -trace it continues into
+		// the sampled population-trace export below.
+		if len(fs.Args()) == 0 && *tracePath == "" && *obsPath == "" {
+			return nil
+		}
+	}
+
+	if *obsPath != "" {
+		data, err := experiments.ObsJSON()
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		if err := os.WriteFile(*obsPath, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *obsPath, err)
+		}
+		fmt.Fprintf(w, "wrote observability document to %s\n", *obsPath)
+		// -obs alone exports the document without running every
 		// experiment (mirrors -metrics).
 		if len(fs.Args()) == 0 && *tracePath == "" {
 			return nil
@@ -207,14 +232,30 @@ func run(args []string, w io.Writer) error {
 
 	ids := fs.Args()
 	if *tracePath != "" {
-		data, err := experiments.CanonicalTrace()
-		if err != nil {
-			return fmt.Errorf("trace: %w", err)
+		if *zipfPath != "" {
+			// Combined -zipf -trace: the population-scale acceptance run.
+			// The full tracer is O(ops) and cannot hold a million-name
+			// workload; the sampled tracer retains O(k) spans, so this
+			// export completes at any population.
+			data, pt, err := experiments.PopulationTrace(*popTrace)
+			if err != nil {
+				return fmt.Errorf("population trace: %w", err)
+			}
+			if err := os.WriteFile(*tracePath, data, 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *tracePath, err)
+			}
+			fmt.Fprintf(w, "wrote sampled population trace to %s (%d names, %d ops, %d/%d roots retained, %d spans)\n",
+				*tracePath, pt.Population, pt.TotalOps, pt.RootsRetained, pt.RootsSeen, pt.RetainedSpans)
+		} else {
+			data, err := experiments.CanonicalTrace()
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := os.WriteFile(*tracePath, data, 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *tracePath, err)
+			}
+			fmt.Fprintf(w, "wrote canonical trace to %s\n", *tracePath)
 		}
-		if err := os.WriteFile(*tracePath, data, 0o644); err != nil {
-			return fmt.Errorf("write %s: %w", *tracePath, err)
-		}
-		fmt.Fprintf(w, "wrote canonical trace to %s\n", *tracePath)
 		// -trace alone exports the trace without running every experiment.
 		if len(ids) == 0 {
 			return nil

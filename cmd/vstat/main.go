@@ -13,6 +13,13 @@
 //	vstat -health       # also render the health/SLO report
 //	vstat -diff         # also render per-tick snapshot diffs
 //	vstat -prom         # Prometheus-style text exposition instead of tables
+//	vstat -flight       # also dump the flight recorder's event journal
+//	vstat -top          # also render the prefix server's hot-name sketch
+//	vstat -rates        # also render per-prefix churn estimates + lease counters
+//
+// The -flight/-top/-rates views run the workload through the lease
+// cache (PROTOCOL.md §13) so grants, renewals and invalidations flow;
+// the plain snapshot keeps the seed workload shape.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/proto"
@@ -55,6 +63,9 @@ func run(args []string, w io.Writer) error {
 	health := fs.Bool("health", false, "render the health/SLO report")
 	diff := fs.Bool("diff", false, "render per-tick snapshot diffs (the sampler's series)")
 	withChaos := fs.Bool("chaos", false, "inject the FS1 crash/restart schedule during the workload")
+	showFlight := fs.Bool("flight", false, "dump the flight recorder's sealed event journal")
+	showTop := fs.Bool("top", false, "render the prefix server's hot-name sketch")
+	showRates := fs.Bool("rates", false, "render per-prefix churn estimates and the client lease-cache counters")
 	ops := fs.Int("ops", 150, "workload operations to drive")
 	slo := fs.Float64("slo", 0.90, "availability SLO for -health")
 	if err := fs.Parse(args); err != nil {
@@ -62,11 +73,21 @@ func run(args []string, w io.Writer) error {
 	}
 
 	policy := client.DefaultRetryPolicy()
-	r, err := rig.New(rig.Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true, Retry: &policy})
+	cfg := rig.Config{Users: []string{"mann"}, Seed: 1, ReadAhead: true, Retry: &policy}
+	observing := *showFlight || *showTop || *showRates
+	if observing {
+		cfg.Lease = 200 * time.Millisecond
+	}
+	r, err := rig.New(cfg)
 	if err != nil {
 		return err
 	}
 	s := r.WS[0].Session
+	if observing {
+		if err := s.EnableLeaseCache(); err != nil {
+			return err
+		}
+	}
 
 	var eng *chaos.Engine
 	pump := func(now vtime.Time) { r.Sampler.AdvanceTo(now) }
@@ -132,6 +153,40 @@ func run(args []string, w io.Writer) error {
 	if *health {
 		fmt.Fprintln(w)
 		metrics.Health(snap, r.Sampler.Samples(), horizon, *slo).WriteText(w)
+	}
+	if *showTop {
+		fmt.Fprintf(w, "\nhot names (prefix server %s, space-saving top-k):\n", r.WS[0].User)
+		items := r.WS[0].Prefix.TopNames()
+		if len(items) == 0 {
+			fmt.Fprintln(w, "  (no resolutions observed)")
+		}
+		for _, it := range items {
+			fmt.Fprintf(w, "  %-24s %6d resolutions (overestimate ≤ %d)\n", it.Name, it.Count, it.Err)
+		}
+	}
+	if *showRates {
+		fmt.Fprintf(w, "\nper-prefix churn estimates (prefix server %s):\n", r.WS[0].User)
+		items := r.WS[0].Prefix.NameRates()
+		if len(items) == 0 {
+			fmt.Fprintln(w, "  (no names observed)")
+		}
+		for _, it := range items {
+			fmt.Fprintf(w, "  %-24s res %d (%d mHz)  redef %d (%d mHz)  renew %d (%d mHz)  fanout %d/1000  max stale %d µs\n",
+				it.Name, it.Resolutions, it.ResRateMilliHz, it.Redefinitions, it.RedefRateMilliHz,
+				it.Renewals, it.RenewRateMilliHz, it.FanoutMilli, it.MaxStaleUS)
+		}
+		st := s.LeaseCacheStats()
+		fmt.Fprintf(w, "client lease cache: %d hits, %d misses, %d negative hits, %d renewals, %d invalidations, %d stale\n",
+			st.Hits, st.Misses, st.NegativeHits, st.Renewals, st.Invalidations, st.Stale)
+		for _, it := range s.LeaseNameRates() {
+			fmt.Fprintf(w, "  %-24s max stale %d µs\n", it.Name, it.MaxStaleUS)
+		}
+	}
+	if *showFlight {
+		r.Flight.Seal(horizon)
+		journal := r.Flight.Journal()
+		fmt.Fprintf(w, "\nflight journal (%d events, %d dropped):\n", len(journal), r.Flight.Dropped())
+		flight.WriteText(w, journal)
 	}
 	return nil
 }

@@ -15,12 +15,14 @@ package client
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/namestat"
 	"repro/internal/nametree"
 	"repro/internal/prefix"
 	"repro/internal/proto"
@@ -59,15 +61,55 @@ type leaseEntry struct {
 // shared radix index (PROTOCOL.md §14): the session goroutine, the
 // callback process and the engine classifiers (LeasedRoute/LeaseExpiry)
 // all read lock-free off the COW root, so a classifier probing tens of
-// thousands of draws never serializes against invalidations. The mutex
-// covers only stats.
+// thousands of draws never serializes against invalidations. Counters
+// are atomics (the callback process bumps Invalidations concurrently
+// with the session goroutine's hit path), read with the same torn-read
+// snapshot discipline as the prefix server's.
 type leaseCache struct {
 	entries *nametree.Tree[leaseEntry]
-	mu      sync.Mutex
-	stats   LeaseStats
+	ctr     leaseCounters
+	// rates tracks client-observed per-prefix churn: stale-window widths
+	// measured at the point of failure (PROTOCOL.md §15).
+	rates *namestat.Rates
 	// callback receives OpCacheInvalidate from granting servers; its pid
 	// rides every lease request so servers know whom to call back.
 	callback *kernel.Process
+}
+
+// leaseCounters is the lock-free backing store for LeaseStats.
+type leaseCounters struct {
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	negativeHits  atomic.Uint64
+	renewals      atomic.Uint64
+	invalidations atomic.Uint64
+	stale         atomic.Uint64
+}
+
+func (c *leaseCounters) load() LeaseStats {
+	return LeaseStats{
+		Hits:          int(c.hits.Load()),
+		Misses:        int(c.misses.Load()),
+		NegativeHits:  int(c.negativeHits.Load()),
+		Renewals:      int(c.renewals.Load()),
+		Invalidations: int(c.invalidations.Load()),
+		Stale:         int(c.stale.Load()),
+	}
+}
+
+// Snapshot returns a torn-read-resistant copy of the counters: each
+// field is an atomic load, re-read until two consecutive passes agree
+// (bounded, falling back to the last read under sustained traffic).
+func (c *leaseCounters) Snapshot() LeaseStats {
+	prev := c.load()
+	for i := 0; i < 3; i++ {
+		cur := c.load()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
 }
 
 // lease lookup outcomes.
@@ -89,7 +131,7 @@ func (s *Session) EnableLeaseCache() error {
 	if s.leases != nil {
 		return nil
 	}
-	lc := &leaseCache{entries: nametree.New[leaseEntry]()}
+	lc := &leaseCache{entries: nametree.New[leaseEntry](), rates: namestat.NewRates(0)}
 	cb, err := s.proc.Host().Spawn(s.proc.Name()+"/lease-cb", func(p *kernel.Process) {
 		lc.serveCallbacks(p)
 	})
@@ -112,14 +154,22 @@ func (s *Session) DisableLeaseCache() {
 	s.leases = nil
 }
 
-// LeaseCacheStats returns the lease-cache counters.
+// LeaseCacheStats returns a torn-read-resistant snapshot of the
+// lease-cache counters.
 func (s *Session) LeaseCacheStats() LeaseStats {
 	if s.leases == nil {
 		return LeaseStats{}
 	}
-	s.leases.mu.Lock()
-	defer s.leases.mu.Unlock()
-	return s.leases.stats
+	return s.leases.ctr.Snapshot()
+}
+
+// LeaseNameRates returns the session's client-side per-prefix churn
+// estimates (stale-window widths observed at failure), sorted by name.
+func (s *Session) LeaseNameRates() []namestat.RateItem {
+	if s.leases == nil {
+		return nil
+	}
+	return s.leases.rates.Snapshot()
 }
 
 // LeaseCallback returns the pid of the session's invalidation-callback
@@ -191,9 +241,8 @@ func (lc *leaseCache) serveCallbacks(p *kernel.Process) {
 				reply.Op = proto.ReplyBadArgs
 			} else {
 				lc.entries.Delete(name)
-				lc.mu.Lock()
-				lc.stats.Invalidations++
-				lc.mu.Unlock()
+				lc.ctr.invalidations.Add(1)
+				p.Kernel().Flight().Record(p.Now(), flight.KindInvalidate, name, p.Name(), "callback")
 				if tr := p.Kernel().Tracer(); tr != nil {
 					tr.Event(p.PendingSpan(from), trace.KindLease, "callback "+name, p.Now(), p.TraceID(), "")
 				}
@@ -232,12 +281,6 @@ func (lc *leaseCache) drop(pfx string) {
 	lc.entries.Delete(pfx)
 }
 
-func (lc *leaseCache) bump(f func(*LeaseStats)) {
-	lc.mu.Lock()
-	f(&lc.stats)
-	lc.mu.Unlock()
-}
-
 // leaseMetric resolves a lease counter labelled with this session's
 // process name and the client tier.
 func (s *Session) leaseMetric(name string) *metrics.Counter {
@@ -272,7 +315,7 @@ func (s *Session) sendLeased(name string, req *proto.Message, mayRetry bool) (*p
 	if state == leaseHit && entry.negative {
 		// The name is known absent: answer locally. The stub still costs
 		// its constant — the library ran — but no message leaves the host.
-		s.leases.bump(func(st *LeaseStats) { st.NegativeHits++ })
+		s.leases.ctr.negativeHits.Add(1)
 		s.leaseMetric("client_lease_negative_hits_total").Inc()
 		s.leaseEvent("negative-hit", pfx, now, entry)
 		s.proc.ChargeCompute(s.proc.Kernel().Model().ClientStubCost)
@@ -280,18 +323,19 @@ func (s *Session) sendLeased(name string, req *proto.Message, mayRetry bool) (*p
 	}
 
 	if state == leaseHit {
-		s.leases.bump(func(st *LeaseStats) { st.Hits++ })
+		s.leases.ctr.hits.Add(1)
 		s.leaseMetric("client_lease_hits_total").Inc()
 		s.leaseEvent("hit", pfx, now, entry)
 	} else {
 		// Miss or lapsed lease: revalidate through the prefix server,
 		// asking for a fresh lease.
 		if state == leaseExpired {
-			s.leases.bump(func(st *LeaseStats) { st.Renewals++ })
+			s.leases.ctr.renewals.Add(1)
 			s.leaseMetric("client_lease_renewals_total").Inc()
 			s.leaseEvent("expired", pfx, now, entry)
+			s.proc.Kernel().Flight().Record(now, flight.KindLeaseRenew, pfx, s.proc.Name(), "expired")
 		} else {
-			s.leases.bump(func(st *LeaseStats) { st.Misses++ })
+			s.leases.ctr.misses.Add(1)
 			s.leaseMetric("client_lease_misses_total").Inc()
 		}
 		mreq := &proto.Message{Op: proto.OpMapContext}
@@ -338,9 +382,14 @@ func (s *Session) sendLeased(name string, req *proto.Message, mayRetry bool) (*p
 	if err != nil {
 		// The leased server died inside the lease window, before any
 		// invalidation could be delivered. Drop the lease and revalidate
-		// once — bounded staleness, visible as a Stale count.
-		s.leases.bump(func(st *LeaseStats) { st.Stale++ })
+		// once — bounded staleness, visible as a Stale count, journaled
+		// as a failover, and measured: the window's width (failure time
+		// minus grant) feeds the client's churn estimator (§15).
+		s.leases.ctr.stale.Add(1)
 		s.leaseMetric("client_lease_stale_total").Inc()
+		failedAt := s.proc.Now()
+		s.leases.rates.ObserveStaleWindow(pfx, failedAt-entry.grant)
+		s.proc.Kernel().Flight().Record(failedAt, flight.KindFailover, pfx, s.proc.Name(), "stale")
 		s.leases.drop(pfx)
 		if mayRetry {
 			return s.sendLeased(name, req, false)

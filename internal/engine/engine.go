@@ -160,7 +160,17 @@ func (s *Sync) FencesFired() int {
 // started). Keys must be non-decreasing per lane; the pick-min driver
 // loop guarantees this, and Gate panics if a caller breaks it, because a
 // regressing promise would silently void the conservative guarantee.
-func (s *Sync) Gate(id int, k Key, cls Class) {
+//
+// Gate returns the total number of fences fired when it unblocks.
+// Callers that classified the operation Confined from mutable substrate
+// state (a cached route, a lease) compare it against FencesFired taken
+// before classifying: a fence that fired in between may have invalidated
+// the classification's evidence (a chaos redefinition revoking a lease
+// turns a proven-local hit into a shared-wire revalidation), so the
+// caller must re-prove the class and re-Gate as Shared if the proof no
+// longer holds. Re-gating with the same key is legal — promises are
+// non-decreasing, not strictly increasing.
+func (s *Sync) Gate(id int, k Key, cls Class) int {
 	if s.lookahead <= 0 {
 		cls = Shared
 	}
@@ -183,7 +193,7 @@ func (s *Sync) Gate(id int, k Key, cls Class) {
 			s.cond.Wait()
 			continue
 		}
-		return
+		return s.fired
 	}
 }
 

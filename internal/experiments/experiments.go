@@ -62,6 +62,7 @@ var registry = map[string]Runner{
 	"a16": A16,
 	"a17": A17,
 	"a18": A18,
+	"a19": A19,
 }
 
 // sectionGuard reports whether experiment id is followed only by

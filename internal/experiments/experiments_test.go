@@ -33,10 +33,10 @@ func parseMs(t *testing.T, s string) float64 {
 
 func TestIDsCanonicalOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Fatalf("ids = %v", ids)
 	}
-	if ids[0] != "e1" || ids[len(ids)-1] != "a18" {
+	if ids[0] != "e1" || ids[len(ids)-1] != "a19" {
 		t.Fatalf("order = %v", ids)
 	}
 	for i, id := range ids[:4] {

@@ -1,0 +1,381 @@
+// Package flight is the always-on flight recorder: a bounded
+// ring-buffer journal of the structured events the naming plane emits —
+// resolutions, lease grants and renewals, invalidation callbacks,
+// redefinitions, forwards, failovers and engine fences. Like the tracer
+// and the metrics registry (PROTOCOL.md §9, §15), the recorder is
+// strictly an observer: recording never touches a process clock, so a
+// run with the recorder installed is byte-identical to one without it
+// in every virtual-time result.
+//
+// The recorder follows the same discipline as internal/metrics on the
+// hot path: a fixed preallocated ring under one mutex, events recorded
+// by value with string fields referencing strings the caller already
+// holds — no per-event allocation — and every method nil-safe, so
+// record sites need no presence checks. When the ring wraps, the oldest
+// events are overwritten and counted as dropped; the journal is a
+// bounded window onto recent activity, not an unbounded log.
+//
+// Under the conservative engine, record order across lanes is not
+// deterministic — but the *set* of events between two globally
+// quiescent cuts is. Seal, called at engine fences, drains the ring
+// into the sealed journal in a canonical order (sorted by time, kind,
+// name, process, detail), so the journal of a fenced run is
+// deterministic even when the lanes genuinely overlapped.
+package flight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies a flight-recorder event.
+type Kind uint8
+
+// The event kinds of the naming plane (PROTOCOL.md §15).
+const (
+	// KindResolution is one prefix resolution served (hit or forward).
+	KindResolution Kind = iota + 1
+	// KindLeaseGrant is a lease stamp leaving a granting server
+	// (detail "negative" marks a NotFound stamp).
+	KindLeaseGrant
+	// KindLeaseRenew is a client revalidating a lapsed lease.
+	KindLeaseRenew
+	// KindInvalidate is an invalidation applied at a holder (callback).
+	KindInvalidate
+	// KindRedefine is a binding mutation committing at the granting
+	// server — the instant the staleness invariant keys on.
+	KindRedefine
+	// KindForward is a request rewritten and passed along a binding.
+	KindForward
+	// KindFailover is a recovery action: a stale leased route dropped,
+	// a dead dynamic target, a rebind to a new implementor.
+	KindFailover
+	// KindFence is an engine fence: the quiescent cut at which the ring
+	// was sealed.
+	KindFence
+
+	kindMax = KindFence
+)
+
+var kindNames = [...]string{
+	KindResolution: "resolution",
+	KindLeaseGrant: "lease-grant",
+	KindLeaseRenew: "lease-renew",
+	KindInvalidate: "invalidate",
+	KindRedefine:   "redefine",
+	KindForward:    "forward",
+	KindFailover:   "failover",
+	KindFence:      "fence",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k >= 1 && k <= kindMax {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one flight-recorder event. Fields are plain values: recording
+// one into the ring copies three string headers and two words, and
+// allocates nothing.
+type Event struct {
+	// At is the virtual time of the event.
+	At time.Duration `json:"at_ns"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Name is the name or prefix involved (may be empty for fences).
+	Name string `json:"name,omitempty"`
+	// Proc is the recording process.
+	Proc string `json:"proc,omitempty"`
+	// Detail carries the event's classification ("negative", "stale",
+	// "dead-target", ...). Empty for the common case.
+	Detail string `json:"detail,omitempty"`
+}
+
+// less orders events canonically: by time, then kind, name, process and
+// detail. Events equal under this order are interchangeable, which is
+// what makes a sealed journal deterministic at quiescent cuts.
+func (e Event) less(o Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	if e.Kind != o.Kind {
+		return e.Kind < o.Kind
+	}
+	if e.Name != o.Name {
+		return e.Name < o.Name
+	}
+	if e.Proc != o.Proc {
+		return e.Proc < o.Proc
+	}
+	return e.Detail < o.Detail
+}
+
+// DefaultCapacity is the ring size used when New is given n <= 0.
+const DefaultCapacity = 4096
+
+// Recorder is the flight recorder. All methods are safe for concurrent
+// use and all are no-ops on a nil receiver.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event // preallocated ring
+	head    int     // next write slot
+	n       int     // live events in the ring (≤ len(buf))
+	total   uint64  // events ever recorded
+	dropped uint64  // events overwritten before being sealed or read
+	sealed  []Event // fence-drained journal, canonical order
+	sealCap int     // bound on len(sealed); older sealed events drop
+}
+
+// New returns a recorder with the given ring capacity (DefaultCapacity
+// when n <= 0). The sealed journal is bounded at 4× the ring.
+func New(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, n), sealCap: 4 * n}
+}
+
+// Record appends one event to the ring, overwriting the oldest when
+// full. Zero virtual cost, zero allocations.
+func (r *Recorder) Record(at time.Duration, kind Kind, name, proc, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.head] = Event{At: at, Kind: kind, Name: name, Proc: proc, Detail: detail}
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.dropped++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently buffered (ring + sealed).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n + len(r.sealed)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns the number of events lost to ring wrap-around (plus
+// sealed events evicted past the journal bound).
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ringLocked copies the live ring contents in record order. Caller
+// holds r.mu.
+func (r *Recorder) ringLocked() []Event {
+	out := make([]Event, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Seal drains the ring into the sealed journal in canonical order and
+// records the fence itself, returning the number of events sealed.
+// Called at engine fences — globally quiescent cuts — so the sealed
+// batch is a deterministic set regardless of how the lanes interleaved.
+func (r *Recorder) Seal(at time.Duration) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	batch := r.ringLocked()
+	r.n, r.head = 0, 0
+	sort.Slice(batch, func(i, j int) bool { return batch[i].less(batch[j]) })
+	r.sealed = append(r.sealed, batch...)
+	r.sealed = append(r.sealed, Event{At: at, Kind: KindFence, Proc: "engine"})
+	r.total++
+	if over := len(r.sealed) - r.sealCap; over > 0 {
+		r.dropped += uint64(over)
+		r.sealed = append(r.sealed[:0], r.sealed[over:]...)
+	}
+	return len(batch)
+}
+
+// Journal returns the recorder's contents: the sealed journal followed
+// by the live ring tail, the tail in the same canonical order Seal
+// would give it.
+func (r *Recorder) Journal() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tail := r.ringLocked()
+	sort.Slice(tail, func(i, j int) bool { return tail[i].less(tail[j]) })
+	out := make([]Event, 0, len(r.sealed)+len(tail))
+	out = append(out, r.sealed...)
+	return append(out, tail...)
+}
+
+// Counts tallies the journal by kind (index = Kind).
+func Counts(events []Event) [kindMax + 1]uint64 {
+	var c [kindMax + 1]uint64
+	for _, e := range events {
+		if e.Kind >= 1 && e.Kind <= kindMax {
+			c[e.Kind]++
+		}
+	}
+	return c
+}
+
+// WriteText renders events one per line for vstat -flight and
+// chaos-failure dumps.
+func WriteText(w io.Writer, events []Event) {
+	for _, e := range events {
+		line := fmt.Sprintf("%12.3fms  %-11s", float64(e.At)/1e6, e.Kind)
+		if e.Name != "" {
+			line += "  " + e.Name
+		}
+		if e.Proc != "" {
+			line += "  (" + e.Proc + ")"
+		}
+		if e.Detail != "" {
+			line += "  [" + e.Detail + "]"
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// The binary journal encoding: "FJ1" magic, uvarint count, then per
+// event uvarint time (ns), one kind byte, and three length-prefixed
+// strings. Compact enough to dump from a failing chaos test, simple
+// enough to fuzz the round trip.
+var magic = []byte{'F', 'J', '1'}
+
+// Encode renders events in the binary journal encoding.
+func Encode(events []Event) []byte {
+	buf := append([]byte(nil), magic...)
+	buf = binary.AppendUvarint(buf, uint64(len(events)))
+	for _, e := range events {
+		buf = binary.AppendUvarint(buf, uint64(e.At))
+		buf = append(buf, byte(e.Kind))
+		for _, s := range []string{e.Name, e.Proc, e.Detail} {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+// Decode parses a binary journal. It never panics on arbitrary input:
+// malformed data returns an error.
+func Decode(data []byte) ([]Event, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("flight: bad journal magic")
+	}
+	data = data[len(magic):]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("flight: bad journal count")
+	}
+	data = data[n:]
+	if count > uint64(len(data)) { // each event costs ≥ 1 byte
+		return nil, fmt.Errorf("flight: journal count %d exceeds payload", count)
+	}
+	events := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		at, n := binary.Uvarint(data)
+		if n <= 0 || at > uint64(1)<<62 {
+			return nil, fmt.Errorf("flight: event %d: bad timestamp", i)
+		}
+		data = data[n:]
+		if len(data) < 1 {
+			return nil, fmt.Errorf("flight: event %d: truncated kind", i)
+		}
+		e := Event{At: time.Duration(at), Kind: Kind(data[0])}
+		if e.Kind < 1 || e.Kind > kindMax {
+			return nil, fmt.Errorf("flight: event %d: unknown kind %d", i, data[0])
+		}
+		data = data[1:]
+		for f := 0; f < 3; f++ {
+			l, n := binary.Uvarint(data)
+			if n <= 0 || l > uint64(len(data)-n) {
+				return nil, fmt.Errorf("flight: event %d: bad string length", i)
+			}
+			s := string(data[n : n+int(l)])
+			data = data[n+int(l):]
+			switch f {
+			case 0:
+				e.Name = s
+			case 1:
+				e.Proc = s
+			default:
+				e.Detail = s
+			}
+		}
+		events = append(events, e)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("flight: %d trailing bytes after journal", len(data))
+	}
+	return events, nil
+}
+
+// failer is the slice of testing.T the dump hook needs.
+type failer interface {
+	Failed() bool
+	Logf(format string, args ...any)
+	Cleanup(func())
+}
+
+// DumpOnFailure registers a test cleanup that, if the test failed,
+// writes the recorder's journal to the test log — the post-mortem the
+// chaos suites attach so a failing schedule arrives with its flight
+// record.
+func DumpOnFailure(t failer, r *Recorder) {
+	t.Cleanup(func() {
+		if !t.Failed() || r == nil {
+			return
+		}
+		events := r.Journal()
+		var sb writerBuf
+		WriteText(&sb, events)
+		t.Logf("flight journal (%d events, %d dropped):\n%s", len(events), r.Dropped(), sb.b)
+	})
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

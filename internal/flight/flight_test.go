@@ -1,0 +1,256 @@
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(time.Millisecond, KindResolution, "[home]", "ws", "")
+	if r.Seal(time.Millisecond) != 0 {
+		t.Fatalf("nil Seal sealed events")
+	}
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 || r.Journal() != nil {
+		t.Fatalf("nil recorder reported state")
+	}
+}
+
+func TestRecordAndJournalOrder(t *testing.T) {
+	r := New(8)
+	// Record out of canonical order.
+	r.Record(3*time.Millisecond, KindForward, "[storage]", "fs1", "")
+	r.Record(time.Millisecond, KindResolution, "[home]", "ws", "")
+	r.Record(time.Millisecond, KindLeaseGrant, "[home]", "pfx", "negative")
+	j := r.Journal()
+	if len(j) != 3 {
+		t.Fatalf("journal len = %d, want 3", len(j))
+	}
+	// Canonical order: 1ms resolution, 1ms lease-grant, 3ms forward.
+	if j[0].Kind != KindResolution || j[1].Kind != KindLeaseGrant || j[2].Kind != KindForward {
+		t.Fatalf("journal out of canonical order: %+v", j)
+	}
+	if got := r.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+}
+
+func TestRingWrapDrops(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(time.Duration(i)*time.Millisecond, KindResolution, "n", "p", "")
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	j := r.Journal()
+	if len(j) != 4 {
+		t.Fatalf("journal retains %d, want ring capacity 4", len(j))
+	}
+	// Survivors are the newest four.
+	if j[0].At != 6*time.Millisecond || j[3].At != 9*time.Millisecond {
+		t.Fatalf("wrong survivors after wrap: %+v", j)
+	}
+}
+
+func TestSealDeterministicAcrossInterleavings(t *testing.T) {
+	events := []Event{
+		{At: 2 * time.Millisecond, Kind: KindRedefine, Name: "[home]", Proc: "pfx"},
+		{At: time.Millisecond, Kind: KindResolution, Name: "[bin]", Proc: "ws1"},
+		{At: time.Millisecond, Kind: KindResolution, Name: "[bin]", Proc: "ws0"},
+		{At: 2 * time.Millisecond, Kind: KindInvalidate, Name: "[home]", Proc: "ws0"},
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}}
+	var want []Event
+	for i, p := range perms {
+		r := New(16)
+		for _, idx := range p {
+			e := events[idx]
+			r.Record(e.At, e.Kind, e.Name, e.Proc, e.Detail)
+		}
+		if sealed := r.Seal(5 * time.Millisecond); sealed != len(events) {
+			t.Fatalf("Seal sealed %d, want %d", sealed, len(events))
+		}
+		j := r.Journal()
+		if i == 0 {
+			want = j
+			continue
+		}
+		if !reflect.DeepEqual(j, want) {
+			t.Fatalf("perm %v journal diverged:\n got %+v\nwant %+v", p, j, want)
+		}
+	}
+	// The fence marker itself lands in the journal.
+	last := want[len(want)-1]
+	if last.Kind != KindFence || last.At != 5*time.Millisecond {
+		t.Fatalf("missing fence marker, got %+v", last)
+	}
+}
+
+func TestSealedJournalBounded(t *testing.T) {
+	r := New(4) // sealCap = 16
+	for fence := 0; fence < 20; fence++ {
+		for i := 0; i < 4; i++ {
+			r.Record(time.Duration(fence)*time.Millisecond, KindResolution, "n", "p", "")
+		}
+		r.Seal(time.Duration(fence) * time.Millisecond)
+	}
+	if got := len(r.Journal()); got > 16 {
+		t.Fatalf("sealed journal grew to %d, cap 16", got)
+	}
+	if r.Dropped() == 0 {
+		t.Fatalf("expected sealed-journal evictions counted as drops")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: KindFence, Proc: "engine"},
+		{At: 1234567, Kind: KindLeaseGrant, Name: "[home]mann", Proc: "prefix-0", Detail: "negative"},
+		{At: time.Hour, Kind: KindFailover, Name: "[storage]x/y", Proc: "ws", Detail: "stale"},
+	}
+	got, err := Decode(Encode(events))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, events)
+	}
+	if _, err := Decode([]byte("not a journal")); err == nil {
+		t.Fatalf("Decode accepted garbage")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatalf("Decode accepted empty input")
+	}
+}
+
+func TestCountsAndWriteText(t *testing.T) {
+	events := []Event{
+		{At: time.Millisecond, Kind: KindResolution, Name: "[home]", Proc: "ws"},
+		{At: 2 * time.Millisecond, Kind: KindResolution, Name: "[bin]", Proc: "ws"},
+		{At: 3 * time.Millisecond, Kind: KindRedefine, Name: "[home]", Proc: "pfx", Detail: "rebind"},
+	}
+	c := Counts(events)
+	if c[KindResolution] != 2 || c[KindRedefine] != 1 {
+		t.Fatalf("Counts = %v", c)
+	}
+	var buf bytes.Buffer
+	WriteText(&buf, events)
+	out := buf.String()
+	for _, want := range []string{"resolution", "redefine", "[home]", "(pfx)", "[rebind]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLeaseRenew.String() != "lease-renew" || KindFence.String() != "fence" {
+		t.Fatalf("Kind.String wrong: %s %s", KindLeaseRenew, KindFence)
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestRecordZeroAlloc(t *testing.T) {
+	r := New(1 << 10)
+	name, proc := "[home]mann/notes", "ws-mann"
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Record(time.Millisecond, KindResolution, name, proc, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestDumpOnFailure(t *testing.T) {
+	r := New(8)
+	r.Record(time.Millisecond, KindRedefine, "[home]", "pfx", "")
+	ft := &fakeT{failed: true}
+	DumpOnFailure(ft, r)
+	for _, fn := range ft.cleanups {
+		fn()
+	}
+	if len(ft.logs) != 1 || !strings.Contains(ft.logs[0], "redefine") {
+		t.Fatalf("failure dump missing journal: %v", ft.logs)
+	}
+	// A passing test dumps nothing.
+	ft2 := &fakeT{}
+	DumpOnFailure(ft2, r)
+	for _, fn := range ft2.cleanups {
+		fn()
+	}
+	if len(ft2.logs) != 0 {
+		t.Fatalf("passing test dumped journal")
+	}
+}
+
+type fakeT struct {
+	failed   bool
+	logs     []string
+	cleanups []func()
+}
+
+func (f *fakeT) Failed() bool      { return f.failed }
+func (f *fakeT) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeT) Logf(format string, args ...any) {
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+
+// FuzzFlightRoundTrip drives both directions of the journal codec:
+// decoding arbitrary bytes must never panic, and anything that decodes
+// must re-encode to an equivalent journal.
+func FuzzFlightRoundTrip(f *testing.F) {
+	f.Add(Encode(nil))
+	f.Add(Encode([]Event{{At: time.Millisecond, Kind: KindResolution, Name: "[home]", Proc: "ws", Detail: ""}}))
+	f.Add(Encode([]Event{
+		{At: 0, Kind: KindFence, Proc: "engine"},
+		{At: time.Second, Kind: KindInvalidate, Name: "[a]b", Proc: "p", Detail: "d"},
+	}))
+	f.Add([]byte("FJ1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(Encode(events))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed count: %d != %d", len(again), len(events))
+		}
+		if !reflect.DeepEqual(again, events) {
+			t.Fatalf("round trip diverged")
+		}
+	})
+}
+
+// TestDefaultsAndLen covers the constructor clamp and the Len probe:
+// a non-positive capacity falls back to DefaultCapacity, and Len counts
+// ring plus sealed events.
+func TestDefaultsAndLen(t *testing.T) {
+	r := New(0)
+	if r.Len() != 0 {
+		t.Fatalf("fresh recorder Len = %d, want 0", r.Len())
+	}
+	r.Record(1, KindResolution, "[a]x", "p", "")
+	r.Record(2, KindRedefine, "[a]x", "p", "")
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	r.Seal(3)
+	if r.Len() != 3 { // the cut itself journals a fence event
+		t.Fatalf("Len after seal = %d, want 3", r.Len())
+	}
+	var nilRec *Recorder
+	if nilRec.Len() != 0 {
+		t.Fatal("nil recorder Len != 0")
+	}
+}

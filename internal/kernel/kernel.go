@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -82,6 +83,11 @@ type Kernel struct {
 	// contract as the tracer.
 	metrics atomic.Pointer[kernelMetrics]
 
+	// flight is the always-on flight recorder (PROTOCOL.md §15), under
+	// the same observer contract: a nil recorder accepts every Record
+	// as a no-op, and recording never advances a virtual clock.
+	flight atomic.Pointer[flight.Recorder]
+
 	// hosts is a copy-on-write snapshot: hosts are only ever added, so
 	// the send path (findProcess on every message) indexes it without a
 	// lock. Writers copy under mu and publish atomically.
@@ -114,6 +120,14 @@ func (k *Kernel) SetTracer(t *trace.Tracer) { k.tracer.Store(t) }
 // Tracer returns the installed tracer; nil means tracing is off, and a
 // nil *trace.Tracer accepts every recording call as a no-op.
 func (k *Kernel) Tracer() *trace.Tracer { return k.tracer.Load() }
+
+// SetFlight installs (or, with nil, removes) the domain's flight
+// recorder.
+func (k *Kernel) SetFlight(r *flight.Recorder) { k.flight.Store(r) }
+
+// Flight returns the installed flight recorder; nil is a valid no-op
+// recorder, so call sites record unconditionally.
+func (k *Kernel) Flight() *flight.Recorder { return k.flight.Load() }
 
 // kernelMetrics is the pre-resolved instrument set the IPC hot path
 // records into, so a send costs one atomic pointer load plus a few

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sync/atomic"
+
+	"repro/internal/vtime"
+)
+
+// Exemplar links one histogram bucket to a retained trace span: the
+// last observation that landed in the bucket while a tracer was active,
+// with the span id of the operation that produced it. Exemplars are the
+// bridge from an aggregate ("p99 is 4.1 ms") to a concrete retained
+// span tree ("span 83021 is one such operation") — the role OpenMetrics
+// exemplars play for Prometheus histograms.
+//
+// Exemplars ride outside the deterministic surface: span ids depend on
+// goroutine interleaving under the concurrent drivers, so HistPoint
+// carries them with `json:"-"` and no golden document includes them.
+type Exemplar struct {
+	// BucketLoUS/BucketHiUS are the bucket's value range, microseconds.
+	BucketLoUS int64 `json:"-"`
+	BucketHiUS int64 `json:"-"`
+	// ValueUS is the exemplar observation, microseconds.
+	ValueUS int64 `json:"-"`
+	// Span is the trace span id of the operation observed.
+	Span uint64 `json:"-"`
+}
+
+// exemplarSlots bounds per-histogram exemplar storage: one slot per
+// octave (plus the sub-histSub singleton range), far coarser than the
+// 2304 buckets but enough to land one exemplar near the median and one
+// near the tail.
+const exemplarSlots = histMaxShift + 2
+
+// exemplars is the per-histogram store. Each slot packs (value, span)
+// behind its own pair of atomics; a torn pair can momentarily mix two
+// observations' value and span, which for a diagnostic pointer is an
+// accepted cost of staying lock-free on the hot path.
+type exemplars struct {
+	values [exemplarSlots]atomic.Int64
+	spans  [exemplarSlots]atomic.Uint64
+	marks  [exemplarSlots]atomic.Uint32 // slot has data
+}
+
+// slotIndex maps a bucket index to its exemplar slot (the octave).
+func slotIndex(bucketIdx int) int {
+	s := bucketIdx / histSub
+	if s >= exemplarSlots {
+		return exemplarSlots - 1
+	}
+	return s
+}
+
+// Exemplar records one observation with the trace span that produced
+// it. Call alongside Record when a span id is at hand; zero virtual
+// cost, lock-free, nil-safe.
+func (h *Histogram) Exemplar(d vtime.Time, span uint64) {
+	if h == nil || span == 0 {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	slot := slotIndex(bucketIndex(v))
+	h.ex.values[slot].Store(v)
+	h.ex.spans[slot].Store(span)
+	h.ex.marks[slot].Store(1)
+}
+
+// Exemplars returns the populated exemplar slots in value order.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := 0; i < exemplarSlots; i++ {
+		if h.ex.marks[i].Load() == 0 {
+			continue
+		}
+		v := h.ex.values[i].Load()
+		lo, hi := bucketBounds(bucketIndex(v))
+		out = append(out, Exemplar{
+			BucketLoUS: lo / 1000,
+			BucketHiUS: hi / 1000,
+			ValueUS:    v / 1000,
+			Span:       h.ex.spans[i].Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExemplarRecordAndFetch(t *testing.T) {
+	h := NewHistogram()
+	var nilH *Histogram
+	nilH.Exemplar(time.Millisecond, 1) // nil-safe
+	if nilH.Exemplars() != nil {
+		t.Fatalf("nil histogram returned exemplars")
+	}
+	h.Record(2 * time.Millisecond)
+	h.Exemplar(2*time.Millisecond, 41)
+	h.Record(700 * time.Millisecond)
+	h.Exemplar(700*time.Millisecond, 97)
+	h.Exemplar(0, 0) // span 0: ignored
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("Exemplars = %+v, want 2 slots", ex)
+	}
+	var spans []uint64
+	for _, e := range ex {
+		spans = append(spans, e.Span)
+		if e.ValueUS < e.BucketLoUS || e.ValueUS > e.BucketHiUS {
+			t.Fatalf("exemplar value %d outside bucket [%d, %d]", e.ValueUS, e.BucketLoUS, e.BucketHiUS)
+		}
+	}
+	if (spans[0] != 41 && spans[1] != 41) || (spans[0] != 97 && spans[1] != 97) {
+		t.Fatalf("exemplar spans = %v, want 41 and 97", spans)
+	}
+	// Same octave: newest observation wins the slot.
+	h.Exemplar(1800*time.Microsecond, 55)
+	for _, e := range h.Exemplars() {
+		if e.Span == 41 {
+			t.Fatalf("stale exemplar survived overwrite: %+v", e)
+		}
+	}
+}
+
+func TestExemplarsExcludedFromJSON(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("lat", Labels{Server: "fs1"})
+	h.Record(time.Millisecond)
+	h.Exemplar(time.Millisecond, 7)
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 || len(snap.Histograms[0].Exemplars) != 1 {
+		t.Fatalf("snapshot lost exemplars: %+v", snap.Histograms)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "xemplar") || strings.Contains(string(data), "span") {
+		t.Fatalf("exemplars leaked into JSON: %s", data)
+	}
+}

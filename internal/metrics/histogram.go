@@ -37,6 +37,7 @@ type Histogram struct {
 	sum    atomic.Int64
 	min    atomic.Int64
 	max    atomic.Int64
+	ex     exemplars
 }
 
 // NewHistogram returns an empty histogram.

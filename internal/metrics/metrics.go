@@ -345,6 +345,10 @@ type HistPoint struct {
 	P90US  int64  `json:"p90_us"`
 	P99US  int64  `json:"p99_us"`
 	MaxUS  int64  `json:"max_us"`
+	// Exemplars link buckets to retained trace span ids (exemplar.go).
+	// Span ids are interleaving-dependent, so they are excluded from the
+	// JSON rendering — deterministic documents stay byte-identical.
+	Exemplars []Exemplar `json:"-"`
 }
 
 // TimelineSeries is one state timeline in a snapshot.
@@ -391,14 +395,15 @@ func (r *Registry) Snapshot() Snapshot {
 	if m := r.hists.Load(); m != nil {
 		for k, h := range *m {
 			s.Histograms = append(s.Histograms, HistPoint{
-				Name:   k.name,
-				Labels: k.labels,
-				Count:  h.Count(),
-				SumUS:  us(h.Sum()),
-				P50US:  us(h.Quantile(0.50)),
-				P90US:  us(h.Quantile(0.90)),
-				P99US:  us(h.Quantile(0.99)),
-				MaxUS:  us(h.Max()),
+				Name:      k.name,
+				Labels:    k.labels,
+				Count:     h.Count(),
+				SumUS:     us(h.Sum()),
+				P50US:     us(h.Quantile(0.50)),
+				P90US:     us(h.Quantile(0.90)),
+				P99US:     us(h.Quantile(0.99)),
+				MaxUS:     us(h.Max()),
+				Exemplars: h.Exemplars(),
 			})
 		}
 		sort.Slice(s.Histograms, func(i, j int) bool {

@@ -161,3 +161,26 @@ func TestWritePrometheus(t *testing.T) {
 		}
 	}
 }
+
+// TestSamplerNextAt pins the fence-source probe: NextAt reports the
+// first unemitted tick boundary, advances past emitted boundaries, and
+// is nil-safe — the contract the engine's merged fence schedule relies
+// on (PROTOCOL.md §12.4).
+func TestSamplerNextAt(t *testing.T) {
+	reg := New()
+	s := NewSampler(reg, 10*time.Millisecond)
+	if got := s.NextAt(); got != 10*time.Millisecond {
+		t.Fatalf("fresh NextAt = %v, want 10ms", got)
+	}
+	s.AdvanceTo(25 * time.Millisecond)
+	if got := s.NextAt(); got != 30*time.Millisecond {
+		t.Fatalf("NextAt after AdvanceTo(25ms) = %v, want 30ms", got)
+	}
+	var nilS *Sampler
+	if nilS.NextAt() != 0 || nilS.Tick() != 0 {
+		t.Fatal("nil sampler probes must return 0")
+	}
+	if def := NewSampler(reg, 0); def.Tick() != 50*time.Millisecond {
+		t.Fatalf("default tick = %v, want 50ms", def.Tick())
+	}
+}

@@ -1,0 +1,384 @@
+// Package namestat is the name-space analytics layer: cardinality-
+// bounded sketches that answer "which names are hot, and how fast is
+// each one churning?" without holding per-name state for a 10⁶-name
+// population.
+//
+// Two instruments:
+//
+//   - TopK, a space-saving sketch (Metwally et al.): at most k counters;
+//     a hit increments its counter, a new name with the table full
+//     replaces the minimum counter and inherits its count as the error
+//     bound. Any name whose true count exceeds N/k is guaranteed
+//     present, which is exactly the regime a Zipf-distributed workload
+//     lives in.
+//
+//   - Rates, per-name event-driven EWMA estimators over virtual time:
+//     resolution, redefinition and renewal rates (Hz), invalidation
+//     fan-out, and the widest observed stale window. The map is bounded;
+//     once full, estimators for new names are dropped and counted, so
+//     the cost stays O(bound) regardless of population.
+//
+// Both are observers in the PROTOCOL.md §15 sense: observing charges no
+// virtual time and is nil-safe, so record sites need no presence
+// checks. Neither registers metrics instruments on its own — goldens
+// like BENCH_metrics.json stay byte-identical with sketches installed —
+// but Publish copies a snapshot into a metrics registry on demand for
+// the Prometheus and vstat surfaces.
+package namestat
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TopK is a space-saving top-k sketch. All methods are nil-safe.
+type TopK struct {
+	mu     sync.Mutex
+	k      int
+	counts map[string]*topEntry
+	total  uint64
+}
+
+type topEntry struct {
+	count uint64
+	err   uint64 // overestimate bound inherited at replacement
+}
+
+// Item is one sketch entry: Count overestimates the true count by at
+// most Err.
+type Item struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// NewTopK returns a sketch holding at most k names (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, counts: make(map[string]*topEntry, k)}
+}
+
+// Observe records one occurrence of name. O(1) on a hit, O(k) when a
+// full sketch replaces its minimum entry.
+func (t *TopK) Observe(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if e, ok := t.counts[name]; ok {
+		e.count++
+		return
+	}
+	if len(t.counts) < t.k {
+		t.counts[name] = &topEntry{count: 1}
+		return
+	}
+	// Replace the minimum entry; break count ties by name so the sketch
+	// evolves identically regardless of map iteration order.
+	var victim string
+	var min *topEntry
+	for n, e := range t.counts {
+		if min == nil || e.count < min.count || (e.count == min.count && n < victim) {
+			victim, min = n, e
+		}
+	}
+	delete(t.counts, victim)
+	t.counts[name] = &topEntry{count: min.count + 1, err: min.count}
+}
+
+// Total returns the number of observations ever made.
+func (t *TopK) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Len returns the number of names currently tracked.
+func (t *TopK) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.counts)
+}
+
+// Snapshot returns the sketch sorted by count descending, ties by name
+// ascending — a deterministic ranking.
+func (t *TopK) Snapshot() []Item {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	items := make([]Item, 0, len(t.counts))
+	for n, e := range t.counts {
+		items = append(items, Item{Name: n, Count: e.count, Err: e.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Name < items[j].Name
+	})
+	return items
+}
+
+// ewmaAlpha weights the newest inter-event gap at 30%: a few
+// observations converge the estimate, one outlier doesn't own it.
+const ewmaAlpha = 0.3
+
+// DefaultRateBound caps the number of names Rates tracks.
+const DefaultRateBound = 64
+
+// Rates holds per-name EWMA estimators. All methods are nil-safe.
+type Rates struct {
+	mu      sync.Mutex
+	bound   int
+	names   map[string]*rateEntry
+	dropped uint64
+}
+
+type rateEntry struct {
+	res, redef, renew ewma
+	invalidations     uint64
+	fanout            float64 // EWMA of per-invalidation holder fan-out
+	maxStale          time.Duration
+}
+
+// ewma is one event-driven rate estimator: each event contributes an
+// instantaneous rate 1/gap blended at ewmaAlpha. There is no decay
+// between events — a name that stopped being redefined keeps its last
+// estimate, which is the conservative reading a lease tuner wants.
+type ewma struct {
+	count  uint64
+	last   time.Duration
+	rateHz float64
+}
+
+func (e *ewma) observe(at time.Duration) {
+	e.count++
+	if e.count == 1 {
+		e.last = at
+		return
+	}
+	gap := at - e.last
+	e.last = at
+	if gap <= 0 {
+		return
+	}
+	inst := float64(time.Second) / float64(gap)
+	if e.count == 2 {
+		e.rateHz = inst
+		return
+	}
+	e.rateHz = ewmaAlpha*inst + (1-ewmaAlpha)*e.rateHz
+}
+
+// NewRates returns a rate table tracking at most bound names
+// (DefaultRateBound when bound <= 0).
+func NewRates(bound int) *Rates {
+	if bound <= 0 {
+		bound = DefaultRateBound
+	}
+	return &Rates{bound: bound, names: make(map[string]*rateEntry, bound)}
+}
+
+// entry returns the estimator for name, creating it if the table has
+// room. A nil return means the bound was hit and the event is dropped.
+func (r *Rates) entry(name string) *rateEntry {
+	if e, ok := r.names[name]; ok {
+		return e
+	}
+	if len(r.names) >= r.bound {
+		r.dropped++
+		return nil
+	}
+	e := &rateEntry{}
+	r.names[name] = e
+	return e
+}
+
+// ObserveResolution records one resolution of name at virtual time at.
+func (r *Rates) ObserveResolution(name string, at time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if e := r.entry(name); e != nil {
+		e.res.observe(at)
+	}
+	r.mu.Unlock()
+}
+
+// ObserveRedefinition records a binding mutation of name at at.
+func (r *Rates) ObserveRedefinition(name string, at time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if e := r.entry(name); e != nil {
+		e.redef.observe(at)
+	}
+	r.mu.Unlock()
+}
+
+// ObserveRenewal records a lease revalidation of name at at.
+func (r *Rates) ObserveRenewal(name string, at time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if e := r.entry(name); e != nil {
+		e.renew.observe(at)
+	}
+	r.mu.Unlock()
+}
+
+// ObserveInvalidation records one invalidation barrier for name that
+// notified fanout holders.
+func (r *Rates) ObserveInvalidation(name string, at time.Duration, fanout int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if e := r.entry(name); e != nil {
+		e.invalidations++
+		if e.invalidations == 1 {
+			e.fanout = float64(fanout)
+		} else {
+			e.fanout = ewmaAlpha*float64(fanout) + (1-ewmaAlpha)*e.fanout
+		}
+	}
+	r.mu.Unlock()
+}
+
+// ObserveStaleWindow records an observed stale window of the given
+// width for name (a hit served after the binding had moved).
+func (r *Rates) ObserveStaleWindow(name string, width time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if e := r.entry(name); e != nil && width > e.maxStale {
+		e.maxStale = width
+	}
+	r.mu.Unlock()
+}
+
+// RedefRateHz returns the redefinition-rate estimate for name (0 if the
+// name is untracked or has seen fewer than two redefinitions).
+func (r *Rates) RedefRateHz(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.names[name]; ok {
+		return e.redef.rateHz
+	}
+	return 0
+}
+
+// Redefinitions returns how many redefinitions of name were observed.
+func (r *Rates) Redefinitions(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.names[name]; ok {
+		return e.redef.count
+	}
+	return 0
+}
+
+// Dropped returns the number of events dropped at the cardinality bound.
+func (r *Rates) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// RateItem is the published estimator state for one name. Rates are in
+// milli-Hz so they survive the registry's integer gauges exactly.
+type RateItem struct {
+	Name             string `json:"name"`
+	Resolutions      uint64 `json:"resolutions"`
+	Redefinitions    uint64 `json:"redefinitions"`
+	Renewals         uint64 `json:"renewals"`
+	Invalidations    uint64 `json:"invalidations"`
+	ResRateMilliHz   int64  `json:"res_rate_mhz"`
+	RedefRateMilliHz int64  `json:"redef_rate_mhz"`
+	RenewRateMilliHz int64  `json:"renew_rate_mhz"`
+	FanoutMilli      int64  `json:"fanout_milli"`
+	MaxStaleUS       int64  `json:"max_stale_us"`
+}
+
+func milli(f float64) int64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int64(math.Round(f * 1000))
+}
+
+// Snapshot returns every tracked estimator sorted by name.
+func (r *Rates) Snapshot() []RateItem {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	items := make([]RateItem, 0, len(r.names))
+	for n, e := range r.names {
+		items = append(items, RateItem{
+			Name:             n,
+			Resolutions:      e.res.count,
+			Redefinitions:    e.redef.count,
+			Renewals:         e.renew.count,
+			Invalidations:    e.invalidations,
+			ResRateMilliHz:   milli(e.res.rateHz),
+			RedefRateMilliHz: milli(e.redef.rateHz),
+			RenewRateMilliHz: milli(e.renew.rateHz),
+			FanoutMilli:      milli(e.fanout),
+			MaxStaleUS:       int64(e.maxStale / time.Microsecond),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+	return items
+}
+
+// Publish copies the current sketch and estimator state into reg as
+// volatile gauges (volatile so Snapshot.Deterministic() — and with it
+// every golden document — is unaffected). server labels the publishing
+// component; the observed name rides in the Op label.
+func Publish(reg *metrics.Registry, server string, top *TopK, rates *Rates) {
+	if reg == nil {
+		return
+	}
+	for _, it := range top.Snapshot() {
+		reg.VolatileGauge("namestat_top_count", metrics.Labels{Server: server, Op: it.Name, Class: "namestat"}).Set(int64(it.Count))
+	}
+	for _, it := range rates.Snapshot() {
+		l := metrics.Labels{Server: server, Op: it.Name, Class: "namestat"}
+		reg.VolatileGauge("namestat_res_rate_mhz", l).Set(it.ResRateMilliHz)
+		reg.VolatileGauge("namestat_redef_rate_mhz", l).Set(it.RedefRateMilliHz)
+		reg.VolatileGauge("namestat_renew_rate_mhz", l).Set(it.RenewRateMilliHz)
+		reg.VolatileGauge("namestat_invalidation_fanout_milli", l).Set(it.FanoutMilli)
+		reg.VolatileGauge("namestat_max_stale_us", l).Set(it.MaxStaleUS)
+	}
+}

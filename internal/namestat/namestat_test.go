@@ -1,0 +1,237 @@
+package namestat
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/popgen"
+)
+
+func TestNilSketchesAreNoOps(t *testing.T) {
+	var tk *TopK
+	tk.Observe("x")
+	if tk.Len() != 0 || tk.Total() != 0 || tk.Snapshot() != nil {
+		t.Fatalf("nil TopK reported state")
+	}
+	var r *Rates
+	r.ObserveResolution("x", time.Millisecond)
+	r.ObserveRedefinition("x", time.Millisecond)
+	r.ObserveRenewal("x", time.Millisecond)
+	r.ObserveInvalidation("x", time.Millisecond, 3)
+	r.ObserveStaleWindow("x", time.Millisecond)
+	if r.Snapshot() != nil || r.RedefRateHz("x") != 0 || r.Redefinitions("x") != 0 || r.Dropped() != 0 {
+		t.Fatalf("nil Rates reported state")
+	}
+	Publish(nil, "none", tk, r) // must not panic
+}
+
+func TestTopKExact(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 5; i++ {
+		tk.Observe("a")
+	}
+	for i := 0; i < 3; i++ {
+		tk.Observe("b")
+	}
+	tk.Observe("c")
+	items := tk.Snapshot()
+	if len(items) != 3 {
+		t.Fatalf("Len = %d, want 3", len(items))
+	}
+	want := []Item{{Name: "a", Count: 5}, {Name: "b", Count: 3}, {Name: "c", Count: 1}}
+	for i, w := range want {
+		if items[i] != w {
+			t.Fatalf("item %d = %+v, want %+v", i, items[i], w)
+		}
+	}
+	if tk.Total() != 9 {
+		t.Fatalf("Total = %d, want 9", tk.Total())
+	}
+}
+
+func TestTopKReplacementBound(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Observe("a")
+	tk.Observe("a")
+	tk.Observe("b")
+	tk.Observe("c") // replaces b (the min): count 2, err 1
+	items := tk.Snapshot()
+	if len(items) != 2 || tk.Len() != 2 {
+		t.Fatalf("sketch exceeded k: %+v", items)
+	}
+	var c Item
+	for _, it := range items {
+		if it.Name == "c" {
+			c = it
+		}
+	}
+	if c.Count != 2 || c.Err != 1 {
+		t.Fatalf("replacement entry = %+v, want count 2 err 1", c)
+	}
+	// The space-saving guarantee: Count never undercounts.
+	if c.Count-c.Err != 1 {
+		t.Fatalf("lower bound = %d, want 1 true occurrence", c.Count-c.Err)
+	}
+}
+
+// TestTopKRecallOnZipf is the property test against exact counts: on
+// popgen-seeded Zipf draws, a k-sized sketch must (a) contain every
+// name with true count > N/k — the space-saving guarantee — and (b)
+// never report a count outside [true, true+err].
+func TestTopKRecallOnZipf(t *testing.T) {
+	const (
+		population = 5000
+		draws      = 50_000
+		k          = 48
+	)
+	pop := popgen.NewPopulation(population, 0.99, 1)
+	s := pop.Sampler(7)
+	tk := NewTopK(k)
+	exact := make(map[string]uint64)
+	for i := 0; i < draws; i++ {
+		name := pop.Names[s.NextRank()]
+		exact[name]++
+		tk.Observe(name)
+	}
+	items := tk.Snapshot()
+	inSketch := make(map[string]Item, len(items))
+	for _, it := range items {
+		inSketch[it.Name] = it
+	}
+	guarantee := uint64(draws / k)
+	for name, n := range exact {
+		if n <= guarantee {
+			continue
+		}
+		it, ok := inSketch[name]
+		if !ok {
+			t.Fatalf("name %q with true count %d > %d missing from sketch", name, n, guarantee)
+		}
+		if it.Count < n || it.Count > n+it.Err {
+			t.Fatalf("name %q count %d (err %d) outside [%d, %d]", name, it.Count, it.Err, n, n+it.Err)
+		}
+	}
+	for _, it := range items {
+		if true_ := exact[it.Name]; it.Count < true_ || it.Count > true_+it.Err {
+			t.Fatalf("sketch entry %+v violates bound (true %d)", it, true_)
+		}
+	}
+	if tk.Total() != draws {
+		t.Fatalf("Total = %d, want %d", tk.Total(), draws)
+	}
+}
+
+func TestRatesEWMAConvergence(t *testing.T) {
+	r := NewRates(8)
+	// A steady 10 ms cadence must converge on 100 Hz exactly (every
+	// instantaneous estimate equals the true rate).
+	for i := 0; i <= 20; i++ {
+		r.ObserveRedefinition("hot", time.Duration(i)*10*time.Millisecond)
+	}
+	if got := r.RedefRateHz("hot"); got < 99.9 || got > 100.1 {
+		t.Fatalf("steady 100Hz estimated %.2f", got)
+	}
+	if r.Redefinitions("hot") != 21 {
+		t.Fatalf("Redefinitions = %d, want 21", r.Redefinitions("hot"))
+	}
+	// A single event has no rate yet.
+	r.ObserveRedefinition("cold", time.Second)
+	if got := r.RedefRateHz("cold"); got != 0 {
+		t.Fatalf("single event rate = %.2f, want 0", got)
+	}
+	// Rates hold (no decay) after events stop — the conservative
+	// reading the tuner depends on.
+	if got := r.RedefRateHz("hot"); got < 99.9 {
+		t.Fatalf("rate decayed to %.2f with no new events", got)
+	}
+}
+
+func TestRatesSnapshotAndBound(t *testing.T) {
+	r := NewRates(2)
+	at := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+	r.ObserveResolution("b", at(0))
+	r.ObserveResolution("b", at(100))
+	r.ObserveRenewal("b", at(0))
+	r.ObserveRenewal("b", at(50))
+	r.ObserveInvalidation("a", at(10), 4)
+	r.ObserveInvalidation("a", at(20), 4)
+	r.ObserveStaleWindow("a", 750*time.Microsecond)
+	r.ObserveResolution("overflow", at(5)) // beyond bound: dropped
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	items := r.Snapshot()
+	if len(items) != 2 || items[0].Name != "a" || items[1].Name != "b" {
+		t.Fatalf("snapshot order wrong: %+v", items)
+	}
+	a, b := items[0], items[1]
+	if a.Invalidations != 2 || a.FanoutMilli != 4000 || a.MaxStaleUS != 750 {
+		t.Fatalf("a = %+v", a)
+	}
+	if b.Resolutions != 2 || b.ResRateMilliHz != 10_000 || b.RenewRateMilliHz != 20_000 {
+		t.Fatalf("b = %+v", b)
+	}
+}
+
+func TestPublishVolatile(t *testing.T) {
+	reg := metrics.New()
+	tk := NewTopK(4)
+	tk.Observe("[home]")
+	tk.Observe("[home]")
+	r := NewRates(4)
+	r.ObserveRedefinition("[home]", 0)
+	r.ObserveRedefinition("[home]", 100*time.Millisecond)
+	Publish(reg, "pfx", tk, r)
+	snap := reg.Snapshot()
+	var found, volatile int
+	for _, g := range snap.Gauges {
+		if g.Labels.Class == "namestat" {
+			found++
+			if g.Volatile {
+				volatile++
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatalf("Publish registered no namestat gauges")
+	}
+	if volatile != found {
+		t.Fatalf("%d of %d namestat gauges not volatile", found-volatile, found)
+	}
+	// Volatility keeps published analytics out of deterministic
+	// documents — the goldens' byte-identity depends on this.
+	for _, g := range snap.Deterministic().Gauges {
+		if g.Labels.Class == "namestat" {
+			t.Fatalf("namestat gauge %q leaked into deterministic snapshot", g.Name)
+		}
+	}
+	var top int64
+	for _, g := range snap.Gauges {
+		if g.Name == "namestat_top_count" && g.Labels.Op == "[home]" {
+			top = g.Value
+		}
+	}
+	if top != 2 {
+		t.Fatalf("published top count = %d, want 2", top)
+	}
+}
+
+// TestConstructorClamps pins the defensive defaults: a non-positive k
+// still yields a working one-slot sketch, and a non-positive rate bound
+// falls back to DefaultRateBound.
+func TestConstructorClamps(t *testing.T) {
+	tk := NewTopK(0)
+	tk.Observe("a")
+	tk.Observe("a")
+	tk.Observe("b") // evicts into the single slot
+	items := tk.Snapshot()
+	if len(items) != 1 {
+		t.Fatalf("k=0 sketch holds %d items, want 1", len(items))
+	}
+	r := NewRates(-1)
+	r.ObserveResolution("[x]", 0)
+	if len(r.Snapshot()) != 1 {
+		t.Fatalf("bound=-1 rates table rejected an observation")
+	}
+}

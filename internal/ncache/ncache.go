@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/namestat"
 	"repro/internal/nametree"
 	"repro/internal/prefix"
 	"repro/internal/proto"
@@ -88,6 +90,10 @@ type Tier struct {
 	holders map[string]kernel.PID
 
 	ctr counters
+
+	// topk is the tier's always-on hot-name sketch (PROTOCOL.md §15):
+	// which prefixes this tier is actually absorbing load for.
+	topk *namestat.TopK
 }
 
 // Start spawns a cache tier on host, fronting the upstream prefix
@@ -104,6 +110,7 @@ func Start(host *kernel.Host, name string, upstream kernel.PID, leaseLen time.Du
 		leaseLen: leaseLen,
 		entries:  nametree.New[entry](),
 		holders:  make(map[string]kernel.PID),
+		topk:     namestat.NewTopK(32),
 	}
 	cb, err := host.Spawn(name+"/upstream-cb", t.serveUpstream)
 	if err != nil {
@@ -144,6 +151,12 @@ func (t *Tier) Stats() Stats {
 		Propagated:    t.ctr.propagated.Load(),
 		Forwards:      t.ctr.fwds.Load(),
 	}
+}
+
+// TopNames returns the tier's hot-name sketch: the prefixes this tier
+// has served the most lease requests for, by estimated count.
+func (t *Tier) TopNames() []namestat.Item {
+	return t.topk.Snapshot()
 }
 
 // serve is the tier's main loop.
@@ -224,6 +237,7 @@ func (t *Tier) leaseWanted(msg *proto.Message) (string, kernel.PID, bool) {
 func (t *Tier) serveLease(p *kernel.Process, pfx string, cb kernel.PID) *proto.Message {
 	p.ChargeCompute(p.Kernel().Model().PrefixRewriteCost)
 	now := p.Now()
+	t.topk.Observe(pfx)
 	e, found := t.entries.Get(pfx)
 	if found && now >= e.expire {
 		t.entries.Delete(pfx)
@@ -333,6 +347,7 @@ func (t *Tier) serveUpstream(p *kernel.Process) {
 				t.mu.Unlock()
 				t.ctr.invalidations.Add(1)
 				t.metric(p, "ncache_invalidations_total").Inc()
+				p.Kernel().Flight().Record(p.Now(), flight.KindInvalidate, name, t.name, "tier")
 				if tr != nil {
 					tr.Event(sp, trace.KindLease, "callback "+name, p.Now(), p.TraceID(), "")
 				}

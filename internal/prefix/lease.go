@@ -21,6 +21,7 @@ package prefix
 import (
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/proto"
@@ -82,15 +83,32 @@ func (s *Server) leaseWanted(msg *proto.Message, name string, rest int) (kernel.
 // table lookup — grant+lookup is one descent.
 func (s *Server) stampLease(p *kernel.Process, reply *proto.Message, pfx string, cb kernel.PID, negative bool, hint kernel.PID) {
 	now := p.Now()
-	expire := now + s.leaseLen
+	length := s.leaseLen
+	if s.tuner != nil && !negative {
+		// Auto-tuned per-name length (tuner.go); negative leases stay at
+		// the floor — an absent name's definition is the churn event the
+		// tuner has no estimator for yet.
+		length = s.tuner.leaseFor(pfx, s.rates)
+	}
+	expire := now + length
 	proto.SetLeaseGrant(reply, int64(expire))
 	s.joinHolders(p, pfx, cb, hint)
 	if negative {
 		s.leaseCtr.negatives.Add(1)
 		s.leaseMetric(p, "prefix_lease_negatives_total").Inc()
+		p.Kernel().Flight().Record(now, flight.KindLeaseGrant, pfx, s.proc.Name(), "negative")
 	} else {
 		s.leaseCtr.grants.Add(1)
 		s.leaseMetric(p, "prefix_lease_grants_total").Inc()
+		if hint != kernel.NilPID {
+			// The holder group predates this grant: some holder leased the
+			// name before, so this grant re-validates — the closest the
+			// granting side comes to seeing a renewal.
+			s.rates.ObserveRenewal(pfx, now)
+			p.Kernel().Flight().Record(now, flight.KindLeaseRenew, pfx, s.proc.Name(), "")
+		} else {
+			p.Kernel().Flight().Record(now, flight.KindLeaseGrant, pfx, s.proc.Name(), "")
+		}
 	}
 	if tr := p.Tracer(); tr != nil {
 		sp := tr.Event(p.CurrentSpan(), trace.KindLease, "grant "+pfx, now, p.TraceID(), "")
@@ -137,6 +155,11 @@ func (s *Server) joinHolders(p *kernel.Process, pfx string, cb kernel.PID, hint 
 // mutating client's operation returns, every reachable cache has dropped
 // the name.
 func (s *Server) invalidateName(p *kernel.Process, name string) {
+	// The redefinition is journaled and estimated whether or not leases
+	// are on — churn analytics do not depend on the coherence protocol.
+	s.rates.ObserveRedefinition(name, p.Now())
+	s.tuner.observeRedefinition(name)
+	p.Kernel().Flight().Record(p.Now(), flight.KindRedefine, name, s.proc.Name(), "")
 	if s.leaseLen <= 0 {
 		return
 	}
@@ -162,6 +185,7 @@ func (s *Server) invalidateName(p *kernel.Process, name string) {
 	if n, err := p.SendGroupAll(msg, gid); err == nil && n > 0 {
 		s.leaseCtr.notified.Add(uint64(n))
 		s.leaseMetric(p, "prefix_lease_holders_notified_total").Add(uint64(n))
+		s.rates.ObserveInvalidation(name, commit, n)
 	}
 }
 

@@ -25,8 +25,10 @@ import (
 	"unsafe"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/namestat"
 	"repro/internal/nametree"
 	"repro/internal/proto"
 	"repro/internal/trace"
@@ -148,6 +150,13 @@ type Server struct {
 	// stats counters are atomics: team workers bump them concurrently.
 	stats    statsCounters
 	leaseCtr leaseCounters
+
+	// Observability (PROTOCOL.md §15): always-on hot-name sketch and
+	// per-name churn estimators — observers, zero virtual cost — plus
+	// the optional lease auto-tuner they feed (tuner.go).
+	topk  *namestat.TopK
+	rates *namestat.Rates
+	tuner *autoTuner
 }
 
 // leaseCounters is the lock-free backing store for LeaseStats.
@@ -208,6 +217,8 @@ func New(proc *kernel.Process, owner string, opts ...Option) *Server {
 		reverse:      nametree.NewReverse[core.ContextPair](),
 		lastResolved: make(map[string]kernel.PID),
 		orphans:      make(map[string]kernel.PID),
+		topk:         namestat.NewTopK(32),
+		rates:        namestat.NewRates(0),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -402,6 +413,11 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 	if err != nil {
 		return core.ErrorReplyMsg(err)
 	}
+	// Observers only — neither the sketch, the estimator nor the flight
+	// recorder charges virtual time.
+	s.topk.Observe(pfx)
+	s.rates.ObserveResolution(pfx, p.Now())
+	p.Kernel().Flight().Record(p.Now(), flight.KindResolution, pfx, s.proc.Name(), "")
 	// The resolution fast path: one lock-free descent of the radix index
 	// yields the binding and the node's holder group together.
 	e, ok := s.index.Get(pfx)
@@ -434,6 +450,7 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 			s.stats.deadTargets.Add(1)
 			p.Kernel().Metrics().
 				Counter("prefix_dead_targets_total", metrics.Labels{Server: s.proc.Name()}).Inc()
+			p.Kernel().Flight().Record(p.Now(), flight.KindFailover, pfx, s.proc.Name(), "dead-target")
 			return core.ErrorReplyMsg(fmt.Errorf("prefix %q: no live server for service %v: %w",
 				pfx, b.Service, proto.ErrTimeout))
 		}
@@ -448,6 +465,7 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 		if rebound {
 			p.Kernel().Metrics().
 				Counter("prefix_rebinds_total", metrics.Labels{Server: s.proc.Name()}).Inc()
+			p.Kernel().Flight().Record(p.Now(), flight.KindFailover, pfx, s.proc.Name(), "rebind")
 		}
 	}
 	if wantLease {
@@ -462,6 +480,7 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 	}
 	proto.RewriteCSName(msg, uint32(pair.Ctx), rest)
 	s.stats.forwards.Add(1)
+	p.Kernel().Flight().Record(p.Now(), flight.KindForward, pfx, s.proc.Name(), "")
 	// Counted before the Forward delivers (see core.serveCSName).
 	p.Kernel().Metrics().
 		Counter("prefix_forwards_total", metrics.Labels{Server: s.proc.Name()}).Inc()
@@ -474,6 +493,23 @@ func (s *Server) handleCSName(p *kernel.Process, msg *proto.Message, from kernel
 // counters (see statsCounters.Snapshot).
 func (s *Server) Stats() Stats {
 	return s.stats.Snapshot()
+}
+
+// TopNames returns the server's hot-name sketch, count-descending.
+func (s *Server) TopNames() []namestat.Item { return s.topk.Snapshot() }
+
+// NameRates returns the server's per-name churn estimators.
+func (s *Server) NameRates() []namestat.RateItem { return s.rates.Snapshot() }
+
+// Rates exposes the estimator table (read-only use: experiments and the
+// tuner verification suite probe individual names).
+func (s *Server) Rates() *namestat.Rates { return s.rates }
+
+// PublishNamestat copies the sketch and estimator state into reg as
+// volatile gauges — on demand, so deterministic metrics documents never
+// see them (namestat.Publish).
+func (s *Server) PublishNamestat(reg *metrics.Registry) {
+	namestat.Publish(reg, s.proc.Name(), s.topk, s.rates)
 }
 
 // resolveBinding maps a binding to a concrete context pair; dynamic

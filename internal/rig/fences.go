@@ -7,6 +7,7 @@ package rig
 import (
 	"repro/internal/chaos"
 	"repro/internal/engine"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
@@ -19,7 +20,27 @@ import (
 // virtual times instead of at whichever lane's operation happened to
 // pump past them. eng may be nil (sampler ticks only).
 func (r *Rig) EngineFences(eng *chaos.Engine) engine.Fences {
-	return MergeFences(eng, r.Sampler, r.PumpGroups)
+	return SealFlightAtFences(MergeFences(eng, r.Sampler, r.PumpGroups), r.Flight)
+}
+
+// SealFlightAtFences wraps a fence source so every firing also seals the
+// flight recorder's ring at the fence time (PROTOCOL.md §15): the cut is
+// globally quiescent, so the batch of events between two seals is a
+// deterministic set, and the seal sorts it canonically — the journal
+// read after a fence is byte-stable across runs regardless of goroutine
+// interleaving within the window. rec may be nil (fences unchanged).
+func SealFlightAtFences(f engine.Fences, rec *flight.Recorder) engine.Fences {
+	if rec == nil {
+		return f
+	}
+	inner := f.Fire
+	f.Fire = func(at vtime.Time) {
+		if inner != nil {
+			inner(at)
+		}
+		rec.Seal(at)
+	}
+	return f
 }
 
 // ChaosFences builds a fence schedule from a chaos engine alone, for

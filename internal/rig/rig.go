@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/execserver"
 	"repro/internal/fileserver"
+	"repro/internal/flight"
 	"repro/internal/inetserver"
 	"repro/internal/kernel"
 	"repro/internal/mailserver"
@@ -57,6 +58,11 @@ type Config struct {
 	// virtual time, so traced runs measure identically to untraced
 	// ones.
 	Trace bool
+	// TraceSample, when non-nil, installs the tracer in sampled mode
+	// (PROTOCOL.md §15): head sampling per client lane plus tail
+	// retention of anomalous subtrees, O(k) retained spans at any
+	// population. Implies Trace.
+	TraceSample *trace.SampleConfig
 
 	// Replicas consensus-replicates the fs1 file service and every
 	// workstation's prefix table across a replication group of this many
@@ -79,6 +85,12 @@ type Config struct {
 	// every workstation's prefix server (PROTOCOL.md §13). Sessions opt
 	// into the lease cache individually with EnableLeaseCache.
 	Lease time.Duration
+	// AutoTuneLeaseMax, when positive (requires Lease, the floor),
+	// replaces the fixed lease length with the per-name auto-tuner
+	// (PROTOCOL.md §15): grants grow from Lease toward this cap while a
+	// name's observed redefinition rate stays low, and reset to the
+	// floor on redefinition.
+	AutoTuneLeaseMax time.Duration
 }
 
 // teamOpt returns the core option list for a team-size knob: empty for
@@ -156,6 +168,12 @@ type Rig struct {
 	// r.Sampler.AdvanceTo(session.Proc().Now()).
 	Sampler *metrics.Sampler
 
+	// Flight is the rig's always-on flight recorder (PROTOCOL.md §15):
+	// a bounded ring journal of naming events, zero virtual cost and
+	// zero hot-path allocations, sealed deterministically at engine
+	// fences and dumped on chaos-test failure.
+	Flight *flight.Recorder
+
 	retry *client.RetryPolicy
 
 	sessMu   sync.Mutex
@@ -182,7 +200,13 @@ func New(cfg Config) (*Rig, error) {
 		g, n, _ := kernel.EnvPoolStats()
 		return g, n
 	})
-	if cfg.Trace {
+	r.Flight = flight.New(1 << 14)
+	k.SetFlight(r.Flight)
+	if cfg.TraceSample != nil {
+		r.Tracer = trace.NewSampled(*cfg.TraceSample)
+		k.SetTracer(r.Tracer)
+		net.SetRecorder(r.Tracer)
+	} else if cfg.Trace {
 		r.Tracer = trace.New()
 		k.SetTracer(r.Tracer)
 		net.SetRecorder(r.Tracer)
@@ -342,7 +366,9 @@ func (r *Rig) bootWorkstation(cfg Config, user string) (*Workstation, error) {
 		if cfg.PrefixTeam > 1 {
 			prefixOpts = append(prefixOpts, prefix.WithTeam(cfg.PrefixTeam))
 		}
-		if cfg.Lease > 0 {
+		if cfg.Lease > 0 && cfg.AutoTuneLeaseMax > 0 {
+			prefixOpts = append(prefixOpts, prefix.WithLeaseAutoTune(cfg.Lease, cfg.AutoTuneLeaseMax))
+		} else if cfg.Lease > 0 {
 			prefixOpts = append(prefixOpts, prefix.WithLease(cfg.Lease))
 		}
 		if ws.Prefix, err = prefix.Start(host, user, prefixOpts...); err != nil {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/fileserver"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/ncache"
 	"repro/internal/netsim"
@@ -61,9 +62,18 @@ type SharedPrefixConfig struct {
 	// tier co-resident with the prefix host: clients address the tier,
 	// which holds upstream leases and re-grants bounded sub-leases.
 	CacheTier bool
+	// AutoTuneMax, when positive (requires Lease, which becomes the
+	// floor), replaces the fixed lease length with the per-name
+	// auto-tuner (PROTOCOL.md §15): grants grow from Lease toward this
+	// cap while a name's redefinition rate stays low, and reset to the
+	// floor when it churns.
+	AutoTuneMax time.Duration
 	// Trace installs a domain tracer on the kernel and network. Tracing
 	// charges zero virtual time, so traced runs measure identically.
 	Trace bool
+	// TraceSample, when non-nil, installs the tracer in sampled mode
+	// (PROTOCOL.md §15). Implies Trace.
+	TraceSample *trace.SampleConfig
 }
 
 // SharedPrefixWorkload is the booted topology.
@@ -75,7 +85,10 @@ type SharedPrefixWorkload struct {
 	// Tier is the shared intermediate cache (nil unless CacheTier).
 	Tier *ncache.Tier
 	// Tracer is the installed tracer (nil unless Trace).
-	Tracer  *trace.Tracer
+	Tracer *trace.Tracer
+	// Flight is the workload's always-on flight recorder (PROTOCOL.md
+	// §15); seal it at fences with SealFlightAtFences.
+	Flight  *flight.Recorder
 	Hosts   []*kernel.Host
 	Shards  []*fileserver.FileServer
 	Clients []*WorkloadClient
@@ -94,7 +107,13 @@ func NewSharedPrefixWorkload(cfg SharedPrefixConfig) (*SharedPrefixWorkload, err
 	net := netsim.New(vtime.DefaultModel(), cfg.Seed)
 	k := kernel.New(net)
 	sw := &SharedPrefixWorkload{Kernel: k, Net: net}
-	if cfg.Trace {
+	sw.Flight = flight.New(1 << 14)
+	k.SetFlight(sw.Flight)
+	if cfg.TraceSample != nil {
+		sw.Tracer = trace.NewSampled(*cfg.TraceSample)
+		k.SetTracer(sw.Tracer)
+		net.SetRecorder(sw.Tracer)
+	} else if cfg.Trace {
 		sw.Tracer = trace.New()
 		k.SetTracer(sw.Tracer)
 		net.SetRecorder(sw.Tracer)
@@ -102,7 +121,9 @@ func NewSharedPrefixWorkload(cfg SharedPrefixConfig) (*SharedPrefixWorkload, err
 
 	sw.PrefixHost = k.NewHost("nexus")
 	var popts []prefix.Option
-	if cfg.Lease > 0 {
+	if cfg.Lease > 0 && cfg.AutoTuneMax > 0 {
+		popts = append(popts, prefix.WithLeaseAutoTune(cfg.Lease, cfg.AutoTuneMax))
+	} else if cfg.Lease > 0 {
 		popts = append(popts, prefix.WithLease(cfg.Lease))
 	}
 	ps, err := prefix.Start(sw.PrefixHost, "bench", popts...)

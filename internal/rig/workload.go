@@ -370,11 +370,26 @@ func runLaneGated(clients []*WorkloadClient, idxs []int, out []ClientStats, es *
 		i := idxs[pick]
 		c := clients[i]
 		waitForArrival(c, best)
+		key := engine.Key{T: best, Seq: i}
 		cls := engine.Shared
+		fseen := 0
 		if c.Classify != nil {
+			fseen = es.FencesFired()
 			cls = c.Classify(c.Session, iters[pick])
 		}
-		es.Gate(lane, engine.Key{T: best, Seq: i}, cls)
+		fired := es.Gate(lane, key, cls)
+		if cls == engine.Confined && fired != fseen {
+			// A fence fired between classification and clearance. Fence
+			// actions mutate cross-lane substrate at the quiescent cut —
+			// a chaos redefinition revokes leases by callback barrier —
+			// so the Confined proof may no longer hold. Re-prove it; if
+			// the operation now needs the shared wire, re-gate it Shared
+			// so it commits in global key order instead of racing the
+			// other woken lanes for wire slots (PROTOCOL.md §12).
+			if c.Classify(c.Session, iters[pick]) == engine.Shared {
+				es.Gate(lane, key, engine.Shared)
+			}
+		}
 		if c.Think > 0 {
 			c.Session.Proc().ChargeCompute(c.Think)
 		}

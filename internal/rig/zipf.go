@@ -31,6 +31,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/fileserver"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/ncache"
 	"repro/internal/netsim"
@@ -66,10 +67,18 @@ type ZipfConfig struct {
 	Lease time.Duration
 	// CacheTier interposes the shared ncache tier on the prefix host.
 	CacheTier bool
+	// AutoTuneMax, when positive, auto-tunes per-name lease lengths in
+	// [Lease, AutoTuneMax] (PROTOCOL.md §15) instead of granting the
+	// fixed Lease.
+	AutoTuneMax time.Duration
 	// Seed drives the network's deterministic RNG.
 	Seed int64
 	// Trace installs a domain tracer on the kernel and network.
 	Trace bool
+	// TraceSample, when non-nil, installs the tracer in sampled mode
+	// (PROTOCOL.md §15): O(k) retained spans at any population. Implies
+	// Trace.
+	TraceSample *trace.SampleConfig
 }
 
 // ZipfWorkload is the booted population-scale topology.
@@ -81,7 +90,10 @@ type ZipfWorkload struct {
 	// Tier is the shared intermediate cache (nil unless CacheTier).
 	Tier *ncache.Tier
 	// Tracer is the installed tracer (nil unless Trace).
-	Tracer  *trace.Tracer
+	Tracer *trace.Tracer
+	// Flight is the workload's always-on flight recorder (PROTOCOL.md
+	// §15); seal it at fences with SealFlightAtFences.
+	Flight  *flight.Recorder
 	Hosts   []*kernel.Host
 	Shards  []*fileserver.FileServer
 	Clients []*WorkloadClient
@@ -152,14 +164,24 @@ func NewZipfWorkload(cfg ZipfConfig) (*ZipfWorkload, error) {
 	net := netsim.New(vtime.DefaultModel(), cfg.Seed)
 	k := kernel.New(net)
 	zw := &ZipfWorkload{Kernel: k, Net: net, Pop: pop}
-	if cfg.Trace {
+	zw.Flight = flight.New(1 << 14)
+	k.SetFlight(zw.Flight)
+	if cfg.TraceSample != nil {
+		zw.Tracer = trace.NewSampled(*cfg.TraceSample)
+		k.SetTracer(zw.Tracer)
+		net.SetRecorder(zw.Tracer)
+	} else if cfg.Trace {
 		zw.Tracer = trace.New()
 		k.SetTracer(zw.Tracer)
 		net.SetRecorder(zw.Tracer)
 	}
 
 	zw.PrefixHost = k.NewHost("nexus")
-	ps, err := prefix.Start(zw.PrefixHost, "pop", prefix.WithLease(cfg.Lease))
+	popt := prefix.WithLease(cfg.Lease)
+	if cfg.AutoTuneMax > 0 {
+		popt = prefix.WithLeaseAutoTune(cfg.Lease, cfg.AutoTuneMax)
+	}
+	ps, err := prefix.Start(zw.PrefixHost, "pop", popt)
 	if err != nil {
 		return nil, fmt.Errorf("prefix server: %w", err)
 	}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// SampleConfig selects sampled-tracing mode (PROTOCOL.md §15). The full
+// tracer is O(ops) memory, which caps it near 10⁴ operations; a sampled
+// tracer retains O(ops/HeadEvery + anomalies) complete span subtrees and
+// discards the rest as their operations finish, so population-scale
+// workloads (10⁶ names, §14) can run traced.
+//
+// Two rules compose:
+//
+//   - Head sampling by client lane: each process's root spans are
+//     counted, and every HeadEvery-th root (the 1st, the
+//     HeadEvery+1-th, ...) is retained in full. Roots are counted per
+//     process, and each lane's operations start in its own program
+//     order, so the set of head-retained roots is deterministic even
+//     when lanes interleave.
+//
+//   - Tail retention of anomalies: a root whose subtree recorded any
+//     failure classification, or whose total duration reached SlowOver,
+//     is always retained — slow, failed and stale operations survive in
+//     full even when head sampling would have dropped them.
+//
+// Retained subtrees are complete (every span keeps its parent), so the
+// invariant checker runs unchanged on a sampled trace.
+type SampleConfig struct {
+	// HeadEvery retains every n-th root per process; values < 1 mean 1
+	// (retain everything, tail rules moot).
+	HeadEvery int
+	// SlowOver, when > 0, always retains roots at least this long.
+	SlowOver time.Duration
+}
+
+// NewSampled returns a tracer in sampled mode.
+func NewSampled(cfg SampleConfig) *Tracer {
+	if cfg.HeadEvery < 1 {
+		cfg.HeadEvery = 1
+	}
+	return &Tracer{s: &sampleState{
+		cfg:        cfg,
+		live:       make(map[SpanID]*Span),
+		rootOf:     make(map[SpanID]SpanID),
+		roots:      make(map[SpanID]*rootState),
+		seenByProc: make(map[string]uint64),
+	}}
+}
+
+// Sampled reports whether the tracer is in sampled mode.
+func (t *Tracer) Sampled() bool { return t != nil && t.s != nil }
+
+// rootState tracks one open root subtree until its last span ends.
+type rootState struct {
+	spans    []SpanID // subtree members in creation order
+	open     int      // spans not yet ended
+	headKeep bool
+	anomaly  bool
+}
+
+// sampleState is the sampled-mode storage: open subtrees live in maps,
+// finished subtrees either move to retained or vanish.
+type sampleState struct {
+	cfg           SampleConfig
+	nextID        SpanID
+	live          map[SpanID]*Span
+	rootOf        map[SpanID]SpanID
+	roots         map[SpanID]*rootState
+	seenByProc    map[string]uint64
+	retained      []*Span
+	rootsSeen     uint64
+	rootsRetained uint64
+}
+
+// start allocates a span in sampled mode. Caller holds t.mu.
+func (s *sampleState) start(parent SpanID, kind Kind, name string, at int64, who ProcID) SpanID {
+	s.nextID++
+	sp := &Span{
+		ID:     s.nextID,
+		Parent: parent,
+		Kind:   kind,
+		Name:   name,
+		Proc:   who.Name,
+		PID:    who.PID,
+		Host:   who.Host,
+		Start:  at,
+	}
+	root, ok := s.rootOf[parent]
+	if !ok {
+		// A new root — or a span whose parent already retired, which
+		// starts a subtree of its own so retained trees stay complete.
+		sp.Parent = 0
+		root = sp.ID
+		s.rootsSeen++
+		n := s.seenByProc[who.Name]
+		s.seenByProc[who.Name] = n + 1
+		s.roots[root] = &rootState{headKeep: n%uint64(s.cfg.HeadEvery) == 0}
+	}
+	s.live[sp.ID] = sp
+	s.rootOf[sp.ID] = root
+	rs := s.roots[root]
+	rs.spans = append(rs.spans, sp.ID)
+	rs.open++
+	return sp.ID
+}
+
+// fail ends a span in sampled mode. Caller holds t.mu.
+func (s *sampleState) fail(id SpanID, at int64, class string) {
+	sp := s.live[id]
+	if sp == nil || sp.ended {
+		return
+	}
+	sp.End = at
+	sp.Err = class
+	sp.ended = true
+	root := s.rootOf[id]
+	rs := s.roots[root]
+	if class != "" {
+		rs.anomaly = true
+	}
+	rs.open--
+	if rs.open == 0 {
+		s.finish(root, rs)
+	}
+}
+
+// finish retires a drained subtree: retained in full or dropped whole.
+// Caller holds t.mu.
+func (s *sampleState) finish(root SpanID, rs *rootState) {
+	rootSpan := s.live[root]
+	slow := s.cfg.SlowOver > 0 && time.Duration(rootSpan.End-rootSpan.Start) >= s.cfg.SlowOver
+	keep := rs.headKeep || rs.anomaly || slow
+	for _, id := range rs.spans {
+		if keep {
+			s.retained = append(s.retained, s.live[id])
+		}
+		delete(s.live, id)
+		delete(s.rootOf, id)
+	}
+	delete(s.roots, root)
+	if keep {
+		s.rootsRetained++
+	}
+}
+
+// snapshot copies retained spans in id order, then any still-open
+// subtree members (marked Incomplete) so a mid-run dump is honest.
+// Caller holds t.mu.
+func (s *sampleState) snapshot() []Span {
+	out := make([]Span, 0, len(s.retained)+len(s.live))
+	for _, sp := range s.retained {
+		out = append(out, *sp)
+	}
+	for _, sp := range s.live {
+		c := *sp
+		if !sp.ended {
+			c.Incomplete = true
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RootsSeen returns how many root spans the sampled tracer observed
+// (0 in full mode, where Len covers the question).
+func (t *Tracer) RootsSeen() uint64 {
+	if t == nil || t.s == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.s.rootsSeen
+}
+
+// RootsRetained returns how many root subtrees the sampled tracer kept.
+func (t *Tracer) RootsRetained() uint64 {
+	if t == nil || t.s == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.s.rootsRetained
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// oneOp records a minimal root subtree (client-op → send → wire+reply)
+// on the sampled tracer and returns the root id. dur sets the root
+// length; class, when non-empty, fails the send span.
+func oneOp(t *Tracer, proc string, start, dur vtime.Time, class string) SpanID {
+	who := ProcID{Name: proc, PID: 1, Host: "ws"}
+	srv := ProcID{Name: "srv", PID: 2, Host: "fs"}
+	root := t.Start(0, KindClientOp, "op", start, who)
+	send := t.Start(root, KindSend, "send", start, who)
+	t.Wire(send, "request", start, 100*time.Microsecond, 32, netsim.HopDetail{Packets: 1}, false, false)
+	if class == "" {
+		rep := t.Start(send, KindReply, "reply", start+dur/4, srv)
+		t.End(rep, start+dur/4)
+	}
+	t.Fail(send, start+dur/2, class)
+	t.End(root, start+dur)
+	return root
+}
+
+func TestSampledHeadSampling(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 4})
+	if !tr.Sampled() {
+		t.Fatalf("Sampled() = false")
+	}
+	at := vtime.Time(0)
+	for i := 0; i < 10; i++ {
+		oneOp(tr, "ws-a", at, time.Millisecond, "")
+		at += 10 * time.Millisecond
+	}
+	if got := tr.RootsSeen(); got != 10 {
+		t.Fatalf("RootsSeen = %d, want 10", got)
+	}
+	// Roots 0, 4 and 8 are head-retained.
+	if got := tr.RootsRetained(); got != 3 {
+		t.Fatalf("RootsRetained = %d, want 3", got)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 12 { // 3 roots × (client-op + send + wire + reply)
+		t.Fatalf("retained %d spans, want 12", len(spans))
+	}
+	// Every retained subtree is complete: parents resolve.
+	ids := make(map[SpanID]bool, len(spans))
+	for _, sp := range spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range spans {
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			t.Fatalf("span %d retained without parent %d", sp.ID, sp.Parent)
+		}
+		if sp.Incomplete {
+			t.Fatalf("span %d retained incomplete", sp.ID)
+		}
+	}
+}
+
+func TestSampledHeadCountersPerLane(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 2})
+	// Interleave two lanes; each lane's first and third ops are kept.
+	for i := 0; i < 4; i++ {
+		oneOp(tr, "ws-a", vtime.Time(i)*time.Millisecond, 100*time.Microsecond, "")
+		oneOp(tr, "ws-b", vtime.Time(i)*time.Millisecond, 100*time.Microsecond, "")
+	}
+	if got := tr.RootsRetained(); got != 4 {
+		t.Fatalf("RootsRetained = %d, want 2 per lane", got)
+	}
+}
+
+func TestSampledTailKeepsFailures(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 1000})
+	oneOp(tr, "ws-a", 0, time.Millisecond, "")                  // head-kept (first)
+	oneOp(tr, "ws-a", time.Second, time.Millisecond, "timeout") // anomaly
+	oneOp(tr, "ws-a", 2*time.Second, time.Millisecond, "")      // dropped
+	if got := tr.RootsRetained(); got != 2 {
+		t.Fatalf("RootsRetained = %d, want 2 (head + failed)", got)
+	}
+	var sawErr bool
+	for _, sp := range tr.Snapshot() {
+		if sp.Err == "timeout" {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatalf("failed span not retained in full")
+	}
+}
+
+func TestSampledTailKeepsSlow(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 1000, SlowOver: 5 * time.Millisecond})
+	oneOp(tr, "ws-a", 0, time.Millisecond, "")               // head-kept
+	oneOp(tr, "ws-a", time.Second, time.Millisecond, "")     // fast: dropped
+	oneOp(tr, "ws-a", 2*time.Second, 8*time.Millisecond, "") // slow: kept
+	if got := tr.RootsRetained(); got != 2 {
+		t.Fatalf("RootsRetained = %d, want 2 (head + slow)", got)
+	}
+}
+
+func TestSampledMemoryBounded(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 100})
+	for i := 0; i < 1000; i++ {
+		oneOp(tr, "ws-a", vtime.Time(i)*time.Millisecond, 100*time.Microsecond, "")
+	}
+	// 10 head-retained roots × 4 spans; nothing else lingers.
+	if got := tr.Len(); got != 40 {
+		t.Fatalf("Len = %d, want 40 — discarded subtrees still resident", got)
+	}
+	if len(tr.s.live) != 0 || len(tr.s.roots) != 0 || len(tr.s.rootOf) != 0 {
+		t.Fatalf("open-subtree maps not drained: live=%d roots=%d rootOf=%d",
+			len(tr.s.live), len(tr.s.roots), len(tr.s.rootOf))
+	}
+}
+
+func TestSampledDropsFrames(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 1})
+	tr.RecordFrame(netsim.FrameEvent{Bytes: 64})
+	if got := tr.Frames(); len(got) != 0 {
+		t.Fatalf("sampled tracer recorded %d frames", len(got))
+	}
+}
+
+func TestSampledAnnotationsAfterRetireAreNoOps(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 1})
+	root := oneOp(tr, "ws-a", 0, time.Millisecond, "")
+	// The subtree is retired; late annotations must not panic or mutate.
+	tr.SetGroup(root)
+	tr.SetLease(root, 0, time.Second)
+	tr.SetTransfer(root, 999)
+	tr.Fail(root, 2*time.Second, "late")
+	for _, sp := range tr.Snapshot() {
+		if sp.ID == root && (sp.Bytes == 999 || sp.Err == "late") {
+			t.Fatalf("retired span mutated: %+v", sp)
+		}
+	}
+}
+
+func TestSampledCheckPasses(t *testing.T) {
+	tr := NewSampled(SampleConfig{HeadEvery: 3})
+	for i := 0; i < 9; i++ {
+		oneOp(tr, "ws-a", vtime.Time(i)*10*time.Millisecond, time.Millisecond, "")
+	}
+	// Retained subtrees are complete, so the checker's parent and
+	// containment invariants hold without special-casing.
+	if err := Check(tr.Snapshot(), CheckOptions{}); err != nil {
+		t.Fatalf("Check on sampled trace: %v", err)
+	}
+}
+
+func TestFullModeUnchanged(t *testing.T) {
+	tr := New()
+	if tr.Sampled() {
+		t.Fatalf("full tracer claims sampled mode")
+	}
+	id := oneOp(tr, "ws-a", 0, time.Millisecond, "")
+	if tr.Len() != 4 || id == 0 {
+		t.Fatalf("full mode Len = %d", tr.Len())
+	}
+	tr.RecordFrame(netsim.FrameEvent{Bytes: 64})
+	if len(tr.Frames()) != 1 {
+		t.Fatalf("full mode dropped a frame")
+	}
+}

@@ -150,9 +150,13 @@ type Tracer struct {
 	mu     sync.Mutex
 	spans  []*Span
 	frames []Frame
+
+	// s non-nil selects sampled mode (sample.go): bounded retention
+	// instead of the O(ops) span slice.
+	s *sampleState
 }
 
-// New returns an empty tracer.
+// New returns an empty tracer in full-retention mode.
 func New() *Tracer { return &Tracer{} }
 
 // Start opens a span and returns its id. parent 0 makes it a root.
@@ -162,6 +166,9 @@ func (t *Tracer) Start(parent SpanID, kind Kind, name string, at vtime.Time, who
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.s != nil {
+		return t.s.start(parent, kind, name, int64(at), who)
+	}
 	sp := &Span{
 		ID:     SpanID(len(t.spans) + 1),
 		Parent: parent,
@@ -187,6 +194,10 @@ func (t *Tracer) Fail(id SpanID, at vtime.Time, class string) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.s != nil {
+		t.s.fail(id, int64(at), class)
+		return
+	}
 	sp := t.span(id)
 	if sp == nil || sp.ended {
 		return
@@ -210,16 +221,17 @@ func (t *Tracer) Wire(parent SpanID, name string, start vtime.Time, dur time.Dur
 	}
 	id := t.Start(parent, KindWire, name, start, ProcID{})
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	sp := t.span(id)
-	sp.End = int64(start) + int64(dur)
-	sp.ended = true
-	sp.Bytes = bytes
-	sp.Packets = det.Packets
-	sp.Retrans = det.Retransmits
-	sp.Queue = int64(det.Queue)
-	sp.Local = local
-	sp.Bcast = bcast
+	if sp := t.span(id); sp != nil {
+		sp.Bytes = bytes
+		sp.Packets = det.Packets
+		sp.Retrans = det.Retransmits
+		sp.Queue = int64(det.Queue)
+		sp.Local = local
+		sp.Bcast = bcast
+	}
+	t.mu.Unlock()
+	// End through Fail so sampled-mode subtree accounting sees it.
+	t.End(id, start+dur)
 	return id
 }
 
@@ -261,8 +273,13 @@ func (t *Tracer) SetTransfer(id SpanID, bytes int) {
 	}
 }
 
-// span returns the span with the given id. Caller holds t.mu.
+// span returns the span with the given id. Caller holds t.mu. In
+// sampled mode only spans of still-open subtrees are addressable;
+// annotations on retired spans are dropped.
 func (t *Tracer) span(id SpanID) *Span {
+	if t.s != nil {
+		return t.s.live[id]
+	}
 	if id == 0 || int(id) > len(t.spans) {
 		return nil
 	}
@@ -277,6 +294,11 @@ func (t *Tracer) RecordFrame(ev netsim.FrameEvent) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.s != nil {
+		// Sampled mode keeps no per-frame record: the frame log is
+		// O(packets), exactly the growth sampling exists to avoid.
+		return
+	}
 	t.frames = append(t.frames, Frame{
 		Src:     uint16(ev.Src),
 		Dst:     uint16(ev.Dst),
@@ -297,6 +319,9 @@ func (t *Tracer) Len() int {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.s != nil {
+		return len(t.s.retained) + len(t.s.live)
+	}
 	return len(t.spans)
 }
 
@@ -308,6 +333,9 @@ func (t *Tracer) Snapshot() []Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.s != nil {
+		return t.s.snapshot()
+	}
 	out := make([]Span, len(t.spans))
 	for i, sp := range t.spans {
 		out[i] = *sp
